@@ -1,0 +1,22 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments all --csv results/ --repeats 3
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,77 @@
+"""Ablation A2 — simulated LRU cache misses per strategy.
+
+Times the trace-and-replay pipeline per strategy and asserts the
+paper's mechanism: batch strategies suffer no more misses than the
+serial baseline, with partition-based at the minimum.  Miss counts are
+attached as benchmark extra-info.
+"""
+
+import pytest
+
+from repro.analysis.cache import simulate_cache
+from repro.analysis.trace import AccessRecorder
+from repro.hint.index import HintIndex
+from repro.hint.reference import ReferenceHint
+from repro.workloads.queries import uniform_queries
+from repro.workloads.realistic import REAL_DATASET_SPECS, make_realistic_clone
+
+STRATEGIES = [
+    ("query-based", "batch_query_based", {"sort": False}),
+    ("query-based-sorted", "batch_query_based", {"sort": True}),
+    ("level-based", "batch_level_based", {}),
+    ("partition-based", "batch_partition_based", {}),
+]
+
+CACHE_BLOCKS = 32
+
+
+@pytest.fixture(scope="module")
+def cache_setup():
+    spec = REAL_DATASET_SPECS["BOOKS"]
+    coll = make_realistic_clone("BOOKS", cardinality=20_000, seed=1).normalized(
+        spec.paper_m
+    )
+    ref = ReferenceHint(coll, m=spec.paper_m)
+    index = HintIndex(coll, m=spec.paper_m)
+    batch = uniform_queries(128, 1 << spec.paper_m, 1.0, seed=1)
+    return ref, index, batch
+
+
+@pytest.fixture(scope="module")
+def miss_counts(cache_setup):
+    ref, index, batch = cache_setup
+    misses = {}
+    for name, method, kwargs in STRATEGIES:
+        recorder = AccessRecorder()
+        getattr(ref, method)(batch, recorder=recorder, **kwargs)
+        misses[name] = simulate_cache(
+            recorder.partition_sequence(), CACHE_BLOCKS, index=index
+        ).misses
+    return misses
+
+
+@pytest.mark.parametrize("name,method,kwargs", STRATEGIES)
+def test_bench_trace_and_replay(
+    benchmark, cache_setup, miss_counts, name, method, kwargs
+):
+    ref, index, batch = cache_setup
+    benchmark.group = "ablation-cache"
+    benchmark.name = name
+    benchmark.extra_info["simulated_misses"] = miss_counts[name]
+
+    def run():
+        recorder = AccessRecorder()
+        getattr(ref, method)(batch, recorder=recorder, **kwargs)
+        return simulate_cache(
+            recorder.partition_sequence(), CACHE_BLOCKS, index=index
+        ).misses
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_cache_ordering_matches_paper(miss_counts):
+    assert miss_counts["partition-based"] <= miss_counts["level-based"]
+    assert miss_counts["level-based"] <= miss_counts["query-based-sorted"]
+    assert miss_counts["query-based-sorted"] <= miss_counts["query-based"]
+    # the headline gap: batching vs serial
+    assert miss_counts["partition-based"] < miss_counts["query-based"]

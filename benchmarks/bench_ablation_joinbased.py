@@ -1,0 +1,46 @@
+"""Ablation A3 — join-based (optFS) evaluation vs partition-based HINT.
+
+Both sides materialize full results (count-only joins admit a
+closed-form shortcut that sidesteps the paper's trade-off).  The
+paper's Section 1 claim asserted here: at batch sizes far below the
+collection size, the index-based batch strategy wins.
+"""
+
+import pytest
+
+from conftest import synthetic_setup
+from repro.core.join_based import join_based
+from repro.core.strategies import partition_based
+from repro.experiments.runner import time_call
+from repro.workloads.queries import uniform_queries
+
+BATCH_SIZES = (100, 1_000, 5_000)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_bench_join_based(benchmark, batch_size):
+    _, coll, domain = synthetic_setup()
+    batch = uniform_queries(batch_size, domain, 0.05, seed=5)
+    benchmark.group = f"ablation-join-batch{batch_size}"
+    benchmark.name = "join-based(optFS)"
+    benchmark(join_based, coll, batch, mode="ids")
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_bench_partition_based(benchmark, batch_size):
+    index, _, domain = synthetic_setup()
+    batch = uniform_queries(batch_size, domain, 0.05, seed=5)
+    benchmark.group = f"ablation-join-batch{batch_size}"
+    benchmark.name = "partition-based"
+    benchmark(partition_based, index, batch, mode="ids")
+
+
+def test_index_batching_beats_join_at_small_batches():
+    index, coll, domain = synthetic_setup()
+    batch = uniform_queries(1_000, domain, 0.05, seed=5)
+    t_join = time_call(join_based, coll, batch, mode="ids", repeats=2)
+    t_pb = time_call(partition_based, index, batch, mode="ids", repeats=2)
+    assert t_pb < t_join, (
+        f"partition-based ({t_pb:.3f}s) should beat join-based "
+        f"({t_join:.3f}s) at |Q| << |S|"
+    )

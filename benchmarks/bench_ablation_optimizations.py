@@ -1,0 +1,56 @@
+"""Ablation A5 — value of HINT's Section 2 optimizations.
+
+Serial batches against every subdivisions/sorting combination plus the
+production index under both traversal orders.  C++ expectation:
+subs+sort bottom-up wins.  Python finding (recorded in EXPERIMENTS.md):
+the plain P_O/P_R layout can win serial workloads here because fewer
+tables mean fewer per-partition numpy calls — the trade-off is
+substrate-dependent, which is itself worth measuring.
+"""
+
+import pytest
+
+from repro.hint.index import HintIndex
+from repro.hint.variants import HintVariant
+from repro.workloads.queries import uniform_queries
+from repro.workloads.realistic import REAL_DATASET_SPECS, make_realistic_clone
+
+CONFIGS = [
+    ("subs+sort", {"subdivisions": True, "sorted_partitions": True}),
+    ("subs", {"subdivisions": True, "sorted_partitions": False}),
+    ("sort", {"subdivisions": False, "sorted_partitions": True}),
+    ("plain", {"subdivisions": False, "sorted_partitions": False}),
+]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = REAL_DATASET_SPECS["TAXIS"]
+    coll = make_realistic_clone("TAXIS", cardinality=80_000, seed=1).normalized(
+        spec.paper_m
+    )
+    batch = uniform_queries(500, 1 << spec.paper_m, 0.1, seed=2)
+    return coll, spec.paper_m, batch
+
+
+@pytest.mark.parametrize("name,config", CONFIGS)
+def test_bench_variant(benchmark, setup, name, config):
+    coll, m, batch = setup
+    variant = HintVariant(coll, m, **config)
+    benchmark.group = "ablation-optimizations"
+    benchmark.name = f"variant-{name}"
+    benchmark(variant.batch_query_based, batch)
+
+
+@pytest.mark.parametrize("top_down", (False, True))
+def test_bench_traversal(benchmark, setup, top_down):
+    coll, m, batch = setup
+    index = HintIndex(coll, m=m)
+    benchmark.group = "ablation-optimizations"
+    benchmark.name = "production-top-down" if top_down else "production-bottom-up"
+
+    def run():
+        for q_st, q_end in batch:
+            index.query_count(q_st, q_end, top_down=top_down)
+
+    benchmark(run)

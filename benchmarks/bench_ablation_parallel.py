@@ -1,0 +1,38 @@
+"""Ablation A4 — multi-core batch processing (the paper's future work).
+
+Parallelizes each strategy over a thread pool and compares against its
+sequential run.  numpy's ``searchsorted``/gather kernels release the
+GIL, so the per-query-dominated strategies (query-based, level-based)
+can overlap; the fully vectorized partition-based count path is already
+one numpy pipeline and gains little — which is itself a finding.
+"""
+
+import pytest
+
+from repro.core.parallel import parallel_batch
+from repro.core.strategies import run_strategy
+
+STRATEGIES = ("query-based", "level-based", "partition-based")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_bench_sequential(benchmark, real_setup, real_batches, strategy):
+    index, _, _ = real_setup["TAXIS"]
+    batch = real_batches["TAXIS"]
+    benchmark.group = f"ablation-parallel-{strategy}"
+    benchmark.name = "sequential"
+    benchmark(run_strategy, strategy, index, batch)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("workers", (2, 4))
+def test_bench_parallel(benchmark, real_setup, real_batches, strategy, workers):
+    index, _, _ = real_setup["TAXIS"]
+    batch = real_batches["TAXIS"]
+    benchmark.group = f"ablation-parallel-{strategy}"
+    benchmark.name = f"{workers}-threads"
+    result = benchmark(
+        parallel_batch, index, batch, strategy=strategy, workers=workers
+    )
+    sequential = run_strategy(strategy, index, batch)
+    assert (result.counts == sequential.counts).all()

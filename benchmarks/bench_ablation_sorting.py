@@ -1,0 +1,31 @@
+"""Ablation A1 — effect of sorting the batch by query start.
+
+Each strategy with sorting toggled, on a long-interval and a
+short-interval clone.  In this columnar build, sorting's cache benefit
+for query-based is small (it is a hardware effect; see the cache
+ablation), but it must never hurt beyond noise, and partition-based
+sorts internally regardless.
+"""
+
+import pytest
+
+from repro.core.strategies import level_based, partition_based, query_based
+
+VARIANTS = [
+    ("query-based", query_based, False),
+    ("query-based", query_based, True),
+    ("level-based", level_based, False),
+    ("level-based", level_based, True),
+    ("partition-based", partition_based, False),
+    ("partition-based", partition_based, True),
+]
+
+
+@pytest.mark.parametrize("dataset", ("BOOKS", "TAXIS"))
+@pytest.mark.parametrize("name,fn,sort", VARIANTS)
+def test_bench_sorting(benchmark, real_setup, real_batches, dataset, name, fn, sort):
+    index, _, _ = real_setup[dataset]
+    batch = real_batches[dataset]
+    benchmark.group = f"ablation-sorting-{dataset}"
+    benchmark.name = f"{name}{'+sort' if sort else ''}"
+    benchmark(fn, index, batch, sort=sort, mode="checksum")

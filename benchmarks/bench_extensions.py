@@ -1,0 +1,95 @@
+"""Benchmarks for the beyond-the-paper extensions.
+
+Covers the performance-relevant extended surfaces: dynamic ingest,
+Allen-relationship selections, the HINT-based join versus the optFS
+plane sweep, the batch accumulator's admission overhead, and
+period-index batching.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AllenSelection, DynamicHint, HintIndex, PeriodIndex
+from repro.baselines.period_batch import period_partition_based
+from repro.core.accumulator import BatchAccumulator
+from repro.core.strategies import partition_based
+from repro.joins.hint_join import hint_join_counts
+from repro.joins.optfs import join_counts
+from repro.workloads.queries import uniform_queries
+from repro.workloads.synthetic import generate_synthetic
+
+
+@pytest.fixture(scope="module")
+def data():
+    coll = generate_synthetic(100_000, 1 << 20, 1.2, 50_000, seed=0).normalized(20)
+    return coll, HintIndex(coll, m=20)
+
+
+def test_bench_dynamic_ingest(benchmark, data):
+    coll, _ = data
+    st = coll.st[:20_000]
+    end = coll.end[:20_000]
+    benchmark.group = "extensions"
+    benchmark.name = "dynamic-ingest-20K"
+
+    def run():
+        dyn = DynamicHint(m=20, rebuild_threshold=5_000)
+        for s, e in zip(st.tolist(), end.tolist()):
+            dyn.insert(s, e)
+        return dyn.rebuilds
+
+    assert benchmark(run) == 4
+
+
+@pytest.mark.parametrize("relation", ("contained_by", "overlaps", "meets"))
+def test_bench_allen_selection(benchmark, data, relation):
+    coll, index = data
+    engine = AllenSelection(coll, index)
+    benchmark.group = "extensions-allen"
+    benchmark.name = relation
+    benchmark(engine.query, relation, 400_000, 600_000)
+
+
+def test_bench_hint_join(benchmark, data):
+    coll, index = data
+    probe = generate_synthetic(5_000, 1 << 20, 1.4, 50_000, seed=1).normalized(20)
+    benchmark.group = "extensions-join"
+    benchmark.name = "hint-index-join"
+    counts = benchmark(hint_join_counts, index, probe)
+    assert np.array_equal(counts, join_counts(probe, coll))
+
+
+def test_bench_optfs_join(benchmark, data):
+    coll, _ = data
+    probe = generate_synthetic(5_000, 1 << 20, 1.4, 50_000, seed=1).normalized(20)
+    benchmark.group = "extensions-join"
+    benchmark.name = "optFS-plane-sweep"
+    benchmark(join_counts, probe, coll)
+
+
+def test_bench_accumulator_throughput(benchmark, data):
+    _, index = data
+    queries = uniform_queries(4_096, 1 << 20, 0.1, seed=2)
+    pairs = list(zip(queries.st.tolist(), queries.end.tolist()))
+    benchmark.group = "extensions"
+    benchmark.name = "accumulator-4K-submits"
+
+    def run():
+        acc = BatchAccumulator(
+            lambda b: partition_based(index, b), max_batch=1_024, max_wait=60.0
+        )
+        for s, e in pairs:
+            acc.submit(s, e)
+        acc.flush()
+        return acc.flushes
+
+    assert benchmark(run) == 4
+
+
+def test_bench_period_batching(benchmark, data):
+    coll, _ = data
+    period = PeriodIndex(coll)
+    batch = uniform_queries(2_000, 1 << 20, 0.1, seed=3)
+    benchmark.group = "extensions"
+    benchmark.name = "period-partition-based"
+    benchmark(period_partition_based, period, batch)

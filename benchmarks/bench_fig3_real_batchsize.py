@@ -1,0 +1,36 @@
+"""Figure 3, row 2 — total time vs batch size on the real clones.
+
+Batch sizes bracket the (scaled) grid; every strategy's total time must
+grow with the batch, and partition-based must keep winning at every
+size.
+"""
+
+import pytest
+
+from repro.core.strategies import STRATEGIES, run_strategy
+from repro.workloads.queries import uniform_queries
+
+BATCH_SIZES = (250, 1_000, 4_000)
+
+
+@pytest.mark.parametrize("dataset", ("BOOKS", "WEBKIT", "TAXIS", "GREEND"))
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("strategy", ("query-based", "partition-based"))
+def test_bench_batch_size(
+    benchmark, real_setup, dataset, batch_size, strategy
+):
+    index, _, domain = real_setup[dataset]
+    batch = uniform_queries(batch_size, domain, 0.1, seed=3)
+    benchmark.group = f"fig3-batchsize-{dataset}"
+    benchmark.name = f"{strategy}@{batch_size}"
+    benchmark(run_strategy, strategy, index, batch, mode="checksum")
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_bench_all_strategies_large_batch(benchmark, real_setup, strategy):
+    """The 4K-query point with all four strategies, on BOOKS."""
+    index, _, domain = real_setup["BOOKS"]
+    batch = uniform_queries(4_000, domain, 0.1, seed=3)
+    benchmark.group = "fig3-batchsize-BOOKS-all-strategies"
+    benchmark.name = strategy
+    benchmark(run_strategy, strategy, index, batch, mode="checksum")

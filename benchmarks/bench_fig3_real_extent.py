@@ -1,0 +1,38 @@
+"""Figure 3, row 1 — strategies on the real-dataset clones.
+
+One benchmark per (dataset, strategy) at the default setting (query
+extent 0.1 %, batch 1K), plus the extent extremes on BOOKS and TAXIS to
+capture the row's curvature.  Full five-point sweeps:
+``python -m repro.experiments figure3``.
+"""
+
+import pytest
+
+from repro.core.strategies import STRATEGIES, run_strategy
+from repro.workloads.queries import uniform_queries
+
+DATASETS = ("BOOKS", "WEBKIT", "TAXIS", "GREEND")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_bench_default_extent(benchmark, real_setup, real_batches, dataset, strategy):
+    index, _, _ = real_setup[dataset]
+    batch = real_batches[dataset]
+    benchmark.group = f"fig3-extent-0.1pct-{dataset}"
+    benchmark.name = strategy
+    result = benchmark(run_strategy, strategy, index, batch, mode="checksum")
+    assert result.total() >= 0
+
+
+@pytest.mark.parametrize("dataset", ("BOOKS", "TAXIS"))
+@pytest.mark.parametrize("extent_pct", (0.01, 1.0))
+@pytest.mark.parametrize("strategy", ("query-based", "partition-based"))
+def test_bench_extent_extremes(
+    benchmark, real_setup, dataset, extent_pct, strategy
+):
+    index, _, domain = real_setup[dataset]
+    batch = uniform_queries(1_000, domain, extent_pct, seed=2)
+    benchmark.group = f"fig3-extent-sweep-{dataset}"
+    benchmark.name = f"{strategy}@{extent_pct}%"
+    benchmark(run_strategy, strategy, index, batch, mode="checksum")

@@ -1,0 +1,24 @@
+"""Figure 4 — total time vs interval-length skew alpha (synthetic).
+
+Growing alpha shortens intervals (they sink to the bottom levels and
+result sets shrink), so all strategies get faster — the paper's
+downward-sloping alpha plot.
+"""
+
+import pytest
+
+from conftest import synthetic_setup
+from repro.core.strategies import run_strategy
+from repro.workloads.queries import data_following_queries
+
+ALPHAS = (1.01, 1.2, 1.8)
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+@pytest.mark.parametrize("strategy", ("query-based", "partition-based"))
+def test_bench_alpha(benchmark, alpha, strategy):
+    index, coll, domain = synthetic_setup(alpha=alpha)
+    batch = data_following_queries(1_000, coll, 0.1, domain=domain, seed=4)
+    benchmark.group = "fig4-alpha"
+    benchmark.name = f"{strategy}@a={alpha}"
+    benchmark(run_strategy, strategy, index, batch, mode="checksum")

@@ -1,0 +1,24 @@
+"""Figure 4 — total time vs batch size (synthetic).
+
+Larger batches take longer in absolute terms, but per-query time drops
+for the sharing strategies — the scaling behaviour that motivates batch
+processing.
+"""
+
+import pytest
+
+from conftest import synthetic_setup
+from repro.core.strategies import run_strategy
+from repro.workloads.queries import data_following_queries
+
+BATCH_SIZES = (250, 1_000, 4_000)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("strategy", ("query-based", "partition-based"))
+def test_bench_batch_size(benchmark, batch_size, strategy):
+    index, coll, domain = synthetic_setup()
+    batch = data_following_queries(batch_size, coll, 0.1, domain=domain, seed=4)
+    benchmark.group = "fig4-batchsize"
+    benchmark.name = f"{strategy}@{batch_size}"
+    benchmark(run_strategy, strategy, index, batch, mode="checksum")

@@ -1,0 +1,23 @@
+"""Figure 4 — total time vs dataset cardinality (synthetic).
+
+The paper sweeps 10M-1B rows; benchmark scale sweeps proportionally
+(30K-480K) — times must grow with cardinality for every strategy.
+"""
+
+import pytest
+
+from conftest import synthetic_setup
+from repro.core.strategies import run_strategy
+from repro.workloads.queries import data_following_queries
+
+CARDINALITIES = (30_000, 120_000, 480_000)
+
+
+@pytest.mark.parametrize("cardinality", CARDINALITIES)
+@pytest.mark.parametrize("strategy", ("query-based", "partition-based"))
+def test_bench_cardinality(benchmark, cardinality, strategy):
+    index, coll, domain = synthetic_setup(cardinality=cardinality)
+    batch = data_following_queries(1_000, coll, 0.1, domain=domain, seed=4)
+    benchmark.group = "fig4-cardinality"
+    benchmark.name = f"{strategy}@{cardinality // 1000}K"
+    benchmark(run_strategy, strategy, index, batch, mode="checksum")

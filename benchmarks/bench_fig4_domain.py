@@ -1,0 +1,24 @@
+"""Figure 4 — total time vs domain size (synthetic).
+
+Longer domains under a fixed relative query extent mean longer, less
+selective queries; every strategy slows down and partition-based keeps
+the lead.
+"""
+
+import pytest
+
+from conftest import synthetic_setup
+from repro.core.strategies import run_strategy
+from repro.workloads.queries import data_following_queries
+
+DOMAINS = (32_000_000, 128_000_000, 512_000_000)
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+@pytest.mark.parametrize("strategy", ("query-based", "partition-based"))
+def test_bench_domain(benchmark, domain, strategy):
+    index, coll, index_domain = synthetic_setup(domain=domain)
+    batch = data_following_queries(1_000, coll, 0.1, domain=index_domain, seed=4)
+    benchmark.group = "fig4-domain"
+    benchmark.name = f"{strategy}@{domain // 1_000_000}M"
+    benchmark(run_strategy, strategy, index, batch, mode="checksum")

@@ -1,0 +1,31 @@
+"""Figure 4 — total time vs query extent (synthetic).
+
+Wider queries are less selective; every strategy slows down with the
+extent and partition-based stays fastest.
+"""
+
+import pytest
+
+from conftest import synthetic_setup
+from repro.core.strategies import STRATEGIES, run_strategy
+from repro.workloads.queries import data_following_queries
+
+EXTENTS = (0.01, 0.1, 1.0)
+
+
+@pytest.mark.parametrize("extent_pct", EXTENTS)
+@pytest.mark.parametrize("strategy", ("query-based", "partition-based"))
+def test_bench_extent(benchmark, extent_pct, strategy):
+    index, coll, domain = synthetic_setup()
+    batch = data_following_queries(1_000, coll, extent_pct, domain=domain, seed=4)
+    benchmark.group = "fig4-extent"
+    benchmark.name = f"{strategy}@{extent_pct}%"
+    benchmark(run_strategy, strategy, index, batch, mode="checksum")
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_bench_all_strategies_default(benchmark, synth_default, synth_default_batch, strategy):
+    index, _, _ = synth_default
+    benchmark.group = "fig4-extent-default-all-strategies"
+    benchmark.name = strategy
+    benchmark(run_strategy, strategy, index, synth_default_batch, mode="checksum")

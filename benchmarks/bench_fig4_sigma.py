@@ -1,0 +1,24 @@
+"""Figure 4 — total time vs interval-position spread sigma (synthetic).
+
+Larger sigma spreads the data (and the data-following queries), so
+per-query result sets shrink and every strategy speeds up — the paper's
+downward-sloping sigma plot.
+"""
+
+import pytest
+
+from conftest import synthetic_setup
+from repro.core.strategies import run_strategy
+from repro.workloads.queries import data_following_queries
+
+SIGMAS = (10_000, 1_000_000, 10_000_000)
+
+
+@pytest.mark.parametrize("sigma", SIGMAS)
+@pytest.mark.parametrize("strategy", ("query-based", "partition-based"))
+def test_bench_sigma(benchmark, sigma, strategy):
+    index, coll, domain = synthetic_setup(sigma=sigma)
+    batch = data_following_queries(1_000, coll, 0.1, domain=domain, seed=4)
+    benchmark.group = "fig4-sigma"
+    benchmark.name = f"{strategy}@s={sigma // 1000}K"
+    benchmark(run_strategy, strategy, index, batch, mode="checksum")

@@ -1,0 +1,56 @@
+"""Table 1 — access patterns of the running example.
+
+The artifact itself is deterministic (and asserted to match the paper
+verbatim); the benchmark times the traced reference execution that
+produces it, per strategy.
+"""
+
+import pytest
+
+from repro.analysis.trace import AccessRecorder
+from repro.experiments.table1 import (
+    RUNNING_EXAMPLE_M,
+    RUNNING_EXAMPLE_QUERIES,
+    access_patterns,
+)
+from repro.hint.reference import ReferenceHint
+from repro.intervals.batch import QueryBatch
+from repro.intervals.collection import IntervalCollection
+
+STRATEGIES = [
+    ("query-based", "batch_query_based", {"sort": False}),
+    ("query-based-sorted", "batch_query_based", {"sort": True}),
+    ("level-based", "batch_level_based", {}),
+    ("partition-based", "batch_partition_based", {}),
+]
+
+
+def test_table1_matches_paper():
+    """Regenerating Table 1 must reproduce the paper's rows exactly
+    (the full transcription lives in tests/test_trace.py)."""
+    patterns = access_patterns()
+    assert patterns["query-based"][:4] == [(4, 2), (4, 3), (4, 4), (4, 5)]
+    assert patterns["partition-based-sorted"][2:6] == [
+        (4, 4), (4, 4), (4, 5), (4, 5),
+    ]
+    multiset = sorted(patterns["query-based"])
+    for sequence in patterns.values():
+        assert sorted(sequence) == multiset
+
+
+@pytest.mark.parametrize("name,method,kwargs", STRATEGIES)
+def test_bench_traced_run(benchmark, name, method, kwargs):
+    ref = ReferenceHint(IntervalCollection.empty(), m=RUNNING_EXAMPLE_M)
+    batch = QueryBatch(
+        [q[0] for q in RUNNING_EXAMPLE_QUERIES],
+        [q[1] for q in RUNNING_EXAMPLE_QUERIES],
+    )
+    benchmark.group = "table1-trace"
+    benchmark.name = name
+
+    def run():
+        recorder = AccessRecorder()
+        getattr(ref, method)(batch, recorder=recorder, **kwargs)
+        return len(recorder)
+
+    assert benchmark(run) == 28  # Table 1 has 28 accesses per strategy

@@ -1,0 +1,44 @@
+"""Table 2 — dataset clone generation and index construction.
+
+Table 2 itself is a characteristics report (regenerate with
+``python -m repro.experiments table2``); the associated costs worth
+benchmarking are clone generation and HINT construction per dataset,
+with the realized clone statistics attached as benchmark extra-info.
+"""
+
+import pytest
+
+from conftest import BENCH_CARDINALITY
+from repro import HintIndex
+from repro.workloads.realistic import REAL_DATASET_SPECS, make_realistic_clone
+
+DATASETS = ("BOOKS", "WEBKIT", "TAXIS", "GREEND")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_bench_clone_generation(benchmark, dataset):
+    n = BENCH_CARDINALITY[dataset]
+    benchmark.group = "table2-clone-generation"
+    benchmark.name = dataset
+    coll = benchmark(make_realistic_clone, dataset, cardinality=n, seed=0)
+    stats = coll.stats()
+    spec = REAL_DATASET_SPECS[dataset]
+    benchmark.extra_info["avg_duration_clone"] = round(stats.avg_duration)
+    benchmark.extra_info["avg_duration_paper"] = round(spec.avg_duration)
+    # The clone must land in the paper's duration regime.
+    assert stats.avg_duration == pytest.approx(spec.avg_duration, rel=0.3)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_bench_index_build(benchmark, dataset):
+    spec = REAL_DATASET_SPECS[dataset]
+    coll = make_realistic_clone(
+        dataset, cardinality=BENCH_CARDINALITY[dataset], seed=0
+    ).normalized(spec.paper_m)
+    benchmark.group = "table2-index-build"
+    benchmark.name = f"{dataset}(m={spec.paper_m})"
+    index = benchmark(HintIndex, coll, spec.paper_m)
+    benchmark.extra_info["replication_factor"] = round(
+        index.replication_factor(), 2
+    )
+    assert index.num_placements() >= len(coll)

@@ -1,0 +1,33 @@
+"""Table 4 — impact of computation sharing.
+
+Times each strategy against the serial baseline at the default setting
+and attaches the Table 4 percentage (share of the batch a serial
+executor would finish in the strategy's total time) as extra-info.
+The paper's qualitative finding asserted here: partition-based shares
+the most (lowest percentage).
+"""
+
+import pytest
+
+from repro.analysis.sharing import computation_sharing
+from repro.core.strategies import run_strategy
+from repro.experiments.runner import time_call
+
+DATASETS = ("BOOKS", "WEBKIT", "TAXIS", "GREEND")
+STRATEGIES = ("query-based-sorted", "level-based", "partition-based")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_bench_sharing(benchmark, real_setup, real_batches, dataset, strategy):
+    index, _, _ = real_setup[dataset]
+    batch = real_batches[dataset]
+    serial = time_call(run_strategy, "query-based", index, batch, mode="checksum", repeats=3, warmup=True)
+    benchmark.group = f"table4-sharing-{dataset}"
+    benchmark.name = strategy
+    benchmark(run_strategy, strategy, index, batch, mode="checksum")
+    measured = time_call(run_strategy, strategy, index, batch, mode="checksum", repeats=3, warmup=True)
+    pct = computation_sharing({strategy: measured}, serial)[strategy]
+    benchmark.extra_info["sharing_pct_vs_serial"] = round(pct, 1)
+    if strategy == "partition-based":
+        assert pct < 100.0, "partition-based must beat the serial baseline"

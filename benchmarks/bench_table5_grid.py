@@ -1,0 +1,35 @@
+"""Table 5 — applicability of partition-based batching to the 1D-grid.
+
+Three methods per dataset, exactly the rows of the paper's Table 5:
+grid query-based, grid partition-based (with sorting), HINT
+partition-based (with sorting).
+"""
+
+import pytest
+
+from repro.core.strategies import partition_based
+from repro.grid.batch import grid_partition_based, grid_query_based
+
+DATASETS = ("BOOKS", "WEBKIT", "TAXIS", "GREEND")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_bench_grid_query_based(benchmark, real_grids, real_batches, dataset):
+    benchmark.group = f"table5-{dataset}"
+    benchmark.name = "1D-grid query-based"
+    benchmark(grid_query_based, real_grids[dataset], real_batches[dataset], mode="checksum")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_bench_grid_partition_based(benchmark, real_grids, real_batches, dataset):
+    benchmark.group = f"table5-{dataset}"
+    benchmark.name = "1D-grid partition-based"
+    benchmark(grid_partition_based, real_grids[dataset], real_batches[dataset], mode="checksum")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_bench_hint_partition_based(benchmark, real_setup, real_batches, dataset):
+    index, _, _ = real_setup[dataset]
+    benchmark.group = f"table5-{dataset}"
+    benchmark.name = "HINT partition-based"
+    benchmark(partition_based, index, real_batches[dataset], mode="checksum")

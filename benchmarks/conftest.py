@@ -1,0 +1,91 @@
+"""Session-scoped workload fixtures shared by every benchmark.
+
+Benchmark datasets are smaller than the ``repro.experiments`` defaults so
+that a full ``pytest benchmarks/ --benchmark-only`` run stays in the
+minutes range; experiment-scale numbers come from
+``python -m repro.experiments``.  Sizes keep the paper's relative
+proportions (TAXIS/GREEND much larger and shorter than BOOKS/WEBKIT).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GridIndex, HintIndex
+from repro.workloads.queries import data_following_queries, uniform_queries
+from repro.workloads.realistic import REAL_DATASET_SPECS, make_realistic_clone
+from repro.workloads.synthetic import generate_synthetic
+
+#: Benchmark-scale cardinalities per real-dataset clone.
+BENCH_CARDINALITY = {
+    "BOOKS": 60_000,
+    "WEBKIT": 60_000,
+    "TAXIS": 200_000,
+    "GREEND": 150_000,
+}
+
+DEFAULT_BATCH = 1_000
+DEFAULT_EXTENT = 0.1
+
+
+@pytest.fixture(scope="session")
+def real_setup():
+    """dataset name -> (hint index, normalized collection, domain)."""
+    out = {}
+    for name, n in BENCH_CARDINALITY.items():
+        spec = REAL_DATASET_SPECS[name]
+        coll = make_realistic_clone(name, cardinality=n, seed=0).normalized(
+            spec.paper_m
+        )
+        out[name] = (HintIndex(coll, m=spec.paper_m), coll, 1 << spec.paper_m)
+    return out
+
+
+@pytest.fixture(scope="session")
+def real_grids(real_setup):
+    """dataset name -> 1D-grid over the same normalized collection."""
+    return {
+        name: GridIndex(coll, domain=(0, domain - 1))
+        for name, (_, coll, domain) in real_setup.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def real_batches(real_setup):
+    """dataset name -> default query batch (uniform, 0.1 %, 1K)."""
+    return {
+        name: uniform_queries(DEFAULT_BATCH, domain, DEFAULT_EXTENT, seed=1)
+        for name, (_, __, domain) in real_setup.items()
+    }
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=None)
+def synthetic_setup(
+    domain=128_000_000,
+    cardinality=150_000,
+    alpha=1.2,
+    sigma=1_000_000,
+    m=17,
+    seed=0,
+):
+    """Build one synthetic configuration at benchmark scale (memoized so
+    parametrized benchmarks share builds)."""
+    coll = generate_synthetic(cardinality, domain, alpha, sigma, seed=seed)
+    normalized = coll.normalized(m)
+    return HintIndex(normalized, m=m), normalized, 1 << m
+
+
+@pytest.fixture(scope="session")
+def synth_default():
+    return synthetic_setup()
+
+
+@pytest.fixture(scope="session")
+def synth_default_batch(synth_default):
+    _, coll, domain = synth_default
+    return data_following_queries(
+        DEFAULT_BATCH, coll, DEFAULT_EXTENT, domain=domain, seed=1
+    )

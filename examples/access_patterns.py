@@ -1,0 +1,74 @@
+"""Reproduce Table 1 of the paper and watch the cache mechanism.
+
+Rebuilds the running example of the paper (Figure 2: HINT with m = 4,
+queries q1 = [2, 5], q2 = [10, 13], q3 = [4, 6]), prints every
+strategy's partition access pattern exactly as in Table 1, and then
+replays the traces through the LRU cache simulator to show *why* the
+partition-based strategy wins.
+
+Run with::
+
+    python examples/access_patterns.py
+"""
+
+from repro.analysis import (
+    AccessRecorder,
+    format_access_pattern,
+    jump_stats,
+    simulate_cache,
+)
+from repro.experiments.table1 import access_patterns
+from repro.hint.reference import ReferenceHint
+from repro.intervals.batch import QueryBatch
+from repro.workloads.realistic import make_realistic_clone
+from repro.workloads.queries import uniform_queries
+
+
+def table1():
+    print("=" * 72)
+    print("Table 1 — access patterns for the queries of Figure 2 (m = 4)")
+    print("=" * 72)
+    for name, sequence in access_patterns().items():
+        stats = jump_stats(sequence)
+        per_level = name.startswith(("level", "partition"))
+        print(f"\n[{name}]  accesses={stats.accesses} "
+              f"horizontal={stats.horizontal_jumps} "
+              f"vertical={stats.vertical_jumps} distance={stats.distance}")
+        print(format_access_pattern(sequence, per_level_lines=per_level))
+
+
+def cache_mechanism():
+    print()
+    print("=" * 72)
+    print("The mechanism: simulated LRU cache misses on a BOOKS-like clone")
+    print("=" * 72)
+    coll = make_realistic_clone("BOOKS", cardinality=20_000, seed=1).normalized(10)
+    ref = ReferenceHint(coll, m=10)
+    from repro import HintIndex
+
+    index = HintIndex(coll, m=10)
+    batch = uniform_queries(192, 1 << 10, 1.0, seed=1)
+
+    runs = [
+        ("query-based", "batch_query_based", {"sort": False}),
+        ("query-based-sorted", "batch_query_based", {"sort": True}),
+        ("level-based", "batch_level_based", {}),
+        ("partition-based", "batch_partition_based", {}),
+    ]
+    print(f"{'strategy':22s} " + " ".join(f"{c:>9}" for c in (8, 32, 128)))
+    for name, method, kwargs in runs:
+        recorder = AccessRecorder()
+        getattr(ref, method)(batch, recorder=recorder, **kwargs)
+        sequence = recorder.partition_sequence()
+        misses = [
+            simulate_cache(sequence, blocks, index=index).misses
+            for blocks in (8, 32, 128)
+        ]
+        print(f"{name:22s} " + " ".join(f"{m:>9}" for m in misses))
+    print("(rows: fewer misses = better locality; columns: cache capacity "
+          "in blocks)")
+
+
+if __name__ == "__main__":
+    table1()
+    cache_mechanism()

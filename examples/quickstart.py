@@ -1,0 +1,69 @@
+"""Quickstart: index a collection, run a query batch with every strategy.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    HintIndex,
+    IntervalCollection,
+    QueryBatch,
+    STRATEGIES,
+    recommend_strategy,
+    run_strategy,
+)
+
+
+def main():
+    # --- 1. build a collection of 200K random intervals ----------------
+    rng = np.random.default_rng(42)
+    domain = 1 << 20  # ~1M discrete positions
+    n = 200_000
+    st = rng.integers(0, domain - 1_000, size=n)
+    end = st + rng.integers(1, 1_000, size=n)
+    collection = IntervalCollection(st, end)
+    print(f"collection: {collection}")
+
+    # --- 2. index it with HINT -----------------------------------------
+    t0 = time.perf_counter()
+    index = HintIndex(collection, m=20)
+    print(
+        f"index: {index} built in {time.perf_counter() - t0:.2f}s, "
+        f"replication x{index.replication_factor():.2f}"
+    )
+
+    # --- 3. a single query ---------------------------------------------
+    ids = index.query(500_000, 501_000)
+    print(f"single query [500000, 501000]: {ids.size} results")
+
+    # --- 4. a batch of 5 000 queries, every strategy --------------------
+    q_st = rng.integers(0, domain - 2_000, size=5_000)
+    batch = QueryBatch(q_st, q_st + 2_000)
+    rec = recommend_strategy(len(collection), batch)
+    print(f"advisor says: {rec.strategy} ({rec.reason})")
+
+    reference_counts = None
+    for name in STRATEGIES:
+        t0 = time.perf_counter()
+        result = run_strategy(name, index, batch)
+        elapsed = time.perf_counter() - t0
+        if reference_counts is None:
+            reference_counts = result.counts
+        assert np.array_equal(result.counts, reference_counts)
+        print(
+            f"  {name:20s} {elapsed * 1000:8.1f} ms  "
+            f"({result.total()} total results)"
+        )
+
+    # --- 5. materialize ids for the winner ------------------------------
+    full = run_strategy("partition-based", index, batch, mode="ids")
+    print(f"query 0 returned ids: {np.sort(full.ids(0))[:8]} ...")
+
+
+if __name__ == "__main__":
+    main()

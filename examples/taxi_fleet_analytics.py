@@ -1,0 +1,76 @@
+"""Batch analytics over short trip intervals (TAXIS-style workload).
+
+Short intervals sink to the bottom of the HINT hierarchy, where the
+partition-based strategy's horizontal locality pays off the most — the
+regime of the paper's TAXIS and GREEND results.  The script also pits
+HINT against the 1D-grid baseline (Table 5's comparison) on the same
+batch.
+
+Run with::
+
+    python examples/taxi_fleet_analytics.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import GridIndex, HintIndex, QueryBatch, grid_partition_based, partition_based, query_based
+from repro.workloads.realistic import REAL_DATASET_SPECS, make_realistic_clone
+
+
+def main():
+    spec = REAL_DATASET_SPECS["TAXIS"]
+    print(f"cloning TAXIS: {spec.cardinality:,} trips at 1/400 scale")
+    trips = make_realistic_clone("TAXIS", scale=1 / 400, seed=7)
+    stats = trips.stats()
+    print(
+        f"  {stats.cardinality:,} trips, avg duration {stats.avg_duration:.0f}s "
+        f"({stats.avg_duration_pct:.4f}% of the domain)"
+    )
+
+    # --- index with the paper's m = 17 -----------------------------------
+    m = spec.paper_m
+    normalized = trips.normalized(m)
+    t0 = time.perf_counter()
+    index = HintIndex(normalized, m=m)
+    print(
+        f"HINT(m={m}) built in {time.perf_counter() - t0:.2f}s; "
+        f"level histogram (top 3 by count): "
+        f"{sorted(index.level_histogram().items(), key=lambda kv: -kv[1])[:3]}"
+    )
+
+    grid = GridIndex(normalized, domain=(0, (1 << m) - 1))
+    print(f"1D-grid baseline: {grid}")
+
+    # --- a batch of 10-minute dispatch windows ---------------------------
+    rng = np.random.default_rng(1)
+    domain = 1 << m
+    window = max(1, round(domain * 600 / spec.domain))  # ~10 min, scaled
+    q_st = rng.integers(0, domain - window, size=10_000)
+    batch = QueryBatch(q_st, q_st + window - 1)
+
+    runs = [
+        ("HINT query-based (serial)", lambda: query_based(index, batch)),
+        ("HINT partition-based", lambda: partition_based(index, batch)),
+        ("1D-grid partition-based", lambda: grid_partition_based(grid, batch)),
+    ]
+    counts = None
+    for name, fn in runs:
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if counts is None:
+            counts = result.counts
+        assert np.array_equal(result.counts, counts)
+        print(f"  {name:28s} {elapsed * 1000:8.1f} ms")
+
+    busiest = int(np.argmax(counts))
+    print(
+        f"busiest window: query {busiest} with {counts[busiest]} "
+        f"concurrent/overlapping trips"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Capacity planning: pick m, predict sharing, choose a strategy.
+
+Three planning tools the library provides before any query runs:
+
+1. the analytical **cost model** (`repro.hint.cost`) picks the index
+   parameter ``m`` for a workload — the role the HINT cost model plays
+   in the paper's setup;
+2. **batch characterization** (`repro.analysis.analyze_batch`) measures
+   how much partition sharing a concrete batch offers — the predictor
+   of the partition-based strategy's advantage;
+3. the **strategy advisor** (`repro.recommend_strategy`) turns batch and
+   collection shape into a recommendation.
+
+The script then verifies the predictions by timing the strategies.
+
+Run with::
+
+    python examples/tuning.py
+"""
+
+import time
+
+from repro import HintIndex, partition_based, query_based, recommend_strategy
+from repro.analysis import analyze_batch
+from repro.hint.cost import choose_m_model, cost_profile
+from repro.workloads.queries import uniform_queries
+from repro.workloads.realistic import make_realistic_clone
+
+
+def main():
+    print("cloning TAXIS at 300K trips...")
+    coll = make_realistic_clone("TAXIS", cardinality=300_000, seed=0)
+
+    # --- 1. pick m with the cost model -----------------------------------
+    profile = cost_profile(coll, extent_pct=0.1, candidates=range(8, 21, 2))
+    print(f"\n{'m':>3} {'visits':>9} {'cmp rows':>9} {'model cost':>11}")
+    for m, est in profile.items():
+        print(
+            f"{m:>3} {est.partition_visits:>9.1f} "
+            f"{est.comparison_rows:>9.1f} {est.total:>11.1f}"
+        )
+    m = choose_m_model(coll, extent_pct=0.1)
+    print(f"model picks m = {m} (the paper's C++ build preferred 17 — "
+          "the optimum is substrate-dependent, see EXPERIMENTS.md A6)")
+
+    normalized = coll.normalized(m)
+    index = HintIndex(normalized, m=m)
+
+    # --- 2. characterize two batches --------------------------------------
+    domain = 1 << m
+    narrow = uniform_queries(5_000, domain, 0.01, seed=1)  # thin queries
+    wide = uniform_queries(5_000, domain, 1.0, seed=1)  # fat queries
+    for name, batch in (("narrow (0.01%)", narrow), ("wide (1%)", wide)):
+        stats = analyze_batch(index, batch)
+        print(
+            f"\nbatch {name}: {stats.total_incidences} incidences over "
+            f"{stats.total_distinct} partitions -> sharing x"
+            f"{stats.sharing_factor:.1f} "
+            f"({stats.incidences_per_query:.1f} partitions/query)"
+        )
+
+    # --- 3. advisor + verification ----------------------------------------
+    rec = recommend_strategy(len(coll), wide)
+    print(f"\nadvisor: {rec.strategy} — {rec.reason}")
+
+    for name, batch in (("narrow", narrow), ("wide", wide)):
+        t0 = time.perf_counter()
+        query_based(index, batch, mode="checksum")
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        partition_based(index, batch, mode="checksum")
+        t_pb = time.perf_counter() - t0
+        print(
+            f"  {name:6s}: serial {t_serial * 1000:7.1f} ms, "
+            f"partition-based {t_pb * 1000:6.1f} ms "
+            f"(x{t_serial / t_pb:.0f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` also works on environments whose setuptools
+lacks the ``wheel`` package needed for PEP 660 editable installs (pip
+falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""repro — reproduction of "HINT on Steroids: Batch Query Processing for
+Interval Data" (Bouros et al., EDBT 2024).
+
+The package provides:
+
+* :class:`~repro.intervals.IntervalCollection` /
+  :class:`~repro.intervals.QueryBatch` — columnar interval data model;
+* :class:`~repro.hint.HintIndex` — the hierarchical HINT index
+  (plus :class:`~repro.hint.ReferenceHint`, the pseudocode-faithful
+  executable specification);
+* :func:`~repro.core.query_based`, :func:`~repro.core.level_based`,
+  :func:`~repro.core.partition_based`, :func:`~repro.core.join_based` —
+  the paper's batch evaluation strategies;
+* :mod:`repro.grid` and :mod:`repro.baselines` — competitor indexes;
+* :mod:`repro.workloads` — synthetic and realistic workload generators;
+* :mod:`repro.analysis` — access-pattern traces, the LRU cache
+  simulator, and the computation-sharing metric;
+* :mod:`repro.experiments` — runners regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import IntervalCollection, QueryBatch, HintIndex, partition_based
+>>> rng = np.random.default_rng(7)
+>>> st = rng.integers(0, 950, size=500)
+>>> coll = IntervalCollection(st, st + rng.integers(1, 50, size=500))
+>>> index = HintIndex(coll, m=10)
+>>> batch = QueryBatch([10, 500, 900], [40, 520, 999])
+>>> result = partition_based(index, batch)
+>>> len(result)
+3
+"""
+
+from repro.intervals import (
+    IntervalCollection,
+    QueryBatch,
+    load_intervals,
+    save_intervals,
+)
+from repro.hint import (
+    AllenSelection,
+    DynamicHint,
+    HintIndex,
+    HintVariant,
+    ReferenceHint,
+    choose_m,
+    load_index,
+    save_index,
+)
+from repro.core import (
+    BatchResult,
+    query_based,
+    level_based,
+    partition_based,
+    join_based,
+    parallel_batch,
+    run_strategy,
+    STRATEGIES,
+    recommend_strategy,
+)
+from repro.core.accumulator import BatchAccumulator
+from repro.analysis import analyze_batch
+from repro.grid import GridIndex, grid_query_based, grid_partition_based
+from repro.baselines import (
+    NaiveScan,
+    IntervalTree,
+    TimelineIndex,
+    PeriodIndex,
+    period_partition_based,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IntervalCollection",
+    "QueryBatch",
+    "load_intervals",
+    "save_intervals",
+    "HintIndex",
+    "ReferenceHint",
+    "HintVariant",
+    "AllenSelection",
+    "DynamicHint",
+    "choose_m",
+    "parallel_batch",
+    "save_index",
+    "load_index",
+    "BatchResult",
+    "query_based",
+    "level_based",
+    "partition_based",
+    "join_based",
+    "run_strategy",
+    "STRATEGIES",
+    "recommend_strategy",
+    "GridIndex",
+    "grid_query_based",
+    "grid_partition_based",
+    "NaiveScan",
+    "IntervalTree",
+    "TimelineIndex",
+    "PeriodIndex",
+    "period_partition_based",
+    "BatchAccumulator",
+    "analyze_batch",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Computation-sharing metric (Table 4 of the paper).
+
+Table 4 reports, per strategy, "the percentage of the queries inside
+batch Q that would have been executed in a serial fashion, within the
+total time of each strategy" — i.e. how much of the batch a plain
+serial executor (query-based, unsorted) would get through in the time
+the strategy needs for the *whole* batch.  Lower is better: 67% means
+the strategy finished everything in the time serial execution would
+finish two thirds of the batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["computation_sharing"]
+
+
+def computation_sharing(
+    strategy_times: Mapping[str, float],
+    serial_time: float,
+) -> Dict[str, float]:
+    """Table 4 percentages from measured total times.
+
+    Parameters
+    ----------
+    strategy_times:
+        Total batch execution time per strategy, seconds.
+    serial_time:
+        Total time of the serial baseline (query-based without sorting)
+        over the same batch.
+
+    Returns
+    -------
+    dict
+        Strategy name -> percentage in ``[0, 100+]`` (values above 100
+        would mean the strategy is slower than the serial baseline).
+    """
+    if serial_time <= 0:
+        raise ValueError("serial_time must be positive")
+    return {
+        name: 100.0 * t / serial_time for name, t in strategy_times.items()
+    }

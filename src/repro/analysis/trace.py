@@ -1,0 +1,139 @@
+"""Partition access traces (Table 1) and jump statistics.
+
+HINT stores its partitions level by level; the paper reasons about two
+kinds of costly memory movements when traversing them:
+
+* **horizontal jumps** — within one level, moving to a partition that is
+  not the next one in memory (i.e. not the same or the immediately
+  following index);
+* **vertical jumps** — moving between levels.
+
+An :class:`AccessRecorder` plugs into
+:class:`~repro.hint.reference.ReferenceHint` (every strategy accepts a
+``recorder=`` keyword) and captures the visit sequence, from which
+Table 1's rows and the jump counts are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["AccessRecorder", "JumpStats", "jump_stats", "format_access_pattern"]
+
+Access = Tuple[int, int, int]  # (level, partition, query position)
+
+
+class AccessRecorder:
+    """Records every partition visit of a strategy run."""
+
+    def __init__(self):
+        self.accesses: List[Access] = []
+
+    def record(self, level: int, partition: int, query_position: int) -> None:
+        self.accesses.append((level, partition, query_position))
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def clear(self) -> None:
+        self.accesses.clear()
+
+    def partition_sequence(self) -> List[Tuple[int, int]]:
+        """The visit sequence as ``(level, partition)`` pairs."""
+        return [(lvl, part) for lvl, part, _ in self.accesses]
+
+    def by_level(self) -> dict:
+        """Visit sequence grouped by level, preserving order."""
+        grouped: dict = {}
+        for lvl, part, q in self.accesses:
+            grouped.setdefault(lvl, []).append((part, q))
+        return grouped
+
+    def unique_partitions(self) -> int:
+        """Number of distinct partitions touched."""
+        return len({(lvl, part) for lvl, part, _ in self.accesses})
+
+
+@dataclass(frozen=True)
+class JumpStats:
+    """Counts of the memory movements the paper reasons about."""
+
+    accesses: int
+    horizontal_jumps: int
+    vertical_jumps: int
+    distance: int
+
+    @property
+    def total_jumps(self) -> int:
+        return self.horizontal_jumps + self.vertical_jumps
+
+
+def _address(level: int, partition: int) -> int:
+    """Linearized partition address under HINT's level-major layout.
+
+    Level ``l`` occupies the ``2**l`` consecutive slots starting at
+    ``2**l - 1`` (levels 0, 1, 2, ... laid out one after the other), so
+    moving between levels or between distant partitions of one level
+    shows up as address distance.
+    """
+    return (1 << level) - 1 + partition
+
+
+def jump_stats(sequence: Sequence[Tuple[int, int]]) -> JumpStats:
+    """Jump counts of a ``(level, partition)`` visit sequence.
+
+    A transition is *vertical* when the level changes and *horizontal*
+    when the level stays but the partition is neither revisited nor the
+    immediate successor — sequential access within a level is the cache
+    friendly pattern the batch strategies aim for.  ``distance`` sums
+    the absolute address deltas under the level-major layout; it is the
+    aggregate amount of pointer travel a trace causes, and is where the
+    query-based strategy's per-query climbing of the hierarchy becomes
+    visible even when each individual climb looks "vertical".
+    """
+    horizontal = 0
+    vertical = 0
+    distance = 0
+    for (lvl_a, part_a), (lvl_b, part_b) in zip(sequence, sequence[1:]):
+        if lvl_a != lvl_b:
+            vertical += 1
+        elif part_b not in (part_a, part_a + 1):
+            horizontal += 1
+        distance += abs(_address(lvl_b, part_b) - _address(lvl_a, part_a))
+    return JumpStats(
+        accesses=len(sequence),
+        horizontal_jumps=horizontal,
+        vertical_jumps=vertical,
+        distance=distance,
+    )
+
+
+def format_access_pattern(
+    sequence: Sequence[Tuple[int, int]],
+    *,
+    per_level_lines: bool = False,
+) -> str:
+    """Render a visit sequence like Table 1 of the paper.
+
+    >>> format_access_pattern([(4, 2), (4, 3), (3, 1)])
+    'P4,2 -> P4,3 -> P3,1'
+
+    With ``per_level_lines=True`` the output has one line per level, the
+    presentation Table 1 uses for the level- and partition-based rows.
+    """
+    labels = [f"P{lvl},{part}" for lvl, part in sequence]
+    if not per_level_lines:
+        return " -> ".join(labels)
+    lines: List[str] = []
+    current_level = None
+    current: List[str] = []
+    for (lvl, _), label in zip(sequence, labels):
+        if lvl != current_level and current:
+            lines.append(" -> ".join(current))
+            current = []
+        current_level = lvl
+        current.append(label)
+    if current:
+        lines.append(" -> ".join(current))
+    return "\n".join(lines)

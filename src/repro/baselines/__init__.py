@@ -1,0 +1,33 @@
+"""Competitor interval indexes.
+
+The paper's introduction surveys the main-memory interval indexing
+landscape; this package implements each structure so the reproduction is
+self-contained and the comparisons can be measured rather than cited:
+
+* :class:`~repro.baselines.naive.NaiveScan` — linear scan; the
+  correctness oracle for every test in the repository.
+* :class:`~repro.baselines.interval_tree.IntervalTree` — Edelsbrunner's
+  centered interval tree.
+* :class:`~repro.baselines.timeline.TimelineIndex` — the event-list +
+  checkpoint structure of SAP HANA [Kaufmann et al., SIGMOD 2013].
+* :class:`~repro.baselines.period_index.PeriodIndex` — coarse buckets
+  subdivided by duration [Behrend et al., SSTD 2019], simplified.
+
+The 1D-grid — the baseline the paper actually batches against in
+Table 5 — is important enough to live in its own package,
+:mod:`repro.grid`.
+"""
+
+from repro.baselines.naive import NaiveScan
+from repro.baselines.interval_tree import IntervalTree
+from repro.baselines.timeline import TimelineIndex
+from repro.baselines.period_index import PeriodIndex
+from repro.baselines.period_batch import period_partition_based
+
+__all__ = [
+    "NaiveScan",
+    "IntervalTree",
+    "TimelineIndex",
+    "PeriodIndex",
+    "period_partition_based",
+]

@@ -1,0 +1,162 @@
+"""Centered interval tree [Edelsbrunner 1980].
+
+The domain is divided hierarchically: every node carries a *center*
+value; intervals strictly before the center go to the left subtree,
+intervals strictly after it to the right subtree, and intervals that
+contain the center are stored at the node itself, in two orders —
+ascending start and descending end — so that stabbing queries from
+either side read a prefix.
+
+The tree is built balanced over the median of interval endpoints, and
+queries are answered iteratively (explicit stack) to avoid Python
+recursion limits on large inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.result import BatchResult
+from repro.intervals.batch import QueryBatch
+from repro.intervals.collection import IntervalCollection
+
+__all__ = ["IntervalTree"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class _Node:
+    center: int
+    # intervals containing `center`, in two orders
+    by_st_ids: np.ndarray
+    by_st: np.ndarray
+    by_end_desc_ids: np.ndarray
+    by_end_desc: np.ndarray
+    left: Optional["_Node"]
+    right: Optional["_Node"]
+
+
+class IntervalTree:
+    """Static centered interval tree over a collection."""
+
+    def __init__(self, collection: IntervalCollection):
+        self._n = len(collection)
+        self._root = self._build(
+            collection.st, collection.end, collection.ids
+        )
+
+    def __len__(self) -> int:
+        return self._n
+
+    def height(self) -> int:
+        """Height of the tree (0 for an empty tree)."""
+
+        def depth(node):
+            if node is None:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self._root)
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the node arrays."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            total += (
+                node.by_st_ids.nbytes
+                + node.by_st.nbytes
+                + node.by_end_desc_ids.nbytes
+                + node.by_end_desc.nbytes
+            )
+            stack.append(node.left)
+            stack.append(node.right)
+        return total
+
+    @classmethod
+    def _build(cls, st, end, ids) -> Optional[_Node]:
+        if st.size == 0:
+            return None
+        center = int(np.median(np.concatenate([st, end])))
+        here = (st <= center) & (end >= center)
+        left = end < center
+        right = st > center
+        order_st = np.argsort(st[here], kind="stable")
+        order_end = np.argsort(-end[here], kind="stable")
+        node = _Node(
+            center=center,
+            by_st_ids=ids[here][order_st],
+            by_st=st[here][order_st],
+            by_end_desc_ids=ids[here][order_end],
+            by_end_desc=end[here][order_end],
+            left=None,
+            right=None,
+        )
+        # Termination: `center` lies within [min(st), max(end)], so when
+        # no interval stabs it, both sides are strictly smaller subsets.
+        node.left = cls._build(st[left], end[left], ids[left])
+        node.right = cls._build(st[right], end[right], ids[right])
+        return node
+
+    # ------------------------------------------------------------------ #
+
+    def query(self, q_st: int, q_end: int) -> np.ndarray:
+        """Ids of all intervals G-overlapping ``[q_st, q_end]``."""
+        if q_st > q_end:
+            raise ValueError("query must have st <= end")
+        out: List[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if q_end < node.center:
+                # Query entirely left of center: stabbing from the left —
+                # qualifying node intervals have st <= q_end.
+                k = int(np.searchsorted(node.by_st, q_end, side="right"))
+                if k:
+                    out.append(node.by_st_ids[:k])
+                stack.append(node.left)
+            elif q_st > node.center:
+                # Stabbing from the right: end >= q_st; ends are stored
+                # descending, so qualifiers are a prefix.
+                k = int(
+                    np.searchsorted(-node.by_end_desc, -q_st, side="right")
+                )
+                if k:
+                    out.append(node.by_end_desc_ids[:k])
+                stack.append(node.right)
+            else:
+                # Query spans the center: every node interval overlaps.
+                if node.by_st_ids.size:
+                    out.append(node.by_st_ids)
+                stack.append(node.left)
+                stack.append(node.right)
+        if not out:
+            return _EMPTY
+        return np.concatenate(out)
+
+    def query_count(self, q_st: int, q_end: int) -> int:
+        """Number of intervals G-overlapping ``[q_st, q_end]``."""
+        return int(self.query(q_st, q_end).size)
+
+    def batch(self, batch: QueryBatch, *, mode: str = "count") -> BatchResult:
+        """Evaluate a batch serially (the tree has no batch strategy)."""
+        if mode == "count":
+            counts = np.fromiter(
+                (self.query_count(s, e) for s, e in batch),
+                dtype=np.int64,
+                count=len(batch),
+            )
+            return BatchResult(counts)
+        if mode in ("ids", "checksum"):
+            ids = [self.query(s, e) for s, e in batch]
+            return BatchResult.from_id_arrays(ids, mode)
+        raise ValueError(f"unknown result mode {mode!r}")

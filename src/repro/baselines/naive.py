@@ -1,0 +1,56 @@
+"""Linear-scan baseline — the correctness oracle.
+
+Evaluates the G-OVERLAPS predicate against every interval with one
+vectorized pass.  Slow relative to any index, but trivially correct;
+every index and every batch strategy in the repository is tested against
+it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import BatchResult
+from repro.intervals.batch import QueryBatch
+from repro.intervals.collection import IntervalCollection
+from repro.intervals.relations import g_overlaps
+
+__all__ = ["NaiveScan"]
+
+
+class NaiveScan:
+    """Index-free evaluation over a collection."""
+
+    def __init__(self, collection: IntervalCollection):
+        self._coll = collection
+
+    def __len__(self) -> int:
+        return len(self._coll)
+
+    def query(self, q_st: int, q_end: int) -> np.ndarray:
+        """Ids of all intervals G-overlapping ``[q_st, q_end]``."""
+        if q_st > q_end:
+            raise ValueError("query must have st <= end")
+        mask = g_overlaps(self._coll.st, self._coll.end, q_st, q_end)
+        return self._coll.ids[mask]
+
+    def query_count(self, q_st: int, q_end: int) -> int:
+        """Number of intervals G-overlapping ``[q_st, q_end]``."""
+        if q_st > q_end:
+            raise ValueError("query must have st <= end")
+        mask = g_overlaps(self._coll.st, self._coll.end, q_st, q_end)
+        return int(np.count_nonzero(mask))
+
+    def batch(self, batch: QueryBatch, *, mode: str = "count") -> BatchResult:
+        """Evaluate a whole batch (serially; no sharing by design)."""
+        if mode == "count":
+            counts = np.fromiter(
+                (self.query_count(s, e) for s, e in batch),
+                dtype=np.int64,
+                count=len(batch),
+            )
+            return BatchResult(counts)
+        if mode in ("ids", "checksum"):
+            ids = [self.query(s, e) for s, e in batch]
+            return BatchResult.from_id_arrays(ids, mode)
+        raise ValueError(f"unknown result mode {mode!r}")

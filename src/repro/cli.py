@@ -1,0 +1,149 @@
+"""Command-line interface for index building and batch querying.
+
+Ties the file formats, the persistence layer and the batch strategies
+together for shell use::
+
+    # build an index from a text file of intervals and save it
+    python -m repro.cli build data.txt index.npz --m 17
+
+    # run a batch of queries (one "st end" per line) against it
+    python -m repro.cli query index.npz queries.txt --strategy partition-based
+
+    # describe a saved index
+    python -m repro.cli info index.npz
+
+Interval files hold one ``st end`` or ``id st end`` record per line
+(``#`` comments allowed); query files hold one ``st end`` per line.
+Query output is one line per query: the count, or the sorted ids with
+``--ids``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.strategies import STRATEGIES, run_strategy
+from repro.hint.cost import choose_m_model
+from repro.hint.index import HintIndex
+from repro.hint.persist import load_index, save_index
+from repro.intervals.batch import QueryBatch
+from repro.intervals.io import load_intervals
+
+__all__ = ["main"]
+
+
+def _cmd_build(args) -> int:
+    coll = load_intervals(args.intervals, delimiter=args.delimiter)
+    print(f"loaded {len(coll):,} intervals from {args.intervals}")
+    if args.m is not None:
+        m = args.m
+    else:
+        m = choose_m_model(coll)
+        print(f"cost model picked m = {m}")
+    normalized = coll.normalized(m)
+    if normalized != coll:
+        print(
+            f"normalized domain [{coll.stats().domain_start}, "
+            f"{coll.stats().domain_end}] into [0, {(1 << m) - 1}]; "
+            "queries must use the normalized domain"
+        )
+    t0 = time.perf_counter()
+    index = HintIndex(normalized, m=m)
+    print(
+        f"built HINT(m={m}) in {time.perf_counter() - t0:.2f}s "
+        f"({index.num_placements():,} placements, "
+        f"{index.nbytes() / 1e6:.1f} MB)"
+    )
+    save_index(index, args.index)
+    print(f"saved to {args.index}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    index = load_index(args.index)
+    data = np.loadtxt(args.queries, dtype=np.int64, comments="#", ndmin=2)
+    if data.size == 0:
+        print("no queries", file=sys.stderr)
+        return 1
+    if data.shape[1] != 2:
+        print("query files need exactly two columns (st end)", file=sys.stderr)
+        return 1
+    batch = QueryBatch(data[:, 0], data[:, 1])
+    mode = "ids" if args.ids else "count"
+    t0 = time.perf_counter()
+    result = run_strategy(args.strategy, index, batch, mode=mode)
+    elapsed = time.perf_counter() - t0
+    for pos in range(len(batch)):
+        if args.ids:
+            ids = np.sort(result.ids(pos))
+            print(" ".join(str(int(v)) for v in ids))
+        else:
+            print(int(result.counts[pos]))
+    print(
+        f"# {len(batch)} queries via {args.strategy} in {elapsed * 1000:.1f} ms "
+        f"({result.total()} total results)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    index = load_index(args.index)
+    print(f"HINT index: m={index.m}, levels={index.m + 1}")
+    print(f"intervals: {index.num_intervals:,}")
+    print(f"placements: {index.num_placements():,} "
+          f"(replication x{index.replication_factor():.2f})")
+    print(f"memory: {index.nbytes() / 1e6:.1f} MB")
+    print("per-level placements:")
+    for level, count in index.level_histogram().items():
+        if count:
+            print(f"  level {level:>2}: {count:,}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Build, inspect and query HINT indexes from the shell.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build an index from a text file")
+    p_build.add_argument("intervals", help="input intervals file")
+    p_build.add_argument("index", help="output .npz index path")
+    p_build.add_argument("--m", type=int, default=None, help="HINT parameter")
+    p_build.add_argument(
+        "--delimiter", default=None, help="field separator (default whitespace)"
+    )
+    p_build.set_defaults(fn=_cmd_build)
+
+    p_query = sub.add_parser("query", help="run a query batch from a file")
+    p_query.add_argument("index", help=".npz index path")
+    p_query.add_argument("queries", help="query file (st end per line)")
+    p_query.add_argument(
+        "--strategy",
+        default="partition-based",
+        choices=sorted(STRATEGIES),
+    )
+    p_query.add_argument(
+        "--ids", action="store_true", help="print result ids, not counts"
+    )
+    p_query.set_defaults(fn=_cmd_query)
+
+    p_info = sub.add_parser("info", help="describe a saved index")
+    p_info.add_argument("index", help=".npz index path")
+    p_info.set_defaults(fn=_cmd_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

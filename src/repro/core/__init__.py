@@ -1,0 +1,50 @@
+"""Batch query processing strategies — the paper's contribution.
+
+Given a HINT index over a collection ``S`` and a batch ``Q`` of selection
+queries, this package provides the four evaluation strategies studied in
+the paper:
+
+* :func:`~repro.core.strategies.query_based` — Algorithm 2: execute each
+  query independently, optionally after sorting the batch by query start
+  (the baseline, with and without sorting).
+* :func:`~repro.core.strategies.level_based` — Algorithm 3: evaluate all
+  queries for one index level before moving to the next (removes
+  *vertical* jumps).
+* :func:`~repro.core.strategies.partition_based` — Algorithm 4: within a
+  level, deplete all queries relevant to a partition before advancing to
+  the next partition (also removes repeated-partition *horizontal*
+  jumps).  In this columnar build the strategy additionally *shares
+  computation*: all queries anchored at one partition probe its sorted
+  arrays with a single vectorized ``searchsorted``.
+* :func:`~repro.core.join_based.join_based` — the alternative discussed
+  in Section 1: treat the batch as a second interval collection and
+  compute the interval join ``Q ⋈ S`` with the optFS plane sweep.
+
+All strategies return a :class:`~repro.core.result.BatchResult` whose
+per-query entries follow the caller's original batch order, whatever
+internal sorting a strategy applies.
+"""
+
+from repro.core.result import BatchResult
+from repro.core.strategies import (
+    query_based,
+    level_based,
+    partition_based,
+    run_strategy,
+    STRATEGIES,
+)
+from repro.core.join_based import join_based
+from repro.core.advisor import recommend_strategy
+from repro.core.parallel import parallel_batch
+
+__all__ = [
+    "parallel_batch",
+    "BatchResult",
+    "query_based",
+    "level_based",
+    "partition_based",
+    "join_based",
+    "run_strategy",
+    "STRATEGIES",
+    "recommend_strategy",
+]

@@ -1,0 +1,162 @@
+"""Batch accumulation — how systems *form* the batches the paper studies.
+
+Footnote 5 of the paper: "To deal with latency, systems employ a
+waiting timeout for defining a batch.  When the waiting time exceeds
+this threshold, the batch is executed regardless its size."  The
+evaluation ignores the waiting time; a deployable library cannot.
+
+:class:`BatchAccumulator` implements that admission policy: queries are
+staged as they arrive and the accumulator flushes — handing a
+:class:`~repro.intervals.QueryBatch` to a callback — when either
+
+* the batch reaches ``max_batch`` queries (size trigger), or
+* the oldest staged query has waited ``max_wait`` seconds (time
+  trigger, checked on arrivals and on explicit :meth:`poll` calls).
+
+The clock is injectable, so the policy is deterministic under test and
+simulation.  Results are delivered through per-query futures, keeping
+the request/response shape of the OLTP systems the paper motivates
+with.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List
+
+from repro.intervals.batch import QueryBatch
+
+__all__ = ["BatchAccumulator", "PendingQuery"]
+
+
+class PendingQuery:
+    """Handle for one staged query; resolved when its batch executes."""
+
+    __slots__ = ("q_st", "q_end", "enqueued_at", "_result", "_done")
+
+    def __init__(self, q_st: int, q_end: int, enqueued_at: float):
+        self.q_st = q_st
+        self.q_end = q_end
+        self.enqueued_at = enqueued_at
+        self._result = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self):
+        """The query's result; raises if the batch has not executed."""
+        if not self._done:
+            raise RuntimeError("query has not been executed yet")
+        return self._result
+
+    def _resolve(self, value) -> None:
+        self._result = value
+        self._done = True
+
+
+class BatchAccumulator:
+    """Admission control: stage queries, flush by size or timeout.
+
+    Parameters
+    ----------
+    execute:
+        ``f(batch: QueryBatch) -> BatchResult`` — typically
+        ``lambda b: partition_based(index, b)``.  Invoked synchronously
+        at flush time; per-query results are distributed to the pending
+        handles in arrival order.
+    max_batch:
+        Flush as soon as this many queries are staged.
+    max_wait:
+        Flush when the *oldest* staged query has waited this long
+        (seconds).  Checked on every :meth:`submit` and :meth:`poll`.
+    clock:
+        Time source (``time.monotonic`` by default); injectable for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[QueryBatch], object],
+        *,
+        max_batch: int = 1024,
+        max_wait: float = 0.010,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_wait <= 0:
+            raise ValueError("max_wait must be positive")
+        self._execute = execute
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self._clock = clock
+        self._pending: List[PendingQuery] = []
+        self.flushes = 0
+        self.size_flushes = 0
+        self.timeout_flushes = 0
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, q_st: int, q_end: int) -> PendingQuery:
+        """Stage one query; may trigger a flush (size or timeout)."""
+        if q_st > q_end:
+            raise ValueError("query must have st <= end")
+        handle = PendingQuery(int(q_st), int(q_end), self._clock())
+        self._pending.append(handle)
+        if len(self._pending) >= self.max_batch:
+            self._flush(reason="size")
+        else:
+            self._check_timeout()
+        return handle
+
+    def poll(self) -> bool:
+        """Timeout check without a new arrival; True if a flush ran."""
+        return self._check_timeout()
+
+    def flush(self) -> bool:
+        """Force execution of whatever is staged; True if anything ran."""
+        if not self._pending:
+            return False
+        self._flush(reason="forced")
+        return True
+
+    def _check_timeout(self) -> bool:
+        if not self._pending:
+            return False
+        waited = self._clock() - self._pending[0].enqueued_at
+        if waited >= self.max_wait:
+            self._flush(reason="timeout")
+            return True
+        return False
+
+    def _flush(self, reason: str) -> None:
+        staged = self._pending
+        self._pending = []
+        batch = QueryBatch(
+            [q.q_st for q in staged], [q.q_end for q in staged]
+        )
+        result = self._execute(batch)
+        for pos, handle in enumerate(staged):
+            handle._resolve(self._extract(result, pos))
+        self.flushes += 1
+        if reason == "size":
+            self.size_flushes += 1
+        elif reason == "timeout":
+            self.timeout_flushes += 1
+
+    @staticmethod
+    def _extract(result, pos: int):
+        """Per-query view of a strategy result (or of a plain sequence)."""
+        mode = getattr(result, "mode", None)
+        if mode == "ids":
+            return result.ids(pos)
+        if mode == "checksum":
+            return (int(result.counts[pos]), result.query_checksum(pos))
+        if mode == "count":
+            return int(result.counts[pos])
+        return result[pos]

@@ -1,0 +1,68 @@
+"""Strategy advisor.
+
+The paper's bottom line (Section 4) is simple — partition-based wins
+everywhere it tested — but the margins depend on the workload, and the
+join-based alternative becomes competitive only when the batch size
+approaches the collection size.  :func:`recommend_strategy` encodes
+those findings as a small, documented decision rule so that library
+users who just want "the right default" get one, together with the
+reasoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.intervals.batch import QueryBatch
+
+__all__ = ["Recommendation", "recommend_strategy"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A strategy name plus the reasoning behind it."""
+
+    strategy: str
+    reason: str
+
+
+def recommend_strategy(
+    collection_size: int,
+    batch: QueryBatch,
+    *,
+    join_ratio_threshold: float = 0.5,
+) -> Recommendation:
+    """Recommend an evaluation strategy for a batch.
+
+    Parameters
+    ----------
+    collection_size:
+        Cardinality of the indexed collection ``S``.
+    batch:
+        The incoming query batch.
+    join_ratio_threshold:
+        When ``|Q| / |S|`` exceeds this, a join-based evaluation that
+        scans ``S`` once amortizes well enough to consider; below it the
+        paper's finding applies — index-based batching dominates.
+    """
+    n_queries = len(batch)
+    if n_queries == 0:
+        return Recommendation(
+            "query-based", "empty batch: any strategy is a no-op"
+        )
+    if n_queries == 1:
+        return Recommendation(
+            "query-based",
+            "single query: batching machinery adds overhead with no sharing",
+        )
+    if collection_size and n_queries / collection_size > join_ratio_threshold:
+        return Recommendation(
+            "join-based",
+            f"batch is {n_queries / collection_size:.0%} of the collection; "
+            "a plane-sweep join shares one scan of S across all queries",
+        )
+    return Recommendation(
+        "partition-based",
+        "the paper's overall winner: per-level, per-partition evaluation "
+        "shares partition probes across all relevant queries",
+    )

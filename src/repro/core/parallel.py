@@ -1,0 +1,121 @@
+"""Parallel batch processing — the paper's stated future work.
+
+Section 5 closes with: "we plan to investigate the parallel processing
+of query batches in multi-core CPUs".  This module provides that
+investigation for the Python build: the batch is split into contiguous
+chunks of the *sorted* query sequence (so each chunk keeps the locality
+the strategies rely on), chunks run on a thread pool, and per-chunk
+results are stitched back into caller order.
+
+Threads, not processes: the hot loops of the columnar strategies are
+numpy calls (``searchsorted``, gathers, reductions), which release the
+GIL on large inputs, so thread-level parallelism is real for the serial
+strategies whose per-query work dominates.  For the fully vectorized
+partition-based count path the sequential version is already one long
+numpy pipeline; chunking mainly helps its ids mode and the other
+strategies.  The ablation benchmark ``bench_ablation_parallel`` measures
+exactly where the speedup lands.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.result import BatchResult
+from repro.core.strategies import STRATEGIES
+from repro.hint.index import HintIndex
+from repro.intervals.batch import QueryBatch
+
+__all__ = ["parallel_batch"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _chunks(n: int, workers: int) -> List[slice]:
+    """Split ``range(n)`` into at most *workers* contiguous slices."""
+    if n == 0:
+        return []
+    workers = min(workers, n)
+    bounds = np.linspace(0, n, workers + 1, dtype=np.int64)
+    return [
+        slice(int(a), int(b)) for a, b in zip(bounds, bounds[1:]) if b > a
+    ]
+
+
+def parallel_batch(
+    index: HintIndex,
+    batch: QueryBatch,
+    *,
+    strategy: str = "partition-based",
+    workers: int = 4,
+    mode: str = "count",
+    executor: Optional[ThreadPoolExecutor] = None,
+) -> BatchResult:
+    """Evaluate a batch with *strategy*, parallelized over *workers* threads.
+
+    The batch is sorted by query start once, chunked contiguously (each
+    chunk covers a compact slice of the domain, preserving the
+    strategies' locality), and results are returned in the caller's
+    original order — exactly like the sequential strategies.
+
+    Parameters
+    ----------
+    index, batch:
+        As for the sequential strategies.
+    strategy:
+        Name from :data:`repro.core.strategies.STRATEGIES`.
+    workers:
+        Number of chunks / threads (>= 1).
+    executor:
+        Optional externally managed pool (reused across calls); when
+        omitted, a pool is created per call.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    try:
+        spec = STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+    fn = spec["fn"]
+
+    work = batch.sorted_by_start()
+    n = len(work)
+    if n == 0:
+        return BatchResult(np.zeros(0, dtype=np.int64), [] if mode == "ids" else None)
+    slices = _chunks(n, workers)
+    if len(slices) == 1:
+        return fn(index, batch, sort=True, mode=mode)
+
+    def run(sl: slice) -> BatchResult:
+        sub = QueryBatch(work.st[sl], work.end[sl])
+        return fn(index, sub, sort=True, mode=mode)
+
+    if executor is None:
+        with ThreadPoolExecutor(max_workers=len(slices)) as pool:
+            partials = list(pool.map(run, slices))
+    else:
+        partials = list(executor.map(run, slices))
+
+    # Stitch chunk results (in sorted order) back to caller order.
+    counts_sorted = np.concatenate([p.counts for p in partials])
+    counts = np.empty(n, dtype=np.int64)
+    counts[work.order] = counts_sorted
+    if mode == "count":
+        return BatchResult(counts)
+    if mode == "checksum":
+        sums_sorted = np.concatenate([p.checksums for p in partials])
+        sums = np.empty(n, dtype=np.int64)
+        sums[work.order] = sums_sorted
+        return BatchResult(counts, checksums=sums)
+    ids: List[np.ndarray] = [_EMPTY] * n
+    pos = 0
+    for partial in partials:
+        for i in range(len(partial)):
+            ids[int(work.order[pos])] = partial.ids(i)
+            pos += 1
+    return BatchResult(counts, ids)

@@ -1,0 +1,185 @@
+"""Batch results.
+
+A strategy's output for a batch ``Q`` is one result set per query.  Two
+materialization modes are supported, mirroring how interval-index papers
+report measurements:
+
+* ``"count"`` — only the per-query result cardinalities.  The fastest
+  mode: comparison-free ranges cost O(1), so timing reflects pure index
+  traversal.
+* ``"checksum"`` — cardinalities plus an XOR over each query's result
+  ids.  Output-sensitive (every result id is touched) yet
+  allocation-free — the consumption model of the HINT C++ evaluations,
+  and the default of the experiment harness.
+* ``"ids"`` — full per-query id arrays.
+
+Whatever a strategy does internally (sorting the batch, reordering
+partition visits), a :class:`BatchResult` always presents results in the
+caller's original batch order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["BatchResult", "MODES"]
+
+MODES = ("count", "checksum", "ids")
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class BatchResult:
+    """Per-query results of one strategy execution over a batch."""
+
+    __slots__ = ("_counts", "_ids", "_checksums")
+
+    def __init__(
+        self,
+        counts: np.ndarray,
+        ids: Optional[List[np.ndarray]] = None,
+        *,
+        checksums: Optional[np.ndarray] = None,
+    ):
+        counts = np.ascontiguousarray(counts, dtype=np.int64)
+        if ids is not None and len(ids) != counts.size:
+            raise ValueError("ids list must have one entry per query")
+        if checksums is not None:
+            checksums = np.ascontiguousarray(checksums, dtype=np.int64)
+            if checksums.size != counts.size:
+                raise ValueError("checksums must have one entry per query")
+        self._counts = counts
+        self._ids = ids
+        self._checksums = checksums
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mode(self) -> str:
+        if self._ids is not None:
+            return "ids"
+        if self._checksums is not None:
+            return "checksum"
+        return "count"
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Result cardinality per query, in original batch order."""
+        return self._counts
+
+    @property
+    def checksums(self) -> Optional[np.ndarray]:
+        """Per-query XOR checksums (``None`` unless checksum mode)."""
+        return self._checksums
+
+    def __len__(self) -> int:
+        return int(self._counts.size)
+
+    def total(self) -> int:
+        """Total number of reported (query, interval) result pairs."""
+        return int(self._counts.sum())
+
+    def ids(self, query: int) -> np.ndarray:
+        """Result ids of one query (requires ``mode == "ids"``)."""
+        if self._ids is None:
+            raise ValueError("results were collected in count-only mode")
+        return self._ids[query]
+
+    def query_checksum(self, query: int) -> int:
+        """XOR of one query's result ids (checksum or ids mode)."""
+        if self._checksums is not None:
+            return int(self._checksums[query])
+        if self._ids is not None:
+            arr = self._ids[query]
+            if arr.size == 0:
+                return 0
+            return int(np.bitwise_xor.reduce(arr))
+        raise ValueError("results were collected in count-only mode")
+
+    def id_sets(self) -> List[frozenset]:
+        """Per-query results as frozensets (test/validation helper)."""
+        if self._ids is None:
+            raise ValueError("results were collected in count-only mode")
+        return [frozenset(int(v) for v in arr) for arr in self._ids]
+
+    def checksum(self) -> int:
+        """Order-independent checksum over all (query, id) result pairs.
+
+        Useful for comparing strategies cheaply in benchmarks: equal
+        result sets yield equal checksums regardless of reporting order.
+        """
+        if self._ids is None:
+            # Counts-only: fall back to a checksum of the counts vector.
+            return int(np.bitwise_xor.reduce(
+                (self._counts + 0x9E3779B9) * np.arange(1, len(self) + 1)
+            )) if len(self) else 0
+        acc = 0
+        for q, arr in enumerate(self._ids):
+            if arr.size:
+                acc ^= int(((arr.astype(np.uint64) + 1) * np.uint64(q + 1)).sum())
+        return acc
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BatchResult):
+            return NotImplemented
+        if self.mode != other.mode:
+            return False
+        if not np.array_equal(self._counts, other._counts):
+            return False
+        if self._checksums is not None and not np.array_equal(
+            self._checksums, other._checksums
+        ):
+            return False
+        if self._ids is None:
+            return True
+        return all(
+            np.array_equal(np.sort(a), np.sort(b))
+            for a, b in zip(self._ids, other._ids)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResult(queries={len(self)}, mode={self.mode!r}, "
+            f"total={self.total()})"
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_id_lists(cls, lists: Sequence[Sequence[int]]) -> "BatchResult":
+        """Build a full (ids-mode) result from plain Python lists."""
+        ids = [
+            np.asarray(lst, dtype=np.int64) if len(lst) else _EMPTY
+            for lst in lists
+        ]
+        counts = np.array([arr.size for arr in ids], dtype=np.int64)
+        return cls(counts, ids)
+
+    @classmethod
+    def from_id_arrays(
+        cls, ids: Sequence[np.ndarray], mode: str
+    ) -> "BatchResult":
+        """Build a result in any *mode* from per-query id arrays.
+
+        Convenience for serial baselines that always materialize ids
+        and only need to present them in the requested mode.
+        """
+        counts = np.array([arr.size for arr in ids], dtype=np.int64)
+        if mode == "count":
+            return cls(counts)
+        if mode == "ids":
+            return cls(counts, list(ids))
+        if mode == "checksum":
+            sums = np.array(
+                [
+                    int(np.bitwise_xor.reduce(arr)) if arr.size else 0
+                    for arr in ids
+                ],
+                dtype=np.int64,
+            )
+            return cls(counts, checksums=sums)
+        raise ValueError(
+            f"unknown result mode {mode!r}; expected one of {MODES}"
+        )

@@ -1,0 +1,761 @@
+"""Production implementations of the batch strategies (Algorithms 2-4).
+
+All three strategies operate on the columnar
+:class:`~repro.hint.index.HintIndex` and a
+:class:`~repro.intervals.QueryBatch`, and return a
+:class:`~repro.core.result.BatchResult` in the caller's batch order.
+
+The cache-locality effects that motivate the paper cannot be observed
+from CPython directly (see ``analysis/`` for the trace-driven cache
+simulator that makes them observable).  What *does* transfer to this
+build is the computation sharing the strategies enable:
+
+* **query-based** pays full per-query Python and bit-arithmetic overhead
+  for every query (Algorithm 2);
+* **level-based** amortizes the per-level prefix/flag arithmetic across
+  the whole batch with one vectorized pass per level (Algorithm 3);
+* **partition-based** additionally shares index probes: every query
+  anchored at the same partition is answered by a single vectorized
+  ``searchsorted`` against that partition's sorted arrays, and all
+  comparison-free middle ranges of a level are measured with one
+  vectorized offset subtraction (Algorithm 4).
+
+Within a level the partition-based fast path visits first-anchor
+partitions in ascending order, then middle ranges, then last-anchor
+partitions — a reordering of the paper's single ascending sweep that
+produces identical results (per-query flags only change between levels).
+The pseudocode-faithful sweep, used for access-pattern traces, lives in
+:meth:`repro.hint.reference.ReferenceHint.batch_partition_based`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.collector import make_collector
+from repro.core.result import BatchResult
+from repro.hint.index import HintIndex
+from repro.hint.tables import LevelData, SubdivisionTable
+from repro.intervals.batch import QueryBatch
+
+__all__ = [
+    "query_based",
+    "level_based",
+    "partition_based",
+    "run_strategy",
+    "STRATEGIES",
+]
+
+
+# --------------------------------------------------------------------- #
+# shared per-(query, level) processing — Lines 6-21 of Algorithm 1
+# --------------------------------------------------------------------- #
+
+
+def _o_in_both(table, part, q_st, q_end, collector, pos):
+    """Both overlap tests on O_in (first == last partition, both flags)."""
+    lo, hi = table.bounds(part)
+    if hi <= lo:
+        return
+    k = int(np.searchsorted(table.st[lo:hi], q_end, side="right"))
+    if k == 0:
+        return
+    mask = table.end[lo : lo + k] >= q_st
+    if collector.mode == "count":
+        collector.add_count(pos, int(np.count_nonzero(mask)))
+    else:
+        collector.add_ids(pos, table.ids[lo : lo + k][mask])
+
+
+def _o_in_end_geq(table, part, q_st, collector, pos):
+    """``s.end >= q.st`` on O_in, which is sorted by st (linear mask)."""
+    lo, hi = table.bounds(part)
+    if hi <= lo:
+        return
+    mask = table.end[lo:hi] >= q_st
+    if collector.mode == "count":
+        collector.add_count(pos, int(np.count_nonzero(mask)))
+    else:
+        collector.add_ids(pos, table.ids[lo:hi][mask])
+
+
+def _st_leq(table, part, q_end, collector, pos):
+    """``s.st <= q.end`` prefix of a partition sorted by st."""
+    lo, hi = table.bounds(part)
+    if hi <= lo:
+        return
+    k = int(np.searchsorted(table.st[lo:hi], q_end, side="right"))
+    collector.add_slice(pos, table, lo, lo + k)
+
+
+def _end_geq(table, part, q_st, collector, pos):
+    """``s.end >= q.st`` suffix of a partition sorted by end."""
+    lo, hi = table.bounds(part)
+    if hi <= lo:
+        return
+    k = int(np.searchsorted(table.end[lo:hi], q_st, side="left"))
+    collector.add_slice(pos, table, lo + k, hi)
+
+
+def _full(table, part, collector, pos):
+    lo, hi = table.bounds(part)
+    collector.add_slice(pos, table, lo, hi)
+
+
+def _process_level(
+    data: LevelData,
+    q_st: int,
+    q_end: int,
+    f: int,
+    l: int,
+    compfirst: bool,
+    complast: bool,
+    collector,
+    pos: int,
+) -> None:
+    """Process all relevant partitions of one level for one query."""
+    o_in, o_aft, r_in, r_aft = data.tables()
+
+    # first relevant partition
+    if f == l and compfirst and complast:
+        _o_in_both(o_in, f, q_st, q_end, collector, pos)
+        _st_leq(o_aft, f, q_end, collector, pos)
+        _end_geq(r_in, f, q_st, collector, pos)
+        _full(r_aft, f, collector, pos)
+    elif compfirst:
+        _o_in_end_geq(o_in, f, q_st, collector, pos)
+        _full(o_aft, f, collector, pos)
+        _end_geq(r_in, f, q_st, collector, pos)
+        _full(r_aft, f, collector, pos)
+    elif f == l and complast:
+        _st_leq(o_in, f, q_end, collector, pos)
+        _st_leq(o_aft, f, q_end, collector, pos)
+        _full(r_in, f, collector, pos)
+        _full(r_aft, f, collector, pos)
+    else:
+        _full(o_in, f, collector, pos)
+        _full(o_aft, f, collector, pos)
+        _full(r_in, f, collector, pos)
+        _full(r_aft, f, collector, pos)
+
+    if l > f:
+        # in-between partitions: contiguous row ranges, no comparisons
+        if l > f + 1:
+            collector.add_slice(
+                pos, o_in, int(o_in.offsets[f + 1]), int(o_in.offsets[l])
+            )
+            collector.add_slice(
+                pos, o_aft, int(o_aft.offsets[f + 1]), int(o_aft.offsets[l])
+            )
+        # last relevant partition: originals only
+        if complast:
+            _st_leq(o_in, l, q_end, collector, pos)
+            _st_leq(o_aft, l, q_end, collector, pos)
+        else:
+            _full(o_in, l, collector, pos)
+            _full(o_aft, l, collector, pos)
+
+
+def _prepare(index: HintIndex, batch: QueryBatch, sort: bool):
+    work = batch.sorted_by_start() if sort else batch
+    top = (1 << index.m) - 1
+    q_st = np.clip(work.st, 0, top)
+    q_end = np.clip(work.end, 0, top)
+    return work, q_st, q_end
+
+
+# --------------------------------------------------------------------- #
+# Algorithm 2 — query-based
+# --------------------------------------------------------------------- #
+
+
+def query_based(
+    index: HintIndex,
+    batch: QueryBatch,
+    *,
+    sort: bool = False,
+    mode: str = "count",
+) -> BatchResult:
+    """Execute each query of the batch independently (Algorithm 2).
+
+    With ``sort=True`` this is the paper's "query-based with sorting"
+    variant: queries are examined in increasing start order, which in the
+    original C++ setting reduces horizontal cache jumps.
+    """
+    work, q_st, q_end = _prepare(index, batch, sort)
+    collector = make_collector(mode, len(work))
+    m = index.m
+    levels = index.levels
+    # Empty levels carry no data for any query; skipping them is an
+    # index property (the skewness & sparsity optimization), available
+    # to the serial baseline just as to the batch strategies.
+    occupied = [data.total() > 0 for data in levels]
+    for pos in range(len(work)):
+        s, e = int(q_st[pos]), int(q_end[pos])
+        compfirst = True
+        complast = True
+        for level in range(m, -1, -1):
+            shift = m - level
+            f = s >> shift
+            l = e >> shift
+            if occupied[level]:
+                _process_level(
+                    levels[level], s, e, f, l, compfirst, complast, collector, pos
+                )
+            if not f & 1:
+                compfirst = False
+            if l & 1:
+                complast = False
+    return collector.finalize(work.order)
+
+
+# --------------------------------------------------------------------- #
+# Algorithm 3 — level-based
+# --------------------------------------------------------------------- #
+
+
+def level_based(
+    index: HintIndex,
+    batch: QueryBatch,
+    *,
+    sort: bool = True,
+    mode: str = "count",
+) -> BatchResult:
+    """Evaluate all queries of the batch level by level (Algorithm 3).
+
+    The per-level prefix (``f``, ``l``) and flag bookkeeping is computed
+    for the entire batch with vectorized bit arithmetic.
+    """
+    work, q_st, q_end = _prepare(index, batch, sort)
+    n = len(work)
+    collector = make_collector(mode, n)
+    compfirst = np.ones(n, dtype=bool)
+    complast = np.ones(n, dtype=bool)
+    st_list = q_st.tolist()
+    end_list = q_end.tolist()
+    m = index.m
+    for level in range(m, -1, -1):
+        shift = m - level
+        f = q_st >> shift
+        l = q_end >> shift
+        data = index.levels[level]
+        if data.total():
+            # Level-wide shared computation: the per-level prefix, flag
+            # and occupancy state is materialized for the whole batch at
+            # once (plain lists: cheaper to consume in the per-query
+            # loop than numpy scalar indexing).  On sparse levels, a
+            # vectorized occupancy pass additionally lets queries whose
+            # partition range is empty skip the level entirely.
+            f_list = f.tolist()
+            l_list = l.tolist()
+            cf_list = compfirst.tolist()
+            cl_list = complast.tolist()
+            if data.total() < 4 * n:
+                touched = np.zeros(n, dtype=np.int64)
+                for table in data.tables():
+                    if len(table):
+                        touched += table.offsets[l + 1] - table.offsets[f]
+                active = np.flatnonzero(touched).tolist()
+            else:
+                active = range(n)
+            for pos in active:
+                _process_level(
+                    data,
+                    st_list[pos],
+                    end_list[pos],
+                    f_list[pos],
+                    l_list[pos],
+                    cf_list[pos],
+                    cl_list[pos],
+                    collector,
+                    pos,
+                )
+        compfirst &= (f & 1) == 1
+        complast &= (l & 1) == 0
+    return collector.finalize(work.order)
+
+
+# --------------------------------------------------------------------- #
+# Algorithm 4 — partition-based
+# --------------------------------------------------------------------- #
+
+
+def _first_partition_groups(
+    data: LevelData,
+    q_st: np.ndarray,
+    q_end: np.ndarray,
+    f: np.ndarray,
+    l: np.ndarray,
+    compfirst: np.ndarray,
+    complast: np.ndarray,
+    collector,
+) -> None:
+    """Process every query's *first* relevant partition, grouped by
+    partition; queries sharing a partition share one probe per table."""
+    o_in, o_aft, r_in, r_aft = data.tables()
+    parts, starts = np.unique(f, return_index=True)
+    bounds = np.append(starts, f.size)
+    for gi in range(parts.size):
+        p = int(parts[gi])
+        j0, j1 = int(bounds[gi]), int(bounds[gi + 1])
+        idx = np.arange(j0, j1)
+        anchored_last = l[idx] == p
+        cf = compfirst[idx]
+        cl = complast[idx]
+        case_both = cf & cl & anchored_last
+        case_first = cf & ~case_both
+        case_st = ~cf & cl & anchored_last
+        case_none = ~cf & ~(cl & anchored_last)
+
+        # --- O_in -----------------------------------------------------
+        lo, hi = o_in.bounds(p)
+        if hi > lo:
+            if case_both.any():
+                st_slice = o_in.st[lo:hi]
+                end_slice = o_in.end[lo:hi]
+                sel = idx[case_both]
+                ks = np.searchsorted(st_slice, q_end[sel], side="right")
+                for j, k in zip(sel, ks):
+                    if k:
+                        mask = end_slice[:k] >= q_st[j]
+                        if collector.mode == "count":
+                            collector.add_count(int(j), int(np.count_nonzero(mask)))
+                        else:
+                            collector.add_ids(int(j), o_in.ids[lo : lo + int(k)][mask])
+            if case_first.any():
+                end_slice = o_in.end[lo:hi]
+                for j in idx[case_first]:
+                    mask = end_slice >= q_st[j]
+                    if collector.mode == "count":
+                        collector.add_count(int(j), int(np.count_nonzero(mask)))
+                    else:
+                        collector.add_ids(int(j), o_in.ids[lo:hi][mask])
+            if case_st.any():
+                _grouped_st_leq(o_in, p, lo, hi, idx[case_st], q_end, collector)
+            if case_none.any():
+                _grouped_full(o_in, p, lo, hi, idx[case_none], collector)
+
+        # --- O_aft: the q.st side is implied; test s.st <= q.end only
+        # when this partition is also the query's last and complast holds.
+        lo, hi = o_aft.bounds(p)
+        if hi > lo:
+            needs_st = (case_both | case_st)
+            if needs_st.any():
+                _grouped_st_leq(o_aft, p, lo, hi, idx[needs_st], q_end, collector)
+            rest = ~needs_st
+            if rest.any():
+                _grouped_full(o_aft, p, lo, hi, idx[rest], collector)
+
+        # --- R_in: test q.st <= s.end while compfirst holds ------------
+        lo, hi = r_in.bounds(p)
+        if hi > lo:
+            if cf.any():
+                sel = idx[cf]
+                ks = np.searchsorted(r_in.end[lo:hi], q_st[sel], side="left")
+                if collector.mode == "count":
+                    collector.add_counts_vec(sel, (hi - lo) - ks)
+                else:
+                    for j, k in zip(sel, ks):
+                        collector.add_slice(int(j), r_in, lo + int(k), hi)
+            if (~cf).any():
+                _grouped_full(r_in, p, lo, hi, idx[~cf], collector)
+
+        # --- R_aft: never compared -------------------------------------
+        lo, hi = r_aft.bounds(p)
+        if hi > lo:
+            _grouped_full(r_aft, p, lo, hi, idx, collector)
+
+
+def _grouped_st_leq(table, p, lo, hi, sel, q_end, collector) -> None:
+    ks = np.searchsorted(table.st[lo:hi], q_end[sel], side="right")
+    if collector.mode == "count":
+        collector.add_counts_vec(sel, ks)
+    else:
+        for j, k in zip(sel, ks):
+            collector.add_slice(int(j), table, lo, lo + int(k))
+
+
+def _grouped_full(table, p, lo, hi, sel, collector) -> None:
+    if collector.mode == "count":
+        collector.add_counts_vec(sel, np.full(sel.size, hi - lo, dtype=np.int64))
+    else:
+        for j in sel:
+            collector.add_slice(int(j), table, lo, hi)
+
+
+def _middle_ranges(
+    data: LevelData, f: np.ndarray, l: np.ndarray, positions: np.ndarray, collector
+) -> None:
+    """Comparison-free middles ``f+1 .. l-1``: contiguous row ranges."""
+    sel = l > f + 1
+    if not sel.any():
+        return
+    f_sel = f[sel] + 1
+    l_sel = l[sel]
+    pos_sel = positions[sel]
+    for table in (data.o_in, data.o_aft):
+        if not len(table):
+            continue
+        lows = table.offsets[f_sel]
+        highs = table.offsets[l_sel]
+        if collector.mode == "count":
+            collector.add_counts_vec(pos_sel, highs - lows)
+        else:
+            for j, lo, hi in zip(pos_sel, lows, highs):
+                collector.add_slice(int(j), table, int(lo), int(hi))
+
+
+def _last_partition_groups(
+    data: LevelData,
+    q_end: np.ndarray,
+    f: np.ndarray,
+    l: np.ndarray,
+    complast: np.ndarray,
+    collector,
+) -> None:
+    """Process every query's *last* relevant partition (originals only),
+    grouped by partition."""
+    sel = np.flatnonzero(l > f)
+    if sel.size == 0:
+        return
+    order = sel[np.argsort(l[sel], kind="stable")]
+    l_sorted = l[order]
+    group_starts = np.flatnonzero(np.r_[True, l_sorted[1:] != l_sorted[:-1]])
+    group_bounds = np.append(group_starts, order.size)
+    for gi in range(group_starts.size):
+        g0, g1 = int(group_bounds[gi]), int(group_bounds[gi + 1])
+        idx = order[g0:g1]
+        p = int(l_sorted[g0])
+        cl = complast[idx]
+        for table in (data.o_in, data.o_aft):
+            lo, hi = table.bounds(p)
+            if hi <= lo:
+                continue
+            if cl.any():
+                _grouped_st_leq(table, p, lo, hi, idx[cl], q_end, collector)
+            if (~cl).any():
+                _grouped_full(table, p, lo, hi, idx[~cl], collector)
+
+
+# ---- fully vectorized probe primitives (count / checksum modes) ------ #
+
+
+def _bulk_prefix_range(table: SubdivisionTable, parts, values):
+    """Per query: global row range of partition ``parts[i]`` rows with
+    key <= ``values[i]``.
+
+    One ``searchsorted`` against the packed ``comp`` column answers the
+    probe for the whole query vector at once.
+    """
+    needles = (parts << table.key_bits) | values
+    hi = np.searchsorted(table.comp, needles, side="right")
+    return table.offsets[parts], hi
+
+
+def _bulk_suffix_range(table: SubdivisionTable, parts, values):
+    """Per query: global row range of partition rows with key >= value."""
+    needles = (parts << table.key_bits) | values
+    lo = np.searchsorted(table.comp, needles, side="left")
+    return lo, table.offsets[parts + 1]
+
+
+def _bulk_masked_end_geq(
+    table: SubdivisionTable,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    thresholds: np.ndarray,
+    want_xor: bool,
+):
+    """Per query: rows in ``[lo[i], hi[i])`` with ``end >= thresholds[i]``
+    — counts, and XOR-of-ids when *want_xor*.
+
+    The variable-length row ranges are flattened with ``repeat``-based
+    gathering so the filter is one vectorized comparison; total work is
+    proportional to the number of scanned rows, exactly like the scalar
+    loop it replaces.
+    """
+    lengths = hi - lo
+    np.maximum(lengths, 0, out=lengths)
+    total = int(lengths.sum())
+    counts = np.zeros(lo.size, dtype=np.int64)
+    xors = np.zeros(lo.size, dtype=np.int64) if want_xor else None
+    if total == 0:
+        return counts, xors
+    starts = np.cumsum(lengths) - lengths
+    offsets_within = np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+    rows = np.repeat(lo, lengths) + offsets_within
+    qid = np.repeat(np.arange(lo.size, dtype=np.int64), lengths)
+    mask = table.end[rows] >= np.repeat(thresholds, lengths)
+    if mask.any():
+        qid_m = qid[mask]
+        counts += np.bincount(qid_m, minlength=lo.size)
+        if want_xor:
+            ids_m = table.ids[rows[mask]]
+            group_starts = np.flatnonzero(np.r_[True, qid_m[1:] != qid_m[:-1]])
+            xors[qid_m[group_starts]] = np.bitwise_xor.reduceat(
+                ids_m, group_starts
+            )
+    return counts, xors
+
+
+class _VectorAccumulator:
+    """Counts (+ optional range XOR) accumulator for the vectorized
+    partition-based paths."""
+
+    def __init__(self, n: int, with_checksum: bool):
+        self.counts = np.zeros(n, dtype=np.int64)
+        self.sums = np.zeros(n, dtype=np.int64) if with_checksum else None
+
+    def add_ranges(self, sel, table: SubdivisionTable, lo, hi) -> None:
+        """Register row ranges ``[lo[i], hi[i])`` of *table* for queries
+        *sel* (``sel`` may be a slice covering all queries)."""
+        self.counts[sel] += hi - lo
+        if self.sums is not None:
+            xp = table.xor_prefix
+            self.sums[sel] ^= xp[hi] ^ xp[lo]
+
+    def add_masked(self, sel, counts, xors) -> None:
+        self.counts[sel] += counts
+        if self.sums is not None:
+            self.sums[sel] ^= xors
+
+    def finalize(self, order: np.ndarray) -> BatchResult:
+        counts = np.empty_like(self.counts)
+        counts[order] = self.counts
+        if self.sums is None:
+            return BatchResult(counts)
+        sums = np.empty_like(self.sums)
+        sums[order] = self.sums
+        return BatchResult(counts, checksums=sums)
+
+
+def _partition_based_vectorized(
+    index: HintIndex,
+    work: QueryBatch,
+    q_st: np.ndarray,
+    q_end: np.ndarray,
+    mode: str,
+) -> BatchResult:
+    """Count/checksum partition-based evaluation, fully vectorized per
+    level: every probe class for the whole batch is one ``searchsorted``
+    against the packed ``comp`` column, every comparison-free range one
+    offsets (and prefix-XOR) gather."""
+    n = len(work)
+    acc = _VectorAccumulator(n, with_checksum=(mode == "checksum"))
+    want_xor = mode == "checksum"
+    compfirst = np.ones(n, dtype=bool)
+    complast = np.ones(n, dtype=bool)
+    m = index.m
+    for level in range(m, -1, -1):
+        shift = m - level
+        f = q_st >> shift
+        l = q_end >> shift
+        data = index.levels[level]
+        if data.total():
+            o_in, o_aft, r_in, r_aft = data.tables()
+            anchored = f == l
+            case_both = compfirst & complast & anchored
+            case_first = compfirst & ~case_both
+            case_st = ~compfirst & complast & anchored
+            case_none = ~(case_both | case_first | case_st)
+
+            # --- O_in at the first partition ------------------------
+            if len(o_in):
+                if case_both.any():
+                    sel = np.flatnonzero(case_both)
+                    lo, hi = _bulk_prefix_range(o_in, f[sel], q_end[sel])
+                    acc.add_masked(
+                        sel,
+                        *_bulk_masked_end_geq(o_in, lo, hi, q_st[sel], want_xor),
+                    )
+                if case_first.any():
+                    sel = np.flatnonzero(case_first)
+                    acc.add_masked(
+                        sel,
+                        *_bulk_masked_end_geq(
+                            o_in,
+                            o_in.offsets[f[sel]],
+                            o_in.offsets[f[sel] + 1],
+                            q_st[sel],
+                            want_xor,
+                        ),
+                    )
+                if case_st.any():
+                    sel = np.flatnonzero(case_st)
+                    acc.add_ranges(
+                        sel, o_in, *_bulk_prefix_range(o_in, f[sel], q_end[sel])
+                    )
+                if case_none.any():
+                    sel = np.flatnonzero(case_none)
+                    acc.add_ranges(
+                        sel, o_in, o_in.offsets[f[sel]], o_in.offsets[f[sel] + 1]
+                    )
+
+            # --- O_aft at the first partition ------------------------
+            if len(o_aft):
+                needs_st = case_both | case_st
+                if needs_st.any():
+                    sel = np.flatnonzero(needs_st)
+                    acc.add_ranges(
+                        sel, o_aft, *_bulk_prefix_range(o_aft, f[sel], q_end[sel])
+                    )
+                rest = ~needs_st
+                if rest.any():
+                    sel = np.flatnonzero(rest)
+                    acc.add_ranges(
+                        sel,
+                        o_aft,
+                        o_aft.offsets[f[sel]],
+                        o_aft.offsets[f[sel] + 1],
+                    )
+
+            # --- R_in at the first partition --------------------------
+            if len(r_in):
+                if compfirst.any():
+                    sel = np.flatnonzero(compfirst)
+                    acc.add_ranges(
+                        sel, r_in, *_bulk_suffix_range(r_in, f[sel], q_st[sel])
+                    )
+                rest = ~compfirst
+                if rest.any():
+                    sel = np.flatnonzero(rest)
+                    acc.add_ranges(
+                        sel, r_in, r_in.offsets[f[sel]], r_in.offsets[f[sel] + 1]
+                    )
+
+            # --- R_aft at the first partition: never compared ----------
+            if len(r_aft):
+                acc.add_ranges(
+                    slice(None), r_aft, r_aft.offsets[f], r_aft.offsets[f + 1]
+                )
+
+            # --- in-between partitions ---------------------------------
+            middles = l > f + 1
+            if middles.any():
+                sel = np.flatnonzero(middles)
+                for table in (o_in, o_aft):
+                    if len(table):
+                        acc.add_ranges(
+                            sel,
+                            table,
+                            table.offsets[f[sel] + 1],
+                            table.offsets[l[sel]],
+                        )
+
+            # --- last partition (originals only) -----------------------
+            spans = l > f
+            if spans.any():
+                with_cmp = spans & complast
+                if with_cmp.any():
+                    sel = np.flatnonzero(with_cmp)
+                    for table in (o_in, o_aft):
+                        if len(table):
+                            acc.add_ranges(
+                                sel,
+                                table,
+                                *_bulk_prefix_range(table, l[sel], q_end[sel]),
+                            )
+                without_cmp = spans & ~complast
+                if without_cmp.any():
+                    sel = np.flatnonzero(without_cmp)
+                    for table in (o_in, o_aft):
+                        if len(table):
+                            acc.add_ranges(
+                                sel,
+                                table,
+                                table.offsets[l[sel]],
+                                table.offsets[l[sel] + 1],
+                            )
+
+        compfirst &= (f & 1) == 1
+        complast &= (l & 1) == 0
+
+    return acc.finalize(work.order)
+
+
+def partition_based(
+    index: HintIndex,
+    batch: QueryBatch,
+    *,
+    sort: bool = True,
+    mode: str = "count",
+) -> BatchResult:
+    """Per level, deplete all queries relevant to a partition before
+    moving to the next partition (Algorithm 4).
+
+    Queries anchored at the same partition share probes against that
+    partition's sorted arrays.  In count mode the sharing is total: the
+    packed ``comp`` column turns each level's first/last-partition
+    probes for the *entire batch* into a single ``searchsorted``, and
+    all comparison-free ranges into vectorized offset subtractions.  In
+    ids mode, queries grouped per partition share a vectorized prefix
+    probe and then materialize their id slices.
+
+    The ``sort`` flag is accepted for registry symmetry but Algorithm
+    4's relevant-query ranges require start order, so an unsorted batch
+    is always sorted internally (results are returned in caller order
+    either way).
+    """
+    work, q_st, q_end = _prepare(index, batch, sort)
+    if not work.is_sorted:
+        work = work.sorted_by_start()
+        top = (1 << index.m) - 1
+        q_st = np.clip(work.st, 0, top)
+        q_end = np.clip(work.end, 0, top)
+    if mode in ("count", "checksum"):
+        return _partition_based_vectorized(index, work, q_st, q_end, mode)
+    if mode != "ids":
+        raise ValueError(
+            f"unknown result mode {mode!r}; expected 'count', 'ids' or 'checksum'"
+        )
+    n = len(work)
+    collector = make_collector(mode, n)
+    compfirst = np.ones(n, dtype=bool)
+    complast = np.ones(n, dtype=bool)
+    positions = np.arange(n, dtype=np.int64)
+    m = index.m
+    for level in range(m, -1, -1):
+        shift = m - level
+        f = q_st >> shift
+        l = q_end >> shift
+        data = index.levels[level]
+        if data.total():
+            _first_partition_groups(
+                data, q_st, q_end, f, l, compfirst, complast, collector
+            )
+            _middle_ranges(data, f, l, positions, collector)
+            _last_partition_groups(data, q_end, f, l, complast, collector)
+        compfirst &= (f & 1) == 1
+        complast &= (l & 1) == 0
+    return collector.finalize(work.order)
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+
+STRATEGIES: Dict[str, dict] = {
+    "query-based": {"fn": query_based, "sort": False},
+    "query-based-sorted": {"fn": query_based, "sort": True},
+    "level-based": {"fn": level_based, "sort": True},
+    "partition-based": {"fn": partition_based, "sort": True},
+}
+
+
+def run_strategy(
+    name: str,
+    index: HintIndex,
+    batch: QueryBatch,
+    *,
+    mode: str = "count",
+) -> BatchResult:
+    """Run a strategy by registry name (see :data:`STRATEGIES`)."""
+    try:
+        spec = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+    return spec["fn"](index, batch, sort=spec["sort"], mode=mode)

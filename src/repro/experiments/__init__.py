@@ -1,0 +1,37 @@
+"""Experiment harness — one runner per table/figure of the paper.
+
+Every module regenerates one artifact of the paper's evaluation section
+(see DESIGN.md's experiment index) and returns an
+:class:`~repro.experiments.runner.ExperimentResult` with the measured
+rows plus a formatted text rendering.  The command line front-end runs
+them by id::
+
+    python -m repro.experiments table1
+    python -m repro.experiments figure3 --repeats 3
+    python -m repro.experiments all --csv results/
+
+Absolute milliseconds differ from the paper (this substrate is numpy,
+not the authors' C++/AVX testbed); the reproduction targets are the
+*shapes*: strategy ordering, who wins where, and how parameters bend
+the curves.  EXPERIMENTS.md records paper-vs-measured per artifact.
+"""
+
+from repro.experiments.runner import ExperimentResult, time_call
+from repro.experiments import (  # noqa: F401  (registry side effect)
+    table1,
+    table2,
+    table4,
+    table5,
+    figure3,
+    figure4,
+    ablations,
+    landscape,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "time_call",
+    "EXPERIMENTS",
+    "get_experiment",
+]

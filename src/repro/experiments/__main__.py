@@ -1,0 +1,70 @@
+"""Command-line entry point for the experiment harness.
+
+Examples
+--------
+::
+
+    python -m repro.experiments --list
+    python -m repro.experiments table1
+    python -m repro.experiments figure3
+    python -m repro.experiments all --csv out_dir
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (see --list) or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write each result as CSV into DIR",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats (best-of) where the experiment supports it",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        runner = get_experiment(experiment_id)
+        kwargs = {}
+        if args.repeats is not None and "repeats" in runner.__code__.co_varnames:
+            kwargs["repeats"] = args.repeats
+        result = runner(**kwargs)
+        print(result.format())
+        print()
+        if args.csv:
+            out = pathlib.Path(args.csv)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{experiment_id}.csv").write_text(result.to_csv() + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

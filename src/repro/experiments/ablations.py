@@ -1,0 +1,389 @@
+"""Ablation studies beyond the paper's tables.
+
+Three ablations called out in DESIGN.md:
+
+* **A1 sorting** — each strategy with and without batch sorting,
+  isolating the contribution of start-order examination (Section 3.1's
+  first idea).
+* **A2 cache** — trace-driven LRU cache misses per strategy.  This is
+  the substitution for the hardware cache counters the paper's argument
+  rests on: the reference implementation records every partition visit,
+  the simulator replays the trace, and the strategy ordering of miss
+  counts should match the paper's performance ordering.
+* **A3 join-based** — the optFS join evaluation of Section 1 versus
+  index-based batching as the batch size grows toward the collection
+  size: join-based loses badly at realistic batch sizes and becomes
+  competitive only when |Q| approaches |S|.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.cache import simulate_cache
+from repro.analysis.trace import AccessRecorder
+from repro.core.join_based import join_based
+from repro.core.strategies import level_based, partition_based, query_based
+from repro.experiments.datasets import real_collection, real_index, synthetic_index
+from repro.experiments.registry import register
+from repro.experiments.runner import ExperimentResult, time_call
+from repro.hint.reference import ReferenceHint
+from repro.workloads.queries import uniform_queries
+from repro.workloads.realistic import REAL_DATASET_SPECS
+
+__all__ = [
+    "run_sorting",
+    "run_cache",
+    "run_join",
+    "run_parallel",
+    "run_optimizations",
+]
+
+
+@register("ablation-sorting")
+def run_sorting(
+    *,
+    datasets: Sequence[str] = ("BOOKS", "TAXIS"),
+    batch_size: int = 2_000,
+    extent_pct: float = 0.1,
+    repeats: int = 1,
+    seed: int = 1,
+) -> ExperimentResult:
+    """A1 — every strategy with sorting toggled."""
+    variants = (
+        ("query-based", query_based, False),
+        ("query-based", query_based, True),
+        ("level-based", level_based, False),
+        ("level-based", level_based, True),
+        ("partition-based", partition_based, False),
+        ("partition-based", partition_based, True),
+    )
+    rows: List[Dict] = []
+    for dataset in datasets:
+        index, _, domain = real_index(dataset)
+        batch = uniform_queries(batch_size, domain, extent_pct, seed=seed)
+        for name, fn, sort in variants:
+            seconds = time_call(
+                fn, index, batch, sort=sort, mode="checksum",
+                repeats=repeats, warmup=True,
+            )
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "strategy": name,
+                    "sorted": sort,
+                    "seconds": seconds,
+                }
+            )
+    return ExperimentResult(
+        experiment="ablation-sorting",
+        title="A1 — effect of sorting the batch by query start",
+        rows=rows,
+        notes=(
+            "partition-based always sorts internally (Algorithm 4's "
+            "relevant-query ranges require start order), so its two rows "
+            "should coincide up to noise."
+        ),
+    )
+
+
+@register("ablation-cache")
+def run_cache(
+    *,
+    dataset: str = "BOOKS",
+    cardinality: int = 20_000,
+    batch_size: int = 192,
+    extent_pct: float = 1.0,
+    cache_blocks: Sequence[int] = (8, 16, 32, 64, 128),
+    block_payload: int = 64,
+    seed: int = 1,
+) -> ExperimentResult:
+    """A2 — simulated LRU cache misses per strategy, over cache sizes.
+
+    Runs the pseudocode-faithful reference implementation (small input —
+    it is O(partitions) per level) under the access recorder, then
+    replays each strategy's trace against LRU caches of several
+    capacities.  Which strategies separate depends on the capacity:
+    tiny caches expose partition-based's advantage over level-based
+    (back-to-back revisits of one partition survive even a tiny cache),
+    larger caches expose the cost of query-based's per-query climbing.
+    """
+    if isinstance(cache_blocks, int):
+        cache_blocks = (cache_blocks,)
+    spec = REAL_DATASET_SPECS[dataset]
+    coll = real_collection(dataset, cardinality, seed).normalized(spec.paper_m)
+    domain = 1 << spec.paper_m
+    ref = ReferenceHint(coll, m=spec.paper_m)
+    from repro.hint.index import HintIndex
+
+    index = HintIndex(coll, m=spec.paper_m)
+    batch = uniform_queries(batch_size, domain, extent_pct, seed=seed)
+    runs = (
+        ("query-based", "batch_query_based", {"sort": False}),
+        ("query-based-sorted", "batch_query_based", {"sort": True}),
+        ("level-based", "batch_level_based", {}),
+        ("partition-based", "batch_partition_based", {}),
+    )
+    rows: List[Dict] = []
+    for name, method, kwargs in runs:
+        recorder = AccessRecorder()
+        getattr(ref, method)(batch, recorder=recorder, **kwargs)
+        sequence = recorder.partition_sequence()
+        row: Dict = {"strategy": name, "accesses": len(sequence)}
+        for capacity in cache_blocks:
+            stats = simulate_cache(
+                sequence,
+                capacity,
+                index=index,
+                block_payload=block_payload,
+            )
+            row[f"misses@{capacity}"] = stats.misses
+        rows.append(row)
+    return ExperimentResult(
+        experiment="ablation-cache",
+        title="A2 — simulated LRU cache misses per strategy "
+        f"(blocks of {block_payload} intervals; cache capacity varied)",
+        rows=rows,
+        notes=(
+            "Expected ordering at every capacity (the paper's mechanism): "
+            "partition-based <= level-based <= query-based-sorted <= "
+            "query-based."
+        ),
+    )
+
+
+@register("ablation-join")
+def run_join(
+    *,
+    batch_sizes: Sequence[int] = (100, 1_000, 5_000, 20_000, 50_000),
+    extent_pct: float = 0.05,
+    repeats: int = 1,
+    seed: int = 1,
+) -> ExperimentResult:
+    """A3 — join-based (optFS) vs partition-based as the batch grows."""
+    index, coll, domain = synthetic_index()
+    rows: List[Dict] = []
+    for size in batch_sizes:
+        batch = uniform_queries(size, domain, extent_pct, seed=seed)
+        # Full result materialization on both sides: the join must do its
+        # per-pair work (count-only joins admit a closed-form endpoint-
+        # counting shortcut that sidesteps the trade-off the paper
+        # discusses; see EXPERIMENTS.md).
+        t_join = time_call(join_based, coll, batch, mode="ids", repeats=repeats)
+        t_pb = time_call(
+            partition_based, index, batch, mode="ids", repeats=repeats
+        )
+        rows.append(
+            {
+                "batch_size": size,
+                "batch_to_data_ratio": round(size / len(coll), 3),
+                "join_based_s": t_join,
+                "partition_based_s": t_pb,
+                "join_over_pb": round(t_join / t_pb, 2) if t_pb else float("nan"),
+            }
+        )
+    return ExperimentResult(
+        experiment="ablation-join",
+        title="A3 — join-based (optFS) vs partition-based HINT "
+        "(full result materialization)",
+        rows=rows,
+        notes=(
+            "Section 1's claim: join-based loses while |Q| << |S| and "
+            "only approaches index batching as the batch nears the "
+            "collection size."
+        ),
+    )
+
+
+@register("ablation-parallel")
+def run_parallel(
+    *,
+    dataset: str = "TAXIS",
+    batch_size: int = 4_000,
+    extent_pct: float = 0.1,
+    workers: Sequence[int] = (1, 2, 4, 8),
+    repeats: int = 3,
+    seed: int = 1,
+) -> ExperimentResult:
+    """A4 — thread-parallel batch processing (the paper's future work).
+
+    Each strategy is parallelized by splitting the sorted batch into
+    contiguous chunks over a thread pool; numpy kernels release the GIL,
+    so the per-query-dominated strategies overlap for real.
+    """
+    from repro.core.parallel import parallel_batch
+
+    index, _, domain = real_index(dataset)
+    batch = uniform_queries(batch_size, domain, extent_pct, seed=seed)
+    rows: List[Dict] = []
+    for strategy in ("query-based", "level-based", "partition-based"):
+        for w in workers:
+            seconds = time_call(
+                parallel_batch,
+                index,
+                batch,
+                strategy=strategy,
+                workers=w,
+                repeats=repeats,
+            )
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "workers": w,
+                    "seconds": seconds,
+                }
+            )
+    return ExperimentResult(
+        experiment="ablation-parallel",
+        title=f"A4 — thread-parallel batches on {dataset} "
+        f"(batch {batch_size}, extent {extent_pct}%)",
+        rows=rows,
+        notes=(
+            "Measured finding (CPython): no strategy scales with threads "
+            "on this workload — the per-partition numpy probes are too "
+            "small to amortize the GIL, and the vectorized "
+            "partition-based path is already a single numpy pipeline.  "
+            "The paper's future-work item genuinely needs either "
+            "free-threaded Python / native code (their C++ setting) or "
+            "process-level sharding; the chunking machinery here is the "
+            "correct shape for both."
+        ),
+    )
+
+
+@register("ablation-optimizations")
+def run_optimizations(
+    *,
+    dataset: str = "TAXIS",
+    cardinality: int = 150_000,
+    batch_size: int = 1_000,
+    extent_pct: float = 0.1,
+    repeats: int = 3,
+    seed: int = 1,
+) -> ExperimentResult:
+    """A5 — value of the Section 2 optimizations (subs / sort / bottom-up).
+
+    Times a serial (query-based) batch on every combination of the
+    subdivisions and sorting optimizations, plus the production index
+    under top-down traversal, isolating what each optimization buys.
+    The paper's strategies build on subs+sort with bottom-up — the
+    fastest configuration here.
+    """
+    from repro.hint.index import HintIndex
+    from repro.hint.variants import HintVariant
+
+    spec = REAL_DATASET_SPECS[dataset]
+    coll = real_collection(dataset, cardinality, seed).normalized(spec.paper_m)
+    batch = uniform_queries(
+        batch_size, 1 << spec.paper_m, extent_pct, seed=seed
+    )
+    rows: List[Dict] = []
+    for subs in (True, False):
+        for sort in (True, False):
+            variant = HintVariant(
+                coll, spec.paper_m, subdivisions=subs, sorted_partitions=sort
+            )
+            seconds = time_call(
+                variant.batch_query_based, batch,
+                repeats=repeats, warmup=True,
+            )
+            rows.append(
+                {
+                    "configuration": f"subs={subs} sort={sort}",
+                    "traversal": "bottom-up",
+                    "seconds": seconds,
+                }
+            )
+    index = HintIndex(coll, m=spec.paper_m)
+
+    def serial_batch(top_down: bool):
+        for q_st, q_end in batch:
+            index.query_count(q_st, q_end, top_down=top_down)
+
+    for top_down in (False, True):
+        rows.append(
+            {
+                "configuration": "production (subs+sort)",
+                "traversal": "top-down" if top_down else "bottom-up",
+                "seconds": time_call(
+                    serial_batch, top_down, repeats=repeats, warmup=True
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment="ablation-optimizations",
+        title=f"A5 — HINT optimization variants on {dataset} "
+        f"(serial batch of {batch_size}, extent {extent_pct}%)",
+        rows=rows,
+        notes=(
+            "C++ expectation: subs+sort fastest, top-down slowest.  "
+            "Python finding: the plain P_O/P_R variants can win because "
+            "two tables per level mean half the per-partition numpy "
+            "calls, outweighing the comparisons the subdivisions elide — "
+            "the optimization trade-off is substrate-dependent.  The "
+            "bottom-up flags still beat top-down on comparison volume "
+            "(visible in the first==last partitions of upper levels)."
+        ),
+    )
+
+
+@register("ablation-m")
+def run_m_sweep(
+    *,
+    dataset: str = "TAXIS",
+    cardinality: int = 300_000,
+    batch_size: int = 2_000,
+    extent_pct: float = 0.1,
+    m_values: Sequence[int] = (10, 12, 14, 17, 20),
+    repeats: int = 3,
+    seed: int = 1,
+) -> ExperimentResult:
+    """A6 — the index parameter m: measured times vs the cost model.
+
+    The paper sets m per dataset with the HINT cost model;
+    ``repro.hint.cost`` reconstructs such a model for this columnar
+    build.  This ablation measures query-based and partition-based
+    batches across m and reports the model's cost estimate alongside,
+    so the model's preference can be checked against reality.
+    """
+    from repro.hint.cost import estimate_query_cost
+    from repro.hint.index import HintIndex
+
+    coll = real_collection(dataset, cardinality, seed)
+    domain_length = coll.stats().domain_length
+    extent = max(1, round(domain_length * extent_pct / 100.0))
+    rows: List[Dict] = []
+    for m in m_values:
+        normalized = coll.normalized(m)
+        index = HintIndex(normalized, m=m)
+        batch = uniform_queries(batch_size, 1 << m, extent_pct, seed=seed)
+        t_qb = time_call(
+            query_based, index, batch, mode="checksum",
+            repeats=repeats, warmup=True,
+        )
+        t_pb = time_call(
+            partition_based, index, batch, mode="checksum",
+            repeats=repeats, warmup=True,
+        )
+        model = estimate_query_cost(coll, m, extent, sample_size=50_000)
+        rows.append(
+            {
+                "m": m,
+                "replication": round(index.replication_factor(), 2),
+                "query_based_s": t_qb,
+                "partition_based_s": t_pb,
+                "model_cost": round(model.total, 1),
+            }
+        )
+    return ExperimentResult(
+        experiment="ablation-m",
+        title=f"A6 — index parameter m on {dataset} "
+        f"(batch {batch_size}, extent {extent_pct}%)",
+        rows=rows,
+        notes=(
+            "The paper used m=17 for TAXIS/GREEND (optimal for C++ row "
+            "scans); in this columnar build the O(1) middle slices favor "
+            "shallower hierarchies, and the cost model's minimum should "
+            "track the measured minimum."
+        ),
+    )

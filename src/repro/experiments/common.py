@@ -1,0 +1,50 @@
+"""Helpers shared by the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.strategies import STRATEGIES, run_strategy
+from repro.experiments.runner import time_call
+
+__all__ = ["STRATEGY_ORDER", "time_hint_strategies"]
+
+#: Presentation order used by every table/figure, matching the paper's
+#: legend: the baseline first, the winner last.
+STRATEGY_ORDER = (
+    "query-based",
+    "query-based-sorted",
+    "level-based",
+    "partition-based",
+)
+
+
+def time_hint_strategies(
+    index,
+    batch,
+    *,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    repeats: int = 1,
+    mode: str = "checksum",
+) -> Dict[str, float]:
+    """Total batch time (seconds) per strategy name.
+
+    The default result mode is ``"checksum"`` — every result id is
+    consumed via an XOR, exactly how the HINT C++ evaluations report
+    results, so measurements stay sensitive to result volume without
+    materialization costs dominating.
+    """
+    out: Dict[str, float] = {}
+    for name in strategies:
+        if name not in STRATEGIES:
+            raise ValueError(f"unknown strategy {name!r}")
+        out[name] = time_call(
+            run_strategy,
+            name,
+            index,
+            batch,
+            mode=mode,
+            repeats=repeats,
+            warmup=True,
+        )
+    return out

@@ -1,0 +1,108 @@
+"""Figure 4 — strategy comparison on synthetic datasets.
+
+Six sweeps, one per plot of the paper's Figure 4: domain size, dataset
+cardinality, interval-length skew (alpha), interval-position spread
+(sigma), query extent, and batch size.  All other parameters stay at
+the Table 3 defaults; queries follow the data distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import STRATEGY_ORDER, time_hint_strategies
+from repro.experiments.datasets import synthetic_index
+from repro.experiments.registry import register
+from repro.experiments.runner import ExperimentResult
+from repro.workloads.queries import EXTENT_PCT_GRID, data_following_queries
+from repro.workloads.synthetic import (
+    ALPHA_GRID,
+    CARDINALITY_GRID,
+    DOMAIN_GRID,
+    SIGMA_GRID,
+)
+
+__all__ = ["run", "run_sweep", "SWEEPS"]
+
+#: Paper default batch size for synthetic experiments is 1K.
+DEFAULT_BATCH = 1_000
+DEFAULT_EXTENT = 0.1
+
+#: Batch-size sweep (paper: 1K..100K; scaled to keep runtimes sane).
+BATCH_GRID = (500, 1_000, 2_000, 5_000, 10_000)
+
+#: sweep name -> (parameter name, value grid)
+SWEEPS = {
+    "domain": ("domain", DOMAIN_GRID),
+    "cardinality": ("cardinality", CARDINALITY_GRID),
+    "alpha": ("alpha", ALPHA_GRID),
+    "sigma": ("sigma", SIGMA_GRID),
+    "extent": ("extent_pct", EXTENT_PCT_GRID),
+    "batch": ("batch_size", BATCH_GRID),
+}
+
+
+def _build(param: str, value) -> tuple:
+    """Index/collection/domain for one sweep point."""
+    kwargs: Dict = {}
+    if param in ("domain", "cardinality", "alpha", "sigma"):
+        kwargs[param] = value
+    return synthetic_index(**kwargs)
+
+
+def run_sweep(
+    sweep: str,
+    *,
+    repeats: int = 1,
+    seed: int = 1,
+    batch_size: int = DEFAULT_BATCH,
+) -> List[Dict]:
+    """One Figure 4 plot: vary a single parameter, defaults elsewhere."""
+    if sweep not in SWEEPS:
+        raise ValueError(f"unknown sweep {sweep!r}; available: {sorted(SWEEPS)}")
+    param, grid = SWEEPS[sweep]
+    rows: List[Dict] = []
+    for value in grid:
+        extent = value if param == "extent_pct" else DEFAULT_EXTENT
+        size = value if param == "batch_size" else batch_size
+        index, coll, domain = _build(param, value)
+        batch = data_following_queries(
+            size, coll, extent, domain=domain, seed=seed
+        )
+        times = time_hint_strategies(index, batch, repeats=repeats)
+        for strategy in STRATEGY_ORDER:
+            rows.append(
+                {
+                    "sweep": sweep,
+                    "param": param,
+                    "value": value,
+                    "strategy": strategy,
+                    "seconds": times[strategy],
+                }
+            )
+    return rows
+
+
+@register("figure4")
+def run(
+    *,
+    sweeps: Optional[Sequence[str]] = None,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """All six Figure 4 sweeps (or a subset via ``sweeps``)."""
+    selected = tuple(sweeps) if sweeps else tuple(SWEEPS)
+    rows: List[Dict] = []
+    for sweep in selected:
+        rows += run_sweep(sweep, repeats=repeats)
+    return ExperimentResult(
+        experiment="figure4",
+        title="Strategy comparison on synthetic datasets "
+        "(total batch seconds; lower is better)",
+        rows=rows,
+        notes=(
+            "Paper shapes to check: times grow with domain, cardinality, "
+            "extent and batch size; shrink as alpha grows (shorter "
+            "intervals) and as sigma grows (more spread, fewer results); "
+            "partition-based stays fastest throughout."
+        ),
+    )

@@ -1,0 +1,32 @@
+"""Registry mapping experiment ids to runner callables."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+__all__ = ["EXPERIMENTS", "register", "get_experiment"]
+
+EXPERIMENTS: Dict[str, Callable] = {}
+
+
+def register(experiment_id: str):
+    """Decorator registering an experiment runner under *experiment_id*."""
+
+    def wrap(fn: Callable) -> Callable:
+        if experiment_id in EXPERIMENTS:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        EXPERIMENTS[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    """Look up a registered experiment runner."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        ) from None

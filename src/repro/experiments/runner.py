@@ -1,0 +1,98 @@
+"""Shared experiment infrastructure: timing, result rows, rendering."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "time_call", "format_rows"]
+
+
+def time_call(
+    fn: Callable, *args, repeats: int = 1, warmup: bool = False, **kwargs
+) -> float:
+    """Best-of-*repeats* wall-clock seconds of ``fn(*args, **kwargs)``.
+
+    Best-of is the standard steady-state estimator for in-memory index
+    measurements: it suppresses scheduler noise without averaging in
+    cold-cache outliers.  *warmup* runs the call once untimed first,
+    which matters when comparing strategies back to back (the first
+    strategy measured otherwise pays page-in costs the rest do not).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    if warmup:
+        fn(*args, **kwargs)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def format_rows(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    table = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in table
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+@dataclass
+class ExperimentResult:
+    """Measured rows of one experiment plus presentation metadata."""
+
+    experiment: str
+    title: str
+    rows: List[Dict] = field(default_factory=list)
+    columns: Optional[List[str]] = None
+    notes: str = ""
+
+    def format(self) -> str:
+        """Human-readable rendering (header, table, notes)."""
+        parts = [f"[{self.experiment}] {self.title}"]
+        parts.append(format_rows(self.rows, self.columns))
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """CSV rendering of the rows."""
+        if not self.rows:
+            return ""
+        columns = self.columns or list(self.rows[0].keys())
+        lines = [",".join(columns)]
+        for row in self.rows:
+            lines.append(",".join(str(row.get(c, "")) for c in columns))
+        return "\n".join(lines)
+
+    def series(self, key: str, value: str) -> Dict[str, List]:
+        """Pivot rows into per-*key* value lists (figure-style series)."""
+        out: Dict[str, List] = {}
+        for row in self.rows:
+            out.setdefault(str(row[key]), []).append(row[value])
+        return out

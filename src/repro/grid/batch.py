@@ -1,0 +1,122 @@
+"""Batch strategies on the 1D-grid (Table 5 of the paper).
+
+``grid_query_based`` executes queries serially; ``grid_partition_based``
+applies the paper's partition-based idea to the grid's single level:
+queries are sorted by start, every partition is depleted for all its
+relevant queries before moving on, and queries anchored at the same
+partition share vectorized probes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.collector import make_collector
+from repro.core.result import BatchResult
+from repro.grid.index import GridIndex
+from repro.intervals.batch import QueryBatch
+
+__all__ = ["grid_query_based", "grid_partition_based"]
+
+
+def grid_query_based(
+    grid: GridIndex,
+    batch: QueryBatch,
+    *,
+    sort: bool = False,
+    mode: str = "count",
+) -> BatchResult:
+    """Execute each query of the batch independently on the grid."""
+    work = batch.sorted_by_start() if sort else batch
+    collector = make_collector(mode, len(work))
+    for pos, (q_st, q_end) in enumerate(work):
+        if mode == "count":
+            collector.add_count(pos, grid.query_count(q_st, q_end))
+        else:
+            collector.add_ids(pos, grid.query(q_st, q_end))
+    return collector.finalize(work.order)
+
+
+def grid_partition_based(
+    grid: GridIndex,
+    batch: QueryBatch,
+    *,
+    mode: str = "count",
+) -> BatchResult:
+    """Partition-at-a-time batch evaluation on the grid (with sorting)."""
+    work = batch.sorted_by_start()
+    n = len(work)
+    collector = make_collector(mode, n)
+    if n == 0:
+        return collector.finalize(work.order)
+    q_st = work.st
+    q_end = work.end
+    pf = grid.partition_of(q_st)
+    pl = grid.partition_of(q_end)
+    positions = np.arange(n, dtype=np.int64)
+
+    # --- first partitions, grouped (pf is non-decreasing) --------------
+    parts, starts = np.unique(pf, return_index=True)
+    bounds = np.append(starts, n)
+    for gi in range(parts.size):
+        p = int(parts[gi])
+        idx = positions[int(bounds[gi]) : int(bounds[gi + 1])]
+        # originals: shared prefix probe, per-query end-mask
+        lo, hi = int(grid.o_offsets[p]), int(grid.o_offsets[p + 1])
+        if hi > lo:
+            st_slice = grid.o_st[lo:hi]
+            end_slice = grid.o_end[lo:hi]
+            ks = np.searchsorted(st_slice, q_end[idx], side="right")
+            for j, k in zip(idx, ks):
+                if k:
+                    mask = end_slice[: int(k)] >= q_st[j]
+                    if collector.mode == "count":
+                        collector.add_count(int(j), int(np.count_nonzero(mask)))
+                    else:
+                        collector.add_ids(int(j), grid.o_ids[lo : lo + int(k)][mask])
+        # replicas: shared suffix probe
+        lo, hi = int(grid.r_offsets[p]), int(grid.r_offsets[p + 1])
+        if hi > lo:
+            ks = np.searchsorted(grid.r_end[lo:hi], q_st[idx], side="left")
+            if collector.mode == "count":
+                collector.add_counts_vec(idx, (hi - lo) - ks)
+            else:
+                for j, k in zip(idx, ks):
+                    if hi > lo + int(k):
+                        collector.add_ids(int(j), grid.r_ids[lo + int(k) : hi])
+
+    # --- in-between partitions: vectorized contiguous ranges ------------
+    sel = pl > pf + 1
+    if sel.any():
+        lows = grid.o_offsets[pf[sel] + 1]
+        highs = grid.o_offsets[pl[sel]]
+        if collector.mode == "count":
+            collector.add_counts_vec(positions[sel], highs - lows)
+        else:
+            for j, lo, hi in zip(positions[sel], lows, highs):
+                if hi > lo:
+                    collector.add_ids(int(j), grid.o_ids[int(lo) : int(hi)])
+
+    # --- last partitions, grouped by pl ---------------------------------
+    sel = np.flatnonzero(pl > pf)
+    if sel.size:
+        order = sel[np.argsort(pl[sel], kind="stable")]
+        l_sorted = pl[order]
+        group_starts = np.flatnonzero(np.r_[True, l_sorted[1:] != l_sorted[:-1]])
+        group_bounds = np.append(group_starts, order.size)
+        for gi in range(group_starts.size):
+            g0, g1 = int(group_bounds[gi]), int(group_bounds[gi + 1])
+            idx = order[g0:g1]
+            p = int(l_sorted[g0])
+            lo, hi = int(grid.o_offsets[p]), int(grid.o_offsets[p + 1])
+            if hi <= lo:
+                continue
+            ks = np.searchsorted(grid.o_st[lo:hi], q_end[idx], side="right")
+            if collector.mode == "count":
+                collector.add_counts_vec(idx, ks)
+            else:
+                for j, k in zip(idx, ks):
+                    if k:
+                        collector.add_ids(int(j), grid.o_ids[lo : lo + int(k)])
+
+    return collector.finalize(work.order)

@@ -1,0 +1,216 @@
+"""Columnar 1D-grid index.
+
+Storage is one flat level in the style of
+:class:`repro.hint.tables.SubdivisionTable`: per partition, originals
+(``start inside``, sorted by start) and replicas (``start before``,
+sorted by end), flattened into partition-ordered arrays with offsets.
+The single-query algorithm follows the standard grid evaluation used in
+the HINT papers:
+
+* first overlapping partition — originals and replicas, with full
+  comparisons;
+* in-between partitions — all originals, no comparisons (one contiguous
+  slice thanks to the flattened layout);
+* last partition — originals with ``s.st <= q.end``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.intervals.collection import IntervalCollection
+
+__all__ = ["GridIndex"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class GridIndex:
+    """1D-grid over ``[domain_lo, domain_hi]`` with ``k`` partitions.
+
+    Parameters
+    ----------
+    collection:
+        Input intervals.
+    num_partitions:
+        Grid resolution ``k``; default ``~sqrt(n)`` (a standard
+        rule-of-thumb balancing partition length against replication).
+    domain:
+        ``(lo, hi)`` to index over; default: the collection's extent.
+    """
+
+    def __init__(
+        self,
+        collection: IntervalCollection,
+        num_partitions: Optional[int] = None,
+        *,
+        domain: Optional[Tuple[int, int]] = None,
+    ):
+        n = len(collection)
+        if num_partitions is None:
+            num_partitions = max(1, int(math.isqrt(max(n, 1))))
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be positive")
+        if domain is None:
+            stats = collection.stats()
+            domain = (stats.domain_start, stats.domain_end) if n else (0, 0)
+        self.domain_lo, self.domain_hi = int(domain[0]), int(domain[1])
+        if n and (
+            int(collection.st.min()) < self.domain_lo
+            or int(collection.end.max()) > self.domain_hi
+        ):
+            raise ValueError("collection endpoints fall outside the domain")
+        self.k = int(num_partitions)
+        self.width = max(1, math.ceil((self.domain_hi - self.domain_lo + 1) / self.k))
+        self.num_intervals = n
+        self._build(collection)
+
+    # ------------------------------------------------------------------ #
+
+    def partition_of(self, value) -> np.ndarray:
+        """Partition index containing *value* (vectorized, clamped)."""
+        p = (np.asarray(value) - self.domain_lo) // self.width
+        return np.clip(p, 0, self.k - 1)
+
+    def _build(self, coll: IntervalCollection) -> None:
+        k = self.k
+        if len(coll) == 0:
+            self.o_offsets = np.zeros(k + 1, dtype=np.int64)
+            self.o_ids = self.o_st = self.o_end = _EMPTY
+            self.r_offsets = np.zeros(k + 1, dtype=np.int64)
+            self.r_ids = self.r_st = self.r_end = _EMPTY
+            return
+        first = self.partition_of(coll.st)
+        last = self.partition_of(coll.end)
+
+        # Expand placements; replica placements are every partition after
+        # the first.
+        span = last - first + 1
+        rows_chunks: List[np.ndarray] = []
+        part_chunks: List[np.ndarray] = []
+        for j in range(int(span.max())):
+            sel = span > j
+            rows_chunks.append(np.flatnonzero(sel))
+            part_chunks.append(first[sel] + j)
+        rows = np.concatenate(rows_chunks)
+        parts = np.concatenate(part_chunks)
+        original = self.partition_of(coll.st[rows]) == parts
+
+        def flatten(sel_rows, sel_parts, sort_key):
+            order = np.lexsort((sort_key, sel_parts))
+            sel_rows = sel_rows[order]
+            sel_parts = sel_parts[order]
+            offsets = np.zeros(k + 1, dtype=np.int64)
+            np.cumsum(np.bincount(sel_parts, minlength=k), out=offsets[1:])
+            return (
+                offsets,
+                np.ascontiguousarray(coll.ids[sel_rows]),
+                np.ascontiguousarray(coll.st[sel_rows]),
+                np.ascontiguousarray(coll.end[sel_rows]),
+            )
+
+        o_rows, o_parts = rows[original], parts[original]
+        r_rows, r_parts = rows[~original], parts[~original]
+        self.o_offsets, self.o_ids, self.o_st, self.o_end = flatten(
+            o_rows, o_parts, coll.st[o_rows]
+        )
+        self.r_offsets, self.r_ids, self.r_st, self.r_end = flatten(
+            r_rows, r_parts, coll.end[r_rows]
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self.num_intervals
+
+    def __repr__(self) -> str:
+        return (
+            f"GridIndex(k={self.k}, n={self.num_intervals}, "
+            f"placements={self.num_placements()})"
+        )
+
+    def num_placements(self) -> int:
+        """Total placements including replication."""
+        return int(self.o_ids.size + self.r_ids.size)
+
+    def replication_factor(self) -> float:
+        """Average number of partitions an interval is stored in."""
+        if self.num_intervals == 0:
+            return 0.0
+        return self.num_placements() / self.num_intervals
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the grid tables."""
+        arrays = (
+            self.o_offsets, self.o_ids, self.o_st, self.o_end,
+            self.r_offsets, self.r_ids, self.r_st, self.r_end,
+        )
+        return sum(a.nbytes for a in arrays)
+
+    # ------------------------------------------------------------------ #
+
+    def query(self, q_st: int, q_end: int) -> np.ndarray:
+        """Ids of all intervals G-overlapping ``[q_st, q_end]``."""
+        pieces: List[np.ndarray] = []
+        self._run_single(q_st, q_end, pieces.append, None)
+        if not pieces:
+            return _EMPTY
+        return np.concatenate(pieces)
+
+    def query_count(self, q_st: int, q_end: int) -> int:
+        """Number of intervals G-overlapping ``[q_st, q_end]``."""
+        total = 0
+
+        def on_count(v: int) -> None:
+            nonlocal total
+            total += v
+
+        self._run_single(q_st, q_end, None, on_count)
+        return total
+
+    def _run_single(self, q_st, q_end, emit_ids, emit_count) -> None:
+        if q_st > q_end:
+            raise ValueError("query must have st <= end")
+        pf = int(self.partition_of(q_st))
+        pl = int(self.partition_of(q_end))
+        count_only = emit_ids is None
+
+        # --- first partition: originals (both tests) + replicas --------
+        lo, hi = int(self.o_offsets[pf]), int(self.o_offsets[pf + 1])
+        if hi > lo:
+            k = int(np.searchsorted(self.o_st[lo:hi], q_end, side="right"))
+            if k:
+                mask = self.o_end[lo : lo + k] >= q_st
+                if count_only:
+                    emit_count(int(np.count_nonzero(mask)))
+                else:
+                    emit_ids(self.o_ids[lo : lo + k][mask])
+        lo, hi = int(self.r_offsets[pf]), int(self.r_offsets[pf + 1])
+        if hi > lo:
+            k = int(np.searchsorted(self.r_end[lo:hi], q_st, side="left"))
+            if count_only:
+                emit_count(hi - (lo + k))
+            elif hi > lo + k:
+                emit_ids(self.r_ids[lo + k : hi])
+
+        if pl > pf:
+            # --- in-between partitions: all originals, one slice -------
+            if pl > pf + 1:
+                lo, hi = int(self.o_offsets[pf + 1]), int(self.o_offsets[pl])
+                if hi > lo:
+                    if count_only:
+                        emit_count(hi - lo)
+                    else:
+                        emit_ids(self.o_ids[lo:hi])
+            # --- last partition: originals with s.st <= q.end ----------
+            lo, hi = int(self.o_offsets[pl]), int(self.o_offsets[pl + 1])
+            if hi > lo:
+                k = int(np.searchsorted(self.o_st[lo:hi], q_end, side="right"))
+                if k:
+                    if count_only:
+                        emit_count(k)
+                    else:
+                        emit_ids(self.o_ids[lo : lo + k])

@@ -1,0 +1,63 @@
+"""HINT — the Hierarchical index for INTervals (SIGMOD'22 / VLDB J. 2023).
+
+The index is the substrate of the paper's batch-processing contribution.
+Two complete implementations live here:
+
+* :class:`~repro.hint.index.HintIndex` — the production, columnar
+  (numpy struct-of-arrays) build.  Every level stores each of the four
+  subdivision classes (``O_in``, ``O_aft``, ``R_in``, ``R_aft``) as one
+  flattened, partition-ordered table plus an offsets array; this *is* the
+  paper's skewness & sparsity optimization, and per-partition operations
+  reduce to ``searchsorted`` calls and vectorized masks.
+* :class:`~repro.hint.reference.ReferenceHint` — a deliberately simple
+  pure-Python build that follows the paper's pseudocode line by line.  It
+  is the executable specification used by the test-suite, and the only
+  implementation wired to the access-pattern recorder that regenerates
+  Table 1 and feeds the cache simulator.
+"""
+
+from repro.hint.bits import (
+    level_prefix,
+    partition_range,
+    partition_extent,
+    num_partitions,
+    validate_domain,
+)
+from repro.hint.assignment import assign_interval, assign_collection, Assignment
+from repro.hint.index import HintIndex
+from repro.hint.model import choose_m
+from repro.hint.reference import ReferenceHint
+from repro.hint.allen import AllenSelection, ALLEN_RELATIONS
+from repro.hint.dynamic import DynamicHint
+from repro.hint.variants import HintVariant
+from repro.hint.persist import save_index, load_index
+from repro.hint.cost import (
+    CostEstimate,
+    choose_m_model,
+    cost_profile,
+    estimate_query_cost,
+)
+
+__all__ = [
+    "save_index",
+    "load_index",
+    "CostEstimate",
+    "choose_m_model",
+    "cost_profile",
+    "estimate_query_cost",
+    "HintIndex",
+    "ReferenceHint",
+    "HintVariant",
+    "AllenSelection",
+    "ALLEN_RELATIONS",
+    "DynamicHint",
+    "assign_interval",
+    "assign_collection",
+    "Assignment",
+    "level_prefix",
+    "partition_range",
+    "partition_extent",
+    "num_partitions",
+    "validate_domain",
+    "choose_m",
+]

@@ -1,0 +1,179 @@
+"""Interval-to-partition assignment.
+
+Every interval is stored in the *smallest* set of partitions, across all
+levels, that exactly tiles it — at most two partitions per level.  The
+classic assignment walks the endpoints bottom-up: whenever the left
+cursor ``a`` is a right child (odd) the partition ``P_{l,a}`` is taken;
+whenever the right cursor ``b`` is a left child (even) the partition
+``P_{l,b}`` is taken; both cursors then move to the parent level.
+
+Within a partition ``P`` an interval is
+
+* an **original** when it starts inside ``P`` (class ``O``), and a
+  **replica** otherwise (class ``R``);
+* in the ``in`` subdivision when it ends inside ``P``, in the ``aft``
+  subdivision when it ends after ``P``.
+
+Two implementations are provided: :func:`assign_interval` (scalar,
+pseudocode-faithful, used by the reference index and the tests) and
+:func:`assign_collection` (vectorized over the whole collection, used by
+the production index builder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.hint.bits import level_prefix, validate_domain
+
+__all__ = [
+    "Assignment",
+    "CLASS_O_IN",
+    "CLASS_O_AFT",
+    "CLASS_R_IN",
+    "CLASS_R_AFT",
+    "CLASS_NAMES",
+    "assign_interval",
+    "assign_collection",
+]
+
+# Subdivision class codes, fixed across the whole code base.
+CLASS_O_IN = 0
+CLASS_O_AFT = 1
+CLASS_R_IN = 2
+CLASS_R_AFT = 3
+CLASS_NAMES = ("O_in", "O_aft", "R_in", "R_aft")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One placement of an interval: level, partition, subdivision class."""
+
+    level: int
+    partition: int
+    cls: int
+
+    @property
+    def is_original(self) -> bool:
+        return self.cls in (CLASS_O_IN, CLASS_O_AFT)
+
+    @property
+    def ends_inside(self) -> bool:
+        return self.cls in (CLASS_O_IN, CLASS_R_IN)
+
+    @property
+    def class_name(self) -> str:
+        return CLASS_NAMES[self.cls]
+
+
+def _classify(m: int, level: int, partition: int, st: int, end: int) -> int:
+    """Subdivision class of interval ``[st, end]`` inside ``P_{level,partition}``."""
+    original = level_prefix(m, level, st) == partition
+    inside = level_prefix(m, level, end) == partition
+    if original:
+        return CLASS_O_IN if inside else CLASS_O_AFT
+    return CLASS_R_IN if inside else CLASS_R_AFT
+
+
+def assign_interval(m: int, st: int, end: int) -> List[Assignment]:
+    """Partitions storing interval ``[st, end]`` in HINT with parameter *m*.
+
+    Returns the placements in bottom-up level order.  The paper's
+    guarantees, asserted by the property-based tests, are:
+
+    * at most two partitions per level;
+    * the selected partitions exactly tile ``[st, end]``;
+    * exactly one placement is an original (``O``) — the partition that
+      contains ``st``.
+    """
+    if st > end:
+        raise ValueError("interval must have st <= end")
+    validate_domain(m, st, end)
+    out: List[Assignment] = []
+    a, b = st, end
+    level = m
+    while level >= 0 and a <= b:
+        if a & 1:  # right child: take it, move right
+            out.append(Assignment(level, a, _classify(m, level, a, st, end)))
+            a += 1
+        if not (b & 1):  # left child: take it, move left
+            out.append(Assignment(level, b, _classify(m, level, b, st, end)))
+            b -= 1
+        a >>= 1
+        b >>= 1
+        level -= 1
+    return out
+
+
+def assign_collection(
+    m: int, st: np.ndarray, end: np.ndarray
+) -> Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Vectorized assignment of a whole collection.
+
+    Parameters
+    ----------
+    m:
+        HINT parameter; domain is ``[0, 2**m - 1]``.
+    st, end:
+        int64 endpoint arrays (validated against the domain).
+
+    Returns
+    -------
+    dict
+        ``level -> (row_indices, partitions, classes)``, where the three
+        arrays are parallel and describe every placement at that level.
+        Levels with no placements are omitted.
+    """
+    validate_domain(m, st, end)
+    n = st.size
+    if n == 0:
+        return {}
+    a = st.astype(np.int64, copy=True)
+    b = end.astype(np.int64, copy=True)
+    rows = np.arange(n, dtype=np.int64)
+    done = np.zeros(n, dtype=bool)
+    per_level: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    for level in range(m, -1, -1):
+        shift = m - level
+        active = ~done
+        if not active.any():
+            break
+        chunks_rows: List[np.ndarray] = []
+        chunks_parts: List[np.ndarray] = []
+
+        take_a = active & ((a & 1) == 1)
+        if take_a.any():
+            chunks_rows.append(rows[take_a])
+            chunks_parts.append(a[take_a])
+            a[take_a] += 1
+
+        take_b = active & ((b & 1) == 0)
+        if take_b.any():
+            chunks_rows.append(rows[take_b])
+            chunks_parts.append(b[take_b])
+            b[take_b] -= 1
+
+        done |= a > b
+        a >>= 1
+        b >>= 1
+
+        if not chunks_rows:
+            continue
+        lvl_rows = np.concatenate(chunks_rows)
+        lvl_parts = np.concatenate(chunks_parts)
+        # Subdivision class from the endpoint prefixes at this level.
+        st_pref = st[lvl_rows] >> shift
+        end_pref = end[lvl_rows] >> shift
+        original = st_pref == lvl_parts
+        inside = end_pref == lvl_parts
+        classes = np.where(
+            original,
+            np.where(inside, CLASS_O_IN, CLASS_O_AFT),
+            np.where(inside, CLASS_R_IN, CLASS_R_AFT),
+        ).astype(np.int8)
+        per_level[level] = (lvl_rows, lvl_parts, classes)
+    return per_level

@@ -1,0 +1,101 @@
+"""Bit arithmetic of the HINT hierarchy.
+
+HINT with parameter ``m`` has ``m + 1`` levels over the discrete domain
+``[0, 2**m - 1]``.  Level ``l`` (``0 <= l <= m``) divides the domain into
+``2**l`` uniform partitions; partition ``P_{l,i}`` covers the values
+whose ``l``-bit prefix equals ``i``.  Everything the index and the batch
+strategies need — first/last relevant partition of a query, partition
+extents — is plain shifting on the binary representation of the
+endpoints, which is why these helpers are shared by every module in the
+repository.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "level_prefix",
+    "level_shift",
+    "num_partitions",
+    "partition_extent",
+    "partition_range",
+    "relevant_partitions",
+    "validate_domain",
+]
+
+
+def level_shift(m: int, level: int) -> int:
+    """Number of low bits dropped to obtain a level-``level`` prefix."""
+    if not 0 <= level <= m:
+        raise ValueError(f"level must be in [0, {m}], got {level}")
+    return m - level
+
+
+def level_prefix(m: int, level: int, value):
+    """``prefix(level, value)`` of the paper: the level-``level`` partition
+    index containing *value*.
+
+    Works on scalars and numpy arrays alike.
+    """
+    shift = level_shift(m, level)
+    if isinstance(value, np.ndarray):
+        return value >> shift
+    return int(value) >> shift
+
+
+def num_partitions(level: int) -> int:
+    """Number of partitions at *level* (``2**level``)."""
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    return 1 << level
+
+
+def partition_extent(m: int, level: int) -> int:
+    """Number of domain values covered by one partition at *level*."""
+    return 1 << level_shift(m, level)
+
+
+def partition_range(m: int, level: int, index: int) -> Tuple[int, int]:
+    """Closed domain range ``[lo, hi]`` covered by ``P_{level, index}``."""
+    if not 0 <= index < num_partitions(level):
+        raise ValueError(
+            f"partition index {index} out of range for level {level}"
+        )
+    extent = partition_extent(m, level)
+    lo = index * extent
+    return lo, lo + extent - 1
+
+
+def relevant_partitions(m: int, level: int, q_st: int, q_end: int) -> Tuple[int, int]:
+    """First and last partition of level *level* overlapping ``[q_st, q_end]``.
+
+    These are the ``f`` and ``l`` of Algorithm 1 — the prefixes of the
+    query endpoints.
+    """
+    if q_st > q_end:
+        raise ValueError("query must have st <= end")
+    shift = level_shift(m, level)
+    return q_st >> shift, q_end >> shift
+
+
+def validate_domain(m: int, st, end) -> None:
+    """Check that all values of ``st``/``end`` lie inside ``[0, 2**m - 1]``.
+
+    Raises
+    ------
+    ValueError
+        If *m* is negative, or any endpoint falls outside the domain.
+    """
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    top = (1 << m) - 1
+    st = np.asarray(st)
+    end = np.asarray(end)
+    if st.size and (int(st.min()) < 0 or int(end.max()) > top):
+        raise ValueError(
+            f"endpoints must lie inside [0, {top}] for m={m}; "
+            f"got range [{int(st.min())}, {int(end.max())}]"
+        )

@@ -1,0 +1,170 @@
+"""A dynamic wrapper over the static HINT index.
+
+The paper's motivation is OLTP-style systems under query-heavy load;
+those systems also *ingest*.  HINT itself is bulk-built and static, so
+this wrapper follows the standard staging design for static main-memory
+indexes:
+
+* **inserts** land in a columnar staging buffer, scanned linearly at
+  query time (it stays small) and merged into a rebuilt index once it
+  exceeds ``rebuild_threshold`` — amortized O(n/k) rebuilds;
+* **deletes** go into a tombstone id set, filtered out of every result
+  and physically dropped at the next rebuild.
+
+Queries therefore always see the current state:
+``(index results ∪ buffer results) − tombstones``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hint.index import HintIndex
+from repro.intervals.collection import IntervalCollection
+from repro.intervals.relations import g_overlaps
+
+__all__ = ["DynamicHint"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class DynamicHint:
+    """Insert/delete support on top of :class:`~repro.hint.index.HintIndex`.
+
+    Parameters
+    ----------
+    collection:
+        Initial contents (may be empty).
+    m:
+        HINT parameter; fixed for the lifetime of the wrapper, so all
+        inserted intervals must fit ``[0, 2**m - 1]``.
+    rebuild_threshold:
+        Staging-buffer size that triggers a merge-and-rebuild.
+    """
+
+    def __init__(
+        self,
+        collection: Optional[IntervalCollection] = None,
+        m: int = 16,
+        *,
+        rebuild_threshold: int = 4096,
+    ):
+        if rebuild_threshold < 1:
+            raise ValueError("rebuild_threshold must be positive")
+        if collection is None:
+            collection = IntervalCollection.empty()
+        self.m = int(m)
+        self.rebuild_threshold = int(rebuild_threshold)
+        self._base = collection
+        self._index = HintIndex(collection, m=m)
+        self._buf_ids: List[int] = []
+        self._buf_st: List[int] = []
+        self._buf_end: List[int] = []
+        self._tombstones: set = set()
+        self._next_id = int(collection.ids.max()) + 1 if len(collection) else 0
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._base) + len(self._buf_ids) - len(self._tombstones)
+
+    @property
+    def buffered(self) -> int:
+        """Number of staged (not yet merged) inserts."""
+        return len(self._buf_ids)
+
+    def insert(self, st: int, end: int, id: Optional[int] = None) -> int:
+        """Insert ``[st, end]``; returns the assigned (or given) id.
+
+        Ids identify live objects: passing an id that is currently live
+        produces duplicate results, and re-using a *deleted* id is only
+        safe after :meth:`compact` has physically dropped it (tombstones
+        suppress an id everywhere, including fresh inserts).  Omit the
+        id to always get a fresh one.
+        """
+        if st > end:
+            raise ValueError("interval must have st <= end")
+        top = (1 << self.m) - 1
+        if st < 0 or end > top:
+            raise ValueError(f"interval must lie inside [0, {top}]")
+        if id is None:
+            id = self._next_id
+        self._next_id = max(self._next_id, int(id) + 1)
+        self._buf_ids.append(int(id))
+        self._buf_st.append(int(st))
+        self._buf_end.append(int(end))
+        if len(self._buf_ids) >= self.rebuild_threshold:
+            self._rebuild()
+        return int(id)
+
+    def delete(self, id: int) -> None:
+        """Mark object *id* deleted (dropped physically at next rebuild)."""
+        self._tombstones.add(int(id))
+
+    def _rebuild(self) -> None:
+        merged_ids = np.concatenate(
+            [self._base.ids, np.asarray(self._buf_ids, dtype=np.int64)]
+        )
+        merged_st = np.concatenate(
+            [self._base.st, np.asarray(self._buf_st, dtype=np.int64)]
+        )
+        merged_end = np.concatenate(
+            [self._base.end, np.asarray(self._buf_end, dtype=np.int64)]
+        )
+        if self._tombstones:
+            dead = np.fromiter(
+                self._tombstones, dtype=np.int64, count=len(self._tombstones)
+            )
+            keep = ~np.isin(merged_ids, dead)
+            merged_ids = merged_ids[keep]
+            merged_st = merged_st[keep]
+            merged_end = merged_end[keep]
+            self._tombstones.clear()
+        self._base = IntervalCollection(
+            merged_st, merged_end, merged_ids, copy=False
+        )
+        self._index = HintIndex(self._base, m=self.m)
+        self._buf_ids.clear()
+        self._buf_st.clear()
+        self._buf_end.clear()
+        self.rebuilds += 1
+
+    def compact(self) -> None:
+        """Force a merge-and-rebuild now."""
+        self._rebuild()
+
+    # ------------------------------------------------------------------ #
+
+    def query(self, q_st: int, q_end: int) -> np.ndarray:
+        """Ids G-overlapping ``[q_st, q_end]`` in the current state."""
+        parts = [self._index.query(q_st, q_end)]
+        if self._buf_ids:
+            st = np.asarray(self._buf_st, dtype=np.int64)
+            end = np.asarray(self._buf_end, dtype=np.int64)
+            mask = g_overlaps(st, end, q_st, q_end)
+            parts.append(np.asarray(self._buf_ids, dtype=np.int64)[mask])
+        ids = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        if self._tombstones and ids.size:
+            dead = np.fromiter(
+                self._tombstones, dtype=np.int64, count=len(self._tombstones)
+            )
+            ids = ids[~np.isin(ids, dead)]
+        return ids
+
+    def query_count(self, q_st: int, q_end: int) -> int:
+        """Number of current intervals G-overlapping the query."""
+        return int(self.query(q_st, q_end).size)
+
+    def snapshot(self) -> IntervalCollection:
+        """The current contents as an immutable collection (compacts)."""
+        if self._buf_ids or self._tombstones:
+            self._rebuild()
+        return self._base
+
+    @property
+    def index(self) -> HintIndex:
+        """The underlying static index (valid until the next rebuild)."""
+        return self._index

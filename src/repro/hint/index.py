@@ -1,0 +1,334 @@
+"""The production (columnar) HINT index and Algorithm 1.
+
+:class:`HintIndex` builds the full hierarchy in one vectorized pass and
+answers single selection queries bottom-up exactly as Algorithm 1 of the
+paper, including the ``compfirst`` / ``complast`` pruning flags, the
+subdivision-aware comparison rules and the duplicate-avoidance rules
+(replicas only at the first relevant partition; only originals at the
+others).
+
+One consequence of the merged per-level layout is worth calling out: the
+originals of all *in-between* partitions ``f+1 .. l-1`` of a query — the
+partitions Algorithm 1 reports without any comparison — occupy a single
+contiguous row range, so the whole middle of a level is answered with
+one slice per originals table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hint.assignment import assign_collection
+from repro.hint.bits import validate_domain
+from repro.hint.model import choose_m
+from repro.hint.tables import LevelData, SubdivisionTable, build_level_data
+from repro.intervals.collection import IntervalCollection
+
+__all__ = ["HintIndex"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class HintIndex:
+    """Hierarchical index for intervals over the domain ``[0, 2**m - 1]``.
+
+    Parameters
+    ----------
+    collection:
+        The input interval collection ``S``.  All endpoints must already
+        lie inside the domain (use
+        :meth:`~repro.intervals.IntervalCollection.normalized` first if
+        they do not).
+    m:
+        Number of bits of the domain; the index has ``m + 1`` levels.
+        When omitted, a value is chosen with
+        :func:`repro.hint.model.choose_m`.  Memory note: the per-level
+        offsets arrays are dense (``2**level + 1`` entries each, about
+        ``2**(m+6)`` bytes across all classes and levels), so ``m`` above
+        ~24 costs gigabytes before any data is stored — normalize into a
+        coarser domain instead, or pick ``m`` with
+        :func:`repro.hint.cost.choose_m_model`.
+    storage_optimized:
+        Drop endpoint columns that query processing never reads.
+
+    Examples
+    --------
+    >>> from repro import IntervalCollection, HintIndex
+    >>> coll = IntervalCollection.from_pairs([(2, 5), (4, 4), (0, 15)])
+    >>> index = HintIndex(coll, m=4)
+    >>> sorted(index.query(4, 6))
+    [0, 1, 2]
+    """
+
+    def __init__(
+        self,
+        collection: IntervalCollection,
+        m: Optional[int] = None,
+        *,
+        storage_optimized: bool = True,
+    ):
+        if m is None:
+            m = choose_m(collection)
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        if m > 30:
+            # 2**m offset entries per level table and packed
+            # (partition, key) probe keys of 2m bits: beyond 30 bits the
+            # index stops being a main-memory structure and the packing
+            # approaches int64 limits.  Normalize the collection into a
+            # coarser domain instead.
+            raise ValueError(
+                f"m={m} is not supported (maximum 30); normalize the "
+                "collection into a coarser domain"
+            )
+        validate_domain(m, collection.st, collection.end)
+        self.m = int(m)
+        self.num_intervals = len(collection)
+        self.storage_optimized = bool(storage_optimized)
+        self._domain_top = (1 << self.m) - 1
+        self.levels: List[LevelData] = self._build(collection)
+
+    # ------------------------------------------------------------------ #
+    # build
+    # ------------------------------------------------------------------ #
+
+    def _build(self, collection: IntervalCollection) -> List[LevelData]:
+        placements = assign_collection(self.m, collection.st, collection.end)
+        levels = []
+        for level in range(self.m + 1):
+            rows, parts, classes = placements.get(
+                level, (_EMPTY, _EMPTY, _EMPTY.astype(np.int8))
+            )
+            levels.append(
+                build_level_data(
+                    level,
+                    rows,
+                    parts,
+                    classes,
+                    collection.ids,
+                    collection.st,
+                    collection.end,
+                    storage_optimized=self.storage_optimized,
+                    key_bits=max(self.m, 1),
+                )
+            )
+        return levels
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def domain(self) -> tuple:
+        """The closed index domain ``(0, 2**m - 1)``."""
+        return (0, self._domain_top)
+
+    def __len__(self) -> int:
+        return self.num_intervals
+
+    def __repr__(self) -> str:
+        return (
+            f"HintIndex(m={self.m}, n={self.num_intervals}, "
+            f"placements={self.num_placements()})"
+        )
+
+    def num_placements(self) -> int:
+        """Total interval placements across all levels (replication incl.)."""
+        return sum(level.total() for level in self.levels)
+
+    def replication_factor(self) -> float:
+        """Average number of partitions an interval is stored in."""
+        if self.num_intervals == 0:
+            return 0.0
+        return self.num_placements() / self.num_intervals
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the level tables."""
+        return sum(level.nbytes() for level in self.levels)
+
+    def level_histogram(self) -> Dict[int, int]:
+        """Placements per level — shows where durations put intervals."""
+        return {level.level: level.total() for level in self.levels}
+
+    # ------------------------------------------------------------------ #
+    # single-query processing (Algorithm 1)
+    # ------------------------------------------------------------------ #
+
+    def _clip(self, q_st: int, q_end: int) -> tuple:
+        if q_st > q_end:
+            raise ValueError("query must have st <= end")
+        return (
+            min(max(int(q_st), 0), self._domain_top),
+            min(max(int(q_end), 0), self._domain_top),
+        )
+
+    def query(self, q_st: int, q_end: int, *, top_down: bool = False) -> np.ndarray:
+        """Ids of all intervals G-overlapping ``[q_st, q_end]``.
+
+        The result order is an implementation detail; no id appears
+        twice.  Queries are clipped into the index domain.
+
+        ``top_down=True`` runs the conventional top-down traversal the
+        paper's Section 2 contrasts against: without the bottom-up
+        ``compfirst``/``complast`` pruning, endpoint comparisons are
+        performed at the first and last relevant partition of *every*
+        level instead of an expected four partitions overall.  Results
+        are identical; the flag exists to measure the optimization
+        (``bench_ablation_topdown``).
+        """
+        q_st, q_end = self._clip(q_st, q_end)
+        pieces: List[np.ndarray] = []
+        self._run_single(q_st, q_end, pieces.append, None, top_down)
+        if not pieces:
+            return _EMPTY
+        return np.concatenate(pieces)
+
+    def query_count(self, q_st: int, q_end: int, *, top_down: bool = False) -> int:
+        """Number of intervals G-overlapping ``[q_st, q_end]``.
+
+        Cheaper than :meth:`query`: comparison-free partitions contribute
+        plain row-range lengths without touching the id arrays.
+        """
+        q_st, q_end = self._clip(q_st, q_end)
+        total = 0
+
+        def on_count(n: int) -> None:
+            nonlocal total
+            total += n
+
+        self._run_single(q_st, q_end, None, on_count, top_down)
+        return total
+
+    def _run_single(self, q_st, q_end, emit_ids, emit_count, top_down=False) -> None:
+        """Level traversal shared by :meth:`query` and :meth:`query_count`.
+
+        Exactly one of *emit_ids* (receives id arrays) and *emit_count*
+        (receives integers) is set.  Bottom-up order enables the
+        ``compfirst``/``complast`` flags; top-down keeps both flags set
+        at every level (the pre-optimization behaviour).
+        """
+        count_only = emit_ids is None
+
+        def emit_range(table: SubdivisionTable, lo: int, hi: int) -> None:
+            if hi <= lo:
+                return
+            if count_only:
+                emit_count(hi - lo)
+            else:
+                emit_ids(table.ids[lo:hi])
+
+        compfirst = True
+        complast = True
+        level_order = (
+            range(0, self.m + 1) if top_down else range(self.m, -1, -1)
+        )
+        for level in level_order:
+            shift = self.m - level
+            f = q_st >> shift
+            l = q_end >> shift
+            data = self.levels[level]
+            o_in, o_aft, r_in, r_aft = data.tables()
+
+            # --- first relevant partition ---------------------------------
+            # When compfirst is cleared, the q.st <= s.end side is
+            # guaranteed; the s.st <= q.end side only matters when the
+            # first partition is also the last (f == l) and complast is
+            # still set.  Otherwise everything in the partition is a
+            # result (Algorithm 1, Line 17).
+            if f == l and compfirst and complast:
+                self._emit_o_in_both(o_in, f, q_st, q_end, emit_ids, emit_count)
+                self._emit_st_leq(o_aft, f, q_end, emit_range)
+                self._emit_end_geq(r_in, f, q_st, emit_range)
+                emit_range(r_aft, *r_aft.bounds(f))
+            elif compfirst:
+                # Only the q.st <= s.end side needs testing (either
+                # f < l, or complast is already cleared).
+                self._emit_end_geq_unsorted_o_in(
+                    o_in, f, q_st, emit_ids, emit_count
+                )
+                emit_range(o_aft, *o_aft.bounds(f))
+                self._emit_end_geq(r_in, f, q_st, emit_range)
+                emit_range(r_aft, *r_aft.bounds(f))
+            elif f == l and complast:
+                self._emit_st_leq(o_in, f, q_end, emit_range)
+                self._emit_st_leq(o_aft, f, q_end, emit_range)
+                emit_range(r_in, *r_in.bounds(f))
+                emit_range(r_aft, *r_aft.bounds(f))
+            else:
+                emit_range(o_in, *o_in.bounds(f))
+                emit_range(o_aft, *o_aft.bounds(f))
+                emit_range(r_in, *r_in.bounds(f))
+                emit_range(r_aft, *r_aft.bounds(f))
+
+            if l > f:
+                # --- in-between partitions: one contiguous slice ----------
+                if l > f + 1:
+                    emit_range(o_in, int(o_in.offsets[f + 1]), int(o_in.offsets[l]))
+                    emit_range(o_aft, int(o_aft.offsets[f + 1]), int(o_aft.offsets[l]))
+                # --- last relevant partition (originals only) -------------
+                if complast:
+                    self._emit_st_leq(o_in, l, q_end, emit_range)
+                    self._emit_st_leq(o_aft, l, q_end, emit_range)
+                else:
+                    emit_range(o_in, *o_in.bounds(l))
+                    emit_range(o_aft, *o_aft.bounds(l))
+
+            # --- flag updates (Lines 22-25 of Algorithm 1) ----------------
+            # Only sound bottom-up: the guarantee derives from child
+            # levels already processed.
+            if not top_down:
+                if f % 2 == 0:
+                    compfirst = False
+                if l % 2 == 1:
+                    complast = False
+
+    # ------------------------------------------------------------------ #
+    # per-partition comparison primitives
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _emit_st_leq(table: SubdivisionTable, part: int, q_end: int, emit_range):
+        """Rows of *part* with ``s.st <= q_end`` (table sorted by st)."""
+        lo, hi = table.bounds(part)
+        if hi <= lo:
+            return
+        k = int(np.searchsorted(table.st[lo:hi], q_end, side="right"))
+        emit_range(table, lo, lo + k)
+
+    @staticmethod
+    def _emit_end_geq(table: SubdivisionTable, part: int, q_st: int, emit_range):
+        """Rows of *part* with ``s.end >= q_st`` (table sorted by end)."""
+        lo, hi = table.bounds(part)
+        if hi <= lo:
+            return
+        k = int(np.searchsorted(table.end[lo:hi], q_st, side="left"))
+        emit_range(table, lo + k, hi)
+
+    @staticmethod
+    def _emit_end_geq_unsorted_o_in(table, part, q_st, emit_ids, emit_count):
+        """``s.end >= q_st`` on O_in, which is sorted by st, not end."""
+        lo, hi = table.bounds(part)
+        if hi <= lo:
+            return
+        mask = table.end[lo:hi] >= q_st
+        if emit_ids is None:
+            emit_count(int(np.count_nonzero(mask)))
+        else:
+            emit_ids(table.ids[lo:hi][mask])
+
+    @staticmethod
+    def _emit_o_in_both(table, part, q_st, q_end, emit_ids, emit_count):
+        """Both overlap tests on O_in (first == last partition case)."""
+        lo, hi = table.bounds(part)
+        if hi <= lo:
+            return
+        k = int(np.searchsorted(table.st[lo:hi], q_end, side="right"))
+        if k == 0:
+            return
+        mask = table.end[lo : lo + k] >= q_st
+        if emit_ids is None:
+            emit_count(int(np.count_nonzero(mask)))
+        else:
+            emit_ids(table.ids[lo : lo + k][mask])

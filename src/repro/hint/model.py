@@ -1,0 +1,142 @@
+"""Choosing the HINT parameter ``m``.
+
+The paper sets ``m`` per dataset "using the cost model and the analysis
+in [10]" (10 for BOOKS, 12 for WEBKIT, 17 for TAXIS and GREEND).  We do
+not have the closed-form model of the SIGMOD'22 paper, so this module
+offers two substitutes:
+
+* :func:`choose_m` — a closed-form heuristic balancing two costs that the
+  model trades off: scanning partitions that are too coarse (pushes ``m``
+  up, driven by how many intervals share a bottom partition) and
+  replicating/visiting too many partitions (pushes ``m`` down, driven by
+  interval duration relative to the domain).
+* :func:`tune_m` — an empirical tuner that builds candidate indexes on a
+  sample and picks the fastest against a probe batch, which is what the
+  cost model approximates analytically.
+
+Both return values in ``[1, max_m]``; the default cap keeps the
+per-level offset arrays (``2**m`` entries) reasonable for a Python
+process.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["choose_m", "tune_m", "DEFAULT_MAX_M"]
+
+DEFAULT_MAX_M = 20
+
+
+def choose_m(
+    collection,
+    *,
+    max_m: int = DEFAULT_MAX_M,
+    target_partition_fill: int = 64,
+) -> int:
+    """Heuristic ``m`` for *collection*.
+
+    Two requirements are balanced:
+
+    * enough levels that a bottom partition holds roughly
+      ``target_partition_fill`` intervals — fewer levels mean long scans
+      of coarse partitions (this favours large ``m`` for the short-
+      interval datasets, matching the paper's ``m = 17`` for TAXIS and
+      GREEND);
+    * not so many levels that the average interval, whose placement depth
+      is governed by ``duration / domain``, is pushed into excessive
+      per-level bookkeeping (this favours moderate ``m`` for the
+      long-interval datasets, matching ``m = 10`` / ``12`` for BOOKS and
+      WEBKIT).
+    """
+    n = len(collection)
+    if n == 0:
+        return 1
+    stats = collection.stats()
+    domain = max(stats.domain_length, 2)
+
+    # Level where a partition holds ~target_partition_fill intervals,
+    # assuming spread proportional to the data distribution.
+    m_fill = math.ceil(math.log2(max(n / target_partition_fill, 2)))
+
+    # Level where a partition is about as long as the average interval —
+    # deeper levels only add replicas for the average object.
+    avg_dur = max(stats.avg_duration, 1.0)
+    m_dur = math.ceil(math.log2(max(domain / avg_dur, 2)))
+
+    m = min(m_fill, m_dur + 4)  # allow a few levels below the duration scale
+    m = max(1, min(m, max_m, math.ceil(math.log2(domain))))
+
+    # The index stores raw endpoints: m must cover the collection's
+    # occupied domain.  For large raw domains this floor dominates the
+    # heuristic (and the cap) — normalize the collection first
+    # (``collection.normalized(m)``) to index at a chosen resolution.
+    m_needed = int(stats.domain_end).bit_length()
+    return int(max(m, m_needed))
+
+
+def tune_m(
+    collection,
+    queries,
+    *,
+    candidates: Optional[Sequence[int]] = None,
+    sample_size: int = 200_000,
+    probe_queries: int = 200,
+    seed: int = 0,
+    index_factory=None,
+) -> int:
+    """Pick ``m`` empirically: build candidates on a sample, time a probe.
+
+    Parameters
+    ----------
+    collection:
+        The full collection; a random sample of up to *sample_size*
+        intervals is indexed per candidate.
+    queries:
+        A :class:`~repro.intervals.QueryBatch`; up to *probe_queries*
+        random queries are timed (count-only, so timing reflects index
+        traversal rather than result materialization).
+    candidates:
+        Candidate ``m`` values; default spans around :func:`choose_m`.
+    index_factory:
+        ``f(collection, m) -> index`` — injectable for tests; defaults to
+        :class:`~repro.hint.index.HintIndex`.
+    """
+    from repro.hint.index import HintIndex
+
+    if index_factory is None:
+        index_factory = HintIndex
+    if candidates is None:
+        center = choose_m(collection)
+        candidates = sorted(
+            {max(1, center - 4), max(1, center - 2), center,
+             min(DEFAULT_MAX_M, center + 2), min(DEFAULT_MAX_M, center + 4)}
+        )
+    rng = np.random.default_rng(seed)
+    if len(collection) > sample_size:
+        pick = rng.choice(len(collection), size=sample_size, replace=False)
+        sample = collection[np.sort(pick)]
+    else:
+        sample = collection
+    if len(queries) > probe_queries:
+        pick = rng.choice(len(queries), size=probe_queries, replace=False)
+        probe = [(int(queries.st[i]), int(queries.end[i])) for i in pick]
+    else:
+        probe = [(int(s), int(e)) for s, e in zip(queries.st, queries.end)]
+
+    best_m, best_time = None, math.inf
+    for m in candidates:
+        top = (1 << m) - 1
+        index = index_factory(sample.normalized(m), m)
+        scale = top / max(sample.stats().domain_length - 1, 1)
+        t0 = time.perf_counter()
+        for q_st, q_end in probe:
+            index.query_count(int(q_st * scale), int(q_end * scale))
+        elapsed = time.perf_counter() - t0
+        if elapsed < best_time:
+            best_m, best_time = m, elapsed
+    return int(best_m)

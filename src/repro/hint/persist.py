@@ -1,0 +1,89 @@
+"""Saving and loading a built HINT index.
+
+Index construction is a bulk operation (seconds for millions of
+intervals); services that restart frequently want to mmap a prebuilt
+index instead.  The format is a single ``.npz`` file holding every
+level's subdivision arrays under systematic keys plus a small metadata
+header — portable, versioned, and loadable with plain numpy.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.hint.index import HintIndex
+from repro.hint.tables import LevelData, SubdivisionTable
+
+__all__ = ["save_index", "load_index"]
+
+PathLike = Union[str, pathlib.Path]
+
+FORMAT_VERSION = 1
+_CLASS_KEYS = ("o_in", "o_aft", "r_in", "r_aft")
+_COLUMNS = ("offsets", "ids", "st", "end", "comp")
+
+
+def save_index(index: HintIndex, path: PathLike) -> None:
+    """Serialize *index* to ``path`` (numpy ``.npz``, compressed)."""
+    payload = {
+        "meta": np.array(
+            [
+                FORMAT_VERSION,
+                index.m,
+                index.num_intervals,
+                int(index.storage_optimized),
+            ],
+            dtype=np.int64,
+        )
+    }
+    for data in index.levels:
+        for cls_key, table in zip(_CLASS_KEYS, data.tables()):
+            prefix = f"L{data.level}_{cls_key}"
+            payload[f"{prefix}_offsets"] = table.offsets
+            payload[f"{prefix}_ids"] = table.ids
+            payload[f"{prefix}_keybits"] = np.array(
+                [table.key_bits], dtype=np.int64
+            )
+            for column in ("st", "end", "comp"):
+                value = getattr(table, column)
+                if value is not None:
+                    payload[f"{prefix}_{column}"] = value
+    np.savez_compressed(path, **payload)
+
+
+def load_index(path: PathLike) -> HintIndex:
+    """Load an index previously written by :func:`save_index`."""
+    with np.load(path) as archive:
+        meta = archive["meta"]
+        version, m, num_intervals, storage_optimized = (int(v) for v in meta)
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format version {version} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        index = HintIndex.__new__(HintIndex)
+        index.m = m
+        index.num_intervals = num_intervals
+        index.storage_optimized = bool(storage_optimized)
+        index._domain_top = (1 << m) - 1
+        levels = []
+        for level in range(m + 1):
+            tables = []
+            for cls_key in _CLASS_KEYS:
+                prefix = f"L{level}_{cls_key}"
+                tables.append(
+                    SubdivisionTable(
+                        offsets=archive[f"{prefix}_offsets"],
+                        ids=archive[f"{prefix}_ids"],
+                        st=archive.get(f"{prefix}_st"),
+                        end=archive.get(f"{prefix}_end"),
+                        comp=archive.get(f"{prefix}_comp"),
+                        key_bits=int(archive[f"{prefix}_keybits"][0]),
+                    )
+                )
+            levels.append(LevelData(level, *tables))
+        index.levels = levels
+        return index

@@ -1,0 +1,256 @@
+"""Pseudocode-faithful HINT and batch strategies (the executable spec).
+
+This module mirrors the paper line by line, on an *unoptimized* HINT
+(plain ``P_O`` / ``P_R`` classes per partition), exactly like Section 3
+of the paper describes the strategies:
+
+* :meth:`ReferenceHint.query` — Algorithm 1 (selection query, bottom-up,
+  ``compfirst`` / ``complast`` flags);
+* :meth:`ReferenceHint.batch_query_based` — Algorithm 2;
+* :meth:`ReferenceHint.batch_level_based` — Algorithm 3;
+* :meth:`ReferenceHint.batch_partition_based` — Algorithm 4.
+
+Every partition visit can be recorded through an optional *recorder*
+(any object with ``record(level, partition, query_position)``), which is
+how the access patterns of Table 1 are regenerated and how the cache
+simulator obtains its traces.  The implementation favours clarity over
+speed — the production columnar index in :mod:`repro.hint.index` and the
+strategies in :mod:`repro.core` are the fast path, and the test-suite
+checks them against this one.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hint.bits import validate_domain
+from repro.intervals.batch import QueryBatch
+from repro.intervals.collection import IntervalCollection
+
+__all__ = ["ReferenceHint"]
+
+Record = Tuple[int, int, int]  # (id, st, end)
+
+
+class ReferenceHint:
+    """Unoptimized HINT: per-partition ``P_O`` / ``P_R`` lists."""
+
+    def __init__(self, collection: IntervalCollection, m: int):
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        validate_domain(m, collection.st, collection.end)
+        self.m = int(m)
+        self.num_intervals = len(collection)
+        self._domain_top = (1 << self.m) - 1
+        # originals[level][partition] and replicas[level][partition]
+        self.originals: List[Dict[int, List[Record]]] = [
+            defaultdict(list) for _ in range(self.m + 1)
+        ]
+        self.replicas: List[Dict[int, List[Record]]] = [
+            defaultdict(list) for _ in range(self.m + 1)
+        ]
+        for rec_id, st, end in collection:
+            self._insert(rec_id, st, end)
+
+    def _insert(self, rec_id: int, st: int, end: int) -> None:
+        """Bottom-up assignment into the smallest covering partition set."""
+        a, b = st, end
+        level = self.m
+        while level >= 0 and a <= b:
+            shift = self.m - level
+            if a & 1:
+                self._place(level, a, rec_id, st, end, shift)
+                a += 1
+            if not (b & 1):
+                self._place(level, b, rec_id, st, end, shift)
+                b -= 1
+            a >>= 1
+            b >>= 1
+            level -= 1
+
+    def _place(self, level, partition, rec_id, st, end, shift) -> None:
+        record = (rec_id, st, end)
+        if st >> shift == partition:  # starts inside: original
+            self.originals[level][partition].append(record)
+        else:
+            self.replicas[level][partition].append(record)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1 — selection query
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        q_st: int,
+        q_end: int,
+        *,
+        recorder=None,
+        query_position: int = 0,
+    ) -> List[int]:
+        """All ids G-overlapping ``[q_st, q_end]`` (Algorithm 1)."""
+        q_st, q_end = self._clip(q_st, q_end)
+        out: List[int] = []
+        compfirst = True
+        complast = True
+        for level in range(self.m, -1, -1):
+            f, l = self._prefixes(level, q_st, q_end)
+            for i in range(f, l + 1):
+                if recorder is not None:
+                    recorder.record(level, i, query_position)
+                self._process_partition(
+                    level, i, f, l, q_st, q_end, compfirst, complast, out
+                )
+            if f % 2 == 0:
+                compfirst = False
+            if l % 2 == 1:
+                complast = False
+        return out
+
+    def _prefixes(self, level: int, q_st: int, q_end: int) -> Tuple[int, int]:
+        shift = self.m - level
+        return q_st >> shift, q_end >> shift
+
+    def _clip(self, q_st: int, q_end: int) -> Tuple[int, int]:
+        if q_st > q_end:
+            raise ValueError("query must have st <= end")
+        clamp = lambda v: min(max(int(v), 0), self._domain_top)  # noqa: E731
+        return clamp(q_st), clamp(q_end)
+
+    def _process_partition(
+        self, level, i, f, l, q_st, q_end, compfirst, complast, out
+    ) -> None:
+        """Lines 7-21 of Algorithm 1 for one relevant partition."""
+        orig = self.originals[level].get(i, ())
+        repl = self.replicas[level].get(i, ())
+        if i == f:
+            if i == l and compfirst and complast:
+                out.extend(
+                    r[0] for r in orig if q_st <= r[2] and r[1] <= q_end
+                )
+                out.extend(r[0] for r in repl if q_st <= r[2])
+            elif i == l and complast:  # compfirst cleared
+                out.extend(r[0] for r in orig if r[1] <= q_end)
+                out.extend(r[0] for r in repl)
+            elif compfirst:
+                out.extend(r[0] for r in orig if q_st <= r[2])
+                out.extend(r[0] for r in repl if q_st <= r[2])
+            else:
+                out.extend(r[0] for r in orig)
+                out.extend(r[0] for r in repl)
+        elif i == l and complast:  # l > f
+            out.extend(r[0] for r in orig if r[1] <= q_end)
+        else:  # in-between, or last with complast cleared
+            out.extend(r[0] for r in orig)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2 — query-based strategy
+    # ------------------------------------------------------------------ #
+
+    def batch_query_based(
+        self,
+        batch: QueryBatch,
+        *,
+        sort: bool = False,
+        recorder=None,
+    ) -> List[List[int]]:
+        """Execute the batch serially, optionally sorted by query start.
+
+        Returns per-query result lists *in the caller's original batch
+        order* regardless of sorting.
+        """
+        work = batch.sorted_by_start() if sort else batch
+        results: List[Optional[List[int]]] = [None] * len(batch)
+        for pos, (q_st, q_end) in enumerate(work):
+            results[int(work.order[pos])] = self.query(
+                q_st, q_end, recorder=recorder, query_position=pos
+            )
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 3 — level-based strategy
+    # ------------------------------------------------------------------ #
+
+    def batch_level_based(
+        self,
+        batch: QueryBatch,
+        *,
+        sort: bool = True,
+        recorder=None,
+    ) -> List[List[int]]:
+        """Evaluate all queries per level before moving to the next level."""
+        work = batch.sorted_by_start() if sort else batch
+        n = len(work)
+        compfirst = [True] * n
+        complast = [True] * n
+        buckets: List[List[int]] = [[] for _ in range(n)]
+        queries = [self._clip(q_st, q_end) for q_st, q_end in work]
+        for level in range(self.m, -1, -1):
+            for pos, (q_st, q_end) in enumerate(queries):
+                f, l = self._prefixes(level, q_st, q_end)
+                for i in range(f, l + 1):
+                    if recorder is not None:
+                        recorder.record(level, i, pos)
+                    self._process_partition(
+                        level, i, f, l, q_st, q_end,
+                        compfirst[pos], complast[pos], buckets[pos],
+                    )
+                if f % 2 == 0:
+                    compfirst[pos] = False
+                if l % 2 == 1:
+                    complast[pos] = False
+        return self._reorder(buckets, work)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 4 — partition-based strategy
+    # ------------------------------------------------------------------ #
+
+    def batch_partition_based(
+        self,
+        batch: QueryBatch,
+        *,
+        sort: bool = True,
+        recorder=None,
+    ) -> List[List[int]]:
+        """Per level, deplete every query relevant to a partition before
+        advancing to the next partition."""
+        work = batch.sorted_by_start() if sort else batch
+        n = len(work)
+        compfirst = [True] * n
+        complast = [True] * n
+        buckets: List[List[int]] = [[] for _ in range(n)]
+        queries = [self._clip(q_st, q_end) for q_st, q_end in work]
+        for level in range(self.m, -1, -1):
+            spans = [self._prefixes(level, q_st, q_end) for q_st, q_end in queries]
+            for i in self._partition_sweep(spans):
+                for pos in range(n):
+                    f, l = spans[pos]
+                    if f <= i <= l:
+                        if recorder is not None:
+                            recorder.record(level, i, pos)
+                        q_st, q_end = queries[pos]
+                        self._process_partition(
+                            level, i, f, l, q_st, q_end,
+                            compfirst[pos], complast[pos], buckets[pos],
+                        )
+            for pos, (f, l) in enumerate(spans):
+                if f % 2 == 0:
+                    compfirst[pos] = False
+                if l % 2 == 1:
+                    complast[pos] = False
+        return self._reorder(buckets, work)
+
+    @staticmethod
+    def _partition_sweep(spans: Sequence[Tuple[int, int]]):
+        """Ascending order of all partitions relevant to >= 1 query."""
+        relevant = set()
+        for f, l in spans:
+            relevant.update(range(f, l + 1))
+        return sorted(relevant)
+
+    @staticmethod
+    def _reorder(buckets: List[List[int]], work: QueryBatch) -> List[List[int]]:
+        restored: List[Optional[List[int]]] = [None] * len(work)
+        for pos, bucket in enumerate(buckets):
+            restored[int(work.order[pos])] = bucket
+        return restored  # type: ignore[return-value]

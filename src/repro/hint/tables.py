@@ -1,0 +1,256 @@
+"""Columnar per-level storage of HINT.
+
+Each level ``l`` keeps one :class:`SubdivisionTable` per subdivision
+class.  A table flattens the contents of all ``2**l`` partitions of its
+class into partition-ordered parallel arrays plus an ``offsets`` array of
+length ``2**l + 1`` — partition ``i`` owns rows
+``offsets[i]:offsets[i+1]``.
+
+This layout implements two of the paper's optimizations at once:
+
+* **skewness & sparsity** — empty partitions cost one repeated offset,
+  nothing more, and the merged per-level table is exactly the ``T_l``
+  table with its auxiliary index described in Section 2;
+* **cache misses** — ids and endpoints live in separate arrays, so
+  comparison-free partitions are answered from the id array alone.
+
+It also enables the *contiguous middle* trick used by the production
+query code: the originals of all in-between partitions ``f+1 .. l-1`` of
+a query occupy one contiguous row range.
+
+Beneficial sort orders (the *sorting* optimization):
+
+====== ============== =================================================
+class  sorted by      reason
+====== ============== =================================================
+O_in   ``st``         ``s.st <= q.end`` becomes a ``searchsorted`` prefix
+O_aft  ``st``         same test; the other test is implied
+R_in   ``end``        ``q.st <= s.end`` becomes a ``searchsorted`` suffix
+R_aft  (unsorted)     never compared, ids only
+====== ============== =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hint.assignment import (
+    CLASS_NAMES,
+    CLASS_O_AFT,
+    CLASS_O_IN,
+    CLASS_R_AFT,
+    CLASS_R_IN,
+)
+
+__all__ = ["SubdivisionTable", "LevelData", "build_level_data"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class SubdivisionTable:
+    """Flattened, partition-ordered contents of one subdivision class.
+
+    ``comp`` packs each row's ``(partition, sort_key)`` into a single
+    int64 (``partition << key_bits | key``).  Because rows are ordered
+    by partition and then by the key, ``comp`` is globally sorted — a
+    whole batch of per-partition prefix/suffix probes collapses into
+    *one* vectorized ``searchsorted`` against it.  This is the columnar
+    expression of the partition-based strategy's computation sharing.
+    """
+
+    offsets: np.ndarray  # int64[num_partitions + 1]
+    ids: np.ndarray  # int64[n]
+    st: Optional[np.ndarray]  # int64[n] or None (storage optimization)
+    end: Optional[np.ndarray]  # int64[n] or None
+    comp: Optional[np.ndarray] = None  # int64[n], None for unsorted class
+    key_bits: int = 0
+    _xor_prefix: Optional[np.ndarray] = None  # lazy, see xor_prefix
+
+    @property
+    def xor_prefix(self) -> np.ndarray:
+        """Prefix-XOR over ``ids`` (length ``n + 1``), built lazily.
+
+        ``xor_prefix[hi] ^ xor_prefix[lo]`` is the XOR of
+        ``ids[lo:hi]`` — it turns any row-range checksum into O(1),
+        which keeps the checksum result mode as cheap as count mode for
+        every comparison-free range.
+        """
+        if self._xor_prefix is None:
+            xp = np.zeros(self.ids.size + 1, dtype=np.int64)
+            if self.ids.size:
+                np.bitwise_xor.accumulate(self.ids, out=xp[1:])
+            self._xor_prefix = xp
+        return self._xor_prefix
+
+    @classmethod
+    def empty(cls, num_partitions: int, key_bits: int = 0) -> "SubdivisionTable":
+        return cls(
+            offsets=np.zeros(num_partitions + 1, dtype=np.int64),
+            ids=_EMPTY,
+            st=None,
+            end=None,
+            comp=_EMPTY if key_bits else None,
+            key_bits=key_bits,
+        )
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    @property
+    def num_partitions(self) -> int:
+        return int(self.offsets.size - 1)
+
+    def bounds(self, partition: int) -> Tuple[int, int]:
+        """Row range ``[lo, hi)`` of *partition*."""
+        return int(self.offsets[partition]), int(self.offsets[partition + 1])
+
+    def count(self, partition: int) -> int:
+        """Number of intervals stored in *partition*."""
+        return int(self.offsets[partition + 1] - self.offsets[partition])
+
+    def partition_ids(self, partition: int) -> np.ndarray:
+        """Ids stored in *partition* (a view, not a copy)."""
+        lo, hi = self.bounds(partition)
+        return self.ids[lo:hi]
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint in bytes."""
+        total = self.offsets.nbytes + self.ids.nbytes
+        if self.st is not None:
+            total += self.st.nbytes
+        if self.end is not None:
+            total += self.end.nbytes
+        return total
+
+
+@dataclass
+class LevelData:
+    """The four subdivision tables of one index level."""
+
+    level: int
+    o_in: SubdivisionTable
+    o_aft: SubdivisionTable
+    r_in: SubdivisionTable
+    r_aft: SubdivisionTable
+
+    def table(self, cls: int) -> SubdivisionTable:
+        return (self.o_in, self.o_aft, self.r_in, self.r_aft)[cls]
+
+    def tables(self) -> Tuple[SubdivisionTable, ...]:
+        return (self.o_in, self.o_aft, self.r_in, self.r_aft)
+
+    def total(self) -> int:
+        return sum(len(t) for t in self.tables())
+
+    def nbytes(self) -> int:
+        return sum(t.nbytes() for t in self.tables())
+
+    def describe(self) -> Dict[str, int]:
+        return {name: len(t) for name, t in zip(CLASS_NAMES, self.tables())}
+
+
+# Sort key per class: which endpoint orders the rows inside a partition.
+_SORT_KEY = {CLASS_O_IN: "st", CLASS_O_AFT: "st", CLASS_R_IN: "end", CLASS_R_AFT: None}
+
+# Columns retained per class under the storage optimization.
+_KEEP_ST = {CLASS_O_IN: True, CLASS_O_AFT: True, CLASS_R_IN: False, CLASS_R_AFT: False}
+_KEEP_END = {CLASS_O_IN: True, CLASS_O_AFT: False, CLASS_R_IN: True, CLASS_R_AFT: False}
+
+
+def _build_table(
+    num_partitions: int,
+    parts: np.ndarray,
+    ids: np.ndarray,
+    st: np.ndarray,
+    end: np.ndarray,
+    cls: int,
+    storage_optimized: bool,
+    key_bits: int,
+) -> SubdivisionTable:
+    key_name = _SORT_KEY[cls]
+    if parts.size == 0:
+        return SubdivisionTable.empty(
+            num_partitions, key_bits if key_name else 0
+        )
+    if key_name == "st":
+        key = st
+        order = np.lexsort((st, parts))
+    elif key_name == "end":
+        key = end
+        order = np.lexsort((end, parts))
+    else:
+        key = None
+        order = np.argsort(parts, kind="stable")
+    parts = parts[order]
+    counts = np.bincount(parts, minlength=num_partitions)
+    offsets = np.zeros(num_partitions + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    keep_st = not storage_optimized or _KEEP_ST[cls]
+    keep_end = not storage_optimized or _KEEP_END[cls]
+    comp = None
+    if key is not None:
+        comp = (parts << key_bits) | key[order]
+    return SubdivisionTable(
+        offsets=offsets,
+        ids=np.ascontiguousarray(ids[order]),
+        st=np.ascontiguousarray(st[order]) if keep_st else None,
+        end=np.ascontiguousarray(end[order]) if keep_end else None,
+        comp=comp,
+        key_bits=key_bits if key is not None else 0,
+    )
+
+
+def build_level_data(
+    level: int,
+    rows: np.ndarray,
+    parts: np.ndarray,
+    classes: np.ndarray,
+    ids: np.ndarray,
+    st: np.ndarray,
+    end: np.ndarray,
+    *,
+    storage_optimized: bool = True,
+    key_bits: int = 32,
+) -> LevelData:
+    """Materialize the four subdivision tables of one level.
+
+    Parameters
+    ----------
+    level:
+        Index level (defines the number of partitions ``2**level``).
+    rows, parts, classes:
+        Parallel placement arrays for this level as produced by
+        :func:`repro.hint.assignment.assign_collection`.
+    ids, st, end:
+        The full collection columns; ``rows`` indexes into them.
+    storage_optimized:
+        Drop endpoint columns that the query algorithms never read
+        (the paper's *storage* optimization).
+    key_bits:
+        Bits reserved for the sort key in the packed ``comp`` column;
+        must cover the bit width of any endpoint (``m`` suffices for an
+        index over ``[0, 2**m - 1]``) while keeping
+        ``level + key_bits < 64``.
+    """
+    num_partitions = 1 << level
+    tables: List[SubdivisionTable] = []
+    for cls in (CLASS_O_IN, CLASS_O_AFT, CLASS_R_IN, CLASS_R_AFT):
+        mask = classes == cls
+        sel = rows[mask]
+        tables.append(
+            _build_table(
+                num_partitions,
+                parts[mask],
+                ids[sel],
+                st[sel],
+                end[sel],
+                cls,
+                storage_optimized,
+                key_bits,
+            )
+        )
+    return LevelData(level, *tables)

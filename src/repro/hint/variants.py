@@ -1,0 +1,320 @@
+"""HINT optimization variants — each Section 2 optimization, toggleable.
+
+The paper builds its strategies on the "subs+sort" HINT version: the
+*subdivisions* optimization (``P_O``/``P_R`` split into
+``O_in``/``O_aft``/``R_in``/``R_aft``) plus the beneficial *sorting* of
+each subdivision.  To measure what those optimizations contribute — the
+HINT SIGMOD'22 ablation, reproduced here as experiment A5 —
+:class:`HintVariant` implements the index with both switches exposed:
+
+* ``subdivisions=False`` stores the plain ``P_O`` / ``P_R`` classes per
+  partition (endpoint comparisons cannot be elided by the in/aft case
+  analysis);
+* ``sorted_partitions=False`` keeps partition contents in insertion
+  order (comparisons become linear mask scans instead of binary
+  searches).
+
+Variants answer single queries and query-based batches.  The advanced
+batch strategies intentionally live only on the fully optimized
+:class:`~repro.hint.index.HintIndex` — exactly like the paper, which
+runs its strategies on subs+sort.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.collector import make_collector
+from repro.core.result import BatchResult
+from repro.hint.assignment import (
+    CLASS_O_AFT,
+    CLASS_O_IN,
+    CLASS_R_AFT,
+    CLASS_R_IN,
+    assign_collection,
+)
+from repro.hint.bits import validate_domain
+from repro.intervals.batch import QueryBatch
+from repro.intervals.collection import IntervalCollection
+
+__all__ = ["HintVariant"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class _Table:
+    """One class table of one level: partition-ordered parallel arrays."""
+
+    __slots__ = ("offsets", "ids", "st", "end", "sort_key")
+
+    def __init__(self, num_partitions, parts, ids, st, end, sort_key):
+        if parts.size == 0:
+            self.offsets = np.zeros(num_partitions + 1, dtype=np.int64)
+            self.ids = _EMPTY
+            self.st = _EMPTY
+            self.end = _EMPTY
+            self.sort_key = sort_key
+            return
+        if sort_key == "st":
+            order = np.lexsort((st, parts))
+        elif sort_key == "end":
+            order = np.lexsort((end, parts))
+        else:
+            order = np.argsort(parts, kind="stable")
+        parts = parts[order]
+        self.offsets = np.zeros(num_partitions + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(parts, minlength=num_partitions), out=self.offsets[1:]
+        )
+        self.ids = np.ascontiguousarray(ids[order])
+        self.st = np.ascontiguousarray(st[order])
+        self.end = np.ascontiguousarray(end[order])
+        self.sort_key = sort_key
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    def bounds(self, partition: int):
+        return int(self.offsets[partition]), int(self.offsets[partition + 1])
+
+    # ----- per-partition selections ----------------------------------- #
+
+    def select_all(self, partition, emit):
+        lo, hi = self.bounds(partition)
+        if hi > lo:
+            emit(self.ids[lo:hi])
+
+    def select_st_leq(self, partition, q_end, emit):
+        """Rows with ``s.st <= q_end``."""
+        lo, hi = self.bounds(partition)
+        if hi <= lo:
+            return
+        if self.sort_key == "st":
+            k = int(np.searchsorted(self.st[lo:hi], q_end, side="right"))
+            if k:
+                emit(self.ids[lo : lo + k])
+        else:
+            mask = self.st[lo:hi] <= q_end
+            if mask.any():
+                emit(self.ids[lo:hi][mask])
+
+    def select_end_geq(self, partition, q_st, emit):
+        """Rows with ``s.end >= q_st``."""
+        lo, hi = self.bounds(partition)
+        if hi <= lo:
+            return
+        if self.sort_key == "end":
+            k = int(np.searchsorted(self.end[lo:hi], q_st, side="left"))
+            if hi > lo + k:
+                emit(self.ids[lo + k : hi])
+        else:
+            mask = self.end[lo:hi] >= q_st
+            if mask.any():
+                emit(self.ids[lo:hi][mask])
+
+    def select_both(self, partition, q_st, q_end, emit):
+        """Rows with ``s.st <= q_end`` and ``s.end >= q_st``."""
+        lo, hi = self.bounds(partition)
+        if hi <= lo:
+            return
+        if self.sort_key == "st":
+            k = int(np.searchsorted(self.st[lo:hi], q_end, side="right"))
+            if k == 0:
+                return
+            mask = self.end[lo : lo + k] >= q_st
+            if mask.any():
+                emit(self.ids[lo : lo + k][mask])
+        else:
+            mask = (self.st[lo:hi] <= q_end) & (self.end[lo:hi] >= q_st)
+            if mask.any():
+                emit(self.ids[lo:hi][mask])
+
+
+class HintVariant:
+    """HINT with the Section 2 optimizations individually toggleable.
+
+    Parameters
+    ----------
+    collection, m:
+        As for :class:`~repro.hint.index.HintIndex`.
+    subdivisions:
+        Split ``P_O``/``P_R`` into the four in/aft subdivisions (enables
+        eliding implied comparisons).
+    sorted_partitions:
+        Keep partition contents sorted by the class's beneficial key
+        (enables binary-search prefixes/suffixes instead of scans).
+    """
+
+    def __init__(
+        self,
+        collection: IntervalCollection,
+        m: int,
+        *,
+        subdivisions: bool = True,
+        sorted_partitions: bool = True,
+    ):
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        validate_domain(m, collection.st, collection.end)
+        self.m = int(m)
+        self.subdivisions = bool(subdivisions)
+        self.sorted_partitions = bool(sorted_partitions)
+        self.num_intervals = len(collection)
+        self._domain_top = (1 << self.m) - 1
+        self._levels = self._build(collection)
+
+    def _build(self, coll: IntervalCollection):
+        placements = assign_collection(self.m, coll.st, coll.end)
+        levels = []
+        key_if = lambda key: key if self.sorted_partitions else None  # noqa: E731
+        for level in range(self.m + 1):
+            rows, parts, classes = placements.get(
+                level, (_EMPTY, _EMPTY, _EMPTY.astype(np.int8))
+            )
+            num_partitions = 1 << level
+
+            def table(mask, sort_key):
+                sel = rows[mask]
+                return _Table(
+                    num_partitions,
+                    parts[mask],
+                    coll.ids[sel],
+                    coll.st[sel],
+                    coll.end[sel],
+                    key_if(sort_key),
+                )
+
+            is_original = (classes == CLASS_O_IN) | (classes == CLASS_O_AFT)
+            if self.subdivisions:
+                levels.append(
+                    {
+                        "O_in": table(classes == CLASS_O_IN, "st"),
+                        "O_aft": table(classes == CLASS_O_AFT, "st"),
+                        "R_in": table(classes == CLASS_R_IN, "end"),
+                        "R_aft": table(classes == CLASS_R_AFT, None),
+                    }
+                )
+            else:
+                levels.append(
+                    {
+                        "O": table(is_original, "st"),
+                        "R": table(~is_original, "end"),
+                    }
+                )
+        return levels
+
+    def __len__(self) -> int:
+        return self.num_intervals
+
+    def __repr__(self) -> str:
+        return (
+            f"HintVariant(m={self.m}, subdivisions={self.subdivisions}, "
+            f"sorted={self.sorted_partitions}, n={self.num_intervals})"
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _clip(self, q_st: int, q_end: int):
+        if q_st > q_end:
+            raise ValueError("query must have st <= end")
+        clamp = lambda v: min(max(int(v), 0), self._domain_top)  # noqa: E731
+        return clamp(q_st), clamp(q_end)
+
+    def query(self, q_st: int, q_end: int) -> np.ndarray:
+        """Ids of all intervals G-overlapping ``[q_st, q_end]``."""
+        q_st, q_end = self._clip(q_st, q_end)
+        out: List[np.ndarray] = []
+        self._run(q_st, q_end, out.append)
+        if not out:
+            return _EMPTY
+        return np.concatenate(out)
+
+    def query_count(self, q_st: int, q_end: int) -> int:
+        """Number of intervals G-overlapping ``[q_st, q_end]``."""
+        return int(self.query(q_st, q_end).size)
+
+    def _run(self, q_st, q_end, emit) -> None:
+        compfirst = True
+        complast = True
+        for level in range(self.m, -1, -1):
+            shift = self.m - level
+            f = q_st >> shift
+            l = q_end >> shift
+            tables = self._levels[level]
+            if self.subdivisions:
+                self._first_subs(tables, f, l, q_st, q_end, compfirst, complast, emit)
+            else:
+                self._first_plain(tables, f, l, q_st, q_end, compfirst, complast, emit)
+            if l > f:
+                originals = (
+                    (tables["O_in"], tables["O_aft"])
+                    if self.subdivisions
+                    else (tables["O"],)
+                )
+                for table in originals:
+                    # in-between partitions: contiguous, comparison-free
+                    lo = int(table.offsets[f + 1])
+                    hi = int(table.offsets[l])
+                    if hi > lo:
+                        emit(table.ids[lo:hi])
+                    # last partition
+                    if complast:
+                        table.select_st_leq(l, q_end, emit)
+                    else:
+                        table.select_all(l, emit)
+            if f % 2 == 0:
+                compfirst = False
+            if l % 2 == 1:
+                complast = False
+
+    def _first_subs(self, t, f, l, q_st, q_end, compfirst, complast, emit):
+        if f == l and compfirst and complast:
+            t["O_in"].select_both(f, q_st, q_end, emit)
+            t["O_aft"].select_st_leq(f, q_end, emit)
+            t["R_in"].select_end_geq(f, q_st, emit)
+            t["R_aft"].select_all(f, emit)
+        elif compfirst:
+            t["O_in"].select_end_geq(f, q_st, emit)
+            t["O_aft"].select_all(f, emit)
+            t["R_in"].select_end_geq(f, q_st, emit)
+            t["R_aft"].select_all(f, emit)
+        elif f == l and complast:
+            t["O_in"].select_st_leq(f, q_end, emit)
+            t["O_aft"].select_st_leq(f, q_end, emit)
+            t["R_in"].select_all(f, emit)
+            t["R_aft"].select_all(f, emit)
+        else:
+            for name in ("O_in", "O_aft", "R_in", "R_aft"):
+                t[name].select_all(f, emit)
+
+    def _first_plain(self, t, f, l, q_st, q_end, compfirst, complast, emit):
+        """Lines 7-17 of Algorithm 1 on unoptimized P_O / P_R."""
+        if f == l and compfirst and complast:
+            t["O"].select_both(f, q_st, q_end, emit)
+            t["R"].select_end_geq(f, q_st, emit)
+        elif compfirst:
+            t["O"].select_end_geq(f, q_st, emit)
+            t["R"].select_end_geq(f, q_st, emit)
+        elif f == l and complast:
+            t["O"].select_st_leq(f, q_end, emit)
+            t["R"].select_all(f, emit)
+        else:
+            t["O"].select_all(f, emit)
+            t["R"].select_all(f, emit)
+
+    # ------------------------------------------------------------------ #
+
+    def batch_query_based(
+        self, batch: QueryBatch, *, sort: bool = False, mode: str = "count"
+    ) -> BatchResult:
+        """Serial (query-based) batch evaluation on this variant."""
+        work = batch.sorted_by_start() if sort else batch
+        collector = make_collector(mode, len(work))
+        for pos, (q_st, q_end) in enumerate(work):
+            if mode == "count":
+                collector.add_count(pos, self.query_count(q_st, q_end))
+            else:
+                collector.add_ids(pos, self.query(q_st, q_end))
+        return collector.finalize(work.order)

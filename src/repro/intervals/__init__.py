@@ -1,0 +1,54 @@
+"""Columnar interval collections and query batches.
+
+This package provides the foundational data model of the reproduction:
+
+* :class:`~repro.intervals.collection.IntervalCollection` — a
+  struct-of-arrays store for ``<id, st, end>`` interval records, the input
+  collection ``S`` of the paper.
+* :class:`~repro.intervals.batch.QueryBatch` — a batch ``Q`` of selection
+  (range) queries, optionally sorted by start endpoint as required by the
+  level-based and partition-based strategies.
+* :mod:`~repro.intervals.relations` — interval overlap predicates
+  (G-OVERLAPS and the basic Allen relationships).
+"""
+
+from repro.intervals.batch import QueryBatch
+from repro.intervals.collection import IntervalCollection
+from repro.intervals.io import load_intervals, save_intervals
+from repro.intervals.relations import (
+    g_overlaps,
+    allen_equals,
+    allen_contains,
+    allen_contained_by,
+    allen_meets,
+    allen_met_by,
+    allen_overlaps,
+    allen_overlapped_by,
+    allen_precedes,
+    allen_preceded_by,
+    allen_starts,
+    allen_started_by,
+    allen_finishes,
+    allen_finished_by,
+)
+
+__all__ = [
+    "IntervalCollection",
+    "QueryBatch",
+    "load_intervals",
+    "save_intervals",
+    "g_overlaps",
+    "allen_equals",
+    "allen_contains",
+    "allen_contained_by",
+    "allen_meets",
+    "allen_met_by",
+    "allen_overlaps",
+    "allen_overlapped_by",
+    "allen_precedes",
+    "allen_preceded_by",
+    "allen_starts",
+    "allen_started_by",
+    "allen_finishes",
+    "allen_finished_by",
+]

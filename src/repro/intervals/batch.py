@@ -1,0 +1,129 @@
+"""Query batches.
+
+A *batch* ``Q`` is the unit of work of every strategy in the paper: a set
+of selection (range) queries received together.  The level-based and
+partition-based strategies require the batch to be examined in increasing
+order of the query start endpoint; :meth:`QueryBatch.sorted_by_start`
+produces that ordering while remembering the permutation, so results can
+be reported in the caller's original order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.intervals.collection import _as_int64
+
+__all__ = ["QueryBatch"]
+
+
+class QueryBatch:
+    """An immutable batch of selection queries ``[q.st, q.end]``.
+
+    Parameters
+    ----------
+    st, end:
+        Query endpoints, ``st[i] <= end[i]``.
+    order:
+        Mapping from the batch's positions to the caller's original
+        positions.  Used internally by :meth:`sorted_by_start`; callers
+        normally never pass it.
+    """
+
+    __slots__ = ("_st", "_end", "_order")
+
+    def __init__(self, st, end, *, order=None):
+        st_arr = _as_int64(st, "st")
+        end_arr = _as_int64(end, "end")
+        if st_arr.shape != end_arr.shape:
+            raise ValueError("query st and end must have the same length")
+        if np.any(st_arr > end_arr):
+            bad = int(np.argmax(st_arr > end_arr))
+            raise ValueError(
+                f"query {bad} has st > end ({st_arr[bad]} > {end_arr[bad]})"
+            )
+        if order is None:
+            order_arr = np.arange(st_arr.size, dtype=np.int64)
+        else:
+            order_arr = _as_int64(order, "order")
+            if order_arr.shape != st_arr.shape:
+                raise ValueError("order must have the same length as st/end")
+        for arr in (st_arr, end_arr, order_arr):
+            arr.setflags(write=False)
+        object.__setattr__(self, "_st", st_arr)
+        object.__setattr__(self, "_end", end_arr)
+        object.__setattr__(self, "_order", order_arr)
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("QueryBatch is immutable")
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "QueryBatch":
+        """Build a batch from an iterable of ``(st, end)`` pairs."""
+        rows = list(pairs)
+        if not rows:
+            zero = np.empty(0, dtype=np.int64)
+            return cls(zero, zero)
+        st, end = zip(*rows)
+        return cls(st, end)
+
+    @property
+    def st(self) -> np.ndarray:
+        """Query start endpoints (read-only)."""
+        return self._st
+
+    @property
+    def end(self) -> np.ndarray:
+        """Query end endpoints (read-only)."""
+        return self._end
+
+    @property
+    def order(self) -> np.ndarray:
+        """Original caller position of each query in this batch."""
+        return self._order
+
+    @property
+    def is_sorted(self) -> bool:
+        """True when queries are in non-decreasing start order."""
+        return bool(np.all(self._st[:-1] <= self._st[1:]))
+
+    def __len__(self) -> int:
+        return int(self._st.size)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        for i in range(len(self)):
+            yield (int(self._st[i]), int(self._end[i]))
+
+    def __getitem__(self, index) -> Tuple[int, int]:
+        return (int(self._st[index]), int(self._end[index]))
+
+    def __repr__(self) -> str:
+        return f"QueryBatch(n={len(self)}, sorted={self.is_sorted})"
+
+    def sorted_by_start(self) -> "QueryBatch":
+        """Return the batch in non-decreasing start order, tracking positions.
+
+        An already-sorted batch is returned as-is; otherwise a stable
+        ``(st, end)`` sort is applied.  Only start order matters to the
+        strategies.
+
+        Sorting the batch by start endpoint is the first ingredient of
+        every advanced strategy in the paper (Section 3.1): it removes
+        horizontal jumps between queries on opposite sides of the index.
+        """
+        if self.is_sorted:
+            return self
+        perm = np.lexsort((self._end, self._st))
+        return QueryBatch(
+            self._st[perm], self._end[perm], order=self._order[perm]
+        )
+
+    def clipped(self, lo: int, hi: int) -> "QueryBatch":
+        """Clamp all queries into ``[lo, hi]`` (used before probing HINT)."""
+        if lo > hi:
+            raise ValueError("lo must be <= hi")
+        st = np.clip(self._st, lo, hi)
+        end = np.clip(self._end, lo, hi)
+        return QueryBatch(st, end, order=self._order)

@@ -1,0 +1,130 @@
+"""Interval relationship predicates.
+
+The paper evaluates the widely adopted **G-OVERLAPS** (generalized
+overlap) relationship: a data interval ``s`` qualifies for query ``q``
+when the closed intervals intersect, i.e. ``s.st <= q.end`` and
+``q.st <= s.end``.  The full set of basic Allen's Algebra relationships
+[Allen 1983] is provided as well, because HINT (VLDB J. 2023) supports
+selection queries under any of them and our tests exercise the
+predicates directly.
+
+All predicates are vectorized: ``st`` / ``end`` may be scalars or numpy
+arrays, and broadcasting follows numpy rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "g_overlaps",
+    "allen_equals",
+    "allen_precedes",
+    "allen_preceded_by",
+    "allen_meets",
+    "allen_met_by",
+    "allen_overlaps",
+    "allen_overlapped_by",
+    "allen_contains",
+    "allen_contained_by",
+    "allen_starts",
+    "allen_started_by",
+    "allen_finishes",
+    "allen_finished_by",
+]
+
+
+def g_overlaps(st, end, q_st, q_end):
+    """Generalized overlap: the closed intervals share at least a point.
+
+    This is the selection predicate of the paper:
+    ``s.st <= q.st <= s.end  or  q.st <= s.st <= q.end``.
+    """
+    return np.logical_and(np.less_equal(st, q_end), np.less_equal(q_st, end))
+
+
+def allen_equals(st, end, q_st, q_end):
+    """EQUALS: both endpoints coincide."""
+    return np.logical_and(np.equal(st, q_st), np.equal(end, q_end))
+
+
+def allen_precedes(st, end, q_st, q_end):
+    """PRECEDES (before): ``s`` ends strictly before ``q`` starts."""
+    return np.less(end, q_st)
+
+
+def allen_preceded_by(st, end, q_st, q_end):
+    """PRECEDED-BY (after): ``s`` starts strictly after ``q`` ends."""
+    return np.greater(st, q_end)
+
+
+def allen_meets(st, end, q_st, q_end):
+    """MEETS: ``s`` ends exactly where ``q`` starts (and starts earlier).
+
+    The strictness conditions keep the thirteen relations a partition on
+    closed discrete intervals: a point interval at ``q.st`` is STARTS
+    (or EQUALS), not MEETS, and touching a *point query* from the left
+    is FINISHED-BY.
+    """
+    return np.logical_and(
+        np.equal(end, q_st),
+        np.logical_and(np.less(st, q_st), np.less(end, q_end)),
+    )
+
+
+def allen_met_by(st, end, q_st, q_end):
+    """MET-BY: ``s`` starts exactly where ``q`` ends (and ends later)."""
+    return np.logical_and(
+        np.equal(st, q_end),
+        np.logical_and(np.greater(end, q_end), np.greater(st, q_st)),
+    )
+
+
+def allen_overlaps(st, end, q_st, q_end):
+    """OVERLAPS: ``s`` starts first and they strictly interleave."""
+    return np.logical_and(
+        np.less(st, q_st),
+        np.logical_and(np.greater(end, q_st), np.less(end, q_end)),
+    )
+
+
+def allen_overlapped_by(st, end, q_st, q_end):
+    """OVERLAPPED-BY: ``q`` starts first and they strictly interleave."""
+    return np.logical_and(
+        np.greater(st, q_st),
+        np.logical_and(np.less(st, q_end), np.greater(end, q_end)),
+    )
+
+
+def allen_contains(st, end, q_st, q_end):
+    """CONTAINS: ``s`` strictly covers ``q`` on both sides.
+
+    One-sided coverage with a shared endpoint is STARTED-BY or
+    FINISHED-BY, keeping the relations disjoint.
+    """
+    return np.logical_and(np.less(st, q_st), np.greater(end, q_end))
+
+
+def allen_contained_by(st, end, q_st, q_end):
+    """CONTAINED-BY (during): ``q`` strictly covers ``s`` on both sides."""
+    return np.logical_and(np.greater(st, q_st), np.less(end, q_end))
+
+
+def allen_starts(st, end, q_st, q_end):
+    """STARTS: same start, ``s`` ends strictly earlier."""
+    return np.logical_and(np.equal(st, q_st), np.less(end, q_end))
+
+
+def allen_started_by(st, end, q_st, q_end):
+    """STARTED-BY: same start, ``s`` ends strictly later."""
+    return np.logical_and(np.equal(st, q_st), np.greater(end, q_end))
+
+
+def allen_finishes(st, end, q_st, q_end):
+    """FINISHES: same end, ``s`` starts strictly later."""
+    return np.logical_and(np.equal(end, q_end), np.greater(st, q_st))
+
+
+def allen_finished_by(st, end, q_st, q_end):
+    """FINISHED-BY: same end, ``s`` starts strictly earlier."""
+    return np.logical_and(np.equal(end, q_end), np.less(st, q_st))

@@ -1,0 +1,20 @@
+"""Interval joins.
+
+The paper discusses (Section 1) evaluating a query batch as an interval
+join ``Q ⋈ S`` using the state-of-the-art **optFS** forward-scan plane
+sweep [Bouros & Mamoulis, PVLDB 2017; VLDB J. 2021] and predicts it loses
+to index-based batch processing whenever ``|Q| ≪ |S|``.  This package
+implements the forward-scan family so that the claim can be measured
+(benchmark ``bench_ablation_joinbased``).
+"""
+
+from repro.joins.optfs import forward_scan_join, forward_scan_pairs, join_counts
+from repro.joins.hint_join import hint_join, hint_join_counts
+
+__all__ = [
+    "forward_scan_join",
+    "forward_scan_pairs",
+    "join_counts",
+    "hint_join",
+    "hint_join_counts",
+]

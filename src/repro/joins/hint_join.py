@@ -1,0 +1,62 @@
+"""Interval joins through the HINT index.
+
+The inverse of the paper's join-based strategy: instead of evaluating a
+query batch as a join, evaluate a join as a query batch — treat one
+collection's intervals as queries against the other's index and run the
+partition-based strategy.  This is the index-nested-loop interval join,
+and with the vectorized batch machinery it is competitive with the
+dedicated plane sweep whenever one side is already indexed (the common
+case for a resident collection).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.strategies import partition_based
+from repro.hint.index import HintIndex
+from repro.intervals.batch import QueryBatch
+from repro.intervals.collection import IntervalCollection
+
+__all__ = ["hint_join_counts", "hint_join"]
+
+
+def hint_join_counts(
+    index: HintIndex,
+    probe: IntervalCollection,
+) -> np.ndarray:
+    """Per-probe-interval counts of indexed intervals G-overlapping it.
+
+    ``index`` must cover the probe endpoints' domain (normalize the
+    probe side first when the domains differ).
+    """
+    batch = QueryBatch(probe.st, probe.end)
+    return partition_based(index, batch, mode="count").counts
+
+
+def hint_join(
+    index: HintIndex,
+    probe: IntervalCollection,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All G-overlapping ``(probe_id, indexed_id)`` pairs.
+
+    Returns two parallel id arrays.  Pair order is an implementation
+    detail; each qualifying pair appears exactly once.
+    """
+    batch = QueryBatch(probe.st, probe.end)
+    result = partition_based(index, batch, mode="ids")
+    left_parts: List[np.ndarray] = []
+    right_parts: List[np.ndarray] = []
+    for pos in range(len(probe)):
+        matches = result.ids(pos)
+        if matches.size:
+            left_parts.append(
+                np.full(matches.size, probe.ids[pos], dtype=np.int64)
+            )
+            right_parts.append(matches)
+    if not left_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(left_parts), np.concatenate(right_parts)

@@ -1,0 +1,39 @@
+"""Workload generation.
+
+* :mod:`~repro.workloads.synthetic` — the paper's synthetic generator
+  (Table 3): zipfian interval lengths controlled by ``alpha``, normally
+  distributed positions controlled by ``sigma``.
+* :mod:`~repro.workloads.realistic` — synthetic clones of the four real
+  datasets of Table 2 (BOOKS, WEBKIT, TAXIS, GREEND), matched to their
+  published cardinality/domain/duration characteristics.  The real files
+  are not redistributable; DESIGN.md documents why the clones preserve
+  the behaviour the evaluation depends on (placement depth in the
+  hierarchy).
+* :mod:`~repro.workloads.queries` — query batch generators: uniform
+  positions (used on the real datasets) and data-following positions
+  (used on the synthetic ones), with the paper's extent/batch-size
+  parameter grids.
+"""
+
+from repro.workloads.synthetic import SyntheticSpec, generate_synthetic
+from repro.workloads.realistic import (
+    REAL_DATASET_SPECS,
+    RealDatasetSpec,
+    make_realistic_clone,
+)
+from repro.workloads.queries import (
+    uniform_queries,
+    data_following_queries,
+    stabbing_queries,
+)
+
+__all__ = [
+    "SyntheticSpec",
+    "generate_synthetic",
+    "REAL_DATASET_SPECS",
+    "RealDatasetSpec",
+    "make_realistic_clone",
+    "uniform_queries",
+    "data_following_queries",
+    "stabbing_queries",
+]

@@ -1,0 +1,165 @@
+"""Synthetic clones of the four real datasets (Table 2 of the paper).
+
+The paper evaluates on BOOKS (Aarhus library loans), WEBKIT (git file
+history), TAXIS (NYC taxi trips) and GREEND (household power usage).
+None of those files can be redistributed or downloaded offline, so this
+module generates *clones* matched to every characteristic the paper
+publishes in Table 2: cardinality (scaled), domain length, and the
+min/avg/max duration profile.
+
+Why this substitution preserves the evaluation's behaviour: every claim
+in Figure 3 is driven by *where intervals land in the HINT hierarchy* —
+long intervals (BOOKS/WEBKIT, avg duration ~7% of the domain) live at
+the top levels, making vertical jumps expensive and level-based
+batching effective, while short intervals (TAXIS/GREEND, avg duration
+<0.01% of the domain) live at the bottom levels, where horizontal
+partition locality dominates and partition-based batching shines.
+Placement depth depends only on ``duration / domain``, which the clones
+match by construction.
+
+Durations are drawn from a lognormal distribution fitted to the
+published average, with the spread chosen per dataset to also hit the
+published maximum order-of-magnitude, then clipped to
+``[min_duration, max_duration]``.  Positions are uniform over the
+domain, as in the loan/trip/measurement semantics of the originals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.intervals.collection import IntervalCollection
+
+__all__ = ["RealDatasetSpec", "REAL_DATASET_SPECS", "make_realistic_clone", "DEFAULT_SCALE"]
+
+#: Default cardinality scale — the paper's collections (2.3M-172M rows)
+#: do not fit a Python benchmarking budget; shapes are scale-invariant.
+DEFAULT_SCALE = 0.01
+
+
+@dataclass(frozen=True)
+class RealDatasetSpec:
+    """Published characteristics of one real dataset (Table 2)."""
+
+    name: str
+    cardinality: int
+    domain: int  # seconds
+    min_duration: int
+    max_duration: int
+    avg_duration: float
+    paper_m: int  # the m the paper chose via the HINT cost model
+    sigma_log: float  # lognormal shape for the clone's duration spread
+
+    @property
+    def avg_duration_pct(self) -> float:
+        return 100.0 * self.avg_duration / self.domain
+
+
+REAL_DATASET_SPECS: Dict[str, RealDatasetSpec] = {
+    "BOOKS": RealDatasetSpec(
+        name="BOOKS",
+        cardinality=2_312_602,
+        domain=31_507_200,
+        min_duration=1,
+        max_duration=31_406_400,
+        avg_duration=2_201_320,
+        paper_m=10,
+        sigma_log=1.6,
+    ),
+    "WEBKIT": RealDatasetSpec(
+        name="WEBKIT",
+        cardinality=2_347_346,
+        domain=461_829_284,
+        min_duration=1,
+        max_duration=461_815_512,
+        avg_duration=33_206_300,
+        paper_m=12,
+        sigma_log=2.2,
+    ),
+    "TAXIS": RealDatasetSpec(
+        name="TAXIS",
+        cardinality=172_668_003,
+        domain=31_768_287,
+        min_duration=1,
+        max_duration=2_148_385,
+        avg_duration=758,
+        paper_m=17,
+        sigma_log=1.1,
+    ),
+    "GREEND": RealDatasetSpec(
+        name="GREEND",
+        cardinality=110_115_441,
+        domain=283_356_410,
+        min_duration=1,
+        max_duration=59_468_008,
+        avg_duration=15,
+        paper_m=17,
+        sigma_log=1.4,
+    ),
+}
+
+
+def _lognormal_durations(
+    rng: np.random.Generator, spec: RealDatasetSpec, n: int
+) -> np.ndarray:
+    """Durations with mean ``avg_duration`` and spread ``sigma_log``.
+
+    For a lognormal variable, ``mean = exp(mu + sigma^2 / 2)``; we solve
+    for ``mu`` and clip into the published ``[min, max]`` range.  The
+    clip nudges the realized mean; a final multiplicative correction
+    pass brings it back within a few percent of the target (Table 2 of
+    EXPERIMENTS.md records the realized values).
+    """
+    sigma = spec.sigma_log
+    mu = math.log(max(spec.avg_duration, 1.0)) - sigma * sigma / 2.0
+    durations = rng.lognormal(mean=mu, sigma=sigma, size=n)
+    # One correction step against clipping bias.
+    clipped = np.clip(durations, spec.min_duration, spec.max_duration)
+    realized = clipped.mean()
+    if realized > 0:
+        durations *= spec.avg_duration / realized
+    durations = np.clip(durations, spec.min_duration, spec.max_duration)
+    return np.rint(durations).astype(np.int64)
+
+
+def make_realistic_clone(
+    name: str,
+    *,
+    cardinality: Optional[int] = None,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+) -> IntervalCollection:
+    """Generate the synthetic clone of a Table 2 dataset.
+
+    Parameters
+    ----------
+    name:
+        One of ``"BOOKS"``, ``"WEBKIT"``, ``"TAXIS"``, ``"GREEND"``
+        (case-insensitive).
+    cardinality:
+        Explicit number of intervals; default
+        ``round(published_cardinality * scale)``.
+    scale:
+        Cardinality scale factor when *cardinality* is not given.
+    seed:
+        Deterministic RNG seed.
+    """
+    try:
+        spec = REAL_DATASET_SPECS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of "
+            f"{sorted(REAL_DATASET_SPECS)}"
+        ) from None
+    if cardinality is None:
+        cardinality = max(1, round(spec.cardinality * scale))
+    rng = np.random.default_rng(seed)
+    durations = _lognormal_durations(rng, spec, cardinality)
+    max_start = np.maximum(spec.domain - durations, 1)
+    st = (rng.random(cardinality) * max_start).astype(np.int64)
+    end = np.minimum(st + durations - 1, spec.domain - 1)
+    return IntervalCollection(st, end, copy=False)

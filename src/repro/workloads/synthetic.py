@@ -1,0 +1,122 @@
+"""Synthetic interval collections (Table 3 of the paper).
+
+The generator follows the construction of the HINT papers:
+
+* interval **lengths** follow a zipfian distribution controlled by
+  ``alpha`` — a value close to 1 yields mostly long intervals, large
+  values collapse almost all lengths to 1;
+* interval **positions** place the middle point of every interval
+  according to a normal distribution centered at the middle of the
+  domain with deviation ``sigma`` — small ``sigma`` concentrates the
+  data (and hence the queries that follow the data distribution), large
+  ``sigma`` spreads it out.
+
+Table 3 parameter grids and defaults are exposed as module constants so
+experiments and benchmarks share one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.intervals.collection import IntervalCollection
+
+__all__ = [
+    "SyntheticSpec",
+    "generate_synthetic",
+    "DOMAIN_GRID",
+    "CARDINALITY_GRID",
+    "ALPHA_GRID",
+    "SIGMA_GRID",
+    "DEFAULTS",
+]
+
+# Table 3 (defaults in bold in the paper).
+DOMAIN_GRID = (32_000_000, 64_000_000, 128_000_000, 256_000_000, 512_000_000)
+CARDINALITY_GRID = (10_000_000, 50_000_000, 100_000_000, 500_000_000, 1_000_000_000)
+ALPHA_GRID = (1.01, 1.1, 1.2, 1.4, 1.8)
+SIGMA_GRID = (10_000, 100_000, 1_000_000, 5_000_000, 10_000_000)
+DEFAULTS = {
+    "domain": 128_000_000,
+    "cardinality": 100_000_000,
+    "alpha": 1.2,
+    "sigma": 1_000_000,
+}
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Construction parameters of one synthetic collection."""
+
+    cardinality: int
+    domain: int
+    alpha: float
+    sigma: float
+    seed: int = 0
+
+    def scaled(self, factor: float) -> "SyntheticSpec":
+        """Uniformly scale cardinality (domain kept — query extents are
+        expressed relative to the domain, so shapes are preserved)."""
+        return SyntheticSpec(
+            cardinality=max(1, int(self.cardinality * factor)),
+            domain=self.domain,
+            alpha=self.alpha,
+            sigma=self.sigma,
+            seed=self.seed,
+        )
+
+
+def generate_synthetic(
+    cardinality: int,
+    domain: int,
+    alpha: float,
+    sigma: float,
+    *,
+    seed: int = 0,
+) -> IntervalCollection:
+    """Generate a synthetic collection per the paper's recipe.
+
+    Parameters
+    ----------
+    cardinality:
+        Number of intervals.
+    domain:
+        Domain length; endpoints fall in ``[0, domain - 1]``.
+    alpha:
+        Zipf exponent of the interval lengths (must exceed 1).
+    sigma:
+        Standard deviation of the normal distribution that positions
+        interval middle points around ``domain / 2``.
+    seed:
+        Deterministic RNG seed.
+    """
+    if cardinality < 0:
+        raise ValueError("cardinality must be non-negative")
+    if domain < 2:
+        raise ValueError("domain must be at least 2")
+    if alpha <= 1.0:
+        raise ValueError("alpha must be > 1 for a zipfian length distribution")
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if cardinality == 0:
+        return IntervalCollection.empty()
+
+    rng = np.random.default_rng(seed)
+    lengths = rng.zipf(alpha, size=cardinality).astype(np.int64)
+    np.clip(lengths, 1, domain, out=lengths)
+
+    middles = rng.normal(loc=domain / 2.0, scale=float(sigma), size=cardinality)
+    st = np.rint(middles - lengths / 2.0).astype(np.int64)
+    np.clip(st, 0, domain - 1, out=st)
+    end = st + lengths - 1
+    np.clip(end, 0, domain - 1, out=end)
+    return IntervalCollection(st, end, copy=False)
+
+
+def generate_from_spec(spec: SyntheticSpec) -> IntervalCollection:
+    """Generate a collection from a :class:`SyntheticSpec`."""
+    return generate_synthetic(
+        spec.cardinality, spec.domain, spec.alpha, spec.sigma, seed=spec.seed
+    )

@@ -1,0 +1,86 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro import HintIndex, IntervalCollection, NaiveScan, QueryBatch
+
+# Property-based tests run derandomized so the suite is deterministic
+# across machines (a reproduction's tests should fail only for real
+# reasons).  Remove the profile locally to let hypothesis explore.
+settings.register_profile(
+    "repro-ci",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-ci")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20240325)
+
+
+def random_collection(rng, n, top):
+    """Random collection with endpoints inside ``[0, top]``."""
+    if n == 0:
+        return IntervalCollection.empty()
+    st = rng.integers(0, top + 1, size=n)
+    end = np.minimum(st + rng.integers(0, top + 1, size=n), top)
+    return IntervalCollection(st, end)
+
+
+def random_batch(rng, n, top):
+    """Random query batch with endpoints inside ``[0, top]``."""
+    st = rng.integers(0, top + 1, size=n)
+    end = np.minimum(st + rng.integers(0, top + 1, size=n), top)
+    return QueryBatch(st, end)
+
+
+def expected_sets(collection, batch):
+    """Ground-truth result sets per query, via the naive oracle."""
+    naive = NaiveScan(collection)
+    return [
+        frozenset(int(v) for v in naive.query(s, e)) for s, e in batch
+    ]
+
+
+@pytest.fixture
+def small_collection():
+    """The hand-checkable collection used by many exact-value tests.
+
+    Domain [0, 15] (m = 4):
+
+    ======  =========  =================================
+    id      interval   notes
+    ======  =========  =================================
+    0       [0, 15]    full domain
+    1       [3, 3]     point
+    2       [2, 5]     equals query q1 of the paper
+    3       [10, 13]   equals query q2
+    4       [4, 6]     equals query q3
+    5       [7, 8]     crosses the domain midpoint
+    6       [14, 15]   touches the domain end
+    7       [0, 0]     point at the origin
+    ======  =========  =================================
+    """
+    return IntervalCollection.from_records(
+        [
+            (0, 0, 15),
+            (1, 3, 3),
+            (2, 2, 5),
+            (3, 10, 13),
+            (4, 4, 6),
+            (5, 7, 8),
+            (6, 14, 15),
+            (7, 0, 0),
+        ]
+    )
+
+
+@pytest.fixture
+def small_index(small_collection):
+    return HintIndex(small_collection, m=4)

@@ -1,0 +1,59 @@
+"""Smoke + shape tests for the ablation experiment runners (tiny configs)."""
+
+import pytest
+
+from repro.experiments.ablations import run_cache, run_join, run_parallel, run_sorting
+
+
+class TestSortingAblation:
+    def test_rows_and_shape(self):
+        result = run_sorting(datasets=("BOOKS",), batch_size=100)
+        assert len(result.rows) == 6  # 3 strategies x sorted on/off
+        assert {r["strategy"] for r in result.rows} == {
+            "query-based",
+            "level-based",
+            "partition-based",
+        }
+        assert all(r["seconds"] > 0 for r in result.rows)
+
+
+class TestCacheAblation:
+    def test_ordering_matches_paper(self):
+        result = run_cache(
+            cardinality=5_000, batch_size=48, cache_blocks=(8, 64)
+        )
+        by_name = {r["strategy"]: r for r in result.rows}
+        for capacity in (8, 64):
+            col = f"misses@{capacity}"
+            assert (
+                by_name["partition-based"][col]
+                <= by_name["level-based"][col]
+                <= by_name["query-based-sorted"][col]
+                <= by_name["query-based"][col]
+            ), col
+
+    def test_scalar_cache_blocks_accepted(self):
+        result = run_cache(cardinality=2_000, batch_size=16, cache_blocks=16)
+        assert all("misses@16" in r for r in result.rows)
+
+    def test_accesses_identical_across_strategies(self):
+        result = run_cache(cardinality=2_000, batch_size=16, cache_blocks=(8,))
+        accesses = {r["accesses"] for r in result.rows}
+        assert len(accesses) == 1  # same multiset of partition visits
+
+
+class TestJoinAblation:
+    def test_index_batching_wins_small_batches(self):
+        result = run_join(batch_sizes=(50, 200))
+        for row in result.rows:
+            assert row["join_based_s"] > 0
+            assert row["partition_based_s"] > 0
+        # paper claim at |Q| << |S|
+        assert result.rows[0]["join_over_pb"] > 1.0
+
+
+class TestParallelAblation:
+    def test_rows_and_correct_shape(self):
+        result = run_parallel(batch_size=200, workers=(1, 2), repeats=1)
+        assert len(result.rows) == 6  # 3 strategies x 2 worker counts
+        assert all(r["seconds"] > 0 for r in result.rows)

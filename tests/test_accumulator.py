@@ -1,0 +1,157 @@
+"""Tests for the batch accumulator (size/timeout admission policy)."""
+
+import numpy as np
+import pytest
+
+from repro import HintIndex, IntervalCollection, NaiveScan, partition_based
+from repro.core.accumulator import BatchAccumulator
+from tests.conftest import random_collection
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def setup(rng):
+    coll = random_collection(rng, 200, 255)
+    index = HintIndex(coll, m=8)
+    naive = NaiveScan(coll)
+    return index, naive
+
+
+class TestSizeTrigger:
+    def test_flush_at_max_batch(self, setup):
+        index, naive = setup
+        acc = BatchAccumulator(
+            lambda b: partition_based(index, b), max_batch=3, max_wait=1e9,
+            clock=FakeClock(),
+        )
+        h1 = acc.submit(0, 10)
+        h2 = acc.submit(5, 20)
+        assert not h1.done and len(acc) == 2
+        h3 = acc.submit(100, 110)
+        assert h1.done and h2.done and h3.done
+        assert len(acc) == 0
+        assert acc.size_flushes == 1
+        assert h1.result() == naive.query_count(0, 10)
+        assert h2.result() == naive.query_count(5, 20)
+        assert h3.result() == naive.query_count(100, 110)
+
+    def test_multiple_flushes(self, setup):
+        index, naive = setup
+        acc = BatchAccumulator(
+            lambda b: partition_based(index, b), max_batch=2, max_wait=1e9,
+            clock=FakeClock(),
+        )
+        handles = [acc.submit(i, i + 5) for i in range(10)]
+        assert acc.flushes == 5
+        for i, h in enumerate(handles):
+            assert h.result() == naive.query_count(i, i + 5)
+
+
+class TestTimeoutTrigger:
+    def test_timeout_on_submit(self, setup):
+        index, naive = setup
+        clock = FakeClock()
+        acc = BatchAccumulator(
+            lambda b: partition_based(index, b), max_batch=100,
+            max_wait=0.5, clock=clock,
+        )
+        h1 = acc.submit(0, 10)
+        clock.advance(0.6)
+        h2 = acc.submit(5, 20)  # arrival notices the old query's wait
+        assert h1.done and h2.done
+        assert acc.timeout_flushes == 1
+
+    def test_poll_triggers_timeout(self, setup):
+        index, _ = setup
+        clock = FakeClock()
+        acc = BatchAccumulator(
+            lambda b: partition_based(index, b), max_batch=100,
+            max_wait=0.5, clock=clock,
+        )
+        h = acc.submit(0, 10)
+        assert acc.poll() is False  # not yet
+        clock.advance(0.5)
+        assert acc.poll() is True
+        assert h.done
+
+    def test_poll_empty(self, setup):
+        index, _ = setup
+        acc = BatchAccumulator(
+            lambda b: partition_based(index, b), clock=FakeClock()
+        )
+        assert acc.poll() is False
+
+
+class TestForceFlushAndModes:
+    def test_forced_flush(self, setup):
+        index, _ = setup
+        acc = BatchAccumulator(
+            lambda b: partition_based(index, b), max_batch=100,
+            max_wait=1e9, clock=FakeClock(),
+        )
+        h = acc.submit(0, 10)
+        assert acc.flush() is True
+        assert h.done
+        assert acc.flush() is False  # nothing staged
+
+    def test_ids_mode_results(self, setup):
+        index, naive = setup
+        acc = BatchAccumulator(
+            lambda b: partition_based(index, b, mode="ids"),
+            max_batch=2, max_wait=1e9, clock=FakeClock(),
+        )
+        h1 = acc.submit(0, 50)
+        h2 = acc.submit(100, 150)
+        assert set(h1.result().tolist()) == set(
+            naive.query(0, 50).tolist()
+        )
+        assert set(h2.result().tolist()) == set(
+            naive.query(100, 150).tolist()
+        )
+
+    def test_checksum_mode_results(self, setup):
+        index, naive = setup
+        acc = BatchAccumulator(
+            lambda b: partition_based(index, b, mode="checksum"),
+            max_batch=1, max_wait=1e9, clock=FakeClock(),
+        )
+        h = acc.submit(0, 50)
+        count, checksum = h.result()
+        ids = naive.query(0, 50)
+        assert count == ids.size
+        expected = int(np.bitwise_xor.reduce(ids)) if ids.size else 0
+        assert checksum == expected
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BatchAccumulator(lambda b: None, max_batch=0)
+        with pytest.raises(ValueError):
+            BatchAccumulator(lambda b: None, max_wait=0)
+
+    def test_bad_query(self, setup):
+        index, _ = setup
+        acc = BatchAccumulator(lambda b: partition_based(index, b))
+        with pytest.raises(ValueError):
+            acc.submit(9, 3)
+
+    def test_unresolved_result_raises(self, setup):
+        index, _ = setup
+        acc = BatchAccumulator(
+            lambda b: partition_based(index, b), max_batch=100,
+            max_wait=1e9, clock=FakeClock(),
+        )
+        h = acc.submit(0, 5)
+        with pytest.raises(RuntimeError):
+            h.result()

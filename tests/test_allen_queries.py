@@ -1,0 +1,111 @@
+"""Tests for Allen-relationship selection queries over HINT."""
+
+import numpy as np
+import pytest
+
+from repro import AllenSelection, HintIndex, IntervalCollection
+from repro.hint.allen import ALLEN_RELATIONS
+from tests.conftest import random_collection
+
+RELATIONS = sorted(ALLEN_RELATIONS)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    rng = np.random.default_rng(77)
+    coll = random_collection(rng, 400, 255)
+    return AllenSelection(coll, HintIndex(coll, m=8)), coll
+
+
+def brute_force(coll, relation, q_st, q_end):
+    fn = ALLEN_RELATIONS[relation]
+    mask = fn(coll.st, coll.end, q_st, q_end)
+    return set(coll.ids[mask].tolist())
+
+
+@pytest.mark.parametrize("relation", RELATIONS)
+def test_relation_vs_bruteforce(engine, relation, rng):
+    eng, coll = engine
+    for _ in range(30):
+        a, b = sorted(rng.integers(0, 256, size=2).tolist())
+        got = eng.query(relation, a, b)
+        assert len(set(got.tolist())) == got.size, "duplicates"
+        assert set(got.tolist()) == brute_force(coll, relation, a, b), (
+            f"{relation} on [{a}, {b}]"
+        )
+        assert eng.query_count(relation, a, b) == got.size
+
+
+def test_relations_partition_everything(engine, rng):
+    """Every interval stands in exactly one basic relation to a query."""
+    eng, coll = engine
+    basic = [r for r in RELATIONS if r != "g_overlaps"]
+    for _ in range(10):
+        a, b = sorted(rng.integers(0, 256, size=2).tolist())
+        total = sum(eng.query_count(r, a, b) for r in basic)
+        assert total == len(coll)
+
+
+def test_g_overlaps_passthrough(engine, rng):
+    eng, coll = engine
+    from repro import NaiveScan
+
+    naive = NaiveScan(coll)
+    for _ in range(10):
+        a, b = sorted(rng.integers(0, 256, size=2).tolist())
+        assert sorted(eng.query("g_overlaps", a, b).tolist()) == sorted(
+            naive.query(a, b).tolist()
+        )
+
+
+def test_point_query_relations():
+    coll = IntervalCollection.from_pairs([(5, 5), (5, 9), (2, 5), (0, 10)])
+    eng = AllenSelection(coll, HintIndex(coll, m=4))
+    assert set(eng.query("equals", 5, 5).tolist()) == {0}
+    assert set(eng.query("started_by", 5, 5).tolist()) == {1}
+    assert set(eng.query("finished_by", 5, 5).tolist()) == {2}
+    assert set(eng.query("contains", 5, 5).tolist()) == {3}
+
+
+def test_auto_index():
+    coll = IntervalCollection.from_pairs([(2, 5), (5, 9)])
+    eng = AllenSelection(coll)  # builds its own index
+    assert set(eng.query("meets", 5, 12).tolist()) == {0}
+
+
+def test_invalid_inputs(engine):
+    eng, _ = engine
+    with pytest.raises(ValueError, match="unknown relation"):
+        eng.query("sideways", 0, 5)
+    with pytest.raises(ValueError):
+        eng.query("equals", 9, 3)
+
+
+def test_empty_collection():
+    coll = IntervalCollection.empty()
+    eng = AllenSelection(coll, HintIndex(coll, m=4))
+    for relation in RELATIONS:
+        assert eng.query_count(relation, 2, 9) == 0
+
+
+class TestAllenBatch:
+    @pytest.mark.parametrize("mode", ["count", "ids", "checksum"])
+    def test_batch_matches_singles(self, engine, mode, rng):
+        from repro import QueryBatch
+
+        eng, coll = engine
+        qs = rng.integers(0, 200, size=15)
+        qe = np.minimum(qs + rng.integers(0, 56, size=15), 255)
+        batch = QueryBatch(qs, qe)
+        result = eng.query_batch("overlaps", batch, mode=mode)
+        for i, (a, b) in enumerate(batch):
+            single = eng.query("overlaps", a, b)
+            assert result.counts[i] == single.size
+            if mode == "ids":
+                assert set(result.ids(i).tolist()) == set(single.tolist())
+
+    def test_empty_batch(self, engine):
+        from repro import QueryBatch
+
+        eng, _ = engine
+        assert len(eng.query_batch("meets", QueryBatch([], []))) == 0

@@ -1,0 +1,72 @@
+"""Public API surface tests: exports exist, are documented, and the
+README quickstart pattern works end to end."""
+
+import inspect
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("name", repro.__all__)
+def test_exports_exist(name):
+    assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in repro.__all__ if n not in ("__version__", "STRATEGIES")],
+)
+def test_public_items_documented(name):
+    obj = getattr(repro, name)
+    assert inspect.getdoc(obj), f"{name} lacks a docstring"
+
+
+def test_quickstart_flow():
+    """The end-to-end flow from the README."""
+    rng = np.random.default_rng(7)
+    st = rng.integers(0, 950, size=500)
+    coll = repro.IntervalCollection(st, st + rng.integers(1, 50, size=500))
+    index = repro.HintIndex(coll, m=10)
+    batch = repro.QueryBatch([10, 500, 900], [40, 520, 999])
+    result = repro.partition_based(index, batch)
+    assert len(result) == 3
+    serial = repro.query_based(index, batch)
+    assert np.array_equal(result.counts, serial.counts)
+
+
+def test_module_docstrings():
+    import repro.analysis
+    import repro.baselines
+    import repro.core
+    import repro.experiments
+    import repro.grid
+    import repro.hint
+    import repro.intervals
+    import repro.joins
+    import repro.workloads
+
+    for module in (
+        repro,
+        repro.analysis,
+        repro.baselines,
+        repro.core,
+        repro.experiments,
+        repro.grid,
+        repro.hint,
+        repro.intervals,
+        repro.joins,
+        repro.workloads,
+    ):
+        assert module.__doc__, module.__name__
+
+
+def test_strategy_registry_is_consistent_with_exports():
+    for name, spec in repro.STRATEGIES.items():
+        assert callable(spec["fn"])
+        assert isinstance(spec["sort"], bool)

@@ -1,0 +1,132 @@
+"""Unit tests for interval-to-partition assignment — HINT's core invariants."""
+
+import numpy as np
+import pytest
+
+from repro.hint.assignment import (
+    CLASS_O_AFT,
+    CLASS_O_IN,
+    CLASS_R_AFT,
+    CLASS_R_IN,
+    Assignment,
+    assign_collection,
+    assign_interval,
+)
+from repro.hint.bits import level_prefix, partition_range
+
+
+def covered_values(m, placements):
+    values = []
+    for a in placements:
+        lo, hi = partition_range(m, a.level, a.partition)
+        values.extend(range(lo, hi + 1))
+    return sorted(values)
+
+
+class TestScalarAssignment:
+    def test_single_point(self):
+        placements = assign_interval(4, 5, 5)
+        assert len(placements) == 1
+        assert placements[0] == Assignment(4, 5, CLASS_O_IN)
+
+    def test_full_domain(self):
+        placements = assign_interval(4, 0, 15)
+        assert placements == [Assignment(0, 0, CLASS_O_IN)]
+
+    def test_paper_example_2_5(self):
+        # [2, 5] with m=4 tiles as P3,1 ([2,3]) + P3,2 ([4,5]).
+        placements = assign_interval(4, 2, 5)
+        assert {(a.level, a.partition) for a in placements} == {(3, 1), (3, 2)}
+
+    def test_classes_of_paper_example(self):
+        placements = {(a.level, a.partition): a.cls for a in assign_interval(4, 2, 5)}
+        assert placements[(3, 1)] == CLASS_O_AFT  # starts in, ends after
+        assert placements[(3, 2)] == CLASS_R_IN  # starts before, ends in
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            assign_interval(4, 5, 2)
+
+    def test_out_of_domain(self):
+        with pytest.raises(ValueError):
+            assign_interval(4, 0, 16)
+
+    @pytest.mark.parametrize("m", [0, 1, 2, 5, 8])
+    def test_exhaustive_tiling_small_domains(self, m):
+        """For every interval of a small domain: the selected partitions
+        tile it exactly, with at most 2 per level and one original."""
+        top = (1 << m) - 1
+        span = range(0, top + 1)
+        for st in span:
+            for end in range(st, top + 1):
+                placements = assign_interval(m, st, end)
+                # exact tiling, no overlap
+                assert covered_values(m, placements) == list(range(st, end + 1))
+                # at most two partitions per level
+                per_level = {}
+                for a in placements:
+                    per_level[a.level] = per_level.get(a.level, 0) + 1
+                assert all(v <= 2 for v in per_level.values())
+                # exactly one original, in the partition containing st
+                originals = [a for a in placements if a.is_original]
+                assert len(originals) == 1
+                orig = originals[0]
+                assert level_prefix(m, orig.level, st) == orig.partition
+
+    def test_class_consistency(self):
+        """in/aft flag must match the partition range."""
+        m = 6
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            st, end = sorted(rng.integers(0, 1 << m, size=2).tolist())
+            for a in assign_interval(m, st, end):
+                lo, hi = partition_range(m, a.level, a.partition)
+                assert a.is_original == (lo <= st <= hi)
+                assert a.ends_inside == (lo <= end <= hi)
+                # interval must overlap its partition
+                assert st <= hi and end >= lo
+
+    def test_class_name(self):
+        a = Assignment(1, 0, CLASS_R_AFT)
+        assert a.class_name == "R_aft"
+        assert not a.is_original
+        assert not a.ends_inside
+
+
+class TestVectorizedAssignment:
+    @pytest.mark.parametrize("m", [0, 1, 3, 6, 10])
+    def test_matches_scalar(self, m, rng):
+        top = (1 << m) - 1
+        n = 300
+        st = rng.integers(0, top + 1, size=n)
+        end = np.minimum(st + rng.integers(0, top + 1, size=n), top)
+        per_level = assign_collection(m, st, end)
+        # regroup into per-interval sets
+        got = [set() for _ in range(n)]
+        for level, (rows, parts, classes) in per_level.items():
+            for r, p, c in zip(rows, parts, classes):
+                got[int(r)].add((level, int(p), int(c)))
+        for i in range(n):
+            expected = {
+                (a.level, a.partition, a.cls)
+                for a in assign_interval(m, int(st[i]), int(end[i]))
+            }
+            assert got[i] == expected, f"interval {i}: [{st[i]}, {end[i]}]"
+
+    def test_empty_collection(self):
+        assert assign_collection(4, np.array([], dtype=np.int64), np.array([], dtype=np.int64)) == {}
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            assign_collection(3, np.array([0]), np.array([8]))
+
+    def test_total_placements_bounded(self, rng):
+        """Replication is bounded by 2 placements per level."""
+        m = 8
+        top = (1 << m) - 1
+        st = rng.integers(0, top + 1, size=1000)
+        end = np.minimum(st + rng.integers(0, top + 1, size=1000), top)
+        per_level = assign_collection(m, st, end)
+        total = sum(rows.size for rows, _, _ in per_level.values())
+        assert total <= 2 * (m + 1) * 1000
+        assert total >= 1000  # every interval is stored somewhere

@@ -1,0 +1,133 @@
+"""Tests for the baseline-specific extended operations:
+period-index duration queries and timeline temporal aggregation."""
+
+import numpy as np
+import pytest
+
+from repro import IntervalCollection, PeriodIndex, TimelineIndex
+from tests.conftest import random_collection
+
+
+class TestPeriodDurationQueries:
+    def brute(self, coll, q_st, q_end, dmin, dmax):
+        out = set()
+        for rid, st, end in coll:
+            dur = end - st + 1
+            if st <= q_end and q_st <= end and dur >= dmin and (
+                dmax is None or dur <= dmax
+            ):
+                out.add(rid)
+        return out
+
+    @pytest.mark.parametrize("layers", [1, 3, 5])
+    def test_vs_bruteforce(self, layers, rng):
+        coll = random_collection(rng, 250, 400)
+        pi = PeriodIndex(coll, num_buckets=8, num_layers=layers)
+        for _ in range(40):
+            a, b = sorted(rng.integers(0, 401, size=2).tolist())
+            dmin = int(rng.integers(1, 50))
+            dmax = dmin + int(rng.integers(0, 100))
+            got = pi.query_with_duration(a, b, dmin, dmax)
+            assert len(set(got.tolist())) == got.size
+            assert set(got.tolist()) == self.brute(coll, a, b, dmin, dmax)
+
+    def test_unbounded_max(self, rng):
+        coll = random_collection(rng, 150, 200)
+        pi = PeriodIndex(coll, num_buckets=5)
+        got = pi.query_with_duration(0, 200, 10, None)
+        assert set(got.tolist()) == self.brute(coll, 0, 200, 10, None)
+
+    def test_duration_filter_matches_plain_query_when_wide(self, rng):
+        coll = random_collection(rng, 150, 200)
+        pi = PeriodIndex(coll, num_buckets=5)
+        a, b = 30, 90
+        assert set(pi.query_with_duration(a, b, 1, None).tolist()) == set(
+            pi.query(a, b).tolist()
+        )
+
+    def test_validation(self):
+        pi = PeriodIndex(IntervalCollection.from_pairs([(0, 5)]))
+        with pytest.raises(ValueError):
+            pi.query_with_duration(9, 2)
+        with pytest.raises(ValueError):
+            pi.query_with_duration(0, 5, 0)
+        with pytest.raises(ValueError):
+            pi.query_with_duration(0, 5, 10, 5)
+
+    def test_no_matches(self):
+        coll = IntervalCollection.from_pairs([(0, 0), (5, 5)])
+        pi = PeriodIndex(coll, num_buckets=2)
+        assert pi.query_with_duration(0, 10, 100).size == 0
+
+
+class TestTimelineAggregation:
+    def test_active_counts_vs_bruteforce(self, rng):
+        coll = random_collection(rng, 200, 300)
+        tl = TimelineIndex(coll)
+        times = rng.integers(0, 301, size=50)
+        got = tl.active_counts(times)
+        for t, count in zip(times, got):
+            expected = int(np.sum((coll.st <= t) & (coll.end >= t)))
+            assert count == expected, f"t={t}"
+
+    def test_active_counts_empty_collection(self):
+        tl = TimelineIndex(IntervalCollection.empty())
+        assert tl.active_counts([0, 10]).tolist() == [0, 0]
+
+    def test_max_concurrency_known(self):
+        coll = IntervalCollection.from_pairs(
+            [(0, 10), (5, 15), (8, 9), (20, 30)]
+        )
+        tl = TimelineIndex(coll)
+        assert tl.max_concurrency() == 3  # at times 8-9
+
+    def test_max_concurrency_bounds(self, rng):
+        coll = random_collection(rng, 120, 100)
+        tl = TimelineIndex(coll)
+        peak = tl.max_concurrency()
+        sampled = tl.active_counts(np.arange(0, 101))
+        assert peak == int(sampled.max())
+
+    def test_max_concurrency_empty(self):
+        assert TimelineIndex(IntervalCollection.empty()).max_concurrency() == 0
+
+    def test_adjacent_intervals_concurrency(self):
+        # [0,5] and [5,9] share the point 5
+        coll = IntervalCollection.from_pairs([(0, 5), (5, 9)])
+        assert TimelineIndex(coll).max_concurrency() == 2
+        # [0,4] and [5,9] do not overlap
+        coll2 = IntervalCollection.from_pairs([(0, 4), (5, 9)])
+        assert TimelineIndex(coll2).max_concurrency() == 1
+
+
+class TestIndexMBound:
+    def test_m_too_large_rejected(self):
+        from repro import HintIndex
+
+        with pytest.raises(ValueError, match="maximum 30"):
+            HintIndex(IntervalCollection.empty(), m=31)
+
+
+class TestMemoryAccounting:
+    def test_all_indexes_report_nbytes(self, rng):
+        from repro import GridIndex, HintIndex, IntervalTree, PeriodIndex, TimelineIndex
+
+        coll = random_collection(rng, 300, 255)
+        indexes = [
+            HintIndex(coll, m=8),
+            GridIndex(coll, 16, domain=(0, 255)),
+            IntervalTree(coll),
+            TimelineIndex(coll),
+            PeriodIndex(coll),
+        ]
+        for index in indexes:
+            assert index.nbytes() > 0, type(index).__name__
+
+    def test_nbytes_grows_with_data(self, rng):
+        from repro import GridIndex
+
+        small = random_collection(rng, 100, 255)
+        large = random_collection(rng, 2000, 255)
+        assert GridIndex(large, 16, domain=(0, 255)).nbytes() > GridIndex(
+            small, 16, domain=(0, 255)
+        ).nbytes()

@@ -1,0 +1,138 @@
+"""Tests for the competitor indexes: interval tree, timeline, period index."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    IntervalCollection,
+    IntervalTree,
+    NaiveScan,
+    PeriodIndex,
+    QueryBatch,
+    TimelineIndex,
+)
+from tests.conftest import random_batch, random_collection
+
+INDEXES = [
+    ("tree", lambda coll: IntervalTree(coll)),
+    ("timeline", lambda coll: TimelineIndex(coll, checkpoint_every=16)),
+    ("period", lambda coll: PeriodIndex(coll, num_buckets=9, num_layers=3)),
+]
+
+
+@pytest.mark.parametrize("name,factory", INDEXES)
+class TestAgainstNaive:
+    def test_random_queries(self, name, factory, rng):
+        coll = random_collection(rng, 300, 499)
+        idx = factory(coll)
+        naive = NaiveScan(coll)
+        for _ in range(60):
+            a, b = sorted(rng.integers(0, 500, size=2).tolist())
+            got = idx.query(a, b)
+            assert len(set(got.tolist())) == got.size, f"{name}: duplicates"
+            assert sorted(got.tolist()) == sorted(naive.query(a, b).tolist()), name
+            assert idx.query_count(a, b) == naive.query_count(a, b), name
+
+    def test_empty_collection(self, name, factory):
+        idx = factory(IntervalCollection.empty())
+        assert idx.query(0, 10).size == 0
+        assert idx.query_count(0, 10) == 0
+        assert len(idx) == 0
+
+    def test_single_interval(self, name, factory):
+        idx = factory(IntervalCollection.from_pairs([(10, 20)]))
+        assert idx.query(15, 15).tolist() == [0]
+        assert idx.query(21, 30).size == 0
+        assert idx.query(0, 9).size == 0
+        assert idx.query(20, 25).tolist() == [0]
+        assert idx.query(0, 10).tolist() == [0]
+
+    def test_invalid_query(self, name, factory):
+        idx = factory(IntervalCollection.from_pairs([(0, 5)]))
+        with pytest.raises(ValueError):
+            idx.query(7, 2)
+
+    @pytest.mark.parametrize("mode", ["count", "ids"])
+    def test_batch(self, name, factory, mode, rng):
+        coll = random_collection(rng, 150, 299)
+        idx = factory(coll)
+        batch = random_batch(rng, 20, 299)
+        expected = NaiveScan(coll).batch(batch, mode=mode)
+        got = idx.batch(batch, mode=mode)
+        assert np.array_equal(got.counts, expected.counts), name
+        if mode == "ids":
+            assert got.id_sets() == expected.id_sets()
+
+    def test_batch_invalid_mode(self, name, factory):
+        idx = factory(IntervalCollection.from_pairs([(0, 5)]))
+        with pytest.raises(ValueError):
+            idx.batch(QueryBatch([0], [1]), mode="zzz")
+
+
+class TestIntervalTreeSpecifics:
+    def test_height_logarithmic(self, rng):
+        coll = random_collection(rng, 1000, 10_000)
+        tree = IntervalTree(coll)
+        assert tree.height() <= 30  # ~log2(1000) with slack for skew
+
+    def test_height_empty(self):
+        assert IntervalTree(IntervalCollection.empty()).height() == 0
+
+    def test_disjoint_points(self):
+        """Endpoint-median centers that stab nothing must still split."""
+        coll = IntervalCollection.from_pairs([(0, 0), (10, 10), (20, 20)])
+        tree = IntervalTree(coll)
+        assert sorted(tree.query(0, 20).tolist()) == [0, 1, 2]
+        assert tree.query(1, 9).size == 0
+
+
+class TestTimelineSpecifics:
+    def test_event_count(self):
+        coll = IntervalCollection.from_pairs([(0, 5), (2, 3)])
+        tl = TimelineIndex(coll)
+        assert tl.num_events == 4
+
+    def test_checkpoint_density(self, rng):
+        coll = random_collection(rng, 200, 499)
+        tl = TimelineIndex(coll, checkpoint_every=32)
+        assert tl.num_checkpoints == -(-tl.num_events // 32)
+
+    def test_invalid_checkpoint_every(self):
+        with pytest.raises(ValueError):
+            TimelineIndex(IntervalCollection.empty(), checkpoint_every=0)
+
+    def test_query_at_exact_checkpoint_boundaries(self, rng):
+        """Replay from a checkpoint must be exact at boundary times."""
+        coll = random_collection(rng, 100, 63)
+        tl = TimelineIndex(coll, checkpoint_every=1)  # checkpoint everywhere
+        naive = NaiveScan(coll)
+        for t in range(64):
+            assert tl.query_count(t, t) == naive.query_count(t, t)
+
+    def test_stabbing_equals_active_set(self, rng):
+        coll = random_collection(rng, 120, 200)
+        tl = TimelineIndex(coll, checkpoint_every=8)
+        naive = NaiveScan(coll)
+        for t in rng.integers(0, 201, size=40):
+            t = int(t)
+            assert sorted(tl.query(t, t).tolist()) == sorted(
+                naive.query(t, t).tolist()
+            )
+
+
+class TestPeriodIndexSpecifics:
+    def test_default_buckets(self):
+        coll = IntervalCollection.from_pairs([(i, i + 2) for i in range(100)])
+        pi = PeriodIndex(coll)
+        assert pi.num_buckets == 10
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            PeriodIndex(IntervalCollection.empty(), num_layers=0)
+
+    def test_durations_spread_across_layers(self):
+        coll = IntervalCollection.from_pairs(
+            [(0, 0), (0, 50), (0, 500), (0, 5000)]
+        )
+        pi = PeriodIndex(coll, num_buckets=4, num_layers=4)
+        assert sorted(pi.query(0, 5000).tolist()) == [0, 1, 2, 3]

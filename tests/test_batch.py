@@ -1,0 +1,103 @@
+"""Unit tests for QueryBatch."""
+
+import numpy as np
+import pytest
+
+from repro import QueryBatch
+
+
+class TestConstruction:
+    def test_basic(self):
+        batch = QueryBatch([1, 5], [3, 9])
+        assert len(batch) == 2
+        assert batch.order.tolist() == [0, 1]
+
+    def test_from_pairs(self):
+        batch = QueryBatch.from_pairs([(1, 2), (5, 6)])
+        assert batch.st.tolist() == [1, 5]
+
+    def test_from_pairs_empty(self):
+        assert len(QueryBatch.from_pairs([])) == 0
+
+    def test_invalid_query_rejected(self):
+        with pytest.raises(ValueError, match="st > end"):
+            QueryBatch([5], [2])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            QueryBatch([1, 2], [3])
+
+    def test_immutability(self):
+        batch = QueryBatch([1], [2])
+        with pytest.raises(ValueError):
+            batch.st[0] = 7
+        with pytest.raises(AttributeError):
+            batch.st = np.array([7])
+
+    def test_iter_and_getitem(self):
+        batch = QueryBatch([1, 5], [3, 9])
+        assert list(batch) == [(1, 3), (5, 9)]
+        assert batch[1] == (5, 9)
+
+    def test_repr(self):
+        assert "n=2" in repr(QueryBatch([1, 5], [3, 9]))
+
+
+class TestSorting:
+    def test_is_sorted(self):
+        assert QueryBatch([1, 5], [3, 9]).is_sorted
+        assert not QueryBatch([5, 1], [9, 3]).is_sorted
+        assert QueryBatch([], []).is_sorted
+
+    def test_sorted_by_start_orders_queries(self):
+        batch = QueryBatch([5, 1, 3], [9, 3, 4])
+        ordered = batch.sorted_by_start()
+        assert ordered.st.tolist() == [1, 3, 5]
+        assert ordered.order.tolist() == [1, 2, 0]
+
+    def test_sorted_by_start_noop_when_sorted(self):
+        batch = QueryBatch([1, 5], [3, 9])
+        assert batch.sorted_by_start() is batch
+
+    def test_order_round_trip(self):
+        batch = QueryBatch([5, 1, 3], [9, 3, 4])
+        ordered = batch.sorted_by_start()
+        # position i of the sorted batch maps back to the caller index
+        restored = [None] * len(batch)
+        for pos, pair in enumerate(ordered):
+            restored[int(ordered.order[pos])] = pair
+        assert restored == list(batch)
+
+    def test_ties_keep_valid_mapping(self):
+        # Only start order is required by the algorithms; ties may stay
+        # in input order (the already-sorted fast path returns self).
+        batch = QueryBatch([2, 2, 2], [9, 3, 5])
+        ordered = batch.sorted_by_start()
+        assert ordered.st.tolist() == [2, 2, 2]
+        restored = [None] * 3
+        for pos, pair in enumerate(ordered):
+            restored[int(ordered.order[pos])] = pair
+        assert restored == list(batch)
+
+    def test_unsorted_ties_broken_by_end(self):
+        batch = QueryBatch([5, 2, 2], [6, 9, 3])
+        ordered = batch.sorted_by_start()
+        assert ordered.st.tolist() == [2, 2, 5]
+        assert ordered.end.tolist() == [3, 9, 6]
+
+
+class TestClipped:
+    def test_clipped_clamps_endpoints(self):
+        batch = QueryBatch([-5, 3], [2, 100])
+        clipped = batch.clipped(0, 15)
+        assert clipped.st.tolist() == [0, 3]
+        assert clipped.end.tolist() == [2, 15]
+
+    def test_clipped_preserves_order_metadata(self):
+        batch = QueryBatch([5, 1], [9, 3]).sorted_by_start()
+        clipped = batch.clipped(0, 100)
+        assert clipped.order.tolist() == batch.order.tolist()
+
+    def test_clipped_invalid_range(self):
+        with pytest.raises(ValueError):
+            QueryBatch([1], [2]).clipped(10, 5)

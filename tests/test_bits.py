@@ -1,0 +1,104 @@
+"""Unit tests for the HINT bit-arithmetic helpers."""
+
+import numpy as np
+import pytest
+
+from repro.hint import bits
+
+
+class TestLevelPrefix:
+    def test_bottom_level_identity(self):
+        assert bits.level_prefix(4, 4, 13) == 13
+
+    def test_root_level_always_zero(self):
+        for value in (0, 7, 15):
+            assert bits.level_prefix(4, 0, value) == 0
+
+    def test_intermediate(self):
+        # m=4: level 3 halves the value space per partition
+        assert bits.level_prefix(4, 3, 5) == 2
+        assert bits.level_prefix(4, 2, 5) == 1
+        assert bits.level_prefix(4, 1, 5) == 0
+
+    def test_vectorized(self):
+        values = np.array([0, 5, 13, 15])
+        assert bits.level_prefix(4, 3, values).tolist() == [0, 2, 6, 7]
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            bits.level_prefix(4, 5, 0)
+        with pytest.raises(ValueError):
+            bits.level_prefix(4, -1, 0)
+
+
+class TestPartitionGeometry:
+    def test_num_partitions(self):
+        assert [bits.num_partitions(l) for l in range(5)] == [1, 2, 4, 8, 16]
+
+    def test_num_partitions_negative(self):
+        with pytest.raises(ValueError):
+            bits.num_partitions(-1)
+
+    def test_partition_extent(self):
+        assert bits.partition_extent(4, 4) == 1
+        assert bits.partition_extent(4, 0) == 16
+
+    def test_partition_range(self):
+        assert bits.partition_range(4, 4, 5) == (5, 5)
+        assert bits.partition_range(4, 3, 2) == (4, 5)
+        assert bits.partition_range(4, 0, 0) == (0, 15)
+
+    def test_partition_range_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            bits.partition_range(4, 3, 8)
+
+    def test_partitions_tile_domain(self):
+        m = 5
+        for level in range(m + 1):
+            covered = []
+            for i in range(bits.num_partitions(level)):
+                lo, hi = bits.partition_range(m, level, i)
+                covered.extend(range(lo, hi + 1))
+            assert covered == list(range(1 << m))
+
+
+class TestRelevantPartitions:
+    def test_matches_prefixes(self):
+        f, l = bits.relevant_partitions(4, 3, 2, 5)
+        assert (f, l) == (1, 2)
+
+    def test_invalid_query(self):
+        with pytest.raises(ValueError):
+            bits.relevant_partitions(4, 3, 9, 2)
+
+    def test_prefix_consistency(self):
+        rng = np.random.default_rng(4)
+        m = 6
+        for _ in range(200):
+            a, b = sorted(rng.integers(0, 1 << m, size=2).tolist())
+            for level in range(m + 1):
+                f, l = bits.relevant_partitions(m, level, a, b)
+                lo_f, hi_f = bits.partition_range(m, level, f)
+                lo_l, hi_l = bits.partition_range(m, level, l)
+                assert lo_f <= a <= hi_f
+                assert lo_l <= b <= hi_l
+
+
+class TestValidateDomain:
+    def test_accepts_in_range(self):
+        bits.validate_domain(4, np.array([0, 15]), np.array([3, 15]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.validate_domain(4, np.array([-1]), np.array([3]))
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            bits.validate_domain(4, np.array([0]), np.array([16]))
+
+    def test_rejects_negative_m(self):
+        with pytest.raises(ValueError):
+            bits.validate_domain(-1, np.array([0]), np.array([0]))
+
+    def test_empty_arrays_ok(self):
+        bits.validate_domain(4, np.array([]), np.array([]))

@@ -1,0 +1,88 @@
+"""Tests for the LRU cache simulator."""
+
+import pytest
+
+from repro import HintIndex, IntervalCollection
+from repro.analysis.cache import CacheStats, LRUCacheSimulator, simulate_cache
+
+
+class TestLRUSemantics:
+    def test_cold_misses(self):
+        sim = LRUCacheSimulator(4)
+        stats = sim.replay([(0, 0), (0, 1), (0, 2)])
+        assert stats.misses == 3
+        assert stats.hits == 0
+
+    def test_repeat_hits(self):
+        sim = LRUCacheSimulator(4)
+        stats = sim.replay([(0, 0), (0, 0), (0, 0)])
+        assert stats.misses == 1
+        assert stats.hits == 2
+
+    def test_eviction_order_is_lru(self):
+        sim = LRUCacheSimulator(2)
+        # A B A C -> C evicts B (A was refreshed); A still cached.
+        assert sim.access(0, 0) is False  # A miss
+        assert sim.access(0, 1) is False  # B miss
+        assert sim.access(0, 0) is True  # A hit (refresh)
+        assert sim.access(0, 2) is False  # C miss, evicts B
+        assert sim.access(0, 0) is True  # A hit
+        assert sim.access(0, 1) is False  # B miss again
+
+    def test_capacity_one(self):
+        sim = LRUCacheSimulator(1)
+        stats = sim.replay([(0, 0), (0, 1), (0, 0)])
+        assert stats.misses == 3
+
+    def test_levels_distinguish_blocks(self):
+        sim = LRUCacheSimulator(8)
+        stats = sim.replay([(4, 3), (3, 3), (4, 3)])
+        assert stats.misses == 2
+        assert stats.hits == 1
+
+    def test_reset(self):
+        sim = LRUCacheSimulator(2)
+        sim.replay([(0, 0), (0, 1)])
+        sim.reset()
+        assert sim.stats() == CacheStats(accesses=0, hits=0, misses=0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LRUCacheSimulator(0)
+        with pytest.raises(ValueError):
+            LRUCacheSimulator(4, block_payload=0)
+
+
+class TestStats:
+    def test_rates(self):
+        stats = CacheStats(accesses=10, hits=4, misses=6)
+        assert stats.hit_rate == pytest.approx(0.4)
+        assert stats.miss_rate == pytest.approx(0.6)
+
+    def test_rates_empty(self):
+        stats = CacheStats(accesses=0, hits=0, misses=0)
+        assert stats.hit_rate == 0.0
+        assert stats.miss_rate == 0.0
+
+
+class TestIndexWeightedBlocks:
+    def test_big_partition_costs_more_blocks(self):
+        # 100 intervals in one bottom partition -> many blocks per visit
+        coll = IntervalCollection.from_pairs([(5, 5)] * 100)
+        index = HintIndex(coll, m=3)
+        sim = LRUCacheSimulator(64, index=index, block_payload=10)
+        sim.access(3, 5 >> 1)  # level 3 partition holding nothing heavy
+        heavy = LRUCacheSimulator(64, index=index, block_payload=10)
+        heavy.access(3, 2)  # level 3, partition 2 covers value 5
+        assert heavy.stats().misses >= sim.stats().misses
+
+    def test_empty_partition_still_one_block(self):
+        index = HintIndex(IntervalCollection.empty(), m=3)
+        sim = LRUCacheSimulator(4, index=index)
+        sim.access(3, 0)
+        assert sim.stats().misses == 1
+
+    def test_one_shot_helper(self):
+        stats = simulate_cache([(0, 0), (0, 0)], 4)
+        assert stats.hits == 1
+        assert stats.misses == 1

@@ -1,0 +1,155 @@
+"""Tests for the XOR-checksum result mode (the C++-evaluation analogue)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GridIndex,
+    HintIndex,
+    NaiveScan,
+    QueryBatch,
+    join_based,
+    level_based,
+    parallel_batch,
+    partition_based,
+    query_based,
+)
+from repro.core.collector import ChecksumCollector
+from repro.core.result import BatchResult
+from repro.grid.batch import grid_partition_based, grid_query_based
+from tests.conftest import random_batch, random_collection
+
+
+def reference_checksums(coll, batch):
+    naive = NaiveScan(coll)
+    out = []
+    for s, e in batch:
+        ids = naive.query(s, e)
+        out.append(int(np.bitwise_xor.reduce(ids)) if ids.size else 0)
+    return out
+
+
+@pytest.mark.parametrize(
+    "runner",
+    [
+        lambda idx, b: query_based(idx, b, mode="checksum"),
+        lambda idx, b: query_based(idx, b, sort=True, mode="checksum"),
+        lambda idx, b: level_based(idx, b, mode="checksum"),
+        lambda idx, b: partition_based(idx, b, mode="checksum"),
+        lambda idx, b: parallel_batch(idx, b, workers=3, mode="checksum"),
+    ],
+)
+@pytest.mark.parametrize("m", [2, 6, 9])
+def test_hint_strategies_checksums(runner, m, rng):
+    top = (1 << m) - 1
+    coll = random_collection(rng, 250, top)
+    index = HintIndex(coll, m=m)
+    batch = random_batch(rng, 40, top)
+    expected = reference_checksums(coll, batch)
+    result = runner(index, batch)
+    assert result.mode == "checksum"
+    for i in range(len(batch)):
+        assert result.query_checksum(i) == expected[i], f"query {i}"
+
+
+def test_grid_and_join_checksums(rng):
+    coll = random_collection(rng, 200, 127)
+    batch = random_batch(rng, 25, 127)
+    expected = reference_checksums(coll, batch)
+    grid = GridIndex(coll, 10, domain=(0, 127))
+    for result in (
+        grid_query_based(grid, batch, mode="checksum"),
+        grid_partition_based(grid, batch, mode="checksum"),
+        join_based(coll, batch, mode="checksum"),
+    ):
+        for i in range(len(batch)):
+            assert result.query_checksum(i) == expected[i]
+
+
+def test_baseline_indexes_checksums(rng):
+    from repro import IntervalTree, PeriodIndex, TimelineIndex
+
+    coll = random_collection(rng, 150, 200)
+    batch = random_batch(rng, 15, 200)
+    expected = reference_checksums(coll, batch)
+    for idx in (
+        IntervalTree(coll),
+        TimelineIndex(coll, checkpoint_every=8),
+        PeriodIndex(coll, num_buckets=7),
+    ):
+        result = idx.batch(batch, mode="checksum")
+        for i in range(len(batch)):
+            assert result.query_checksum(i) == expected[i]
+
+
+class TestXorPrefix:
+    def test_range_xor_identity(self, rng):
+        coll = random_collection(rng, 300, 255)
+        index = HintIndex(coll, m=8)
+        for data in index.levels:
+            for table in data.tables():
+                if not len(table):
+                    continue
+                xp = table.xor_prefix
+                assert xp.size == len(table) + 1
+                lo, hi = 0, len(table)
+                assert int(xp[hi] ^ xp[lo]) == int(
+                    np.bitwise_xor.reduce(table.ids)
+                )
+                mid = len(table) // 2
+                if mid:
+                    assert int(xp[mid]) == int(
+                        np.bitwise_xor.reduce(table.ids[:mid])
+                    )
+
+    def test_lazy_and_cached(self, small_index):
+        table = small_index.levels[0].o_in
+        first = table.xor_prefix
+        assert table.xor_prefix is first  # cached
+
+
+class TestChecksumResultApi:
+    def test_mode_and_accessors(self):
+        res = BatchResult(np.array([2, 0]), checksums=np.array([5, 0]))
+        assert res.mode == "checksum"
+        assert res.query_checksum(0) == 5
+        assert res.checksums.tolist() == [5, 0]
+        with pytest.raises(ValueError):
+            res.ids(0)
+
+    def test_checksum_from_ids_mode(self):
+        res = BatchResult.from_id_lists([[1, 2], []])
+        assert res.query_checksum(0) == 3
+        assert res.query_checksum(1) == 0
+
+    def test_count_mode_has_no_checksum(self):
+        res = BatchResult(np.array([2]))
+        with pytest.raises(ValueError):
+            res.query_checksum(0)
+        assert res.checksums is None
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            BatchResult(np.array([1, 2]), checksums=np.array([1]))
+
+    def test_equality_considers_checksums(self):
+        a = BatchResult(np.array([1]), checksums=np.array([7]))
+        b = BatchResult(np.array([1]), checksums=np.array([7]))
+        c = BatchResult(np.array([1]), checksums=np.array([8]))
+        d = BatchResult(np.array([1]))
+        assert a == b
+        assert a != c
+        assert a != d
+
+    def test_from_id_arrays_modes(self):
+        ids = [np.array([3, 5]), np.array([], dtype=np.int64)]
+        for mode in ("count", "ids", "checksum"):
+            res = BatchResult.from_id_arrays(ids, mode)
+            assert res.mode == mode
+            assert res.counts.tolist() == [2, 0]
+        with pytest.raises(ValueError):
+            BatchResult.from_id_arrays(ids, "bogus")
+
+    def test_collector_rejects_bare_counts(self):
+        with pytest.raises(TypeError):
+            ChecksumCollector(1).add_count(0, 1)

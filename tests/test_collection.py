@@ -1,0 +1,188 @@
+"""Unit tests for IntervalCollection."""
+
+import numpy as np
+import pytest
+
+from repro import IntervalCollection
+
+
+class TestConstruction:
+    def test_basic(self):
+        coll = IntervalCollection([1, 5], [3, 9])
+        assert len(coll) == 2
+        assert coll.st.tolist() == [1, 5]
+        assert coll.end.tolist() == [3, 9]
+        assert coll.ids.tolist() == [0, 1]
+
+    def test_explicit_ids(self):
+        coll = IntervalCollection([1], [2], ids=[42])
+        assert coll.ids.tolist() == [42]
+
+    def test_from_records(self):
+        coll = IntervalCollection.from_records([(7, 1, 2), (8, 3, 4)])
+        assert coll.ids.tolist() == [7, 8]
+        assert coll.st.tolist() == [1, 3]
+
+    def test_from_pairs(self):
+        coll = IntervalCollection.from_pairs([(1, 2), (3, 4)])
+        assert coll.ids.tolist() == [0, 1]
+
+    def test_empty_constructors(self):
+        assert len(IntervalCollection.empty()) == 0
+        assert len(IntervalCollection.from_records([])) == 0
+        assert len(IntervalCollection.from_pairs([])) == 0
+
+    def test_float_whole_numbers_accepted(self):
+        coll = IntervalCollection(np.array([1.0]), np.array([2.0]))
+        assert coll.st.dtype == np.int64
+
+    def test_float_fractional_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalCollection(np.array([1.5]), np.array([2.0]))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError):
+            IntervalCollection(np.array(["a"]), np.array(["b"]))
+
+    def test_st_greater_than_end_rejected(self):
+        with pytest.raises(ValueError, match="st > end"):
+            IntervalCollection([5], [3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalCollection([1, 2], [3])
+
+    def test_ids_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalCollection([1], [3], ids=[1, 2])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalCollection(np.zeros((2, 2), dtype=int), np.ones((2, 2), dtype=int))
+
+    def test_point_interval_allowed(self):
+        coll = IntervalCollection([5], [5])
+        assert coll.durations.tolist() == [1]
+
+
+class TestImmutability:
+    def test_columns_not_writable(self):
+        coll = IntervalCollection([1], [2])
+        with pytest.raises(ValueError):
+            coll.st[0] = 9
+
+    def test_attribute_assignment_blocked(self):
+        coll = IntervalCollection([1], [2])
+        with pytest.raises(AttributeError):
+            coll.st = np.array([9])
+
+    def test_input_copied_by_default(self):
+        st = np.array([1], dtype=np.int64)
+        coll = IntervalCollection(st, [2])
+        st[0] = 99
+        assert coll.st[0] == 1
+
+
+class TestContainer:
+    def test_iter_yields_triples(self):
+        coll = IntervalCollection([1, 3], [2, 4], ids=[10, 11])
+        assert list(coll) == [(10, 1, 2), (11, 3, 4)]
+
+    def test_scalar_getitem(self):
+        coll = IntervalCollection([1], [2], ids=[5])
+        assert coll[0] == (5, 1, 2)
+
+    def test_slice_getitem(self):
+        coll = IntervalCollection([1, 3, 5], [2, 4, 6])
+        sub = coll[1:]
+        assert isinstance(sub, IntervalCollection)
+        assert sub.st.tolist() == [3, 5]
+
+    def test_mask_getitem(self):
+        coll = IntervalCollection([1, 3, 5], [2, 4, 6])
+        sub = coll[np.array([True, False, True])]
+        assert sub.st.tolist() == [1, 5]
+
+    def test_equality(self):
+        a = IntervalCollection([1], [2])
+        b = IntervalCollection([1], [2])
+        c = IntervalCollection([1], [3])
+        assert a == b
+        assert a != c
+        assert a != "not a collection"
+
+    def test_repr(self):
+        assert "n=0" in repr(IntervalCollection.empty())
+        assert "domain=[1, 9]" in repr(IntervalCollection([1, 5], [3, 9]))
+
+
+class TestStats:
+    def test_basic_stats(self):
+        coll = IntervalCollection([0, 10], [4, 19])
+        stats = coll.stats()
+        assert stats.cardinality == 2
+        assert stats.domain_start == 0
+        assert stats.domain_end == 19
+        assert stats.domain_length == 20
+        assert stats.min_duration == 5
+        assert stats.max_duration == 10
+        assert stats.avg_duration == 7.5
+        assert stats.avg_duration_pct == pytest.approx(37.5)
+
+    def test_empty_stats(self):
+        stats = IntervalCollection.empty().stats()
+        assert stats.cardinality == 0
+        assert stats.avg_duration_pct == 0.0
+
+    def test_durations_closed_interval_convention(self):
+        coll = IntervalCollection([3], [3])
+        assert coll.durations.tolist() == [1]
+
+
+class TestTransforms:
+    def test_sorted_by_start(self):
+        coll = IntervalCollection([5, 1, 3], [6, 2, 9])
+        ordered = coll.sorted_by_start()
+        assert ordered.st.tolist() == [1, 3, 5]
+        assert ordered.ids.tolist() == [1, 2, 0]
+
+    def test_normalized_range(self):
+        coll = IntervalCollection([100, 200], [150, 300])
+        norm = coll.normalized(4)
+        assert norm.st.min() >= 0
+        assert norm.end.max() <= 15
+        assert norm.st.tolist()[0] == 0
+        assert norm.end.tolist()[1] == 15
+
+    def test_normalized_preserves_order_validity(self):
+        coll = IntervalCollection([10, 20, 30], [12, 40, 31])
+        norm = coll.normalized(8)
+        assert np.all(norm.st <= norm.end)
+
+    def test_normalized_point_domain(self):
+        coll = IntervalCollection([7, 7], [7, 7])
+        norm = coll.normalized(4)
+        assert norm.st.tolist() == [0, 0]
+        assert norm.end.tolist() == [0, 0]
+
+    def test_normalized_empty(self):
+        assert len(IntervalCollection.empty().normalized(4)) == 0
+
+    def test_normalized_negative_m_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalCollection([1], [2]).normalized(-1)
+
+    def test_select(self):
+        coll = IntervalCollection([1, 3], [2, 4])
+        assert coll.select([True, False]).st.tolist() == [1]
+
+    def test_select_bad_mask(self):
+        with pytest.raises(ValueError):
+            IntervalCollection([1], [2]).select([True, False])
+
+    def test_concat(self):
+        a = IntervalCollection([1], [2], ids=[0])
+        b = IntervalCollection([3], [4], ids=[1])
+        both = a.concat(b)
+        assert len(both) == 2
+        assert both.st.tolist() == [1, 3]

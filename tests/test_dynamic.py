@@ -1,0 +1,139 @@
+"""Tests for the dynamic (insert/delete) HINT wrapper."""
+
+import numpy as np
+import pytest
+
+from repro import DynamicHint, IntervalCollection, NaiveScan
+
+
+class Model:
+    """Reference model: a dict of live intervals."""
+
+    def __init__(self):
+        self.live = {}
+
+    def query(self, a, b):
+        return {
+            i for i, (st, end) in self.live.items() if st <= b and a <= end
+        }
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        dyn = DynamicHint(m=8)
+        assert len(dyn) == 0
+        assert dyn.query(0, 255).size == 0
+
+    def test_insert_assigns_sequential_ids(self):
+        dyn = DynamicHint(m=8)
+        assert dyn.insert(0, 5) == 0
+        assert dyn.insert(10, 20) == 1
+        assert len(dyn) == 2
+
+    def test_initial_collection(self):
+        coll = IntervalCollection.from_pairs([(0, 5), (10, 20)])
+        dyn = DynamicHint(coll, m=8)
+        assert dyn.insert(30, 40) == 2  # fresh id after existing ones
+        assert sorted(dyn.query(0, 255).tolist()) == [0, 1, 2]
+
+    def test_invalid_inserts(self):
+        dyn = DynamicHint(m=4)
+        with pytest.raises(ValueError):
+            dyn.insert(9, 3)
+        with pytest.raises(ValueError):
+            dyn.insert(0, 16)
+        with pytest.raises(ValueError):
+            dyn.insert(-1, 3)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            DynamicHint(m=4, rebuild_threshold=0)
+
+
+class TestQueriesSeeBufferAndTombstones:
+    def test_buffered_inserts_visible(self):
+        dyn = DynamicHint(m=8, rebuild_threshold=1000)
+        dyn.insert(10, 20)
+        assert dyn.buffered == 1
+        assert dyn.query(15, 15).tolist() == [0]
+
+    def test_delete_hides_immediately(self):
+        coll = IntervalCollection.from_pairs([(0, 10)])
+        dyn = DynamicHint(coll, m=8)
+        dyn.delete(0)
+        assert dyn.query(5, 5).size == 0
+        assert len(dyn) == 0
+
+    def test_delete_buffered_insert(self):
+        dyn = DynamicHint(m=8, rebuild_threshold=1000)
+        rid = dyn.insert(10, 20)
+        dyn.delete(rid)
+        assert dyn.query(0, 255).size == 0
+
+    def test_rebuild_triggers_at_threshold(self):
+        dyn = DynamicHint(m=10, rebuild_threshold=10)
+        for i in range(25):
+            dyn.insert(i, i + 2)
+        assert dyn.rebuilds == 2
+        assert dyn.buffered == 5
+        assert len(dyn) == 25
+
+    def test_compact_drops_tombstones(self):
+        dyn = DynamicHint(m=8, rebuild_threshold=1000)
+        a = dyn.insert(0, 5)
+        dyn.insert(10, 20)
+        dyn.delete(a)
+        dyn.compact()
+        assert dyn.buffered == 0
+        snap = dyn.snapshot()
+        assert len(snap) == 1
+        assert snap.ids.tolist() == [1]
+
+    def test_reuse_of_deleted_id_after_compact(self):
+        dyn = DynamicHint(m=8, rebuild_threshold=1000)
+        rid = dyn.insert(0, 5)
+        dyn.delete(rid)
+        dyn.compact()
+        dyn.insert(7, 9, id=rid)
+        assert dyn.query(8, 8).tolist() == [rid]
+
+
+class TestAgainstModel:
+    def test_randomized_workload(self, rng):
+        m = 8
+        top = (1 << m) - 1
+        dyn = DynamicHint(m=m, rebuild_threshold=16)
+        model = Model()
+        for step in range(400):
+            op = rng.random()
+            if op < 0.55 or not model.live:
+                st = int(rng.integers(0, top + 1))
+                end = int(min(st + rng.integers(0, 40), top))
+                rid = dyn.insert(st, end)
+                model.live[rid] = (st, end)
+            elif op < 0.8:
+                victim = int(rng.choice(list(model.live)))
+                dyn.delete(victim)
+                del model.live[victim]
+            else:
+                a, b = sorted(rng.integers(0, top + 1, size=2).tolist())
+                got = set(dyn.query(a, b).tolist())
+                assert got == model.query(a, b), f"step {step}"
+        # final full check
+        assert set(dyn.query(0, top).tolist()) == set(model.live)
+        assert len(dyn) == len(model.live)
+
+    def test_snapshot_equals_naive(self, rng):
+        m = 7
+        top = (1 << m) - 1
+        dyn = DynamicHint(m=m, rebuild_threshold=8)
+        for _ in range(100):
+            st = int(rng.integers(0, top + 1))
+            dyn.insert(st, min(st + 5, top))
+        snap = dyn.snapshot()
+        naive = NaiveScan(snap)
+        for _ in range(20):
+            a, b = sorted(rng.integers(0, top + 1, size=2).tolist())
+            assert sorted(dyn.query(a, b).tolist()) == sorted(
+                naive.query(a, b).tolist()
+            )

@@ -1,0 +1,149 @@
+"""Edge-case and adversarial-input tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GridIndex,
+    HintIndex,
+    IntervalCollection,
+    NaiveScan,
+    QueryBatch,
+    level_based,
+    partition_based,
+    query_based,
+)
+from repro.grid.batch import grid_partition_based
+
+STRATEGIES = (
+    lambda idx, b, **kw: query_based(idx, b, **kw),
+    lambda idx, b, **kw: query_based(idx, b, sort=True, **kw),
+    lambda idx, b, **kw: level_based(idx, b, **kw),
+    lambda idx, b, **kw: partition_based(idx, b, **kw),
+)
+
+
+def check_all(coll, m, batch):
+    index = HintIndex(coll, m=m)
+    expected = NaiveScan(coll).batch(batch).counts
+    for fn in STRATEGIES:
+        assert np.array_equal(fn(index, batch).counts, expected)
+    expected_sets = NaiveScan(coll).batch(batch, mode="ids").id_sets()
+    for fn in STRATEGIES:
+        assert fn(index, batch, mode="ids").id_sets() == expected_sets
+
+
+class TestDegenerateData:
+    def test_all_full_domain_intervals(self):
+        m = 5
+        top = (1 << m) - 1
+        coll = IntervalCollection.from_pairs([(0, top)] * 50)
+        batch = QueryBatch([0, 10, top], [0, 20, top])
+        check_all(coll, m, batch)
+
+    def test_all_point_intervals_same_value(self):
+        m = 6
+        coll = IntervalCollection.from_pairs([(17, 17)] * 80)
+        batch = QueryBatch([0, 17, 18, 16], [16, 17, 63, 18])
+        check_all(coll, m, batch)
+
+    def test_intervals_on_every_partition_boundary(self):
+        m = 4
+        pairs = [(i * 2 - 1, i * 2) for i in range(1, 8)]
+        coll = IntervalCollection.from_pairs(pairs)
+        batch = QueryBatch(list(range(0, 16)), list(range(0, 16)))
+        check_all(coll, m, batch)
+
+    def test_nested_intervals(self):
+        m = 6
+        pairs = [(i, 63 - i) for i in range(32)]
+        coll = IntervalCollection.from_pairs(pairs)
+        batch = QueryBatch([0, 31, 15, 40], [63, 32, 16, 50])
+        check_all(coll, m, batch)
+
+    def test_staircase_intervals(self):
+        m = 7
+        pairs = [(i, min(i + 7, 127)) for i in range(0, 128, 3)]
+        coll = IntervalCollection.from_pairs(pairs)
+        batch = QueryBatch([0, 60, 120, 5], [5, 70, 127, 6])
+        check_all(coll, m, batch)
+
+
+class TestDegenerateQueries:
+    def test_full_domain_queries(self, rng):
+        m = 6
+        top = (1 << m) - 1
+        st = rng.integers(0, top + 1, size=100)
+        end = np.minimum(st + rng.integers(0, 10, size=100), top)
+        coll = IntervalCollection(st, end)
+        batch = QueryBatch([0] * 5, [top] * 5)
+        check_all(coll, m, batch)
+
+    def test_point_queries_every_value(self, rng):
+        m = 5
+        top = (1 << m) - 1
+        st = rng.integers(0, top + 1, size=60)
+        end = np.minimum(st + rng.integers(0, 8, size=60), top)
+        coll = IntervalCollection(st, end)
+        values = list(range(top + 1))
+        batch = QueryBatch(values, values)
+        check_all(coll, m, batch)
+
+    def test_identical_batch_large(self, rng):
+        m = 6
+        top = (1 << m) - 1
+        coll = IntervalCollection(
+            rng.integers(0, top, size=50), np.full(50, top)
+        )
+        batch = QueryBatch([20] * 64, [40] * 64)
+        check_all(coll, m, batch)
+
+    def test_adjacent_non_overlapping_queries(self, rng):
+        m = 6
+        top = (1 << m) - 1
+        st = rng.integers(0, top + 1, size=80)
+        end = np.minimum(st + rng.integers(0, 16, size=80), top)
+        coll = IntervalCollection(st, end)
+        q_st = np.arange(0, top, 8)
+        q_end = q_st + 7
+        check_all(coll, m, QueryBatch(q_st, q_end))
+
+
+class TestM0AndM1:
+    def test_m0(self):
+        coll = IntervalCollection.from_pairs([(0, 0)] * 3)
+        batch = QueryBatch([0, 0], [0, 0])
+        check_all(coll, 0, batch)
+
+    def test_m1(self):
+        coll = IntervalCollection.from_pairs([(0, 0), (0, 1), (1, 1)])
+        batch = QueryBatch([0, 0, 1], [0, 1, 1])
+        check_all(coll, 1, batch)
+
+
+class TestGridEdgeCases:
+    def test_k_larger_than_domain(self):
+        coll = IntervalCollection.from_pairs([(0, 3), (2, 2)])
+        grid = GridIndex(coll, 100, domain=(0, 3))
+        naive = NaiveScan(coll)
+        for a in range(4):
+            for b in range(a, 4):
+                assert grid.query_count(a, b) == naive.query_count(a, b)
+
+    def test_single_partition_grid(self, rng):
+        coll = IntervalCollection(
+            rng.integers(0, 50, size=40), rng.integers(50, 100, size=40)
+        )
+        grid = GridIndex(coll, 1, domain=(0, 99))
+        naive = NaiveScan(coll)
+        batch = QueryBatch([0, 40, 99], [99, 60, 99])
+        assert np.array_equal(
+            grid_partition_based(grid, batch).counts,
+            naive.batch(batch).counts,
+        )
+
+    def test_all_intervals_in_last_partition(self):
+        coll = IntervalCollection.from_pairs([(95, 99)] * 10)
+        grid = GridIndex(coll, 10, domain=(0, 99))
+        assert grid.query_count(99, 99) == 10
+        assert grid.query_count(0, 94) == 0

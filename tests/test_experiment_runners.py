@@ -1,0 +1,82 @@
+"""Full-path smoke tests for the table/figure experiment runners
+(small configurations — the real scales run via the CLI)."""
+
+import pytest
+
+from repro.experiments import figure3, figure4, table4, table5
+
+
+class TestFigure3Runner:
+    def test_full_run_restricted(self):
+        result = figure3.run(
+            datasets=("BOOKS",), batch_size=100, sweeps=("extent",)
+        )
+        assert result.experiment == "figure3"
+        # 5 extents x 4 strategies
+        assert len(result.rows) == 20
+        assert all(r["seconds"] > 0 for r in result.rows)
+
+    def test_batch_sweep_rows(self):
+        rows = figure3.run_batch_sweep(
+            datasets=("GREEND",), batch_sizes=(50, 100), extent_pct=0.1
+        )
+        assert len(rows) == 8
+        sizes = {r["batch_size"] for r in rows}
+        assert sizes == {50, 100}
+
+
+class TestFigure4Runner:
+    def test_extent_sweep(self):
+        rows = figure4.run_sweep("extent", batch_size=100)
+        assert len(rows) == 20  # 5 extents x 4 strategies
+        assert all(r["sweep"] == "extent" for r in rows)
+        assert all(r["param"] == "extent_pct" for r in rows)
+
+    def test_run_with_subset(self):
+        result = figure4.run(sweeps=("batch",))
+        assert {r["sweep"] for r in result.rows} == {"batch"}
+
+
+class TestTableRunners:
+    def test_table4_restricted(self):
+        result = table4.run(datasets=("GREEND",), batch_size=200, repeats=1)
+        assert len(result.rows) == 3
+        by_strategy = {r["strategy"]: r for r in result.rows}
+        assert by_strategy["partition-based"]["GREEND"] < 100.0
+
+    def test_table5_restricted(self):
+        result = table5.run(datasets=("BOOKS",), batch_size=200)
+        assert len(result.rows) == 3
+        methods = {r["method"] for r in result.rows}
+        assert methods == {
+            "1D-grid query-based",
+            "1D-grid partition-based",
+            "HINT partition-based",
+        }
+        by_method = {r["method"]: r["BOOKS"] for r in result.rows}
+        # the paper's Table 5 ordering
+        assert (
+            by_method["HINT partition-based"]
+            < by_method["1D-grid query-based"]
+        )
+
+
+class TestLandscapeRunner:
+    def test_restricted_run(self):
+        from repro.experiments.landscape import run
+
+        result = run(cardinality=20_000, batch_size=100, repeats=1)
+        assert len(result.rows) == 5
+        by_index = {r["index"]: r for r in result.rows}
+        assert set(by_index) == {
+            "HINT", "1D-grid", "interval-tree", "timeline", "period-index",
+        }
+        for row in result.rows:
+            assert row["build_s"] > 0
+            assert row["MB"] > 0
+            assert row["best_batch_s"] <= row["serial_batch_s"] * 1.5
+        # the paper's gap: batched HINT beats every serial structure
+        assert (
+            by_index["HINT"]["best_batch_s"]
+            < by_index["timeline"]["serial_batch_s"]
+        )

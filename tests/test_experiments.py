@@ -1,0 +1,127 @@
+"""Tests for the experiment harness (small configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentResult, get_experiment, time_call
+from repro.experiments.runner import format_rows
+from repro.experiments import table1, table2
+from repro.experiments.figure3 import run_extent_sweep
+from repro.experiments.figure4 import SWEEPS, run_sweep
+from repro.experiments.common import STRATEGY_ORDER, time_hint_strategies
+
+
+class TestInfrastructure:
+    def test_time_call_measures(self):
+        calls = []
+        t = time_call(lambda: calls.append(1), repeats=3)
+        assert t >= 0.0
+        assert len(calls) == 3
+
+    def test_time_call_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+
+    def test_format_rows(self):
+        text = format_rows([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "0.125" in text
+
+    def test_format_rows_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_result_to_csv_and_series(self):
+        res = ExperimentResult(
+            "x",
+            "t",
+            rows=[
+                {"k": "a", "v": 1},
+                {"k": "a", "v": 2},
+                {"k": "b", "v": 3},
+            ],
+        )
+        assert res.to_csv().splitlines()[0] == "k,v"
+        assert res.series("k", "v") == {"a": [1, 2], "b": [3]}
+        assert ExperimentResult("x", "t").to_csv() == ""
+
+    def test_registry(self):
+        assert "table1" in EXPERIMENTS
+        assert get_experiment("table1") is EXPERIMENTS["table1"]
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("table99")
+
+    def test_registry_rejects_duplicates(self):
+        from repro.experiments.registry import register
+
+        with pytest.raises(ValueError):
+            register("table1")(lambda: None)
+
+
+class TestTable1:
+    def test_runs_and_formats(self):
+        result = table1.run()
+        assert result.experiment == "table1"
+        assert len(result.rows) == 4
+        text = result.format()
+        assert "P4,2" in text
+        assert "query-based" in text
+
+    def test_jump_ordering(self):
+        result = table1.run()
+        by_name = {r["strategy"]: r for r in result.rows}
+        assert (
+            by_name["partition-based-sorted"]["distance"]
+            < by_name["query-based"]["distance"]
+        )
+
+
+class TestTable2:
+    def test_rows_per_dataset(self):
+        result = table2.run()
+        assert {r["dataset"] for r in result.rows} == {
+            "BOOKS",
+            "WEBKIT",
+            "TAXIS",
+            "GREEND",
+        }
+        for row in result.rows:
+            assert row["card(clone)"] > 0
+            assert row["avg_dur(clone)"] > 0
+
+
+class TestSweepRunners:
+    def test_strategy_timer_shape(self, small_index):
+        from repro import QueryBatch
+
+        times = time_hint_strategies(small_index, QueryBatch([2], [6]))
+        assert set(times) == set(STRATEGY_ORDER)
+        assert all(v >= 0 for v in times.values())
+
+    def test_strategy_timer_unknown_name(self, small_index):
+        from repro import QueryBatch
+
+        with pytest.raises(ValueError):
+            time_hint_strategies(
+                small_index, QueryBatch([0], [1]), strategies=("bogus",)
+            )
+
+    def test_figure3_extent_sweep_small(self):
+        rows = run_extent_sweep(
+            datasets=("BOOKS",), extents=(0.1,), batch_size=50
+        )
+        assert len(rows) == len(STRATEGY_ORDER)
+        assert {r["strategy"] for r in rows} == set(STRATEGY_ORDER)
+        assert all(r["seconds"] > 0 for r in rows)
+
+    def test_figure4_sweep_names(self):
+        assert set(SWEEPS) == {
+            "domain",
+            "cardinality",
+            "alpha",
+            "sigma",
+            "extent",
+            "batch",
+        }
+        with pytest.raises(ValueError):
+            run_sweep("nope")

@@ -1,0 +1,119 @@
+"""Tests for the 1D-grid index and its batch strategies."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GridIndex,
+    IntervalCollection,
+    NaiveScan,
+    QueryBatch,
+    grid_partition_based,
+    grid_query_based,
+)
+from tests.conftest import expected_sets, random_batch, random_collection
+
+
+class TestConstruction:
+    def test_default_partition_count(self):
+        coll = IntervalCollection.from_pairs([(i, i + 1) for i in range(100)])
+        grid = GridIndex(coll)
+        assert grid.k == 10  # ~sqrt(n)
+
+    def test_explicit_domain(self):
+        coll = IntervalCollection.from_pairs([(5, 10)])
+        grid = GridIndex(coll, 4, domain=(0, 15))
+        assert grid.width == 4
+
+    def test_collection_outside_domain_rejected(self):
+        coll = IntervalCollection.from_pairs([(5, 30)])
+        with pytest.raises(ValueError):
+            GridIndex(coll, 4, domain=(0, 15))
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            GridIndex(IntervalCollection.empty(), 0)
+
+    def test_empty_collection(self):
+        grid = GridIndex(IntervalCollection.empty(), 8)
+        assert grid.query(0, 100).size == 0
+        assert grid.num_placements() == 0
+        assert grid.replication_factor() == 0.0
+
+    def test_replication(self):
+        # one interval covering everything is replicated in all partitions
+        coll = IntervalCollection.from_pairs([(0, 15)])
+        grid = GridIndex(coll, 4, domain=(0, 15))
+        assert grid.num_placements() == 4
+        assert grid.replication_factor() == 4.0
+
+    def test_repr(self):
+        grid = GridIndex(IntervalCollection.from_pairs([(0, 3)]), 2)
+        assert "GridIndex" in repr(grid)
+
+
+class TestSingleQuery:
+    @pytest.mark.parametrize("k", [1, 3, 7, 16, 64])
+    def test_vs_naive(self, k, rng):
+        coll = random_collection(rng, 250, 199)
+        grid = GridIndex(coll, k, domain=(0, 199))
+        naive = NaiveScan(coll)
+        for _ in range(50):
+            a, b = sorted(rng.integers(0, 200, size=2).tolist())
+            got = grid.query(a, b)
+            assert len(set(got.tolist())) == got.size, "duplicates"
+            assert sorted(got.tolist()) == sorted(naive.query(a, b).tolist())
+            assert grid.query_count(a, b) == naive.query_count(a, b)
+
+    def test_invalid_query(self):
+        grid = GridIndex(IntervalCollection.from_pairs([(0, 3)]), 2)
+        with pytest.raises(ValueError):
+            grid.query(5, 1)
+
+    def test_query_outside_domain_clamps(self):
+        coll = IntervalCollection.from_pairs([(0, 3), (10, 12)])
+        grid = GridIndex(coll, 4, domain=(0, 15))
+        assert grid.query_count(-100, 200) == 2
+
+
+class TestGridBatch:
+    @pytest.mark.parametrize("mode", ["count", "ids"])
+    def test_query_based_vs_naive(self, mode, rng):
+        coll = random_collection(rng, 200, 149)
+        grid = GridIndex(coll, 12, domain=(0, 149))
+        batch = random_batch(rng, 25, 149)
+        result = grid_query_based(grid, batch, mode=mode)
+        naive = NaiveScan(coll).batch(batch, mode=mode)
+        assert np.array_equal(result.counts, naive.counts)
+
+    @pytest.mark.parametrize("mode", ["count", "ids"])
+    def test_partition_based_vs_naive(self, mode, rng):
+        coll = random_collection(rng, 200, 149)
+        grid = GridIndex(coll, 12, domain=(0, 149))
+        batch = random_batch(rng, 25, 149)
+        result = grid_partition_based(grid, batch, mode=mode)
+        naive = NaiveScan(coll).batch(batch, mode=mode)
+        assert np.array_equal(result.counts, naive.counts)
+        if mode == "ids":
+            assert result.id_sets() == naive.id_sets()
+
+    def test_partition_based_caller_order(self, rng):
+        coll = random_collection(rng, 150, 99)
+        grid = GridIndex(coll, 10, domain=(0, 99))
+        batch = QueryBatch([70, 10, 40], [80, 20, 50])
+        assert grid_partition_based(grid, batch, mode="ids").id_sets() == expected_sets(
+            coll, batch
+        )
+
+    def test_empty_batch(self):
+        grid = GridIndex(IntervalCollection.from_pairs([(0, 3)]), 2)
+        assert len(grid_partition_based(grid, QueryBatch([], []))) == 0
+        assert len(grid_query_based(grid, QueryBatch([], []))) == 0
+
+    def test_sorted_flag_on_query_based(self, rng):
+        coll = random_collection(rng, 100, 99)
+        grid = GridIndex(coll, 8, domain=(0, 99))
+        batch = random_batch(rng, 20, 99)
+        a = grid_query_based(grid, batch, sort=False).counts
+        b = grid_query_based(grid, batch, sort=True).counts
+        assert np.array_equal(a, b)

@@ -1,0 +1,131 @@
+"""Unit tests for the columnar HintIndex and Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro import HintIndex, IntervalCollection, NaiveScan
+from tests.conftest import random_collection
+
+
+class TestConstruction:
+    def test_auto_m(self):
+        coll = IntervalCollection.from_pairs([(0, 5), (3, 9)])
+        index = HintIndex(coll)
+        assert index.m >= 1
+
+    def test_negative_m_rejected(self):
+        with pytest.raises(ValueError):
+            HintIndex(IntervalCollection.empty(), m=-1)
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            HintIndex(IntervalCollection.from_pairs([(0, 16)]), m=4)
+
+    def test_empty_collection(self):
+        index = HintIndex(IntervalCollection.empty(), m=4)
+        assert len(index) == 0
+        assert index.query(0, 15).size == 0
+        assert index.query_count(0, 15) == 0
+
+    def test_m_zero_single_partition(self):
+        coll = IntervalCollection.from_pairs([(0, 0), (0, 0)])
+        index = HintIndex(coll, m=0)
+        assert index.query_count(0, 0) == 2
+
+    def test_levels_count(self):
+        index = HintIndex(IntervalCollection.empty(), m=7)
+        assert len(index.levels) == 8
+
+    def test_repr_and_domain(self):
+        index = HintIndex(IntervalCollection.from_pairs([(0, 3)]), m=4)
+        assert "m=4" in repr(index)
+        assert index.domain == (0, 15)
+
+
+class TestIntrospection:
+    def test_placements_and_replication(self, small_collection):
+        index = HintIndex(small_collection, m=4)
+        assert index.num_placements() >= len(small_collection)
+        assert index.replication_factor() >= 1.0
+        hist = index.level_histogram()
+        assert sum(hist.values()) == index.num_placements()
+        assert set(hist) == set(range(5))
+
+    def test_replication_factor_empty(self):
+        assert HintIndex(IntervalCollection.empty(), m=3).replication_factor() == 0.0
+
+    def test_nbytes(self, small_collection):
+        assert HintIndex(small_collection, m=4).nbytes() > 0
+
+    def test_long_intervals_live_high(self):
+        """Placement depth tracks duration — the Figure 3 driver."""
+        long_coll = IntervalCollection.from_pairs([(0, 255)] * 10)
+        short_coll = IntervalCollection.from_pairs([(7, 7)] * 10)
+        long_hist = HintIndex(long_coll, m=8).level_histogram()
+        short_hist = HintIndex(short_coll, m=8).level_histogram()
+        assert long_hist[0] == 10  # full-domain intervals at the root
+        assert short_hist[8] == 10  # point intervals at the bottom
+
+
+class TestSingleQuery:
+    def test_small_exact(self, small_index):
+        # query [4, 6] = q3 of the paper's running example
+        got = sorted(small_index.query(4, 6).tolist())
+        assert got == [0, 2, 4]
+
+    def test_full_domain_query(self, small_index, small_collection):
+        assert sorted(small_index.query(0, 15)) == sorted(
+            small_collection.ids.tolist()
+        )
+
+    def test_point_query(self, small_index):
+        assert sorted(small_index.query(3, 3).tolist()) == [0, 1, 2]
+
+    def test_count_matches_ids(self, small_index):
+        for q_st in range(16):
+            for q_end in range(q_st, 16):
+                ids = small_index.query(q_st, q_end)
+                assert ids.size == small_index.query_count(q_st, q_end)
+                assert len(set(ids.tolist())) == ids.size, "duplicates"
+
+    def test_clipping(self, small_index):
+        assert sorted(small_index.query(-100, 100)) == sorted(
+            small_index.query(0, 15)
+        )
+
+    def test_invalid_query(self, small_index):
+        with pytest.raises(ValueError):
+            small_index.query(5, 2)
+        with pytest.raises(ValueError):
+            small_index.query_count(5, 2)
+
+    @pytest.mark.parametrize("m", [1, 2, 4, 7, 10])
+    def test_randomized_vs_naive(self, m, rng):
+        top = (1 << m) - 1
+        coll = random_collection(rng, 250, top)
+        index = HintIndex(coll, m=m)
+        naive = NaiveScan(coll)
+        for _ in range(60):
+            a, b = sorted(rng.integers(0, top + 1, size=2).tolist())
+            assert sorted(index.query(a, b)) == sorted(naive.query(a, b).tolist())
+            assert index.query_count(a, b) == naive.query_count(a, b)
+
+    def test_exhaustive_tiny_domain(self, rng):
+        """All queries against all data on a tiny domain."""
+        m = 3
+        coll = random_collection(rng, 40, 7)
+        index = HintIndex(coll, m=m)
+        naive = NaiveScan(coll)
+        for a in range(8):
+            for b in range(a, 8):
+                assert sorted(index.query(a, b)) == sorted(naive.query(a, b).tolist())
+
+    def test_duplicate_intervals_all_reported(self):
+        coll = IntervalCollection([3, 3, 3], [8, 8, 8], ids=[1, 2, 3])
+        index = HintIndex(coll, m=4)
+        assert sorted(index.query(5, 6).tolist()) == [1, 2, 3]
+
+    def test_non_sequential_ids(self):
+        coll = IntervalCollection([1, 5], [4, 9], ids=[100, -7])
+        index = HintIndex(coll, m=4)
+        assert sorted(index.query(0, 15).tolist()) == [-7, 100]

@@ -1,0 +1,114 @@
+"""Tests for the pseudocode-faithful reference HINT.
+
+The reference is the executable specification: it must agree with the
+naive oracle, and the production index must agree with it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import HintIndex, IntervalCollection, NaiveScan, QueryBatch, ReferenceHint
+from tests.conftest import expected_sets, random_batch, random_collection
+
+
+class TestBuild:
+    def test_insert_classes(self):
+        ref = ReferenceHint(IntervalCollection.from_pairs([(2, 5)]), m=4)
+        # [2,5] -> original (O_aft) in P3,1, replica (R_in) in P3,2
+        assert [r[0] for r in ref.originals[3][1]] == [0]
+        assert [r[0] for r in ref.replicas[3][2]] == [0]
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            ReferenceHint(IntervalCollection.from_pairs([(0, 99)]), m=4)
+
+    def test_negative_m(self):
+        with pytest.raises(ValueError):
+            ReferenceHint(IntervalCollection.empty(), m=-2)
+
+
+class TestSingleQuery:
+    @pytest.mark.parametrize("m", [1, 3, 5, 8])
+    def test_vs_naive(self, m, rng):
+        top = (1 << m) - 1
+        coll = random_collection(rng, 150, top)
+        ref = ReferenceHint(coll, m=m)
+        naive = NaiveScan(coll)
+        for _ in range(40):
+            a, b = sorted(rng.integers(0, top + 1, size=2).tolist())
+            got = ref.query(a, b)
+            assert len(got) == len(set(got)), "duplicates"
+            assert sorted(got) == sorted(naive.query(a, b).tolist())
+
+    def test_clipping(self):
+        ref = ReferenceHint(IntervalCollection.from_pairs([(0, 15)]), m=4)
+        assert ref.query(-5, 99) == [0]
+
+    def test_invalid_query(self):
+        ref = ReferenceHint(IntervalCollection.empty(), m=4)
+        with pytest.raises(ValueError):
+            ref.query(9, 3)
+
+
+class TestAgainstProductionIndex:
+    @pytest.mark.parametrize("m", [2, 4, 6, 9])
+    def test_identical_result_sets(self, m, rng):
+        top = (1 << m) - 1
+        coll = random_collection(rng, 200, top)
+        ref = ReferenceHint(coll, m=m)
+        index = HintIndex(coll, m=m)
+        for _ in range(50):
+            a, b = sorted(rng.integers(0, top + 1, size=2).tolist())
+            assert sorted(ref.query(a, b)) == sorted(index.query(a, b).tolist())
+
+
+class TestBatchAlgorithms:
+    @pytest.mark.parametrize(
+        "method,kwargs",
+        [
+            ("batch_query_based", {"sort": False}),
+            ("batch_query_based", {"sort": True}),
+            ("batch_level_based", {}),
+            ("batch_level_based", {"sort": False}),
+            ("batch_partition_based", {}),
+        ],
+    )
+    def test_vs_naive(self, method, kwargs, rng):
+        m = 6
+        top = (1 << m) - 1
+        coll = random_collection(rng, 150, top)
+        ref = ReferenceHint(coll, m=m)
+        batch = random_batch(rng, 25, top)
+        expected = expected_sets(coll, batch)
+        results = getattr(ref, method)(batch, **kwargs)
+        assert len(results) == len(batch)
+        for i, res in enumerate(results):
+            assert len(res) == len(set(res)), f"query {i} has duplicates"
+            assert frozenset(res) == expected[i], f"query {i} mismatch"
+
+    def test_results_in_caller_order(self, rng):
+        """Sorting internally must not permute the output."""
+        m = 5
+        top = (1 << m) - 1
+        coll = random_collection(rng, 100, top)
+        ref = ReferenceHint(coll, m=m)
+        # deliberately reverse-sorted batch
+        st = np.array([20, 10, 0])
+        end = np.array([25, 15, 5])
+        batch = QueryBatch(st, end)
+        expected = expected_sets(coll, batch)
+        for method in (
+            "batch_query_based",
+            "batch_level_based",
+            "batch_partition_based",
+        ):
+            results = getattr(ref, method)(batch, sort=True)
+            for i in range(3):
+                assert frozenset(results[i]) == expected[i], method
+
+    def test_empty_batch(self):
+        ref = ReferenceHint(IntervalCollection.from_pairs([(0, 3)]), m=4)
+        batch = QueryBatch([], [])
+        assert ref.batch_query_based(batch) == []
+        assert ref.batch_level_based(batch) == []
+        assert ref.batch_partition_based(batch) == []

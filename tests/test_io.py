@@ -1,0 +1,70 @@
+"""Unit tests for interval file I/O."""
+
+import numpy as np
+import pytest
+
+from repro import IntervalCollection
+from repro.intervals.io import load_intervals, save_intervals
+
+
+def test_round_trip_with_ids(tmp_path):
+    coll = IntervalCollection([1, 5, 9], [3, 8, 12], ids=[7, 8, 9])
+    path = tmp_path / "data.txt"
+    save_intervals(coll, path)
+    loaded = load_intervals(path)
+    assert loaded == coll
+
+
+def test_round_trip_without_ids(tmp_path):
+    coll = IntervalCollection([1, 5], [3, 8])
+    path = tmp_path / "data.txt"
+    save_intervals(coll, path, include_ids=False)
+    loaded = load_intervals(path)
+    assert loaded.st.tolist() == [1, 5]
+    assert loaded.ids.tolist() == [0, 1]  # sequential ids assigned
+
+
+def test_csv_delimiter(tmp_path):
+    coll = IntervalCollection([1], [3], ids=[2])
+    path = tmp_path / "data.csv"
+    save_intervals(coll, path, delimiter=",")
+    loaded = load_intervals(path, delimiter=",")
+    assert loaded == coll
+
+
+def test_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "data.txt"
+    path.write_text("# header\n1 3\n\n5 8\n")
+    loaded = load_intervals(path)
+    assert loaded.st.tolist() == [1, 5]
+
+
+def test_single_line_file(tmp_path):
+    path = tmp_path / "data.txt"
+    path.write_text("4 9\n")
+    loaded = load_intervals(path)
+    assert len(loaded) == 1
+    assert loaded[0] == (0, 4, 9)
+
+
+def test_bad_column_count(tmp_path):
+    path = tmp_path / "data.txt"
+    path.write_text("1 2 3 4\n")
+    with pytest.raises(ValueError, match="columns"):
+        load_intervals(path)
+
+
+def test_invalid_interval_in_file(tmp_path):
+    path = tmp_path / "data.txt"
+    path.write_text("9 2\n")
+    with pytest.raises(ValueError, match="st > end"):
+        load_intervals(path)
+
+
+def test_large_round_trip(tmp_path):
+    rng = np.random.default_rng(1)
+    st = rng.integers(0, 10_000, size=500)
+    coll = IntervalCollection(st, st + rng.integers(0, 100, size=500))
+    path = tmp_path / "big.txt"
+    save_intervals(coll, path)
+    assert load_intervals(path) == coll

@@ -1,0 +1,143 @@
+"""Tests for the forward-scan join and the join-based strategy."""
+
+import numpy as np
+import pytest
+
+from repro import IntervalCollection, NaiveScan, QueryBatch, join_based
+from repro.joins.optfs import forward_scan_join, forward_scan_pairs, join_counts
+from tests.conftest import expected_sets, random_batch, random_collection
+
+
+def brute_force_pairs(left, right):
+    out = set()
+    for i in range(len(left)):
+        for j in range(len(right)):
+            if left.st[i] <= right.end[j] and right.st[j] <= left.end[i]:
+                out.add((i, j))
+    return out
+
+
+class TestForwardScan:
+    def test_empty_inputs(self):
+        empty = IntervalCollection.empty()
+        full = IntervalCollection.from_pairs([(0, 5)])
+        for a, b in [(empty, empty), (empty, full), (full, empty)]:
+            li, ri = forward_scan_pairs(a, b)
+            assert li.size == 0 and ri.size == 0
+            assert join_counts(a, b).tolist() == [0] * len(a)
+
+    def test_known_pairs(self):
+        left = IntervalCollection.from_pairs([(0, 5), (10, 20)])
+        right = IntervalCollection.from_pairs([(5, 10), (21, 30), (0, 100)])
+        li, ri = forward_scan_pairs(left, right)
+        assert set(zip(li.tolist(), ri.tolist())) == {
+            (0, 0),
+            (0, 2),
+            (1, 0),
+            (1, 2),
+        }
+
+    def test_touching_endpoints_counted(self):
+        left = IntervalCollection.from_pairs([(0, 5)])
+        right = IntervalCollection.from_pairs([(5, 9)])
+        assert join_counts(left, right).tolist() == [1]
+
+    def test_adjacent_not_counted(self):
+        left = IntervalCollection.from_pairs([(0, 5)])
+        right = IntervalCollection.from_pairs([(6, 9)])
+        assert join_counts(left, right).tolist() == [0]
+
+    @pytest.mark.parametrize("sizes", [(0, 10), (10, 0), (30, 40), (80, 15)])
+    def test_randomized_vs_bruteforce(self, sizes, rng):
+        nl, nr = sizes
+        left = random_collection(rng, nl, 100)
+        right = random_collection(rng, nr, 100)
+        expected = brute_force_pairs(left, right)
+        li, ri = forward_scan_pairs(left, right)
+        got = set(zip(li.tolist(), ri.tolist()))
+        assert got == expected
+        assert li.size == len(got), "duplicate pairs emitted"
+        counts = join_counts(left, right)
+        for i in range(nl):
+            assert counts[i] == sum(1 for (a, _) in expected if a == i)
+
+    def test_join_returns_ids_not_positions(self, rng):
+        left = random_collection(rng, 20, 50)
+        right = IntervalCollection(
+            np.array([0, 30]), np.array([60, 40]), ids=np.array([100, 200])
+        )
+        per_left = forward_scan_join(left, right)
+        for arr in per_left:
+            assert set(arr.tolist()) <= {100, 200}
+
+    def test_duplicate_intervals(self):
+        left = IntervalCollection.from_pairs([(0, 10)])
+        right = IntervalCollection([5, 5, 5], [8, 8, 8], ids=[1, 2, 3])
+        per_left = forward_scan_join(left, right)
+        assert sorted(per_left[0].tolist()) == [1, 2, 3]
+
+
+class TestJoinBasedStrategy:
+    @pytest.mark.parametrize("mode", ["count", "ids"])
+    def test_vs_naive(self, mode, rng):
+        coll = random_collection(rng, 150, 200)
+        batch = random_batch(rng, 25, 200)
+        result = join_based(coll, batch, mode=mode)
+        naive = NaiveScan(coll).batch(batch, mode=mode)
+        assert np.array_equal(result.counts, naive.counts)
+        if mode == "ids":
+            assert result.id_sets() == naive.id_sets()
+
+    def test_results_in_caller_order(self, rng):
+        coll = random_collection(rng, 100, 100)
+        batch = QueryBatch([80, 10, 40], [90, 20, 50])
+        expected = expected_sets(coll, batch)
+        sets = join_based(coll, batch, mode="ids").id_sets()
+        assert sets == expected
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            join_based(IntervalCollection.empty(), QueryBatch([], []), mode="x")
+
+    def test_empty_batch(self):
+        res = join_based(IntervalCollection.from_pairs([(0, 5)]), QueryBatch([], []))
+        assert len(res) == 0
+
+
+class TestHintJoin:
+    def test_counts_match_optfs(self, rng):
+        from repro import HintIndex
+        from repro.joins.hint_join import hint_join, hint_join_counts
+
+        data = random_collection(rng, 200, 255)
+        probe = random_collection(rng, 60, 255)
+        index = HintIndex(data, m=8)
+        counts = hint_join_counts(index, probe)
+        expected = join_counts(probe, data)
+        assert np.array_equal(counts, expected)
+
+    def test_pairs_match_bruteforce(self, rng):
+        from repro import HintIndex
+        from repro.joins.hint_join import hint_join
+
+        data = random_collection(rng, 120, 200)
+        probe = random_collection(rng, 40, 200)
+        index = HintIndex(data, m=8)
+        li, ri = hint_join(index, probe)
+        got = set(zip(li.tolist(), ri.tolist()))
+        expected = set()
+        for i in range(len(probe)):
+            for j in range(len(data)):
+                if probe.st[i] <= data.end[j] and data.st[j] <= probe.end[i]:
+                    expected.add((int(probe.ids[i]), int(data.ids[j])))
+        assert got == expected
+        assert li.size == len(expected), "duplicate pairs"
+
+    def test_empty_probe(self, rng):
+        from repro import HintIndex
+        from repro.joins.hint_join import hint_join
+
+        data = random_collection(rng, 50, 63)
+        index = HintIndex(data, m=6)
+        li, ri = hint_join(index, IntervalCollection.empty())
+        assert li.size == 0 and ri.size == 0

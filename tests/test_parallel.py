@@ -1,0 +1,98 @@
+"""Tests for parallel batch processing (the paper's future-work item)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import HintIndex, NaiveScan, QueryBatch, parallel_batch
+from repro.core.parallel import _chunks
+from tests.conftest import random_batch, random_collection
+
+
+class TestChunking:
+    def test_empty(self):
+        assert _chunks(0, 4) == []
+
+    def test_fewer_items_than_workers(self):
+        slices = _chunks(2, 8)
+        assert len(slices) == 2
+        assert slices[0] == slice(0, 1)
+        assert slices[1] == slice(1, 2)
+
+    def test_covers_range_without_overlap(self):
+        for n in (1, 7, 100, 1001):
+            for workers in (1, 3, 8):
+                slices = _chunks(n, workers)
+                covered = []
+                for sl in slices:
+                    covered.extend(range(sl.start, sl.stop))
+                assert covered == list(range(n))
+
+
+@pytest.mark.parametrize("strategy", ["query-based", "level-based", "partition-based"])
+@pytest.mark.parametrize("workers", [1, 2, 5])
+def test_counts_match_oracle(strategy, workers, rng):
+    m = 8
+    top = (1 << m) - 1
+    coll = random_collection(rng, 400, top)
+    index = HintIndex(coll, m=m)
+    batch = random_batch(rng, 64, top)
+    expected = NaiveScan(coll).batch(batch).counts
+    got = parallel_batch(
+        index, batch, strategy=strategy, workers=workers
+    ).counts
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_ids_match_oracle(workers, rng):
+    m = 7
+    top = (1 << m) - 1
+    coll = random_collection(rng, 300, top)
+    index = HintIndex(coll, m=m)
+    batch = random_batch(rng, 40, top)
+    expected = NaiveScan(coll).batch(batch, mode="ids").id_sets()
+    got = parallel_batch(
+        index, batch, strategy="partition-based", workers=workers, mode="ids"
+    ).id_sets()
+    assert got == expected
+
+
+def test_caller_order_preserved(rng):
+    m = 7
+    top = (1 << m) - 1
+    coll = random_collection(rng, 200, top)
+    index = HintIndex(coll, m=m)
+    st = np.array([100, 20, 60, 5, 110])
+    batch = QueryBatch(st, np.minimum(st + 9, top))
+    expected = NaiveScan(coll).batch(batch).counts
+    got = parallel_batch(index, batch, workers=3).counts
+    assert np.array_equal(got, expected)
+
+
+def test_external_executor(rng):
+    m = 6
+    top = (1 << m) - 1
+    coll = random_collection(rng, 150, top)
+    index = HintIndex(coll, m=m)
+    batch = random_batch(rng, 30, top)
+    expected = NaiveScan(coll).batch(batch).counts
+    with ThreadPoolExecutor(max_workers=3) as pool:
+        a = parallel_batch(index, batch, workers=3, executor=pool).counts
+        b = parallel_batch(index, batch, workers=3, executor=pool).counts
+    assert np.array_equal(a, expected)
+    assert np.array_equal(b, expected)
+
+
+def test_empty_batch(small_index):
+    result = parallel_batch(small_index, QueryBatch([], []), workers=4)
+    assert len(result) == 0
+
+
+def test_invalid_inputs(small_index):
+    batch = QueryBatch([0], [5])
+    with pytest.raises(ValueError):
+        parallel_batch(small_index, batch, workers=0)
+    with pytest.raises(ValueError):
+        parallel_batch(small_index, batch, strategy="bogus")

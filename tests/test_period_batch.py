@@ -1,0 +1,55 @@
+"""Tests for partition-based batching on the period index."""
+
+import numpy as np
+import pytest
+
+from repro import IntervalCollection, NaiveScan, PeriodIndex, QueryBatch
+from repro.baselines.period_batch import period_partition_based
+from tests.conftest import expected_sets, random_batch, random_collection
+
+
+@pytest.mark.parametrize("buckets", [1, 4, 17])
+@pytest.mark.parametrize("layers", [1, 4])
+@pytest.mark.parametrize("mode", ["count", "ids", "checksum"])
+def test_vs_naive(buckets, layers, mode, rng):
+    coll = random_collection(rng, 250, 399)
+    index = PeriodIndex(coll, num_buckets=buckets, num_layers=layers)
+    batch = random_batch(rng, 30, 399)
+    expected = NaiveScan(coll).batch(batch, mode=mode)
+    got = period_partition_based(index, batch, mode=mode)
+    assert np.array_equal(got.counts, expected.counts)
+    if mode == "ids":
+        assert got.id_sets() == expected.id_sets()
+    if mode == "checksum":
+        assert np.array_equal(got.checksums, expected.checksums)
+
+
+def test_caller_order_preserved(rng):
+    coll = random_collection(rng, 150, 199)
+    index = PeriodIndex(coll, num_buckets=9)
+    batch = QueryBatch([150, 20, 80], [180, 60, 120])
+    assert period_partition_based(index, batch, mode="ids").id_sets() == (
+        expected_sets(coll, batch)
+    )
+
+
+def test_empty_batch(rng):
+    index = PeriodIndex(random_collection(rng, 50, 99))
+    assert len(period_partition_based(index, QueryBatch([], []))) == 0
+
+
+def test_empty_index():
+    index = PeriodIndex(IntervalCollection.empty(), num_buckets=4)
+    result = period_partition_based(index, QueryBatch([0, 10], [5, 20]))
+    assert result.counts.tolist() == [0, 0]
+
+
+def test_duplicate_free_across_buckets(rng):
+    """Intervals spanning many buckets must be reported once per query."""
+    coll = IntervalCollection.from_pairs([(0, 399)] * 20 + [(50, 60)] * 5)
+    index = PeriodIndex(coll, num_buckets=8)
+    batch = QueryBatch([0, 100, 350], [399, 200, 399])
+    result = period_partition_based(index, batch, mode="ids")
+    for i in range(3):
+        ids = result.ids(i)
+        assert len(np.unique(ids)) == ids.size

@@ -1,0 +1,63 @@
+"""Property-based tests for the competitor indexes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as hs
+
+from repro import (
+    IntervalCollection,
+    IntervalTree,
+    NaiveScan,
+    PeriodIndex,
+    TimelineIndex,
+)
+
+
+@hs.composite
+def index_case(draw):
+    n = draw(hs.integers(min_value=0, max_value=50))
+    st = [draw(hs.integers(min_value=0, max_value=200)) for _ in range(n)]
+    end = [draw(hs.integers(min_value=s, max_value=220)) for s in st]
+    q_st = draw(hs.integers(min_value=0, max_value=220))
+    q_end = draw(hs.integers(min_value=q_st, max_value=220))
+    return st, end, q_st, q_end
+
+
+def _collection(st, end):
+    return IntervalCollection(st, end) if st else IntervalCollection.empty()
+
+
+@settings(max_examples=120, deadline=None)
+@given(index_case())
+def test_interval_tree_equals_naive(case):
+    st, end, q_st, q_end = case
+    coll = _collection(st, end)
+    tree = IntervalTree(coll)
+    naive = NaiveScan(coll)
+    got = tree.query(q_st, q_end)
+    assert len(set(got.tolist())) == got.size
+    assert sorted(got.tolist()) == sorted(naive.query(q_st, q_end).tolist())
+
+
+@settings(max_examples=120, deadline=None)
+@given(index_case(), hs.integers(min_value=1, max_value=32))
+def test_timeline_equals_naive(case, checkpoint_every):
+    st, end, q_st, q_end = case
+    coll = _collection(st, end)
+    tl = TimelineIndex(coll, checkpoint_every=checkpoint_every)
+    naive = NaiveScan(coll)
+    assert sorted(tl.query(q_st, q_end).tolist()) == sorted(
+        naive.query(q_st, q_end).tolist()
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(index_case(), hs.integers(min_value=1, max_value=20),
+       hs.integers(min_value=1, max_value=6))
+def test_period_index_equals_naive(case, buckets, layers):
+    st, end, q_st, q_end = case
+    coll = _collection(st, end)
+    pi = PeriodIndex(coll, num_buckets=buckets, num_layers=layers)
+    naive = NaiveScan(coll)
+    got = pi.query(q_st, q_end)
+    assert len(set(got.tolist())) == got.size
+    assert sorted(got.tolist()) == sorted(naive.query(q_st, q_end).tolist())

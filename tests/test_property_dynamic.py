@@ -1,0 +1,82 @@
+"""Stateful property-based testing of the dynamic HINT wrapper.
+
+A hypothesis rule-based state machine drives arbitrary interleavings of
+inserts, deletes, compactions and queries, checking every query result
+against a dictionary model.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as hs
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro import DynamicHint
+
+M = 7
+TOP = (1 << M) - 1
+
+
+class DynamicHintMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.dyn = DynamicHint(m=M, rebuild_threshold=5)
+        self.model = {}
+
+    @rule(st=hs.integers(0, TOP), length=hs.integers(0, TOP))
+    def insert(self, st, length):
+        end = min(st + length, TOP)
+        rid = self.dyn.insert(st, end)
+        assert rid not in self.model
+        self.model[rid] = (st, end)
+
+    @precondition(lambda self: self.model)
+    @rule(data=hs.data())
+    def delete(self, data):
+        rid = data.draw(hs.sampled_from(sorted(self.model)))
+        self.dyn.delete(rid)
+        del self.model[rid]
+
+    @rule()
+    def compact(self):
+        self.dyn.compact()
+
+    @rule(a=hs.integers(0, TOP), b=hs.integers(0, TOP))
+    def query(self, a, b):
+        a, b = min(a, b), max(a, b)
+        got = set(self.dyn.query(a, b).tolist())
+        expected = {
+            rid
+            for rid, (st, end) in self.model.items()
+            if st <= b and a <= end
+        }
+        assert got == expected
+
+    @invariant()
+    def length_matches_model(self):
+        assert len(self.dyn) == len(self.model)
+
+
+TestDynamicHintStateful = DynamicHintMachine.TestCase
+TestDynamicHintStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+def test_snapshot_roundtrip_after_random_ops(rng):
+    dyn = DynamicHint(m=8, rebuild_threshold=7)
+    model = {}
+    for _ in range(200):
+        if rng.random() < 0.6 or not model:
+            st = int(rng.integers(0, 256))
+            end = min(st + int(rng.integers(0, 32)), 255)
+            rid = dyn.insert(st, end)
+            model[rid] = (st, end)
+        else:
+            rid = int(rng.choice(sorted(model)))
+            dyn.delete(rid)
+            del model[rid]
+    snap = dyn.snapshot()
+    assert len(snap) == len(model)
+    assert {
+        (int(i), int(s), int(e)) for i, s, e in snap
+    } == {(rid, st, end) for rid, (st, end) in model.items()}

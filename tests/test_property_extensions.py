@@ -1,0 +1,118 @@
+"""Property-based tests for the extension surfaces (Allen engine,
+batch accumulator)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as hs
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro import AllenSelection, HintIndex, IntervalCollection, partition_based
+from repro.core.accumulator import BatchAccumulator
+from repro.hint.allen import ALLEN_RELATIONS
+
+# ---------------------------------------------------------------------- #
+# AllenSelection
+# ---------------------------------------------------------------------- #
+
+
+@hs.composite
+def allen_case(draw):
+    n = draw(hs.integers(min_value=0, max_value=40))
+    st = [draw(hs.integers(min_value=0, max_value=63)) for _ in range(n)]
+    end = [draw(hs.integers(min_value=s, max_value=63)) for s in st]
+    q_st = draw(hs.integers(min_value=0, max_value=63))
+    q_end = draw(hs.integers(min_value=q_st, max_value=63))
+    relation = draw(hs.sampled_from(sorted(ALLEN_RELATIONS)))
+    return st, end, q_st, q_end, relation
+
+
+@settings(max_examples=200, deadline=None)
+@given(allen_case())
+def test_allen_engine_equals_predicate_scan(case):
+    st, end, q_st, q_end, relation = case
+    coll = IntervalCollection(st, end) if st else IntervalCollection.empty()
+    engine = AllenSelection(coll, HintIndex(coll, m=6))
+    got = set(engine.query(relation, q_st, q_end).tolist())
+    predicate = ALLEN_RELATIONS[relation]
+    expected = {
+        int(coll.ids[i])
+        for i in range(len(coll))
+        if bool(predicate(int(coll.st[i]), int(coll.end[i]), q_st, q_end))
+    }
+    assert got == expected, relation
+
+
+# ---------------------------------------------------------------------- #
+# BatchAccumulator — stateful
+# ---------------------------------------------------------------------- #
+
+_COLL = IntervalCollection.from_pairs(
+    [(i * 3, i * 3 + 10) for i in range(40)]
+)
+_INDEX = HintIndex(_COLL, m=7)
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class AccumulatorMachine(RuleBasedStateMachine):
+    """Random submits / clock advances / polls / flushes.
+
+    Invariants: every resolved handle carries the oracle count; handles
+    resolve in submission batches; nothing is lost.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.clock = _Clock()
+        self.acc = BatchAccumulator(
+            lambda b: partition_based(_INDEX, b),
+            max_batch=4,
+            max_wait=1.0,
+            clock=self.clock,
+        )
+        self.handles = []
+
+    @rule(a=hs.integers(0, 127), span=hs.integers(0, 40))
+    def submit(self, a, span):
+        b = min(a + span, 127)
+        self.handles.append(((a, b), self.acc.submit(a, b)))
+
+    @rule(dt=hs.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+    def advance(self, dt):
+        self.clock.now += dt
+        self.acc.poll()
+
+    @precondition(lambda self: len(self.acc) > 0)
+    @rule()
+    def force_flush(self):
+        assert self.acc.flush() is True
+
+    @rule()
+    def check_resolved(self):
+        from repro import NaiveScan
+
+        naive = NaiveScan(_COLL)
+        for (a, b), handle in self.handles:
+            if handle.done:
+                assert handle.result() == naive.query_count(a, b)
+
+    def teardown(self):
+        self.acc.flush()
+        from repro import NaiveScan
+
+        naive = NaiveScan(_COLL)
+        for (a, b), handle in self.handles:
+            assert handle.done, "query lost"
+            assert handle.result() == naive.query_count(a, b)
+
+
+TestAccumulatorStateful = AccumulatorMachine.TestCase
+TestAccumulatorStateful.settings = settings(
+    max_examples=30, stateful_step_count=25, deadline=None
+)

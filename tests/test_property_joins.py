@@ -1,0 +1,68 @@
+"""Property-based tests for the forward-scan join."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as hs
+
+from repro import IntervalCollection
+from repro.joins.optfs import forward_scan_join, forward_scan_pairs, join_counts
+
+
+@hs.composite
+def two_collections(draw):
+    def coll(max_n):
+        n = draw(hs.integers(min_value=0, max_value=max_n))
+        st = [draw(hs.integers(min_value=0, max_value=100)) for _ in range(n)]
+        end = [draw(hs.integers(min_value=s, max_value=120)) for s in st]
+        return (
+            IntervalCollection(st, end) if st else IntervalCollection.empty()
+        )
+
+    return coll(40), coll(40)
+
+
+@settings(max_examples=120, deadline=None)
+@given(two_collections())
+def test_pairs_match_bruteforce(colls):
+    left, right = colls
+    li, ri = forward_scan_pairs(left, right)
+    got = set(zip(li.tolist(), ri.tolist()))
+    expected = {
+        (i, j)
+        for i in range(len(left))
+        for j in range(len(right))
+        if left.st[i] <= right.end[j] and right.st[j] <= left.end[i]
+    }
+    assert got == expected
+    assert li.size == len(expected), "duplicates emitted"
+
+
+@settings(max_examples=120, deadline=None)
+@given(two_collections())
+def test_counts_consistent_with_pairs(colls):
+    left, right = colls
+    counts = join_counts(left, right)
+    li, _ = forward_scan_pairs(left, right)
+    recounted = np.bincount(li, minlength=len(left)) if li.size else np.zeros(
+        len(left), dtype=np.int64
+    )
+    assert np.array_equal(counts, recounted)
+
+
+@settings(max_examples=80, deadline=None)
+@given(two_collections())
+def test_join_symmetry(colls):
+    """|L join R| == |R join L| (G-OVERLAPS is symmetric)."""
+    left, right = colls
+    assert join_counts(left, right).sum() == join_counts(right, left).sum()
+
+
+@settings(max_examples=80, deadline=None)
+@given(two_collections())
+def test_join_ids_consistent(colls):
+    left, right = colls
+    per_left = forward_scan_join(left, right)
+    counts = join_counts(left, right)
+    assert [arr.size for arr in per_left] == counts.tolist()
+    for arr in per_left:
+        assert len(set(arr.tolist())) == arr.size

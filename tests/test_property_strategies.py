@@ -1,0 +1,95 @@
+"""Property-based tests: every batch strategy agrees with the oracle on
+arbitrary workloads, in both result modes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as hs
+
+from repro import (
+    GridIndex,
+    HintIndex,
+    IntervalCollection,
+    NaiveScan,
+    QueryBatch,
+    join_based,
+    level_based,
+    partition_based,
+    query_based,
+)
+from repro.grid.batch import grid_partition_based
+
+
+@hs.composite
+def batch_case(draw):
+    m = draw(hs.integers(min_value=1, max_value=7))
+    top = (1 << m) - 1
+    n = draw(hs.integers(min_value=0, max_value=50))
+    st = [draw(hs.integers(min_value=0, max_value=top)) for _ in range(n)]
+    end = [draw(hs.integers(min_value=s, max_value=top)) for s in st]
+    nq = draw(hs.integers(min_value=0, max_value=15))
+    q_st = [draw(hs.integers(min_value=0, max_value=top)) for _ in range(nq)]
+    q_end = [draw(hs.integers(min_value=s, max_value=top)) for s in q_st]
+    return m, st, end, q_st, q_end
+
+
+def _build(case):
+    m, st, end, q_st, q_end = case
+    coll = IntervalCollection(st, end) if st else IntervalCollection.empty()
+    batch = (
+        QueryBatch(q_st, q_end) if q_st else QueryBatch([], [])
+    )
+    return m, coll, batch
+
+
+@settings(max_examples=120, deadline=None)
+@given(batch_case())
+def test_all_hint_strategies_equal_oracle_counts(case):
+    m, coll, batch = _build(case)
+    index = HintIndex(coll, m=m)
+    expected = NaiveScan(coll).batch(batch).counts
+    for fn, kwargs in [
+        (query_based, {"sort": False}),
+        (query_based, {"sort": True}),
+        (level_based, {}),
+        (partition_based, {}),
+    ]:
+        got = fn(index, batch, **kwargs).counts
+        assert np.array_equal(got, expected), fn.__name__
+
+
+@settings(max_examples=80, deadline=None)
+@given(batch_case())
+def test_all_hint_strategies_equal_oracle_ids(case):
+    m, coll, batch = _build(case)
+    index = HintIndex(coll, m=m)
+    expected = NaiveScan(coll).batch(batch, mode="ids").id_sets()
+    for fn in (query_based, level_based, partition_based):
+        got = fn(index, batch, mode="ids").id_sets()
+        assert got == expected, fn.__name__
+
+
+@settings(max_examples=80, deadline=None)
+@given(batch_case())
+def test_grid_and_join_equal_oracle(case):
+    m, coll, batch = _build(case)
+    top = (1 << m) - 1
+    expected = NaiveScan(coll).batch(batch).counts
+    grid = GridIndex(coll, max(1, m), domain=(0, top))
+    assert np.array_equal(grid_partition_based(grid, batch).counts, expected)
+    assert np.array_equal(join_based(coll, batch).counts, expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch_case(), hs.randoms())
+def test_strategy_invariant_under_batch_permutation(case, rnd):
+    """Shuffling the batch must permute results identically."""
+    m, coll, batch = _build(case)
+    if len(batch) < 2:
+        return
+    index = HintIndex(coll, m=m)
+    perm = list(range(len(batch)))
+    rnd.shuffle(perm)
+    shuffled = QueryBatch(batch.st[perm], batch.end[perm])
+    base = partition_based(index, batch).counts
+    got = partition_based(index, shuffled).counts
+    assert np.array_equal(got, base[perm])

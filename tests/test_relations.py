@@ -1,0 +1,112 @@
+"""Unit tests for the interval relationship predicates."""
+
+import numpy as np
+import pytest
+
+from repro.intervals import relations as rel
+
+# A representative pair grid: every basic Allen configuration against
+# the fixed query [10, 20].
+Q = (10, 20)
+CASES = {
+    (1, 5): {"precedes"},
+    (1, 10): {"meets", "g"},
+    (1, 15): {"overlaps", "g"},
+    (1, 20): {"finished_by", "g"},
+    (1, 25): {"contains", "g"},
+    (10, 15): {"starts", "g"},
+    (10, 20): {"equals", "g"},
+    (10, 25): {"started_by", "g"},
+    (12, 18): {"contained_by", "g"},
+    (12, 20): {"finishes", "g"},
+    (12, 25): {"overlapped_by", "g"},
+    (20, 25): {"met_by", "g"},
+    (21, 30): {"preceded_by"},
+}
+
+PREDICATES = {
+    "g": rel.g_overlaps,
+    "equals": rel.allen_equals,
+    "precedes": rel.allen_precedes,
+    "preceded_by": rel.allen_preceded_by,
+    "meets": rel.allen_meets,
+    "met_by": rel.allen_met_by,
+    "overlaps": rel.allen_overlaps,
+    "overlapped_by": rel.allen_overlapped_by,
+    "contains": rel.allen_contains,
+    "contained_by": rel.allen_contained_by,
+    "starts": rel.allen_starts,
+    "started_by": rel.allen_started_by,
+    "finishes": rel.allen_finishes,
+    "finished_by": rel.allen_finished_by,
+}
+
+
+@pytest.mark.parametrize("interval", sorted(CASES))
+def test_case_grid(interval):
+    st, end = interval
+    expected = CASES[interval]
+    for name, fn in PREDICATES.items():
+        got = bool(fn(st, end, *Q))
+        assert got == (name in expected), (
+            f"{name}({interval} vs {Q}) = {got}, expected {name in expected}"
+        )
+
+
+def test_basic_relations_partition_overlapping_space():
+    """Exactly one basic (non-g) relation holds for every pair."""
+    basic = [fn for name, fn in PREDICATES.items() if name != "g"]
+    rng = np.random.default_rng(5)
+    for _ in range(300):
+        a, b = sorted(rng.integers(0, 30, size=2).tolist())
+        c, d = sorted(rng.integers(0, 30, size=2).tolist())
+        matches = [fn.__name__ for fn in basic if bool(fn(a, b, c, d))]
+        assert len(matches) == 1, f"[{a},{b}] vs [{c},{d}] -> {matches}"
+
+
+def test_g_overlaps_iff_not_before_after():
+    rng = np.random.default_rng(6)
+    for _ in range(300):
+        a, b = sorted(rng.integers(0, 30, size=2).tolist())
+        c, d = sorted(rng.integers(0, 30, size=2).tolist())
+        g = bool(rel.g_overlaps(a, b, c, d))
+        disjoint = bool(rel.allen_precedes(a, b, c, d)) or bool(
+            rel.allen_preceded_by(a, b, c, d)
+        )
+        assert g != disjoint
+
+
+def test_vectorized_matches_scalar():
+    rng = np.random.default_rng(7)
+    st = rng.integers(0, 50, size=100)
+    end = st + rng.integers(0, 20, size=100)
+    for name, fn in PREDICATES.items():
+        vec = fn(st, end, 15, 30)
+        for i in range(100):
+            assert bool(vec[i]) == bool(fn(int(st[i]), int(end[i]), 15, 30)), name
+
+
+def test_symmetry_pairs():
+    """Each relation's converse holds with arguments swapped."""
+    pairs = [
+        ("precedes", "preceded_by"),
+        ("meets", "met_by"),
+        ("overlaps", "overlapped_by"),
+        ("contains", "contained_by"),
+        ("starts", "started_by"),
+        ("finishes", "finished_by"),
+    ]
+    rng = np.random.default_rng(8)
+    for _ in range(200):
+        a, b = sorted(rng.integers(0, 30, size=2).tolist())
+        c, d = sorted(rng.integers(0, 30, size=2).tolist())
+        for fwd, bwd in pairs:
+            assert bool(PREDICATES[fwd](a, b, c, d)) == bool(
+                PREDICATES[bwd](c, d, a, b)
+            )
+        assert bool(rel.allen_equals(a, b, c, d)) == bool(
+            rel.allen_equals(c, d, a, b)
+        )
+        assert bool(rel.g_overlaps(a, b, c, d)) == bool(
+            rel.g_overlaps(c, d, a, b)
+        )

@@ -1,0 +1,101 @@
+"""Tests for BatchResult and the collectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.collector import CountCollector, IdCollector, make_collector
+from repro.core.result import BatchResult
+
+
+class TestBatchResult:
+    def test_count_mode(self):
+        res = BatchResult(np.array([3, 0, 2]))
+        assert res.mode == "count"
+        assert len(res) == 3
+        assert res.total() == 5
+        with pytest.raises(ValueError):
+            res.ids(0)
+        with pytest.raises(ValueError):
+            res.id_sets()
+
+    def test_ids_mode(self):
+        res = BatchResult.from_id_lists([[1, 2], [], [7]])
+        assert res.mode == "ids"
+        assert res.counts.tolist() == [2, 0, 1]
+        assert res.ids(0).tolist() == [1, 2]
+        assert res.id_sets() == [frozenset({1, 2}), frozenset(), frozenset({7})]
+
+    def test_mismatched_ids_length(self):
+        with pytest.raises(ValueError):
+            BatchResult(np.array([1, 2]), [np.array([1])])
+
+    def test_equality_order_insensitive(self):
+        a = BatchResult.from_id_lists([[1, 2, 3]])
+        b = BatchResult.from_id_lists([[3, 1, 2]])
+        c = BatchResult.from_id_lists([[1, 2]])
+        assert a == b
+        assert a != c
+        assert a != 42
+
+    def test_equality_mode_mismatch(self):
+        counted = BatchResult(np.array([2]))
+        full = BatchResult.from_id_lists([[1, 2]])
+        assert counted != full
+
+    def test_checksum_order_independent(self):
+        a = BatchResult.from_id_lists([[5, 9], [2]])
+        b = BatchResult.from_id_lists([[9, 5], [2]])
+        c = BatchResult.from_id_lists([[5, 9], [3]])
+        assert a.checksum() == b.checksum()
+        assert a.checksum() != c.checksum()
+
+    def test_checksum_count_mode(self):
+        assert BatchResult(np.array([1, 2])).checksum() != BatchResult(
+            np.array([2, 1])
+        ).checksum()
+        assert BatchResult(np.empty(0, dtype=np.int64)).checksum() == 0
+
+    def test_repr(self):
+        assert "queries=2" in repr(BatchResult(np.array([1, 0])))
+
+
+class TestCollectors:
+    class FakeTable:
+        def __init__(self, ids):
+            self.ids = np.asarray(ids, dtype=np.int64)
+
+    def test_count_collector(self):
+        c = CountCollector(3)
+        c.add_count(0, 5)
+        c.add_slice(1, self.FakeTable([1, 2, 3]), 0, 2)
+        c.add_slice(1, None, 4, 4)  # empty range ignored
+        c.add_ids(2, np.array([7, 8]))
+        c.add_counts_vec(np.array([0, 2]), np.array([1, 1]))
+        result = c.finalize(np.arange(3))
+        assert result.counts.tolist() == [6, 2, 3]
+
+    def test_count_collector_order_restoration(self):
+        c = CountCollector(2)
+        c.add_count(0, 10)  # sorted position 0 -> original position 1
+        c.add_count(1, 20)
+        result = c.finalize(np.array([1, 0]))
+        assert result.counts.tolist() == [20, 10]
+
+    def test_id_collector(self):
+        c = IdCollector(2)
+        table = self.FakeTable([10, 11, 12, 13])
+        c.add_slice(0, table, 1, 3)
+        c.add_ids(0, np.array([99]))
+        result = c.finalize(np.arange(2))
+        assert sorted(result.ids(0).tolist()) == [11, 12, 99]
+        assert result.ids(1).size == 0
+
+    def test_id_collector_rejects_bare_counts(self):
+        with pytest.raises(TypeError):
+            IdCollector(1).add_count(0, 3)
+
+    def test_make_collector(self):
+        assert isinstance(make_collector("count", 1), CountCollector)
+        assert isinstance(make_collector("ids", 1), IdCollector)
+        with pytest.raises(ValueError):
+            make_collector("wat", 1)

@@ -1,0 +1,108 @@
+"""Robustness tests: extreme values, adversarial inputs, defensive paths."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HintIndex,
+    IntervalCollection,
+    NaiveScan,
+    QueryBatch,
+    partition_based,
+    query_based,
+)
+
+
+class TestExtremeValues:
+    def test_large_domain_values(self):
+        """Endpoints near the top of a deep (m=20) domain."""
+        top = (1 << 20) - 1
+        coll = IntervalCollection(
+            [0, top - 10, top], [5, top, top]
+        )
+        index = HintIndex(coll, m=20)
+        assert sorted(index.query(top - 1, top).tolist()) == [1, 2]
+        assert index.query_count(0, top) == 3
+
+    def test_negative_ids_allowed(self):
+        coll = IntervalCollection([0, 5], [3, 9], ids=[-5, -9])
+        index = HintIndex(coll, m=4)
+        assert sorted(index.query(0, 15).tolist()) == [-9, -5]
+        result = partition_based(index, QueryBatch([0], [15]), mode="checksum")
+        assert result.counts[0] == 2
+
+    def test_many_duplicate_intervals(self):
+        coll = IntervalCollection.from_pairs([(7, 9)] * 1000)
+        index = HintIndex(coll, m=6)
+        assert index.query_count(8, 8) == 1000
+
+    def test_single_interval_single_query(self):
+        coll = IntervalCollection.from_pairs([(3, 3)])
+        index = HintIndex(coll, m=2)
+        batch = QueryBatch([3], [3])
+        assert query_based(index, batch).counts.tolist() == [1]
+
+    def test_maximum_batch_order_scrambling(self, rng):
+        """A batch in strictly decreasing start order — the worst case
+        for the internal sort — returns caller order intact."""
+        m = 8
+        top = (1 << m) - 1
+        st = rng.integers(0, top, size=100)
+        coll = IntervalCollection(st, np.minimum(st + 5, top))
+        index = HintIndex(coll, m=m)
+        q_st = np.arange(200, 0, -2)
+        batch = QueryBatch(q_st, q_st + 10)
+        expected = NaiveScan(coll).batch(batch).counts
+        assert np.array_equal(partition_based(index, batch).counts, expected)
+
+
+class TestDefensivePaths:
+    def test_collection_rejects_bool_arrays(self):
+        # bool arrays are integer-kind 'b' in numpy; make sure the
+        # pipeline doesn't silently treat them as data.
+        coll = IntervalCollection(
+            np.array([0, 1], dtype=np.int8), np.array([1, 1], dtype=np.int8)
+        )
+        assert coll.st.dtype == np.int64
+
+    def test_index_rejects_raw_unnormalized_big_domain(self):
+        coll = IntervalCollection.from_pairs([(0, 10**12)])
+        with pytest.raises(ValueError):
+            HintIndex(coll, m=10)
+
+    def test_strategies_reject_foreign_objects(self, small_index):
+        with pytest.raises((TypeError, AttributeError, ValueError)):
+            partition_based(small_index, [(0, 5)])  # not a QueryBatch
+
+    def test_query_batch_rejects_nan(self):
+        with pytest.raises((ValueError, TypeError)):
+            QueryBatch(np.array([np.nan]), np.array([1.0]))
+
+    def test_collection_rejects_nan(self):
+        with pytest.raises((ValueError, TypeError)):
+            IntervalCollection(np.array([np.nan]), np.array([1.0]))
+
+    def test_collection_rejects_inf(self):
+        with pytest.raises((ValueError, TypeError)):
+            IntervalCollection(np.array([np.inf]), np.array([np.inf]))
+
+
+class TestConcurrentReads:
+    def test_index_is_safely_shareable_across_threads(self, rng):
+        """The index is immutable after build: concurrent readers must
+        agree with the serial answer."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        m = 8
+        top = (1 << m) - 1
+        st = rng.integers(0, top, size=500)
+        coll = IntervalCollection(st, np.minimum(st + 20, top))
+        index = HintIndex(coll, m=m)
+        queries = [
+            tuple(sorted(rng.integers(0, top + 1, size=2).tolist()))
+            for _ in range(64)
+        ]
+        expected = [index.query_count(a, b) for a, b in queries]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            got = list(pool.map(lambda q: index.query_count(*q), queries))
+        assert got == expected

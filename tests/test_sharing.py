@@ -1,0 +1,32 @@
+"""Tests for the computation-sharing metric (Table 4)."""
+
+import pytest
+
+from repro.analysis.sharing import computation_sharing
+
+
+def test_basic_percentages():
+    shared = computation_sharing(
+        {"level-based": 0.78, "partition-based": 0.67}, serial_time=1.0
+    )
+    assert shared["level-based"] == pytest.approx(78.0)
+    assert shared["partition-based"] == pytest.approx(67.0)
+
+
+def test_equal_time_is_100_percent():
+    assert computation_sharing({"x": 2.0}, 2.0)["x"] == pytest.approx(100.0)
+
+
+def test_slower_than_serial_exceeds_100():
+    assert computation_sharing({"x": 3.0}, 2.0)["x"] > 100.0
+
+
+def test_empty_mapping():
+    assert computation_sharing({}, 1.0) == {}
+
+
+def test_invalid_serial_time():
+    with pytest.raises(ValueError):
+        computation_sharing({"x": 1.0}, 0.0)
+    with pytest.raises(ValueError):
+        computation_sharing({"x": 1.0}, -1.0)

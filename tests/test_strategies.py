@@ -1,0 +1,180 @@
+"""Tests for the production batch strategies (Algorithms 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HintIndex,
+    IntervalCollection,
+    NaiveScan,
+    QueryBatch,
+    STRATEGIES,
+    level_based,
+    partition_based,
+    query_based,
+    run_strategy,
+)
+from tests.conftest import expected_sets, random_batch, random_collection
+
+ALL_STRATEGIES = [
+    ("query-based", query_based, {"sort": False}),
+    ("query-based-sorted", query_based, {"sort": True}),
+    ("level-based", level_based, {}),
+    ("level-based-unsorted", level_based, {"sort": False}),
+    ("partition-based", partition_based, {}),
+    ("partition-based-nosort-flag", partition_based, {"sort": False}),
+]
+
+
+@pytest.mark.parametrize("name,fn,kwargs", ALL_STRATEGIES)
+@pytest.mark.parametrize("m", [1, 4, 7])
+def test_ids_mode_vs_naive(name, fn, kwargs, m, rng):
+    top = (1 << m) - 1
+    coll = random_collection(rng, 200, top)
+    index = HintIndex(coll, m=m)
+    batch = random_batch(rng, 30, top)
+    expected = expected_sets(coll, batch)
+    result = fn(index, batch, mode="ids", **kwargs)
+    sets = result.id_sets()
+    for i in range(len(batch)):
+        assert sets[i] == expected[i], f"{name} query {i}"
+        assert result.counts[i] == len(expected[i])
+
+
+@pytest.mark.parametrize("name,fn,kwargs", ALL_STRATEGIES)
+@pytest.mark.parametrize("m", [1, 4, 7])
+def test_count_mode_vs_naive(name, fn, kwargs, m, rng):
+    top = (1 << m) - 1
+    coll = random_collection(rng, 200, top)
+    index = HintIndex(coll, m=m)
+    batch = random_batch(rng, 30, top)
+    expected = NaiveScan(coll).batch(batch).counts
+    result = fn(index, batch, mode="count", **kwargs)
+    assert np.array_equal(result.counts, expected), name
+
+
+def test_no_duplicate_ids_per_query(rng):
+    m = 6
+    top = (1 << m) - 1
+    coll = random_collection(rng, 300, top)
+    index = HintIndex(coll, m=m)
+    batch = random_batch(rng, 20, top)
+    for _, fn, kwargs in ALL_STRATEGIES:
+        result = fn(index, batch, mode="ids", **kwargs)
+        for i in range(len(batch)):
+            ids = result.ids(i)
+            assert len(np.unique(ids)) == ids.size
+
+
+def test_results_restored_to_caller_order(rng):
+    """Reverse-sorted input batch must come back in input order."""
+    m = 6
+    top = (1 << m) - 1
+    coll = random_collection(rng, 200, top)
+    index = HintIndex(coll, m=m)
+    st = np.array([50, 30, 10, 40, 20])
+    end = np.minimum(st + 9, top)
+    batch = QueryBatch(st, end)
+    expected = expected_sets(coll, batch)
+    for name, fn, kwargs in ALL_STRATEGIES:
+        sets = fn(index, batch, mode="ids", **kwargs).id_sets()
+        for i in range(len(batch)):
+            assert sets[i] == expected[i], name
+
+
+def test_duplicate_queries_in_batch(rng):
+    m = 5
+    top = (1 << m) - 1
+    coll = random_collection(rng, 100, top)
+    index = HintIndex(coll, m=m)
+    batch = QueryBatch([5, 5, 5], [20, 20, 20])
+    naive_counts = NaiveScan(coll).batch(batch).counts
+    for _, fn, kwargs in ALL_STRATEGIES:
+        counts = fn(index, batch, **kwargs).counts
+        assert np.array_equal(counts, naive_counts)
+        assert counts[0] == counts[1] == counts[2]
+
+
+def test_empty_batch(small_index):
+    batch = QueryBatch([], [])
+    for _, fn, kwargs in ALL_STRATEGIES:
+        result = fn(small_index, batch, **kwargs)
+        assert len(result) == 0
+        assert result.total() == 0
+
+
+def test_single_query_batch(small_index):
+    batch = QueryBatch([4], [6])
+    for _, fn, kwargs in ALL_STRATEGIES:
+        result = fn(small_index, batch, mode="ids", **kwargs)
+        assert result.id_sets()[0] == frozenset({0, 2, 4})
+
+
+def test_batch_on_empty_index():
+    index = HintIndex(IntervalCollection.empty(), m=5)
+    batch = QueryBatch([0, 10], [5, 20])
+    for _, fn, kwargs in ALL_STRATEGIES:
+        result = fn(index, batch, **kwargs)
+        assert result.counts.tolist() == [0, 0]
+
+
+def test_queries_clipped_to_domain(small_index):
+    batch = QueryBatch([-50, 0], [500, 15])
+    for _, fn, kwargs in ALL_STRATEGIES:
+        counts = fn(small_index, batch, **kwargs).counts
+        assert counts[0] == counts[1] == 8
+
+
+def test_invalid_mode_rejected(small_index):
+    batch = QueryBatch([0], [5])
+    with pytest.raises(ValueError):
+        query_based(small_index, batch, mode="bogus")
+    with pytest.raises(ValueError):
+        partition_based(small_index, batch, mode="bogus")
+
+
+class TestRegistry:
+    def test_contents(self):
+        assert set(STRATEGIES) == {
+            "query-based",
+            "query-based-sorted",
+            "level-based",
+            "partition-based",
+        }
+
+    def test_run_strategy(self, small_index):
+        batch = QueryBatch([4], [6])
+        for name in STRATEGIES:
+            result = run_strategy(name, small_index, batch)
+            assert result.counts.tolist() == [3]
+
+    def test_run_strategy_unknown(self, small_index):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            run_strategy("nope", small_index, QueryBatch([0], [1]))
+
+
+class TestCrossStrategyAgreement:
+    """All strategies must produce byte-identical counts on larger,
+    adversarial workloads."""
+
+    def test_large_random(self, rng):
+        m = 10
+        top = (1 << m) - 1
+        coll = random_collection(rng, 3000, top)
+        index = HintIndex(coll, m=m)
+        batch = random_batch(rng, 300, top)
+        baseline = query_based(index, batch).counts
+        for name, fn, kwargs in ALL_STRATEGIES[1:]:
+            assert np.array_equal(fn(index, batch, **kwargs).counts, baseline), name
+
+    def test_skewed_data_and_queries(self, rng):
+        """Everything piled on one partition boundary."""
+        m = 8
+        st = np.full(500, 127)
+        end = st + rng.integers(0, 3, size=500)
+        coll = IntervalCollection(st, end)
+        index = HintIndex(coll, m=m)
+        batch = QueryBatch([126, 127, 128, 120], [129, 127, 255, 127])
+        expected = NaiveScan(coll).batch(batch).counts
+        for name, fn, kwargs in ALL_STRATEGIES:
+            assert np.array_equal(fn(index, batch, **kwargs).counts, expected), name

@@ -1,0 +1,154 @@
+"""Unit tests for the columnar subdivision tables."""
+
+import numpy as np
+import pytest
+
+from repro import HintIndex, IntervalCollection
+from repro.hint.assignment import CLASS_NAMES
+from repro.hint.tables import SubdivisionTable, build_level_data
+
+
+def build_index(pairs, m=4, **kwargs):
+    return HintIndex(IntervalCollection.from_pairs(pairs), m=m, **kwargs)
+
+
+class TestSubdivisionTable:
+    def test_empty(self):
+        t = SubdivisionTable.empty(8)
+        assert len(t) == 0
+        assert t.num_partitions == 8
+        assert t.bounds(3) == (0, 0)
+        assert t.count(3) == 0
+        assert t.partition_ids(3).size == 0
+
+    def test_nbytes_positive(self):
+        t = SubdivisionTable.empty(4)
+        assert t.nbytes() > 0
+
+
+class TestLevelLayout:
+    def test_offsets_are_monotone_and_complete(self):
+        index = build_index([(0, 3), (2, 9), (5, 5), (8, 15), (0, 15)], m=4)
+        for data in index.levels:
+            for table in data.tables():
+                offs = table.offsets
+                assert offs[0] == 0
+                assert offs[-1] == len(table)
+                assert np.all(np.diff(offs) >= 0)
+                assert offs.size == (1 << data.level) + 1
+
+    def test_partition_rows_sorted_by_class_key(self):
+        rng = np.random.default_rng(2)
+        st = rng.integers(0, 64, size=400)
+        end = np.minimum(st + rng.integers(0, 64, size=400), 63)
+        index = HintIndex(IntervalCollection(st, end), m=6)
+        for data in index.levels:
+            for name, table in zip(CLASS_NAMES, data.tables()):
+                key = {"O_in": table.st, "O_aft": table.st, "R_in": table.end}.get(name)
+                if key is None or not len(table):
+                    continue
+                for p in range(table.num_partitions):
+                    lo, hi = table.bounds(p)
+                    segment = key[lo:hi]
+                    assert np.all(segment[:-1] <= segment[1:]), (
+                        f"level {data.level} {name} partition {p} not sorted"
+                    )
+
+    def test_comp_column_globally_sorted(self):
+        rng = np.random.default_rng(3)
+        st = rng.integers(0, 256, size=500)
+        end = np.minimum(st + rng.integers(0, 256, size=500), 255)
+        index = HintIndex(IntervalCollection(st, end), m=8)
+        for data in index.levels:
+            for table in data.tables():
+                if table.comp is None or not len(table):
+                    continue
+                assert np.all(table.comp[:-1] <= table.comp[1:])
+
+    def test_comp_decodes_to_partition_and_key(self):
+        index = build_index([(0, 3), (2, 9), (5, 5)], m=4)
+        for data in index.levels:
+            t = data.o_in
+            if not len(t) or t.comp is None:
+                continue
+            parts = t.comp >> t.key_bits
+            keys = t.comp & ((1 << t.key_bits) - 1)
+            assert np.array_equal(keys, t.st)
+            for p in range(t.num_partitions):
+                lo, hi = t.bounds(p)
+                assert np.all(parts[lo:hi] == p)
+
+    def test_raft_has_no_comp(self):
+        index = build_index([(0, 15), (1, 14), (2, 13)], m=4)
+        for data in index.levels:
+            if len(data.r_aft):
+                assert data.r_aft.comp is None or data.r_aft.key_bits == 0
+
+
+class TestStorageOptimization:
+    def test_optimized_drops_unused_columns(self):
+        rng = np.random.default_rng(4)
+        st = rng.integers(0, 64, size=300)
+        end = np.minimum(st + rng.integers(0, 64, size=300), 63)
+        coll = IntervalCollection(st, end)
+        index = HintIndex(coll, m=6, storage_optimized=True)
+        found = {"O_aft": False, "R_in": False, "R_aft": False}
+        for data in index.levels:
+            if len(data.o_aft):
+                assert data.o_aft.end is None
+                found["O_aft"] = True
+            if len(data.r_in):
+                assert data.r_in.st is None
+                found["R_in"] = True
+            if len(data.r_aft):
+                assert data.r_aft.st is None and data.r_aft.end is None
+                found["R_aft"] = True
+            if len(data.o_in):
+                assert data.o_in.st is not None and data.o_in.end is not None
+        assert all(found.values()), "test data did not populate all classes"
+
+    def test_unoptimized_keeps_all_columns(self):
+        coll = IntervalCollection.from_pairs([(0, 15), (3, 9), (2, 5)])
+        index = HintIndex(coll, m=4, storage_optimized=False)
+        for data in index.levels:
+            for table in data.tables():
+                if len(table):
+                    assert table.st is not None
+                    assert table.end is not None
+
+    def test_optimized_uses_less_memory(self):
+        rng = np.random.default_rng(5)
+        st = rng.integers(0, 1024, size=2000)
+        end = np.minimum(st + rng.integers(0, 1024, size=2000), 1023)
+        coll = IntervalCollection(st, end)
+        lean = HintIndex(coll, m=10, storage_optimized=True)
+        full = HintIndex(coll, m=10, storage_optimized=False)
+        assert lean.nbytes() < full.nbytes()
+
+    def test_same_results_either_way(self, rng):
+        st = rng.integers(0, 256, size=500)
+        end = np.minimum(st + rng.integers(0, 64, size=500), 255)
+        coll = IntervalCollection(st, end)
+        lean = HintIndex(coll, m=8, storage_optimized=True)
+        full = HintIndex(coll, m=8, storage_optimized=False)
+        for q_st, q_end in [(0, 255), (10, 20), (100, 101), (255, 255)]:
+            assert sorted(lean.query(q_st, q_end)) == sorted(full.query(q_st, q_end))
+
+
+class TestBuildLevelData:
+    def test_describe(self):
+        index = build_index([(0, 15), (2, 5), (5, 5)], m=4)
+        desc = index.levels[4].describe()
+        assert set(desc) == set(CLASS_NAMES)
+
+    def test_row_conservation(self):
+        """Every placement lands in exactly one class table."""
+        rng = np.random.default_rng(6)
+        st = rng.integers(0, 64, size=300)
+        end = np.minimum(st + rng.integers(0, 64, size=300), 63)
+        index = HintIndex(IntervalCollection(st, end), m=6)
+        from repro.hint.assignment import assign_collection
+
+        placements = assign_collection(6, index_st := st.astype(np.int64), end.astype(np.int64))
+        for level, (rows, parts, classes) in placements.items():
+            assert index.levels[level].total() == rows.size

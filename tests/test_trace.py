@@ -1,0 +1,159 @@
+"""Tests for access-pattern traces — Table 1 of the paper, verbatim."""
+
+import pytest
+
+from repro import IntervalCollection, QueryBatch, ReferenceHint
+from repro.analysis.trace import (
+    AccessRecorder,
+    format_access_pattern,
+    jump_stats,
+)
+from repro.experiments.table1 import access_patterns
+
+
+def seq(*pairs):
+    return [tuple(p) for p in pairs]
+
+
+# The four rows of Table 1, transcribed from the paper (m = 4,
+# q1 = [2, 5], q2 = [10, 13], q3 = [4, 6]).
+TABLE1 = {
+    "query-based": [
+        (4, 2), (4, 3), (4, 4), (4, 5), (3, 1), (3, 2), (2, 0), (2, 1), (1, 0), (0, 0),
+        (4, 10), (4, 11), (4, 12), (4, 13), (3, 5), (3, 6), (2, 2), (2, 3), (1, 1), (0, 0),
+        (4, 4), (4, 5), (4, 6), (3, 2), (3, 3), (2, 1), (1, 0), (0, 0),
+    ],
+    "query-based-sorted": [
+        (4, 2), (4, 3), (4, 4), (4, 5), (3, 1), (3, 2), (2, 0), (2, 1), (1, 0), (0, 0),
+        (4, 4), (4, 5), (4, 6), (3, 2), (3, 3), (2, 1), (1, 0), (0, 0),
+        (4, 10), (4, 11), (4, 12), (4, 13), (3, 5), (3, 6), (2, 2), (2, 3), (1, 1), (0, 0),
+    ],
+    "level-based-sorted": [
+        (4, 2), (4, 3), (4, 4), (4, 5), (4, 4), (4, 5), (4, 6),
+        (4, 10), (4, 11), (4, 12), (4, 13),
+        (3, 1), (3, 2), (3, 2), (3, 3), (3, 5), (3, 6),
+        (2, 0), (2, 1), (2, 1), (2, 2), (2, 3),
+        (1, 0), (1, 0), (1, 1),
+        (0, 0), (0, 0), (0, 0),
+    ],
+    "partition-based-sorted": [
+        (4, 2), (4, 3), (4, 4), (4, 4), (4, 5), (4, 5), (4, 6),
+        (4, 10), (4, 11), (4, 12), (4, 13),
+        (3, 1), (3, 2), (3, 2), (3, 3), (3, 5), (3, 6),
+        (2, 0), (2, 1), (2, 1), (2, 2), (2, 3),
+        (1, 0), (1, 0), (1, 1),
+        (0, 0), (0, 0), (0, 0),
+    ],
+}
+
+
+class TestTable1Verbatim:
+    """The reproduction's strongest fidelity check: the recorded access
+    patterns must equal the paper's Table 1 row by row."""
+
+    @pytest.mark.parametrize("strategy", sorted(TABLE1))
+    def test_row(self, strategy):
+        patterns = access_patterns()
+        assert patterns[strategy] == TABLE1[strategy], strategy
+
+    def test_all_strategies_touch_same_partition_multiset(self):
+        patterns = access_patterns()
+        expected = sorted(TABLE1["query-based"])
+        for strategy, sequence in patterns.items():
+            assert sorted(sequence) == expected, strategy
+
+
+class TestRecorder:
+    def test_basic_recording(self):
+        rec = AccessRecorder()
+        rec.record(4, 2, 0)
+        rec.record(3, 1, 0)
+        assert len(rec) == 2
+        assert rec.partition_sequence() == [(4, 2), (3, 1)]
+        assert rec.unique_partitions() == 2
+        rec.clear()
+        assert len(rec) == 0
+
+    def test_by_level(self):
+        rec = AccessRecorder()
+        rec.record(4, 2, 0)
+        rec.record(4, 3, 1)
+        rec.record(3, 0, 0)
+        grouped = rec.by_level()
+        assert grouped[4] == [(2, 0), (3, 1)]
+        assert grouped[3] == [(0, 0)]
+
+    def test_recorder_does_not_change_results(self, rng):
+        from tests.conftest import random_batch, random_collection
+
+        coll = random_collection(rng, 100, 63)
+        ref = ReferenceHint(coll, m=6)
+        batch = random_batch(rng, 10, 63)
+        plain = ref.batch_partition_based(batch)
+        rec = AccessRecorder()
+        recorded = ref.batch_partition_based(batch, recorder=rec)
+        assert [sorted(r) for r in plain] == [sorted(r) for r in recorded]
+        assert len(rec) > 0
+
+
+class TestJumpStats:
+    def test_empty_and_single(self):
+        assert jump_stats([]).total_jumps == 0
+        assert jump_stats([(1, 0)]).total_jumps == 0
+
+    def test_sequential_no_jumps(self):
+        stats = jump_stats(seq((4, 0), (4, 1), (4, 2)))
+        assert stats.horizontal_jumps == 0
+        assert stats.vertical_jumps == 0
+        assert stats.distance == 2
+
+    def test_revisit_not_a_jump(self):
+        stats = jump_stats(seq((4, 5), (4, 5)))
+        assert stats.horizontal_jumps == 0
+        assert stats.distance == 0
+
+    def test_horizontal_jump(self):
+        stats = jump_stats(seq((4, 0), (4, 7)))
+        assert stats.horizontal_jumps == 1
+        assert stats.vertical_jumps == 0
+        assert stats.distance == 7
+
+    def test_backward_is_horizontal_jump(self):
+        assert jump_stats(seq((4, 5), (4, 4))).horizontal_jumps == 1
+
+    def test_vertical_jump(self):
+        stats = jump_stats(seq((4, 0), (3, 0)))
+        assert stats.vertical_jumps == 1
+        assert stats.horizontal_jumps == 0
+
+    def test_paper_ordering_of_strategies(self):
+        """Batch strategies must dominate query-based on jump distance."""
+        stats = {
+            name: jump_stats(sequence)
+            for name, sequence in access_patterns().items()
+        }
+        assert (
+            stats["partition-based-sorted"].distance
+            <= stats["level-based-sorted"].distance
+            < stats["query-based"].distance
+        )
+        assert (
+            stats["partition-based-sorted"].vertical_jumps
+            < stats["query-based"].vertical_jumps
+        )
+
+
+class TestFormatting:
+    def test_flat(self):
+        assert (
+            format_access_pattern(seq((4, 2), (3, 1))) == "P4,2 -> P3,1"
+        )
+
+    def test_per_level_lines(self):
+        out = format_access_pattern(
+            seq((4, 2), (4, 3), (3, 1)), per_level_lines=True
+        )
+        assert out == "P4,2 -> P4,3\nP3,1"
+
+    def test_empty(self):
+        assert format_access_pattern([]) == ""

@@ -1,0 +1,110 @@
+"""Tests for the optimization variants and the top-down traversal."""
+
+import numpy as np
+import pytest
+
+from repro import HintIndex, IntervalCollection, NaiveScan, QueryBatch
+from repro.hint.variants import HintVariant
+from tests.conftest import random_batch, random_collection
+
+CONFIGS = [
+    {"subdivisions": True, "sorted_partitions": True},
+    {"subdivisions": True, "sorted_partitions": False},
+    {"subdivisions": False, "sorted_partitions": True},
+    {"subdivisions": False, "sorted_partitions": False},
+]
+
+
+class TestVariantsCorrectness:
+    @pytest.mark.parametrize("config", CONFIGS)
+    @pytest.mark.parametrize("m", [1, 4, 8])
+    def test_vs_naive(self, config, m, rng):
+        top = (1 << m) - 1
+        coll = random_collection(rng, 250, top)
+        variant = HintVariant(coll, m, **config)
+        naive = NaiveScan(coll)
+        for _ in range(40):
+            a, b = sorted(rng.integers(0, top + 1, size=2).tolist())
+            got = variant.query(a, b)
+            assert len(set(got.tolist())) == got.size, "duplicates"
+            assert sorted(got.tolist()) == sorted(naive.query(a, b).tolist())
+            assert variant.query_count(a, b) == naive.query_count(a, b)
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_matches_production_index(self, config, rng):
+        m = 7
+        top = (1 << m) - 1
+        coll = random_collection(rng, 300, top)
+        variant = HintVariant(coll, m, **config)
+        index = HintIndex(coll, m=m)
+        for _ in range(30):
+            a, b = sorted(rng.integers(0, top + 1, size=2).tolist())
+            assert sorted(variant.query(a, b).tolist()) == sorted(
+                index.query(a, b).tolist()
+            )
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    @pytest.mark.parametrize("mode", ["count", "ids", "checksum"])
+    def test_batch_query_based(self, config, mode, rng):
+        m = 6
+        top = (1 << m) - 1
+        coll = random_collection(rng, 200, top)
+        variant = HintVariant(coll, m, **config)
+        batch = random_batch(rng, 20, top)
+        expected = NaiveScan(coll).batch(batch, mode=mode)
+        got = variant.batch_query_based(batch, mode=mode)
+        assert np.array_equal(got.counts, expected.counts)
+        if mode == "ids":
+            assert got.id_sets() == expected.id_sets()
+
+    def test_empty_collection(self):
+        variant = HintVariant(IntervalCollection.empty(), 4)
+        assert variant.query(0, 15).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HintVariant(IntervalCollection.empty(), -1)
+        with pytest.raises(ValueError):
+            HintVariant(IntervalCollection.from_pairs([(0, 99)]), 4)
+        variant = HintVariant(IntervalCollection.empty(), 4)
+        with pytest.raises(ValueError):
+            variant.query(9, 2)
+
+    def test_repr(self):
+        variant = HintVariant(
+            IntervalCollection.empty(), 3, subdivisions=False
+        )
+        assert "subdivisions=False" in repr(variant)
+
+
+class TestTopDownTraversal:
+    @pytest.mark.parametrize("m", [1, 4, 8])
+    def test_same_results_as_bottom_up(self, m, rng):
+        top = (1 << m) - 1
+        coll = random_collection(rng, 250, top)
+        index = HintIndex(coll, m=m)
+        for _ in range(40):
+            a, b = sorted(rng.integers(0, top + 1, size=2).tolist())
+            assert sorted(index.query(a, b, top_down=True).tolist()) == sorted(
+                index.query(a, b).tolist()
+            )
+            assert index.query_count(a, b, top_down=True) == index.query_count(
+                a, b
+            )
+
+    def test_small_exact(self, small_index):
+        assert sorted(small_index.query(4, 6, top_down=True).tolist()) == [0, 2, 4]
+
+
+class TestOptimizationsAblation:
+    def test_runner_shape(self):
+        from repro.experiments.ablations import run_optimizations
+
+        result = run_optimizations(
+            cardinality=5_000, batch_size=50, repeats=1
+        )
+        assert len(result.rows) == 6  # 4 variants + production x2 traversals
+        assert all(r["seconds"] > 0 for r in result.rows)
+        configs = {r["configuration"] for r in result.rows}
+        assert "subs=True sort=True" in configs
+        assert "production (subs+sort)" in configs

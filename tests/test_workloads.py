@@ -1,0 +1,165 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.queries import (
+    data_following_queries,
+    extent_from_pct,
+    stabbing_queries,
+    uniform_queries,
+)
+from repro.workloads.realistic import (
+    REAL_DATASET_SPECS,
+    make_realistic_clone,
+)
+from repro.workloads.synthetic import SyntheticSpec, generate_synthetic
+
+
+class TestSynthetic:
+    def test_shape_and_domain(self):
+        coll = generate_synthetic(5_000, 100_000, 1.2, 5_000, seed=1)
+        assert len(coll) == 5_000
+        assert coll.st.min() >= 0
+        assert coll.end.max() <= 99_999
+        assert np.all(coll.st <= coll.end)
+
+    def test_deterministic(self):
+        a = generate_synthetic(1_000, 50_000, 1.4, 2_000, seed=7)
+        b = generate_synthetic(1_000, 50_000, 1.4, 2_000, seed=7)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = generate_synthetic(1_000, 50_000, 1.4, 2_000, seed=1)
+        b = generate_synthetic(1_000, 50_000, 1.4, 2_000, seed=2)
+        assert a != b
+
+    def test_alpha_controls_length(self):
+        """Smaller alpha -> heavier tail -> longer intervals (paper)."""
+        long_ = generate_synthetic(20_000, 1_000_000, 1.01, 10_000, seed=3)
+        short = generate_synthetic(20_000, 1_000_000, 1.8, 10_000, seed=3)
+        assert long_.durations.mean() > 5 * short.durations.mean()
+
+    def test_large_alpha_mostly_unit_lengths(self):
+        coll = generate_synthetic(10_000, 1_000_000, 1.8, 10_000, seed=4)
+        assert (coll.durations == 1).mean() > 0.5
+
+    def test_sigma_controls_spread(self):
+        narrow = generate_synthetic(10_000, 1_000_000, 1.4, 1_000, seed=5)
+        wide = generate_synthetic(10_000, 1_000_000, 1.4, 100_000, seed=5)
+        assert narrow.st.std() < wide.st.std()
+
+    def test_positions_centered(self):
+        coll = generate_synthetic(10_000, 1_000_000, 1.4, 10_000, seed=6)
+        mid = (coll.st + coll.end) / 2
+        assert abs(mid.mean() - 500_000) < 5_000
+
+    def test_zero_cardinality(self):
+        assert len(generate_synthetic(0, 1000, 1.2, 10)) == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cardinality": -1, "domain": 100, "alpha": 1.2, "sigma": 10},
+            {"cardinality": 10, "domain": 1, "alpha": 1.2, "sigma": 10},
+            {"cardinality": 10, "domain": 100, "alpha": 1.0, "sigma": 10},
+            {"cardinality": 10, "domain": 100, "alpha": 1.2, "sigma": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            generate_synthetic(**kwargs)
+
+    def test_spec_scaling(self):
+        spec = SyntheticSpec(1_000_000, 128_000_000, 1.2, 1_000_000)
+        scaled = spec.scaled(0.01)
+        assert scaled.cardinality == 10_000
+        assert scaled.domain == spec.domain
+
+
+class TestRealisticClones:
+    def test_specs_match_table2(self):
+        assert set(REAL_DATASET_SPECS) == {"BOOKS", "WEBKIT", "TAXIS", "GREEND"}
+        books = REAL_DATASET_SPECS["BOOKS"]
+        assert books.cardinality == 2_312_602
+        assert books.domain == 31_507_200
+        assert books.paper_m == 10
+        assert books.avg_duration_pct == pytest.approx(6.99, abs=0.02)
+
+    @pytest.mark.parametrize("name", sorted(REAL_DATASET_SPECS))
+    def test_clone_statistics(self, name):
+        spec = REAL_DATASET_SPECS[name]
+        coll = make_realistic_clone(name, cardinality=40_000, seed=0)
+        assert len(coll) == 40_000
+        stats = coll.stats()
+        assert stats.domain_end < spec.domain
+        assert stats.min_duration >= spec.min_duration
+        assert stats.max_duration <= spec.max_duration
+        # realized mean duration within 25% of the published average
+        assert stats.avg_duration == pytest.approx(
+            spec.avg_duration, rel=0.25
+        )
+
+    def test_default_scale(self):
+        coll = make_realistic_clone("BOOKS", scale=0.001)
+        assert len(coll) == round(2_312_602 * 0.001)
+
+    def test_case_insensitive(self):
+        assert len(make_realistic_clone("books", cardinality=10)) == 10
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_realistic_clone("NETFLIX")
+
+    def test_deterministic(self):
+        a = make_realistic_clone("TAXIS", cardinality=1_000, seed=3)
+        b = make_realistic_clone("TAXIS", cardinality=1_000, seed=3)
+        assert a == b
+
+
+class TestQueryGenerators:
+    def test_extent_from_pct(self):
+        assert extent_from_pct(10_000, 1.0) == 100
+        assert extent_from_pct(10_000, 0.0) == 1  # at least one point
+        with pytest.raises(ValueError):
+            extent_from_pct(0, 1.0)
+        with pytest.raises(ValueError):
+            extent_from_pct(100, -1.0)
+
+    def test_uniform_extent_exact(self):
+        batch = uniform_queries(500, 100_000, 0.5, seed=1)
+        extents = batch.end - batch.st + 1
+        assert np.all(extents == 500)
+        assert batch.st.min() >= 0
+        assert batch.end.max() < 100_000
+
+    def test_uniform_deterministic(self):
+        a = uniform_queries(100, 10_000, 0.1, seed=5)
+        b = uniform_queries(100, 10_000, 0.1, seed=5)
+        assert a.st.tolist() == b.st.tolist()
+
+    def test_uniform_negative_count(self):
+        with pytest.raises(ValueError):
+            uniform_queries(-1, 100)
+
+    def test_data_following_tracks_density(self):
+        coll = generate_synthetic(20_000, 1_000_000, 1.4, 5_000, seed=2)
+        batch = data_following_queries(500, coll, 0.1, seed=2)
+        # data (and hence queries) concentrate near the domain center
+        mid = (batch.st + batch.end) / 2
+        assert abs(mid.mean() - 500_000) < 20_000
+        assert np.all(batch.st <= batch.end)
+        assert batch.end.max() < 1_000_000
+
+    def test_data_following_empty_collection(self):
+        from repro import IntervalCollection
+
+        with pytest.raises(ValueError):
+            data_following_queries(10, IntervalCollection.empty())
+
+    def test_stabbing(self):
+        batch = stabbing_queries(200, 5_000, seed=3)
+        assert np.all(batch.st == batch.end)
+        assert batch.st.max() < 5_000
+        with pytest.raises(ValueError):
+            stabbing_queries(-5, 100)
