@@ -1,21 +1,33 @@
 # Convenience targets for the reproduction workflow.
+#
+# Every python invocation exports PYTHONPATH=src so the targets work on
+# an uninstalled checkout — the same command ROADMAP.md's tier-1 verify
+# uses.
 
-.PHONY: install test bench experiments examples clean
+PYENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
+
+.PHONY: install test bench bench-service experiments examples serve-sim clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/
+	$(PYENV) python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYENV) python -m pytest benchmarks/ --benchmark-only
+
+bench-service:
+	$(PYENV) python benchmarks/bench_service.py --out results/service.csv
 
 experiments:
-	python -m repro.experiments all --csv results/ --repeats 3
+	$(PYENV) python -m repro.experiments all --csv results/ --repeats 3
 
 examples:
-	@for f in examples/*.py; do echo "== $$f"; python $$f; done
+	@for f in examples/*.py; do echo "== $$f"; $(PYENV) python $$f; done
+
+serve-sim:
+	$(PYENV) python -m repro.cli serve-sim
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks

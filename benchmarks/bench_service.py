@@ -1,0 +1,165 @@
+"""Throughput of the micro-batching service vs per-query dispatch.
+
+The serving-layer question the paper's batching argument implies: given
+a stream of independent queries, how much throughput does coalescing
+them into batches buy over answering each with
+:meth:`~repro.hint.index.HintIndex.query_count`?  This sweep pushes the
+same query stream through
+
+* **per-query dispatch** — ``index.query_count(st, end)`` in a loop
+  (the no-batching baseline, amortizing nothing), and
+* the **service** — :class:`~repro.service.BatchingQueryService` over a
+  ``max_batch`` x ``max_delay_ms`` grid, submitters running full tilt
+  (so flushes close by size; the deadline column shows the latency
+  bound does not cost throughput when traffic is heavy).
+
+Run directly to record the sweep (``make bench-service``)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out results/service.csv
+
+or through pytest-benchmark along with the other benchmarks.  The
+default synthetic workload must show >= 2x speedup for coalesced
+batches of 64+ queries; the script exits non-zero if it does not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import time
+from pathlib import Path
+
+from conftest import DEFAULT_EXTENT, synthetic_setup
+
+from repro.service import BatchingQueryService
+from repro.workloads.queries import data_following_queries
+
+N_QUERIES = 4_000
+BATCH_GRID = (16, 64, 256, 1024)
+DELAY_GRID_MS = (1.0, 5.0)
+
+
+def _workload(n_queries: int = N_QUERIES):
+    index, coll, domain = synthetic_setup()
+    batch = data_following_queries(
+        n_queries, coll, DEFAULT_EXTENT, domain=domain, seed=11
+    )
+    return index, list(batch)
+
+
+def measure_per_query(index, queries) -> float:
+    t0 = time.perf_counter()
+    for q_st, q_end in queries:
+        index.query_count(q_st, q_end)
+    return time.perf_counter() - t0
+
+
+def measure_service(index, queries, *, max_batch: int, max_delay_ms: float) -> float:
+    service = BatchingQueryService(
+        index,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        max_queue=len(queries),
+    )
+    t0 = time.perf_counter()
+    futures = [service.submit(q_st, q_end) for q_st, q_end in queries]
+    for f in futures:
+        f.result()
+    elapsed = time.perf_counter() - t0
+    service.close()
+    return elapsed
+
+
+def run_sweep(out_path=None, n_queries: int = N_QUERIES):
+    """Sweep batch size x deadline; returns the result rows."""
+    index, queries = _workload(n_queries)
+    n = len(queries)
+    measure_per_query(index, queries[:200])  # warmup
+    serial = measure_per_query(index, queries)
+    rows = [
+        {
+            "dispatch": "per-query",
+            "max_batch": 1,
+            "max_delay_ms": 0.0,
+            "queries": n,
+            "seconds": serial,
+            "qps": n / serial,
+            "speedup": 1.0,
+        }
+    ]
+    print(f"per-query dispatch: {serial:.3f}s ({n / serial:,.0f} q/s)")
+    for max_batch in BATCH_GRID:
+        for delay in DELAY_GRID_MS:
+            elapsed = measure_service(
+                index, queries, max_batch=max_batch, max_delay_ms=delay
+            )
+            speedup = serial / elapsed
+            rows.append(
+                {
+                    "dispatch": "service",
+                    "max_batch": max_batch,
+                    "max_delay_ms": delay,
+                    "queries": n,
+                    "seconds": elapsed,
+                    "qps": n / elapsed,
+                    "speedup": speedup,
+                }
+            )
+            print(
+                f"service max_batch={max_batch:>5} max_delay_ms={delay:>4g}: "
+                f"{elapsed:.3f}s ({n / elapsed:,.0f} q/s, {speedup:.1f}x)"
+            )
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        with out_path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"wrote {out_path}")
+    return rows
+
+
+def test_bench_service_throughput(benchmark, synth_default, synth_default_batch):
+    """pytest-benchmark entry: the default service configuration."""
+    index, _, _ = synth_default
+    queries = list(synth_default_batch)
+
+    def run():
+        return measure_service(index, queries, max_batch=256, max_delay_ms=5.0)
+
+    benchmark.group = "service"
+    benchmark.name = "service@256"
+    benchmark(run)
+
+
+def test_bench_per_query_dispatch(benchmark, synth_default, synth_default_batch):
+    """pytest-benchmark entry: the no-batching baseline."""
+    index, _, _ = synth_default
+    queries = list(synth_default_batch)
+    benchmark.group = "service"
+    benchmark.name = "per-query"
+    benchmark(measure_per_query, index, queries)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="CSV output path")
+    parser.add_argument("--queries", type=int, default=N_QUERIES)
+    args = parser.parse_args(argv)
+    rows = run_sweep(args.out, args.queries)
+    coalesced = [r for r in rows if r["dispatch"] == "service" and r["max_batch"] >= 64]
+    best = max(r["speedup"] for r in coalesced)
+    if best < 2.0:
+        print(
+            f"FAIL: best coalesced speedup {best:.2f}x < 2x over per-query dispatch",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: coalesced batches (>=64) reach {best:.1f}x over per-query dispatch")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

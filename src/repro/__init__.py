@@ -15,6 +15,9 @@ The package provides:
 * :mod:`repro.workloads` — synthetic and realistic workload generators;
 * :mod:`repro.analysis` — access-pattern traces, the LRU cache
   simulator, and the computation-sharing metric;
+* :mod:`repro.service` — the micro-batching query service that forms
+  batches from single-query traffic (size/deadline admission,
+  backpressure, atomic index swaps);
 * :mod:`repro.experiments` — runners regenerating every table and
   figure of the paper's evaluation.
 
@@ -60,7 +63,12 @@ from repro.core import (
     recommend_strategy,
 )
 from repro.core.accumulator import BatchAccumulator
-from repro.analysis import analyze_batch
+from repro.analysis import ServiceMetrics, analyze_batch
+from repro.service import (
+    BatchingQueryService,
+    QueueFullError,
+    ServiceClosedError,
+)
 from repro.grid import GridIndex, grid_query_based, grid_partition_based
 from repro.baselines import (
     NaiveScan,
@@ -103,6 +111,10 @@ __all__ = [
     "PeriodIndex",
     "period_partition_based",
     "BatchAccumulator",
+    "BatchingQueryService",
+    "QueueFullError",
+    "ServiceClosedError",
+    "ServiceMetrics",
     "analyze_batch",
     "__version__",
 ]

@@ -14,13 +14,17 @@ mechanism explicit:
   partition-based ordering wins;
 * :func:`~repro.analysis.sharing.computation_sharing` computes the
   Table 4 metric (what fraction of the batch a serial executor would
-  finish within a strategy's total time).
+  finish within a strategy's total time);
+* :class:`~repro.analysis.service_stats.ServiceMetrics` instruments the
+  micro-batching query service (:mod:`repro.service`): flush triggers,
+  batch-size histogram, queue depth, p50/p99 flush latency.
 """
 
 from repro.analysis.trace import AccessRecorder, JumpStats, jump_stats, format_access_pattern
 from repro.analysis.cache import CacheStats, LRUCacheSimulator, simulate_cache
 from repro.analysis.sharing import computation_sharing
 from repro.analysis.batch_stats import BatchStats, LevelStats, analyze_batch
+from repro.analysis.service_stats import ServiceMetrics, ServiceSnapshot
 
 __all__ = [
     "BatchStats",
@@ -34,4 +38,6 @@ __all__ = [
     "LRUCacheSimulator",
     "simulate_cache",
     "computation_sharing",
+    "ServiceMetrics",
+    "ServiceSnapshot",
 ]

@@ -1,0 +1,211 @@
+"""Operational metrics of the micro-batching query service.
+
+The batch strategies answer "how fast is a batch"; a serving layer must
+also answer "what batches did the admission policy actually form".
+:class:`ServiceMetrics` is the lightweight, thread-safe instrumentation
+object :class:`~repro.service.BatchingQueryService` feeds: arrival and
+completion counters, flush counts split by trigger (size / deadline /
+forced / drain), a power-of-two batch-size histogram, queue-depth
+tracking, and a bounded reservoir of flush latencies from which p50/p99
+are computed.
+
+Everything is observable while the service runs; :meth:`ServiceMetrics.
+snapshot` returns an immutable, picklable view for reporting.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ServiceMetrics", "ServiceSnapshot", "batch_size_bucket"]
+
+#: Flush triggers recorded by :meth:`ServiceMetrics.record_flush`.
+FLUSH_REASONS = ("size", "deadline", "forced", "drain")
+
+
+def batch_size_bucket(size: int) -> int:
+    """Histogram bucket (smallest power of two >= *size*) of a batch."""
+    if size < 1:
+        raise ValueError("batch size must be positive")
+    return 1 << (size - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """Immutable view of a :class:`ServiceMetrics` at one point in time."""
+
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    flushes: int
+    flushes_by_reason: Dict[str, int]
+    parallel_flushes: int
+    index_swaps: int
+    queue_depth: int
+    max_queue_depth: int
+    batch_size_histogram: Dict[int, int] = field(default_factory=dict)
+    mean_batch_size: float = 0.0
+    p50_flush_latency: Optional[float] = None
+    p99_flush_latency: Optional[float] = None
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"queries    submitted={self.submitted} completed={self.completed}"
+            f" failed={self.failed} rejected={self.rejected}",
+            f"flushes    total={self.flushes} "
+            + " ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.flushes_by_reason.items())
+            )
+            + f" parallel={self.parallel_flushes}",
+            f"queue      depth={self.queue_depth} max={self.max_queue_depth}",
+            f"index      swaps={self.index_swaps}",
+            f"batch size mean={self.mean_batch_size:.1f} histogram="
+            + (
+                " ".join(
+                    f"<={bucket}:{count}"
+                    for bucket, count in sorted(self.batch_size_histogram.items())
+                )
+                or "(empty)"
+            ),
+        ]
+        if self.p50_flush_latency is not None:
+            lines.append(
+                f"flush lat  p50={self.p50_flush_latency * 1000:.2f}ms "
+                f"p99={self.p99_flush_latency * 1000:.2f}ms"
+            )
+        return "\n".join(lines)
+
+
+class ServiceMetrics:
+    """Thread-safe counters/histograms for a batching query service.
+
+    Parameters
+    ----------
+    latency_window:
+        Number of most recent flush latencies retained for the
+        percentile estimates (a bounded reservoir keeps the object
+        lightweight on long-running services).
+    """
+
+    def __init__(self, *, latency_window: int = 4096):
+        if latency_window < 1:
+            raise ValueError("latency_window must be positive")
+        self._lock = threading.Lock()
+        self._latency_window = int(latency_window)
+        self._latencies = np.zeros(self._latency_window, dtype=np.float64)
+        self._latency_count = 0  # total recorded (may exceed the window)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.flushes = 0
+        self.flushes_by_reason: Dict[str, int] = {r: 0 for r in FLUSH_REASONS}
+        self.parallel_flushes = 0
+        self.index_swaps = 0
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        self._batch_total = 0
+        self._histogram: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # recording (called by the service)
+    # ------------------------------------------------------------------ #
+
+    def record_submitted(self, queue_depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.queue_depth = int(queue_depth)
+            if queue_depth > self.max_queue_depth:
+                self.max_queue_depth = int(queue_depth)
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_flush(
+        self,
+        reason: str,
+        batch_size: int,
+        latency: float,
+        *,
+        parallel: bool = False,
+        failed: bool = False,
+        queue_depth: int = 0,
+    ) -> None:
+        if reason not in FLUSH_REASONS:
+            raise ValueError(
+                f"unknown flush reason {reason!r}; expected one of {FLUSH_REASONS}"
+            )
+        bucket = batch_size_bucket(batch_size)
+        with self._lock:
+            self.flushes += 1
+            self.flushes_by_reason[reason] += 1
+            if parallel:
+                self.parallel_flushes += 1
+            if failed:
+                self.failed += batch_size
+            else:
+                self.completed += batch_size
+            self._batch_total += batch_size
+            self._histogram[bucket] = self._histogram.get(bucket, 0) + 1
+            self._latencies[self._latency_count % self._latency_window] = latency
+            self._latency_count += 1
+            self.queue_depth = int(queue_depth)
+
+    def record_swap(self) -> None:
+        with self._lock:
+            self.index_swaps += 1
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    def flush_latency_percentiles(self, *ps: float) -> Tuple[float, ...]:
+        """Percentiles (0-100) over the retained flush latencies."""
+        with self._lock:
+            n = min(self._latency_count, self._latency_window)
+            window = self._latencies[:n].copy()
+        if n == 0:
+            raise ValueError("no flushes recorded yet")
+        return tuple(float(v) for v in np.percentile(window, ps))
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Consistent, immutable view of all metrics."""
+        with self._lock:
+            n = min(self._latency_count, self._latency_window)
+            window = self._latencies[:n].copy()
+            p50 = p99 = None
+            if n:
+                p50, p99 = (float(v) for v in np.percentile(window, (50, 99)))
+            return ServiceSnapshot(
+                submitted=self.submitted,
+                completed=self.completed,
+                failed=self.failed,
+                rejected=self.rejected,
+                flushes=self.flushes,
+                flushes_by_reason=dict(self.flushes_by_reason),
+                parallel_flushes=self.parallel_flushes,
+                index_swaps=self.index_swaps,
+                queue_depth=self.queue_depth,
+                max_queue_depth=self.max_queue_depth,
+                batch_size_histogram=dict(self._histogram),
+                mean_batch_size=(
+                    self._batch_total / self.flushes if self.flushes else 0.0
+                ),
+                p50_flush_latency=p50,
+                p99_flush_latency=p99,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceMetrics(submitted={self.submitted}, "
+            f"completed={self.completed}, flushes={self.flushes}, "
+            f"queue_depth={self.queue_depth})"
+        )

@@ -12,6 +12,9 @@ together for shell use::
     # describe a saved index
     python -m repro.cli info index.npz
 
+    # replay a synthetic workload through the micro-batching service
+    python -m repro.cli serve-sim --queries 5000 --rate 20000 --max-batch 256
+
 Interval files hold one ``st end`` or ``id st end`` record per line
 (``#`` comments allowed); query files hold one ``st end`` per line.
 Query output is one line per query: the count, or the sorted ids with
@@ -91,6 +94,82 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_serve_sim(args) -> int:
+    """Replay a workload as a Poisson arrival stream through the service."""
+    from repro.service import BatchingQueryService, QueueFullError
+    from repro.workloads.queries import data_following_queries
+    from repro.workloads.synthetic import generate_synthetic
+
+    if args.index is not None:
+        index = load_index(args.index)
+        m = index.m
+        coll = None
+    else:
+        coll = generate_synthetic(
+            args.cardinality, args.domain, args.alpha, args.sigma, seed=args.seed
+        ).normalized(args.m)
+        index = HintIndex(coll, m=args.m)
+        m = args.m
+    domain = 1 << m
+    if args.queries_file is not None:
+        data = np.loadtxt(args.queries_file, dtype=np.int64, comments="#", ndmin=2)
+        batch = QueryBatch(data[:, 0], data[:, 1])
+    else:
+        if coll is None:
+            print(
+                "--queries-file is required with a prebuilt --index",
+                file=sys.stderr,
+            )
+            return 1
+        batch = data_following_queries(
+            args.queries, coll, args.extent, domain=domain, seed=args.seed + 1
+        )
+    print(
+        f"serve-sim: {len(batch):,} queries at {args.rate:,.0f} q/s "
+        f"(Poisson arrivals, seed {args.seed}) against HINT(m={m}), "
+        f"strategy {args.strategy}, max_batch={args.max_batch}, "
+        f"max_delay_ms={args.max_delay_ms:g}, backpressure={args.backpressure}"
+    )
+    if args.rate <= 0:
+        print("--rate must be positive", file=sys.stderr)
+        return 1
+    rng = np.random.default_rng(args.seed + 2)
+    offsets = np.cumsum(rng.exponential(1.0 / args.rate, size=len(batch)))
+    service = BatchingQueryService(
+        index,
+        strategy=args.strategy,
+        mode="count",
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_queue=args.max_queue,
+        backpressure=args.backpressure,
+        parallel_threshold=args.parallel_threshold,
+        workers=args.workers,
+    )
+    futures = []
+    rejected = 0
+    t0 = time.perf_counter()
+    for (q_st, q_end), due in zip(batch, offsets):
+        lag = due - (time.perf_counter() - t0)
+        if lag > 0:
+            time.sleep(lag)
+        try:
+            futures.append(service.submit(q_st, q_end))
+        except QueueFullError:
+            rejected += 1
+    total = sum(f.result() for f in futures)
+    service.close()
+    elapsed = time.perf_counter() - t0
+    snap = service.metrics.snapshot()
+    print(snap.describe())
+    print(
+        f"replayed {len(futures):,} queries ({rejected:,} rejected) in "
+        f"{elapsed:.2f}s -> {len(futures) / elapsed:,.0f} q/s, "
+        f"{total:,} total results"
+    )
+    return 0
+
+
 def _cmd_info(args) -> int:
     index = load_index(args.index)
     print(f"HINT index: m={index.m}, levels={index.m + 1}")
@@ -137,6 +216,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="describe a saved index")
     p_info.add_argument("index", help=".npz index path")
     p_info.set_defaults(fn=_cmd_info)
+
+    p_sim = sub.add_parser(
+        "serve-sim",
+        help="replay a workload as a Poisson stream through the "
+        "micro-batching service",
+    )
+    p_sim.add_argument(
+        "--index", default=None, help="prebuilt .npz index (default: synthetic)"
+    )
+    p_sim.add_argument(
+        "--queries-file",
+        default=None,
+        help="query file (st end per line; default: data-following queries)",
+    )
+    p_sim.add_argument(
+        "--cardinality", type=int, default=100_000, help="synthetic intervals"
+    )
+    p_sim.add_argument(
+        "--domain", type=int, default=1_000_000, help="synthetic domain length"
+    )
+    p_sim.add_argument("--alpha", type=float, default=1.2)
+    p_sim.add_argument("--sigma", type=float, default=10_000.0)
+    p_sim.add_argument("--m", type=int, default=16, help="HINT parameter")
+    p_sim.add_argument(
+        "--queries", type=int, default=5_000, help="number of replayed queries"
+    )
+    p_sim.add_argument(
+        "--extent", type=float, default=0.1, help="query extent (%% of domain)"
+    )
+    p_sim.add_argument(
+        "--rate", type=float, default=20_000.0, help="mean arrival rate (q/s)"
+    )
+    p_sim.add_argument("--strategy", default="partition-based",
+                       choices=sorted(STRATEGIES))
+    p_sim.add_argument("--max-batch", type=int, default=256)
+    p_sim.add_argument("--max-delay-ms", type=float, default=5.0)
+    p_sim.add_argument("--max-queue", type=int, default=8192)
+    p_sim.add_argument("--backpressure", default="block",
+                       choices=("block", "reject"))
+    p_sim.add_argument(
+        "--parallel-threshold",
+        type=int,
+        default=None,
+        help="flushes this large run through parallel_batch",
+    )
+    p_sim.add_argument("--workers", type=int, default=4)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(fn=_cmd_serve_sim)
     return parser
 
 

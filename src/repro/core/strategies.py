@@ -30,6 +30,7 @@ The pseudocode-faithful sweep, used for access-pattern traces, lives in
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict
 
 import numpy as np
@@ -696,14 +697,18 @@ def partition_based(
     The ``sort`` flag is accepted for registry symmetry but Algorithm
     4's relevant-query ranges require start order, so an unsorted batch
     is always sorted internally (results are returned in caller order
-    either way).
+    either way); passing ``sort=False`` with an unsorted batch warns
+    that the request cannot be honored.
     """
-    work, q_st, q_end = _prepare(index, batch, sort)
-    if not work.is_sorted:
-        work = work.sorted_by_start()
-        top = (1 << index.m) - 1
-        q_st = np.clip(work.st, 0, top)
-        q_end = np.clip(work.end, 0, top)
+    if not sort and not batch.is_sorted:
+        warnings.warn(
+            "partition_based(sort=False) received an unsorted batch; "
+            "Algorithm 4 requires start order, so the batch is sorted "
+            "internally anyway",
+            UserWarning,
+            stacklevel=2,
+        )
+    work, q_st, q_end = _prepare(index, batch.sorted_by_start(), sort=False)
     if mode in ("count", "checksum"):
         return _partition_based_vectorized(index, work, q_st, q_end, mode)
     if mode != "ids":

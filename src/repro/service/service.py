@@ -1,0 +1,371 @@
+"""The micro-batching query service.
+
+:class:`BatchingQueryService` turns the paper's batch strategies into a
+serving layer: many callers submit single ``(st, end)`` G-OVERLAPS
+queries, the service coalesces them into a
+:class:`~repro.intervals.QueryBatch`, and a background flusher executes
+each batch with a strategy from
+:data:`~repro.core.strategies.STRATEGIES` (or
+:func:`~repro.core.parallel.parallel_batch` once batches are large
+enough to be worth chunking).  Each caller receives a
+:class:`concurrent.futures.Future` resolved with its own result.
+
+Admission follows the paper's footnote 5 — a batch is closed by
+whichever fires first:
+
+* **size** — ``max_batch`` queries are staged;
+* **deadline** — the oldest staged query has waited ``max_delay_ms``.
+
+The staging queue is bounded (``max_queue``); when it is full the
+configured backpressure policy either **blocks** the submitting thread
+until the flusher catches up or **rejects** the query with
+:class:`QueueFullError` — the two standard answers of an admission
+queue under overload.
+
+The index is read through a single attribute reference that the flusher
+snapshots once per flush, so :meth:`BatchingQueryService.swap_index` can
+atomically install a freshly built index (e.g. after a
+:class:`~repro.hint.dynamic.DynamicHint` rebuild) without ever blocking
+query execution.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional
+
+from repro.analysis.service_stats import ServiceMetrics
+from repro.core.parallel import parallel_batch
+from repro.core.result import MODES
+from repro.core.strategies import STRATEGIES, run_strategy
+from repro.intervals.batch import QueryBatch
+
+__all__ = [
+    "BatchingQueryService",
+    "QueueFullError",
+    "ServiceClosedError",
+    "BACKPRESSURE_POLICIES",
+]
+
+#: Admission policies for a full staging queue.
+BACKPRESSURE_POLICIES = ("block", "reject")
+
+
+class ServiceClosedError(RuntimeError):
+    """Submitted to (or pending in) a service that has shut down."""
+
+
+class QueueFullError(RuntimeError):
+    """Rejected because the staging queue is full (``backpressure="reject"``)."""
+
+
+class _Pending:
+    """One staged query and the future its caller holds."""
+
+    __slots__ = ("st", "end", "enqueued_at", "future")
+
+    def __init__(self, st: int, end: int, enqueued_at: float):
+        self.st = st
+        self.end = end
+        self.enqueued_at = enqueued_at
+        self.future: Future = Future()
+
+
+class BatchingQueryService:
+    """Coalesce single-query traffic into batches and execute them.
+
+    Parameters
+    ----------
+    index:
+        A :class:`~repro.hint.index.HintIndex` (queries are clipped into
+        its domain, exactly as for the strategies).
+    strategy:
+        Name from :data:`~repro.core.strategies.STRATEGIES` used for
+        every flush.
+    mode:
+        Result mode; each future resolves to the per-query view —
+        ``"count"``: an ``int``; ``"ids"``: an id array; ``"checksum"``:
+        a ``(count, checksum)`` pair.
+    max_batch:
+        Flush as soon as this many queries are staged.
+    max_delay_ms:
+        Flush when the oldest staged query has waited this long
+        (milliseconds) — the latency bound of the admission policy.
+    max_queue:
+        Bound on staged queries; at most ``max_queue`` queries wait
+        while a flush is in flight.
+    backpressure:
+        ``"block"`` (submitters wait for room) or ``"reject"``
+        (:class:`QueueFullError` is raised immediately).
+    parallel_threshold:
+        Flushes of at least this many queries run through
+        :func:`~repro.core.parallel.parallel_batch` with *workers*
+        threads; ``None`` disables parallel execution.
+    workers:
+        Thread count for parallel flushes.
+    metrics:
+        Optional externally owned :class:`ServiceMetrics` (a fresh one
+        is created by default and exposed as :attr:`metrics`).
+    clock:
+        Monotonic time source; injectable for tests.
+
+    Examples
+    --------
+    >>> from repro import BatchingQueryService, HintIndex, IntervalCollection
+    >>> index = HintIndex(IntervalCollection.from_pairs([(2, 5), (4, 9)]), m=4)
+    >>> with BatchingQueryService(index, max_batch=2, max_delay_ms=50) as svc:
+    ...     futures = [svc.submit(0, 3), svc.submit(8, 12)]
+    ...     [f.result(timeout=5) for f in futures]
+    [1, 1]
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        strategy: str = "partition-based",
+        mode: str = "count",
+        max_batch: int = 256,
+        max_delay_ms: float = 5.0,
+        max_queue: int = 8192,
+        backpressure: str = "block",
+        parallel_threshold: Optional[int] = None,
+        workers: int = 4,
+        metrics: Optional[ServiceMetrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; available: {sorted(STRATEGIES)}"
+            )
+        if mode not in MODES:
+            raise ValueError(f"unknown result mode {mode!r}; expected one of {MODES}")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_delay_ms <= 0:
+            raise ValueError("max_delay_ms must be positive")
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {backpressure!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+        if parallel_threshold is not None and parallel_threshold < 1:
+            raise ValueError("parallel_threshold must be positive (or None)")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self._index = index
+        self.strategy = strategy
+        self.mode = mode
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay_ms) / 1000.0
+        self.max_queue = int(max_queue)
+        self.backpressure = backpressure
+        self.parallel_threshold = (
+            None if parallel_threshold is None else int(parallel_threshold)
+        )
+        self.workers = int(workers)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._clock = clock
+
+        self._lock = threading.Lock()
+        self._has_work = threading.Condition(self._lock)
+        self._has_room = threading.Condition(self._lock)
+        self._pending: List[_Pending] = []
+        self._force_flush = False
+        self._closing = False
+        self._closed = False
+        self._flusher = threading.Thread(
+            target=self._run, name="repro-batch-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+
+    def submit(self, q_st: int, q_end: int) -> Future:
+        """Stage one query; the returned future resolves after its flush.
+
+        Applies the configured backpressure policy when the staging
+        queue is full, and raises :class:`ServiceClosedError` once
+        :meth:`close` has begun.
+        """
+        if q_st > q_end:
+            raise ValueError("query must have st <= end")
+        with self._lock:
+            if self._closing:
+                raise ServiceClosedError("service is shut down")
+            while len(self._pending) >= self.max_queue:
+                if self.backpressure == "reject":
+                    self.metrics.record_rejected()
+                    raise QueueFullError(
+                        f"staging queue is full ({self.max_queue} queries)"
+                    )
+                self._has_room.wait()
+                if self._closing:
+                    raise ServiceClosedError("service is shut down")
+            item = _Pending(int(q_st), int(q_end), self._clock())
+            self._pending.append(item)
+            self.metrics.record_submitted(len(self._pending))
+            self._has_work.notify()
+            return item.future
+
+    def flush(self) -> None:
+        """Ask the flusher to execute whatever is staged right now."""
+        with self._lock:
+            if self._pending:
+                self._force_flush = True
+                self._has_work.notify()
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of currently staged (not yet flushed) queries."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def index(self):
+        """The currently installed index."""
+        return self._index
+
+    def swap_index(self, new_index):
+        """Atomically install *new_index*; returns the replaced index.
+
+        The flusher snapshots the index reference once per flush, so a
+        swap never blocks (or is blocked by) query execution — the
+        standard pattern for installing a
+        :class:`~repro.hint.dynamic.DynamicHint` rebuild, or any index
+        rebuilt offline, under live traffic.  In-flight flushes finish
+        on the index they started with.
+        """
+        old, self._index = self._index, new_index
+        self.metrics.record_swap()
+        return old
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut down; with *drain* (default) all staged work still runs.
+
+        With ``drain=False`` staged queries fail with
+        :class:`ServiceClosedError` instead of executing.  Idempotent;
+        blocks until the flusher exits (or *timeout* elapses).
+        """
+        with self._lock:
+            if not self._closing:
+                self._closing = True
+                if not drain:
+                    abandoned = self._pending[:]
+                    self._pending.clear()
+                    for item in abandoned:
+                        item.future.set_exception(
+                            ServiceClosedError("service shut down before execution")
+                        )
+                self._has_work.notify_all()
+                self._has_room.notify_all()
+        self._flusher.join(timeout)
+        self._closed = True
+
+    def __enter__(self) -> "BatchingQueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # flusher side
+    # ------------------------------------------------------------------ #
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                reason = self._wait_for_batch()
+                if reason is None:
+                    return
+                staged = self._pending[: self.max_batch]
+                del self._pending[: len(staged)]
+                depth = len(self._pending)
+                self._force_flush = False
+                self._has_room.notify_all()
+            self._execute(staged, reason, depth)
+
+    def _wait_for_batch(self) -> Optional[str]:
+        """Hold the lock until a batch is due; returns the flush trigger
+        (``None`` means the service is fully drained and closing)."""
+        while True:
+            if self._pending:
+                if len(self._pending) >= self.max_batch:
+                    return "size"
+                if self._closing:
+                    return "drain"
+                if self._force_flush:
+                    return "forced"
+                now = self._clock()
+                deadline = self._pending[0].enqueued_at + self.max_delay
+                if now >= deadline:
+                    return "deadline"
+                self._has_work.wait(timeout=deadline - now)
+            else:
+                if self._closing:
+                    return None
+                self._has_work.wait()
+
+    def _execute(self, staged: List[_Pending], reason: str, depth: int) -> None:
+        index = self._index  # one atomic snapshot per flush
+        batch = QueryBatch([q.st for q in staged], [q.end for q in staged])
+        use_parallel = (
+            self.parallel_threshold is not None
+            and len(batch) >= self.parallel_threshold
+        )
+        t0 = self._clock()
+        try:
+            if use_parallel:
+                result = parallel_batch(
+                    index,
+                    batch,
+                    strategy=self.strategy,
+                    workers=self.workers,
+                    mode=self.mode,
+                )
+            else:
+                result = run_strategy(self.strategy, index, batch, mode=self.mode)
+        except BaseException as exc:  # route failures to the callers
+            self.metrics.record_flush(
+                reason,
+                len(staged),
+                self._clock() - t0,
+                parallel=use_parallel,
+                failed=True,
+                queue_depth=depth,
+            )
+            for item in staged:
+                item.future.set_exception(exc)
+            return
+        latency = self._clock() - t0
+        for pos, item in enumerate(staged):
+            item.future.set_result(self._extract(result, pos))
+        self.metrics.record_flush(
+            reason, len(staged), latency, parallel=use_parallel, queue_depth=depth
+        )
+
+    def _extract(self, result, pos: int):
+        """Per-query view of a batch result, shaped by the service mode."""
+        if self.mode == "count":
+            return int(result.counts[pos])
+        if self.mode == "checksum":
+            return (int(result.counts[pos]), result.query_checksum(pos))
+        return result.ids(pos)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closing else "open"
+        return (
+            f"BatchingQueryService(strategy={self.strategy!r}, "
+            f"mode={self.mode!r}, max_batch={self.max_batch}, "
+            f"max_delay_ms={self.max_delay * 1000:g}, {state})"
+        )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
@@ -16,7 +18,14 @@ settings.register_profile(
     derandomize=True,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro-ci")
+# A fast randomized pass for CI smoke jobs: fewer examples, but *not*
+# derandomized, so repeated CI runs keep exploring fresh inputs.
+settings.register_profile(
+    "quick",
+    max_examples=15,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "repro-ci"))
 
 
 @pytest.fixture
@@ -46,6 +55,19 @@ def expected_sets(collection, batch):
     return [
         frozenset(int(v) for v in naive.query(s, e)) for s, e in batch
     ]
+
+
+def oracle_result(collection, batch, m):
+    """Ground-truth ids-mode result under the index clipping contract.
+
+    Every index structure clips queries into its domain ``[0, 2**m - 1]``
+    (documented on :meth:`repro.hint.index.HintIndex.query`), so the
+    linear-scan oracle is evaluated on the clipped batch.  Shared by the
+    cross-strategy differential harness (``test_differential``) and the
+    service stress test (``test_service``).
+    """
+    top = (1 << m) - 1
+    return NaiveScan(collection).batch(batch.clipped(0, top), mode="ids")
 
 
 @pytest.fixture

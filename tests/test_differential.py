@@ -1,0 +1,198 @@
+"""Cross-strategy differential harness.
+
+Every execution path in the repository must return *identical* answers:
+the four registered strategies, the parallel chunked executor, the
+single-query API in both traversal orders, and the grid/interval-tree
+competitor indexes — each in every result mode.  This harness fuzzes
+random collections x random batches (empty batches, point intervals,
+domain-edge and out-of-domain queries included) against the shared
+linear-scan oracle (:func:`tests.conftest.oracle_result`).
+
+The trial count defaults to 200 (the CI contract) and can be raised via
+``REPRO_DIFF_TRIALS``; trials are split over parametrized cases so a
+disagreement pins down its seed block.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import (
+    GridIndex,
+    HintIndex,
+    IntervalCollection,
+    IntervalTree,
+    QueryBatch,
+    STRATEGIES,
+    grid_partition_based,
+    grid_query_based,
+    parallel_batch,
+    run_strategy,
+)
+from repro.core.result import MODES
+from tests.conftest import oracle_result
+
+TRIALS = int(os.environ.get("REPRO_DIFF_TRIALS", "200"))
+N_CASES = 20
+SEED_BASE = 987_000
+
+#: Single-query structures checked on (at most) this many queries per trial.
+SINGLE_QUERY_SAMPLE = 6
+
+
+# --------------------------------------------------------------------- #
+# generators
+# --------------------------------------------------------------------- #
+
+
+def _random_collection(rng: np.random.Generator, top: int) -> IntervalCollection:
+    """Collections biased toward the layouts that break indexes."""
+    kind = int(rng.integers(0, 5))
+    n = int(rng.integers(0, 150))
+    if kind == 0 or n == 0:
+        return IntervalCollection.empty()
+    if kind == 1:  # point intervals only
+        st = rng.integers(0, top + 1, size=n)
+        return IntervalCollection(st, st.copy())
+    if kind == 2:  # long intervals spanning many partitions
+        st = rng.integers(0, top + 1, size=n)
+        end = np.minimum(st + rng.integers(top // 2 + 1, top + 1, size=n), top)
+        return IntervalCollection(st, end)
+    if kind == 3:  # everything piled on one partition boundary
+        anchor = int(rng.integers(0, top + 1))
+        st = np.full(n, anchor, dtype=np.int64)
+        end = np.minimum(st + rng.integers(0, 3, size=n), top)
+        return IntervalCollection(st, end)
+    st = rng.integers(0, top + 1, size=n)  # generic mix
+    end = np.minimum(st + rng.integers(0, top + 1, size=n), top)
+    return IntervalCollection(st, end)
+
+
+def _random_batch(rng: np.random.Generator, top: int) -> QueryBatch:
+    """Batches mixing generic ranges with the adversarial shapes the
+    harness must cover: empty batches, single-point queries, domain
+    edges, and out-of-domain endpoints (clipped by every index)."""
+    size = int(rng.choice([0, 1, 2, int(rng.integers(3, 48))]))
+    if size == 0:
+        return QueryBatch([], [])
+    st = np.empty(size, dtype=np.int64)
+    end = np.empty(size, dtype=np.int64)
+    for i in range(size):
+        shape = int(rng.integers(0, 6))
+        if shape == 0:  # single-point query
+            st[i] = end[i] = int(rng.integers(0, top + 1))
+        elif shape == 1:  # domain edges
+            st[i], end[i] = rng.choice(
+                [(0, 0), (top, top), (0, top), (0, 1), (top - 1, top)]
+            )
+        elif shape == 2:  # out-of-domain endpoints
+            st[i], end[i] = rng.choice(
+                [(-top, -1), (-5, top // 2), (top // 2, 3 * top), (top + 1, top + 9)]
+            )
+        else:  # generic range
+            s = int(rng.integers(0, top + 1))
+            st[i] = s
+            end[i] = int(min(s + rng.integers(0, top + 1), top))
+    return QueryBatch(st, end)
+
+
+# --------------------------------------------------------------------- #
+# the oracle comparison
+# --------------------------------------------------------------------- #
+
+
+def check_all_paths_agree(
+    coll: IntervalCollection, m: int, batch: QueryBatch, label: str = ""
+) -> None:
+    """Assert every execution path reproduces the linear-scan oracle in
+    ``count``, ``ids`` and ``checksum`` modes."""
+    top = (1 << m) - 1
+    index = HintIndex(coll, m=m)
+    oracle = oracle_result(coll, batch, m)
+    counts = oracle.counts
+    sets = oracle.id_sets()
+    checksums = [oracle.query_checksum(i) for i in range(len(batch))]
+
+    def verify(result, path):
+        where = f"{label}/{path}"
+        assert np.array_equal(result.counts, counts), where
+        if result.mode == "checksum":
+            got = [int(c) for c in result.checksums]
+            assert got == checksums, where
+        elif result.mode == "ids":
+            assert result.id_sets() == sets, where
+
+    # the four registered strategies
+    for name in STRATEGIES:
+        for mode in MODES:
+            verify(run_strategy(name, index, batch, mode=mode), f"{name}/{mode}")
+
+    # parallel chunked execution
+    for mode in MODES:
+        verify(
+            parallel_batch(
+                index, batch, strategy="partition-based", workers=3, mode=mode
+            ),
+            f"parallel/{mode}",
+        )
+
+    # single-query API, both traversal orders, plus the interval tree
+    tree = IntervalTree(coll)
+    clipped = batch.clipped(0, top)
+    for pos in range(min(len(batch), SINGLE_QUERY_SAMPLE)):
+        s, e = batch[pos]
+        cs, ce = clipped[pos]
+        for top_down in (False, True):
+            path = f"single/top_down={top_down}/q{pos}"
+            assert index.query_count(s, e, top_down=top_down) == counts[pos], path
+            got = frozenset(int(v) for v in index.query(s, e, top_down=top_down))
+            assert got == sets[pos], path
+        assert tree.query_count(cs, ce) == counts[pos], f"tree/q{pos}"
+        tree_ids = frozenset(int(v) for v in tree.query(cs, ce))
+        assert tree_ids == sets[pos], f"tree/q{pos}"
+
+    # grid competitor (explicitly domain-bounded, hence clipped batch)
+    grid = GridIndex(coll, domain=(0, top))
+    for mode in MODES:
+        verify(grid_query_based(grid, clipped, mode=mode), f"grid-query/{mode}")
+        verify(
+            grid_partition_based(grid, clipped, mode=mode),
+            f"grid-partition/{mode}",
+        )
+
+
+# --------------------------------------------------------------------- #
+# the fuzz loop
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("case", range(N_CASES))
+def test_differential_agreement(case):
+    trials = TRIALS // N_CASES + (1 if case < TRIALS % N_CASES else 0)
+    rng = np.random.default_rng(SEED_BASE + case)
+    for trial in range(trials):
+        m = int(rng.integers(2, 9))
+        top = (1 << m) - 1
+        coll = _random_collection(rng, top)
+        batch = _random_batch(rng, top)
+        check_all_paths_agree(coll, m, batch, label=f"case{case}/trial{trial}")
+
+
+def test_empty_collection_and_empty_batch():
+    """The degenerate corners, deterministically."""
+    check_all_paths_agree(
+        IntervalCollection.empty(), 4, QueryBatch([], []), label="empty/empty"
+    )
+    check_all_paths_agree(
+        IntervalCollection.empty(), 4, QueryBatch([0, 3], [15, 3]), label="empty/q"
+    )
+    coll = IntervalCollection.from_pairs([(0, 0), (15, 15), (0, 15)])
+    check_all_paths_agree(coll, 4, QueryBatch([], []), label="edge/empty")
+
+
+def test_trial_budget_is_met():
+    """The CI contract: at least 200 seeded trials run per suite pass."""
+    assert TRIALS >= 200

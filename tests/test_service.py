@@ -1,0 +1,409 @@
+"""Tests for the micro-batching query service (``repro.service``)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    BatchingQueryService,
+    HintIndex,
+    IntervalCollection,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.analysis.service_stats import ServiceMetrics, batch_size_bucket
+from tests.conftest import oracle_result, random_collection
+
+M = 10
+TOP = (1 << M) - 1
+#: Deadline long enough to never fire inside a test that does not want it.
+NEVER_MS = 60_000.0
+#: Timeout for awaiting any future a test expects to resolve.
+WAIT = 30.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(42)
+    coll = random_collection(rng, 3000, TOP)
+    return coll, HintIndex(coll, m=M)
+
+
+def _queries(seed, n, *, top=TOP, beyond=0):
+    """Deterministic (st, end) pairs, optionally reaching past the domain."""
+    rng = np.random.default_rng(seed)
+    st = rng.integers(0, top + 1, size=n)
+    end = np.minimum(st + rng.integers(0, top // 4, size=n), top + beyond)
+    return [(int(s), int(e)) for s, e in zip(st, end)]
+
+
+# --------------------------------------------------------------------- #
+# flush triggers
+# --------------------------------------------------------------------- #
+
+
+def test_flush_by_size(setup):
+    coll, index = setup
+    qs = _queries(1, 8)
+    with BatchingQueryService(index, max_batch=8, max_delay_ms=NEVER_MS) as svc:
+        futures = [svc.submit(s, e) for s, e in qs]
+        results = [f.result(timeout=WAIT) for f in futures]
+    assert results == [index.query_count(s, e) for s, e in qs]
+    snap = svc.metrics.snapshot()
+    assert snap.flushes_by_reason["size"] == 1
+    assert snap.flushes_by_reason["deadline"] == 0
+    assert snap.batch_size_histogram == {8: 1}
+
+
+def test_flush_by_deadline(setup):
+    coll, index = setup
+    qs = _queries(2, 3)
+    with BatchingQueryService(index, max_batch=10_000, max_delay_ms=20) as svc:
+        futures = [svc.submit(s, e) for s, e in qs]
+        results = [f.result(timeout=WAIT) for f in futures]
+    assert results == [index.query_count(s, e) for s, e in qs]
+    snap = svc.metrics.snapshot()
+    assert snap.flushes_by_reason["deadline"] >= 1
+    assert snap.flushes_by_reason["size"] == 0
+
+
+def test_forced_flush(setup):
+    coll, index = setup
+    with BatchingQueryService(
+        index, max_batch=10_000, max_delay_ms=NEVER_MS
+    ) as svc:
+        fut = svc.submit(0, 5)
+        svc.flush()
+        assert fut.result(timeout=WAIT) == index.query_count(0, 5)
+    assert svc.metrics.snapshot().flushes_by_reason["forced"] == 1
+
+
+# --------------------------------------------------------------------- #
+# backpressure
+# --------------------------------------------------------------------- #
+
+
+def test_backpressure_reject(setup):
+    coll, index = setup
+    qs = _queries(3, 4)
+    svc = BatchingQueryService(
+        index,
+        max_batch=64,
+        max_delay_ms=NEVER_MS,
+        max_queue=4,
+        backpressure="reject",
+    )
+    try:
+        futures = [svc.submit(s, e) for s, e in qs]
+        with pytest.raises(QueueFullError):
+            svc.submit(0, 1)
+        assert svc.metrics.rejected == 1
+        assert svc.queue_depth == 4
+    finally:
+        svc.close()  # drains the four staged queries
+    assert [f.result(timeout=WAIT) for f in futures] == [
+        index.query_count(s, e) for s, e in qs
+    ]
+    snap = svc.metrics.snapshot()
+    assert snap.rejected == 1
+    assert snap.completed == 4
+
+
+def test_backpressure_block(setup):
+    coll, index = setup
+    qs = _queries(4, 4)
+    svc = BatchingQueryService(
+        index,
+        max_batch=64,
+        max_delay_ms=NEVER_MS,
+        max_queue=4,
+        backpressure="block",
+    )
+    futures = [svc.submit(s, e) for s, e in qs]
+    blocked_future = []
+
+    def blocked_submit():
+        blocked_future.append(svc.submit(7, 9))
+
+    t = threading.Thread(target=blocked_submit)
+    t.start()
+    time.sleep(0.15)
+    assert t.is_alive(), "submit should block while the queue is full"
+    assert not blocked_future
+    svc.flush()  # make room; the blocked submitter must wake and enqueue
+    t.join(timeout=WAIT)
+    assert not t.is_alive()
+    svc.close()
+    assert blocked_future[0].result(timeout=WAIT) == index.query_count(7, 9)
+    assert [f.result(timeout=WAIT) for f in futures] == [
+        index.query_count(s, e) for s, e in qs
+    ]
+    assert svc.metrics.snapshot().completed == 5
+
+
+# --------------------------------------------------------------------- #
+# shutdown
+# --------------------------------------------------------------------- #
+
+
+def test_shutdown_drains_staged_work(setup):
+    coll, index = setup
+    qs = _queries(5, 20)
+    svc = BatchingQueryService(index, max_batch=1000, max_delay_ms=NEVER_MS)
+    futures = [svc.submit(s, e) for s, e in qs]
+    svc.close()  # drain=True default
+    assert [f.result(timeout=WAIT) for f in futures] == [
+        index.query_count(s, e) for s, e in qs
+    ]
+    snap = svc.metrics.snapshot()
+    assert snap.flushes_by_reason["drain"] >= 1
+    assert snap.completed == len(qs)
+    with pytest.raises(ServiceClosedError):
+        svc.submit(0, 1)
+    svc.close()  # idempotent
+
+
+def test_shutdown_without_drain_fails_pending(setup):
+    coll, index = setup
+    svc = BatchingQueryService(index, max_batch=1000, max_delay_ms=NEVER_MS)
+    futures = [svc.submit(s, e) for s, e in _queries(6, 5)]
+    svc.close(drain=False)
+    for f in futures:
+        assert isinstance(f.exception(timeout=WAIT), ServiceClosedError)
+    assert svc.metrics.snapshot().completed == 0
+
+
+# --------------------------------------------------------------------- #
+# result modes and execution paths
+# --------------------------------------------------------------------- #
+
+
+def test_ids_and_checksum_modes(setup):
+    coll, index = setup
+    qs = _queries(7, 12, beyond=50)  # includes clipped out-of-domain ends
+    from repro import QueryBatch
+
+    batch = QueryBatch([s for s, _ in qs], [e for _, e in qs])
+    oracle = oracle_result(coll, batch, M)
+    with BatchingQueryService(
+        index, mode="ids", max_batch=4, max_delay_ms=20
+    ) as svc:
+        futures = [svc.submit(s, e) for s, e in qs]
+        for pos, f in enumerate(futures):
+            got = frozenset(int(v) for v in f.result(timeout=WAIT))
+            assert got == oracle.id_sets()[pos]
+    with BatchingQueryService(
+        index, mode="checksum", max_batch=4, max_delay_ms=20
+    ) as svc:
+        futures = [svc.submit(s, e) for s, e in qs]
+        for pos, f in enumerate(futures):
+            count, checksum = f.result(timeout=WAIT)
+            assert count == oracle.counts[pos]
+            assert checksum == oracle.query_checksum(pos)
+
+
+@pytest.mark.parametrize("strategy", ["query-based", "level-based"])
+def test_alternative_strategies(setup, strategy):
+    coll, index = setup
+    qs = _queries(8, 10)
+    with BatchingQueryService(
+        index, strategy=strategy, max_batch=5, max_delay_ms=20
+    ) as svc:
+        futures = [svc.submit(s, e) for s, e in qs]
+        assert [f.result(timeout=WAIT) for f in futures] == [
+            index.query_count(s, e) for s, e in qs
+        ]
+
+
+def test_parallel_execution_above_threshold(setup):
+    coll, index = setup
+    qs = _queries(9, 128)
+    with BatchingQueryService(
+        index,
+        max_batch=128,
+        max_delay_ms=NEVER_MS,
+        parallel_threshold=32,
+        workers=4,
+    ) as svc:
+        futures = [svc.submit(s, e) for s, e in qs]
+        results = [f.result(timeout=WAIT) for f in futures]
+    assert results == [index.query_count(s, e) for s, e in qs]
+    snap = svc.metrics.snapshot()
+    assert snap.parallel_flushes >= 1
+
+
+def test_execution_error_routed_to_futures(setup):
+    coll, index = setup
+    svc = BatchingQueryService(index, max_batch=2, max_delay_ms=NEVER_MS)
+    try:
+        good = svc.swap_index(object())  # flushes on this will fail
+        futures = [svc.submit(0, 5), svc.submit(3, 9)]
+        for f in futures:
+            assert f.exception(timeout=WAIT) is not None
+        svc.swap_index(good)  # service keeps running afterwards
+        recovered = svc.submit(0, 5)
+        svc.flush()
+        assert recovered.result(timeout=WAIT) == index.query_count(0, 5)
+    finally:
+        svc.close()
+    snap = svc.metrics.snapshot()
+    assert snap.failed == 2
+    assert snap.completed == 1
+
+
+# --------------------------------------------------------------------- #
+# index swap
+# --------------------------------------------------------------------- #
+
+
+def test_swap_index(setup):
+    coll, index = setup
+    other = HintIndex(coll, m=M + 2)  # same answers, different hierarchy
+    with BatchingQueryService(index, max_batch=4, max_delay_ms=20) as svc:
+        old = svc.swap_index(other)
+        assert old is index
+        assert svc.index is other
+        qs = _queries(10, 8)
+        futures = [svc.submit(s, e) for s, e in qs]
+        assert [f.result(timeout=WAIT) for f in futures] == [
+            index.query_count(s, e) for s, e in qs
+        ]
+    assert svc.metrics.snapshot().index_swaps == 1
+
+
+# --------------------------------------------------------------------- #
+# validation and metrics plumbing
+# --------------------------------------------------------------------- #
+
+
+def test_constructor_validation(setup):
+    coll, index = setup
+    with pytest.raises(ValueError, match="unknown strategy"):
+        BatchingQueryService(index, strategy="nope")
+    with pytest.raises(ValueError, match="unknown result mode"):
+        BatchingQueryService(index, mode="nope")
+    with pytest.raises(ValueError, match="max_batch"):
+        BatchingQueryService(index, max_batch=0)
+    with pytest.raises(ValueError, match="max_delay_ms"):
+        BatchingQueryService(index, max_delay_ms=0)
+    with pytest.raises(ValueError, match="max_queue"):
+        BatchingQueryService(index, max_queue=0)
+    with pytest.raises(ValueError, match="backpressure"):
+        BatchingQueryService(index, backpressure="drop")
+    with pytest.raises(ValueError, match="parallel_threshold"):
+        BatchingQueryService(index, parallel_threshold=0)
+    with pytest.raises(ValueError, match="workers"):
+        BatchingQueryService(index, workers=0)
+
+
+def test_submit_validation(setup):
+    coll, index = setup
+    with BatchingQueryService(index) as svc:
+        with pytest.raises(ValueError, match="st <= end"):
+            svc.submit(9, 3)
+
+
+def test_metrics_counters_and_snapshot(setup):
+    coll, index = setup
+    qs = _queries(11, 100)
+    metrics = ServiceMetrics()
+    with BatchingQueryService(
+        index, max_batch=16, max_delay_ms=50, metrics=metrics
+    ) as svc:
+        futures = [svc.submit(s, e) for s, e in qs]
+        [f.result(timeout=WAIT) for f in futures]
+    snap = metrics.snapshot()
+    assert snap.submitted == snap.completed == 100
+    assert snap.flushes == sum(snap.flushes_by_reason.values())
+    assert sum(snap.batch_size_histogram.values()) == snap.flushes
+    assert snap.queue_depth == 0
+    assert snap.max_queue_depth >= 1
+    assert 0 < snap.mean_batch_size <= 16
+    assert snap.p50_flush_latency <= snap.p99_flush_latency
+    p50, p99 = metrics.flush_latency_percentiles(50, 99)
+    assert (p50, p99) == (snap.p50_flush_latency, snap.p99_flush_latency)
+    assert "submitted=100" in snap.describe()
+    assert "BatchingQueryService" in repr(svc)
+
+
+def test_batch_size_bucket():
+    assert [batch_size_bucket(s) for s in (1, 2, 3, 4, 5, 64, 65)] == [
+        1, 2, 4, 4, 8, 64, 128,
+    ]
+    with pytest.raises(ValueError):
+        batch_size_bucket(0)
+
+
+def test_metrics_validation():
+    with pytest.raises(ValueError):
+        ServiceMetrics(latency_window=0)
+    metrics = ServiceMetrics()
+    with pytest.raises(ValueError, match="unknown flush reason"):
+        metrics.record_flush("bogus", 1, 0.0)
+    with pytest.raises(ValueError, match="no flushes"):
+        metrics.flush_latency_percentiles(50)
+    assert metrics.snapshot().p50_flush_latency is None
+
+
+# --------------------------------------------------------------------- #
+# multi-threaded stress, with a concurrent index swap
+# --------------------------------------------------------------------- #
+
+
+def test_stress_many_clients_with_concurrent_swap(setup):
+    coll, index = setup
+    ref = HintIndex(coll, m=M)  # ground truth, never swapped
+    swap_a = index
+    swap_b = HintIndex(coll, m=M + 1)
+    n_threads, per_thread = 8, 300
+    svc = BatchingQueryService(
+        index,
+        max_batch=64,
+        max_delay_ms=2,
+        max_queue=4096,
+        backpressure="block",
+        parallel_threshold=192,
+        workers=2,
+    )
+    errors = []
+    collected = [[] for _ in range(n_threads)]
+    stop_swapping = threading.Event()
+
+    def client(tid):
+        try:
+            # out-of-domain ends exercise clipping under concurrency
+            for s, e in _queries(100 + tid, per_thread, beyond=64):
+                collected[tid].append((s, e, svc.submit(s, e)))
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    def swapper():
+        current = swap_b
+        while not stop_swapping.is_set():
+            svc.swap_index(current)
+            current = swap_a if current is swap_b else swap_b
+            time.sleep(0.002)
+
+    threads = [threading.Thread(target=client, args=(t,)) for t in range(n_threads)]
+    swap_thread = threading.Thread(target=swapper)
+    for t in threads:
+        t.start()
+    swap_thread.start()
+    for t in threads:
+        t.join(timeout=WAIT)
+    stop_swapping.set()
+    swap_thread.join(timeout=WAIT)
+    svc.close()
+    assert not errors
+    for tid in range(n_threads):
+        assert len(collected[tid]) == per_thread
+        for s, e, fut in collected[tid]:
+            assert fut.result(timeout=WAIT) == ref.query_count(s, e), (s, e)
+    snap = svc.metrics.snapshot()
+    assert snap.submitted == snap.completed == n_threads * per_thread
+    assert snap.index_swaps >= 1
+    assert snap.rejected == 0

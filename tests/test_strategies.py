@@ -1,5 +1,7 @@
 """Tests for the production batch strategies (Algorithms 2-4)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -151,6 +153,53 @@ class TestRegistry:
     def test_run_strategy_unknown(self, small_index):
         with pytest.raises(ValueError, match="unknown strategy"):
             run_strategy("nope", small_index, QueryBatch([0], [1]))
+
+
+class TestPartitionBasedSortFlag:
+    """``sort=False`` cannot be honored by Algorithm 4: it must warn
+    (not silently re-sort) on unsorted input, warn nothing otherwise,
+    and sort exactly once either way."""
+
+    def _setup(self, rng):
+        m = 6
+        top = (1 << m) - 1
+        coll = random_collection(rng, 200, top)
+        return HintIndex(coll, m=m), coll, top
+
+    def test_unsorted_batch_with_sort_false_warns(self, rng):
+        index, coll, top = self._setup(rng)
+        batch = QueryBatch([40, 10, 25], [50, 15, 60])
+        assert not batch.is_sorted
+        with pytest.warns(UserWarning, match="requires start order"):
+            result = partition_based(index, batch, sort=False)
+        assert np.array_equal(result.counts, NaiveScan(coll).batch(batch).counts)
+
+    def test_no_warning_in_honorable_cases(self, rng):
+        index, coll, top = self._setup(rng)
+        unsorted = QueryBatch([40, 10, 25], [50, 15, 60])
+        presorted = unsorted.sorted_by_start()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            partition_based(index, unsorted)  # sort=True default
+            partition_based(index, presorted, sort=False)
+            partition_based(index, presorted, sort=True)
+
+    def test_single_sort_pass(self, rng, monkeypatch):
+        """The old path sorted in ``_prepare`` and then re-checked
+        ``is_sorted``; the batch must now be sorted at most once."""
+        index, coll, top = self._setup(rng)
+        batch = random_batch(rng, 50, top)
+        calls = {"n": 0}
+        original = QueryBatch.sorted_by_start
+
+        def counting(self):
+            if not self.is_sorted:
+                calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(QueryBatch, "sorted_by_start", counting)
+        partition_based(index, batch)
+        assert calls["n"] <= 1
 
 
 class TestCrossStrategyAgreement:
