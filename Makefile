@@ -6,13 +6,18 @@
 
 PYENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test bench bench-service experiments examples serve-sim clean
+.PHONY: install test verify bench bench-service experiments examples serve-sim clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	$(PYENV) python -m pytest -x -q
+
+# Structural invariant validators over synthetic workloads (static HINT,
+# storage-unoptimized HINT, the 1D grid, and dynamic insert/delete churn).
+verify:
+	$(PYENV) python -m repro.cli verify
 
 bench:
 	$(PYENV) python -m pytest benchmarks/ --benchmark-only

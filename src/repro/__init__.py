@@ -19,7 +19,11 @@ The package provides:
   batches from single-query traffic (size/deadline admission,
   backpressure, atomic index swaps);
 * :mod:`repro.experiments` — runners regenerating every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation;
+* :mod:`repro.verify` — machine-checked structural invariants
+  (:func:`~repro.verify.verify_index`, the ``debug_checks`` build flag)
+  and deterministic fault injection (:class:`~repro.verify.FaultPlan`)
+  for the service and the dynamic index.
 
 Quickstart
 ----------
@@ -77,6 +81,13 @@ from repro.baselines import (
     PeriodIndex,
     period_partition_based,
 )
+from repro.verify import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    InvariantViolation,
+    verify_index,
+)
 
 __version__ = "1.0.0"
 
@@ -116,5 +127,10 @@ __all__ = [
     "ServiceClosedError",
     "ServiceMetrics",
     "analyze_batch",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "InvariantViolation",
+    "verify_index",
     "__version__",
 ]

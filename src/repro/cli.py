@@ -15,6 +15,9 @@ together for shell use::
     # replay a synthetic workload through the micro-batching service
     python -m repro.cli serve-sim --queries 5000 --rate 20000 --max-batch 256
 
+    # run the structural invariant validators over synthetic workloads
+    python -m repro.cli verify --cardinality 5000 --m 12
+
 Interval files hold one ``st end`` or ``id st end`` record per line
 (``#`` comments allowed); query files hold one ``st end`` per line.
 Query output is one line per query: the count, or the sorted ids with
@@ -170,6 +173,86 @@ def _cmd_serve_sim(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    """Run the invariant validators over generated workloads; exit 0 iff clean."""
+    from repro.grid.index import GridIndex
+    from repro.hint.dynamic import DynamicHint
+    from repro.intervals.collection import IntervalCollection
+    from repro.verify.invariants import InvariantViolation, verify_index
+    from repro.workloads.synthetic import generate_synthetic
+
+    m = args.m
+    top = (1 << m) - 1
+    failures = 0
+
+    def run(name, build):
+        nonlocal failures
+        t0 = time.perf_counter()
+        try:
+            report = build()
+        except InvariantViolation as exc:
+            failures += 1
+            print(f"FAIL {name}: {exc}", file=sys.stderr)
+            return
+        print(f"ok   {name}: {report} [{time.perf_counter() - t0:.2f}s]")
+
+    # Workload 1: uniform random intervals over the whole domain.
+    rng = np.random.default_rng(args.seed)
+    st = rng.integers(0, top + 1, size=args.cardinality)
+    end = np.minimum(
+        st + rng.integers(0, max(top // 8, 1), size=args.cardinality), top
+    )
+    uniform = IntervalCollection(st, end)
+    # Workload 2: the paper's skewed recipe (zipf lengths, normal centers).
+    skewed = generate_synthetic(
+        args.cardinality, top + 1, 1.2, (top + 1) / 20, seed=args.seed
+    ).normalized(m)
+
+    for wname, coll in (("uniform", uniform), ("skewed", skewed)):
+        run(
+            f"hint[{wname}]",
+            lambda coll=coll: verify_index(HintIndex(coll, m=m), collection=coll),
+        )
+        run(
+            f"hint-unoptimized[{wname}]",
+            lambda coll=coll: verify_index(
+                HintIndex(coll, m=m, storage_optimized=False), collection=coll
+            ),
+        )
+        run(
+            f"grid[{wname}]",
+            lambda coll=coll: verify_index(
+                GridIndex(coll, max(int(np.sqrt(len(coll))), 4)), collection=coll
+            ),
+        )
+
+    # Workload 3: insert/delete/compact churn through the dynamic wrapper,
+    # verified both mid-churn (buffer + tombstones populated) and after
+    # compaction.
+    def churn():
+        crng = np.random.default_rng(args.seed + 1)
+        dyn = DynamicHint(
+            m=m, rebuild_threshold=max(args.cardinality // 8, 4)
+        )
+        live = []
+        for _ in range(args.cardinality):
+            s = int(crng.integers(0, top + 1))
+            e = int(min(s + crng.integers(0, max(top // 8, 1)), top))
+            live.append(dyn.insert(s, e))
+            if live and crng.random() < 0.3:
+                victim = live.pop(int(crng.integers(0, len(live))))
+                dyn.delete(victim)
+        verify_index(dyn)
+        dyn.compact()
+        return verify_index(dyn)
+
+    run("dynamic[churn]", churn)
+
+    total = 7
+    print(f"verify: {total - failures}/{total} workload checks passed")
+    return 1 if failures else 0
+
+
 def _cmd_info(args) -> int:
     index = load_index(args.index)
     print(f"HINT index: m={index.m}, levels={index.m + 1}")
@@ -264,6 +347,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--workers", type=int, default=4)
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.set_defaults(fn=_cmd_serve_sim)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="run the structural invariant validators over synthetic "
+        "workloads (static, unoptimized, grid, dynamic churn)",
+    )
+    p_verify.add_argument(
+        "--cardinality", type=int, default=5_000, help="intervals per workload"
+    )
+    p_verify.add_argument("--m", type=int, default=12, help="HINT parameter")
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.set_defaults(fn=_cmd_verify)
     return parser
 
 

@@ -40,6 +40,9 @@ class GridIndex:
         rule-of-thumb balancing partition length against replication).
     domain:
         ``(lo, hi)`` to index over; default: the collection's extent.
+    debug_checks:
+        Run :func:`repro.verify.invariants.verify_index` over the built
+        grid (structure, sortedness, coverage); intended for tests.
     """
 
     def __init__(
@@ -48,6 +51,7 @@ class GridIndex:
         num_partitions: Optional[int] = None,
         *,
         domain: Optional[Tuple[int, int]] = None,
+        debug_checks: bool = False,
     ):
         n = len(collection)
         if num_partitions is None:
@@ -66,7 +70,13 @@ class GridIndex:
         self.k = int(num_partitions)
         self.width = max(1, math.ceil((self.domain_hi - self.domain_lo + 1) / self.k))
         self.num_intervals = n
+        self.debug_checks = bool(debug_checks)
         self._build(collection)
+        if self.debug_checks:
+            # Imported here: repro.verify depends on this module.
+            from repro.verify.invariants import verify_index
+
+            verify_index(self, collection=collection)
 
     # ------------------------------------------------------------------ #
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.hint.index import HintIndex
 from repro.intervals.collection import IntervalCollection
 from repro.intervals.relations import g_overlaps
+from repro.verify.faults import SITE_REBUILD, FaultPlan
 
 __all__ = ["DynamicHint"]
 
@@ -42,6 +43,14 @@ class DynamicHint:
         inserted intervals must fit ``[0, 2**m - 1]``.
     rebuild_threshold:
         Staging-buffer size that triggers a merge-and-rebuild.
+    debug_checks:
+        Run the structural invariant validators
+        (:func:`repro.verify.invariants.verify_index`) after every
+        rebuild — roughly doubles rebuild cost, intended for tests.
+    fault_plan:
+        Optional :class:`repro.verify.faults.FaultPlan`; the rebuild
+        fires the :data:`~repro.verify.faults.SITE_REBUILD` injection
+        site before any state is touched.
     """
 
     def __init__(
@@ -50,6 +59,8 @@ class DynamicHint:
         m: int = 16,
         *,
         rebuild_threshold: int = 4096,
+        debug_checks: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if rebuild_threshold < 1:
             raise ValueError("rebuild_threshold must be positive")
@@ -57,19 +68,22 @@ class DynamicHint:
             collection = IntervalCollection.empty()
         self.m = int(m)
         self.rebuild_threshold = int(rebuild_threshold)
+        self.debug_checks = bool(debug_checks)
+        self._fault_plan = fault_plan
         self._base = collection
-        self._index = HintIndex(collection, m=m)
+        self._index = HintIndex(collection, m=m, debug_checks=debug_checks)
         self._buf_ids: List[int] = []
         self._buf_st: List[int] = []
         self._buf_end: List[int] = []
         self._tombstones: set = set()
+        self._live: set = set(collection.ids.tolist())
         self._next_id = int(collection.ids.max()) + 1 if len(collection) else 0
         self.rebuilds = 0
 
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return len(self._base) + len(self._buf_ids) - len(self._tombstones)
+        return len(self._live)
 
     @property
     def buffered(self) -> int:
@@ -79,11 +93,16 @@ class DynamicHint:
     def insert(self, st: int, end: int, id: Optional[int] = None) -> int:
         """Insert ``[st, end]``; returns the assigned (or given) id.
 
-        Ids identify live objects: passing an id that is currently live
-        produces duplicate results, and re-using a *deleted* id is only
-        safe after :meth:`compact` has physically dropped it (tombstones
-        suppress an id everywhere, including fresh inserts).  Omit the
-        id to always get a fresh one.
+        Ids identify live objects.  Passing an id that is currently live
+        raises (it would produce duplicate results), and re-using a
+        *deleted* id before :meth:`compact` raises too — the tombstone
+        would silently suppress the fresh insert from every query.  Omit
+        the id to always get a fresh one.
+
+        If the insert trips the rebuild threshold and the rebuild fails
+        (out of memory, an injected fault), the interval is already
+        staged and survives: the exception propagates, no state is torn
+        down, and the next insert or :meth:`compact` retries the merge.
         """
         if st > end:
             raise ValueError("interval must have st <= end")
@@ -92,19 +111,46 @@ class DynamicHint:
             raise ValueError(f"interval must lie inside [0, {top}]")
         if id is None:
             id = self._next_id
-        self._next_id = max(self._next_id, int(id) + 1)
-        self._buf_ids.append(int(id))
+        id = int(id)
+        if id in self._live:
+            raise ValueError(f"id {id} is already live")
+        if id in self._tombstones:
+            raise ValueError(
+                f"id {id} is tombstoned; compact() before re-using it"
+            )
+        self._next_id = max(self._next_id, id + 1)
+        self._buf_ids.append(id)
         self._buf_st.append(int(st))
         self._buf_end.append(int(end))
+        self._live.add(id)
         if len(self._buf_ids) >= self.rebuild_threshold:
             self._rebuild()
-        return int(id)
+        return id
 
     def delete(self, id: int) -> None:
-        """Mark object *id* deleted (dropped physically at next rebuild)."""
-        self._tombstones.add(int(id))
+        """Mark object *id* deleted (dropped physically at next rebuild).
+
+        Works equally for ids already merged into the index and ids
+        still in the staging buffer.  Raises :class:`KeyError` when *id*
+        is not live (never inserted, or already deleted) — silently
+        accepting it would corrupt :func:`len` and resurrect nothing.
+        """
+        id = int(id)
+        if id not in self._live:
+            raise KeyError(f"id {id} is not live")
+        self._live.discard(id)
+        self._tombstones.add(id)
 
     def _rebuild(self) -> None:
+        """Merge buffer + base, drop tombstones, rebuild the index.
+
+        The rebuild is atomic: all new state is computed first and
+        committed together, so a failure (e.g. an injected
+        :data:`~repro.verify.faults.SITE_REBUILD` fault) leaves the
+        wrapper exactly as it was.
+        """
+        if self._fault_plan is not None:
+            self._fault_plan.fire(SITE_REBUILD)
         merged_ids = np.concatenate(
             [self._base.ids, np.asarray(self._buf_ids, dtype=np.int64)]
         )
@@ -122,15 +168,20 @@ class DynamicHint:
             merged_ids = merged_ids[keep]
             merged_st = merged_st[keep]
             merged_end = merged_end[keep]
-            self._tombstones.clear()
-        self._base = IntervalCollection(
-            merged_st, merged_end, merged_ids, copy=False
-        )
-        self._index = HintIndex(self._base, m=self.m)
+        base = IntervalCollection(merged_st, merged_end, merged_ids, copy=False)
+        index = HintIndex(base, m=self.m, debug_checks=self.debug_checks)
+        # ---- commit point: nothing above mutated self ----
+        self._base = base
+        self._index = index
+        self._tombstones.clear()
         self._buf_ids.clear()
         self._buf_st.clear()
         self._buf_end.clear()
         self.rebuilds += 1
+        if self.debug_checks:
+            from repro.verify.invariants import verify_index
+
+            verify_index(self)
 
     def compact(self) -> None:
         """Force a merge-and-rebuild now."""

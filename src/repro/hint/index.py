@@ -52,6 +52,12 @@ class HintIndex:
         :func:`repro.hint.cost.choose_m_model`.
     storage_optimized:
         Drop endpoint columns that query processing never reads.
+    debug_checks:
+        Run the structural invariant validators
+        (:func:`repro.verify.invariants.verify_index`) against the
+        freshly built hierarchy, including the deep re-assignment check
+        against *collection*.  Roughly doubles build cost; intended for
+        tests and debugging, off in production.
 
     Examples
     --------
@@ -68,6 +74,7 @@ class HintIndex:
         m: Optional[int] = None,
         *,
         storage_optimized: bool = True,
+        debug_checks: bool = False,
     ):
         if m is None:
             m = choose_m(collection)
@@ -87,8 +94,14 @@ class HintIndex:
         self.m = int(m)
         self.num_intervals = len(collection)
         self.storage_optimized = bool(storage_optimized)
+        self.debug_checks = bool(debug_checks)
         self._domain_top = (1 << self.m) - 1
         self.levels: List[LevelData] = self._build(collection)
+        if self.debug_checks:
+            # Imported here: repro.verify depends on this module.
+            from repro.verify.invariants import verify_index
+
+            verify_index(self, collection=collection)
 
     # ------------------------------------------------------------------ #
     # build

@@ -68,6 +68,7 @@ def load_index(path: PathLike) -> HintIndex:
         index.m = m
         index.num_intervals = num_intervals
         index.storage_optimized = bool(storage_optimized)
+        index.debug_checks = False
         index._domain_top = (1 << m) - 1
         levels = []
         for level in range(m + 1):

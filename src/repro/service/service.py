@@ -41,6 +41,12 @@ from repro.core.parallel import parallel_batch
 from repro.core.result import MODES
 from repro.core.strategies import STRATEGIES, run_strategy
 from repro.intervals.batch import QueryBatch
+from repro.verify.faults import (
+    SITE_FLUSH,
+    SITE_STRATEGY,
+    SITE_SWAP,
+    FaultPlan,
+)
 
 __all__ = [
     "BatchingQueryService",
@@ -110,6 +116,16 @@ class BatchingQueryService:
         is created by default and exposed as :attr:`metrics`).
     clock:
         Monotonic time source; injectable for tests.
+    fault_plan:
+        Optional :class:`repro.verify.faults.FaultPlan`.  When set, the
+        flusher fires the :data:`~repro.verify.faults.SITE_FLUSH` site
+        at the start of every flush and the
+        :data:`~repro.verify.faults.SITE_STRATEGY` site right before
+        strategy execution, and :meth:`swap_index` fires
+        :data:`~repro.verify.faults.SITE_SWAP` — injected exceptions
+        follow the normal error path (every staged future is resolved
+        with the exception, the flush counts as failed).  ``None`` (the
+        default) costs nothing.
 
     Examples
     --------
@@ -135,6 +151,7 @@ class BatchingQueryService:
         workers: int = 4,
         metrics: Optional[ServiceMetrics] = None,
         clock: Callable[[], float] = time.monotonic,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -170,6 +187,7 @@ class BatchingQueryService:
         self.workers = int(workers)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._clock = clock
+        self._fault_plan = fault_plan
 
         self._lock = threading.Lock()
         self._has_work = threading.Condition(self._lock)
@@ -242,6 +260,10 @@ class BatchingQueryService:
         rebuilt offline, under live traffic.  In-flight flushes finish
         on the index they started with.
         """
+        if self._fault_plan is not None:
+            # Fires before the swap: an injected failure leaves the old
+            # index installed and the swap counter untouched.
+            self._fault_plan.fire(SITE_SWAP)
         old, self._index = self._index, new_index
         self.metrics.record_swap()
         return old
@@ -317,14 +339,23 @@ class BatchingQueryService:
                 self._has_work.wait()
 
     def _execute(self, staged: List[_Pending], reason: str, depth: int) -> None:
-        index = self._index  # one atomic snapshot per flush
-        batch = QueryBatch([q.st for q in staged], [q.end for q in staged])
-        use_parallel = (
-            self.parallel_threshold is not None
-            and len(batch) >= self.parallel_threshold
-        )
         t0 = self._clock()
+        use_parallel = False
         try:
+            # The whole flush body sits inside the try: whatever dies —
+            # batch formation, an injected fault, the strategy itself —
+            # every staged future is resolved with the exception, so no
+            # caller is ever left hanging.
+            if self._fault_plan is not None:
+                self._fault_plan.fire(SITE_FLUSH)
+            index = self._index  # one atomic snapshot per flush
+            batch = QueryBatch([q.st for q in staged], [q.end for q in staged])
+            use_parallel = (
+                self.parallel_threshold is not None
+                and len(batch) >= self.parallel_threshold
+            )
+            if self._fault_plan is not None:
+                self._fault_plan.fire(SITE_STRATEGY)
             if use_parallel:
                 result = parallel_batch(
                     index,

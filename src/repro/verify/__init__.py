@@ -1,0 +1,46 @@
+"""Correctness substrate: invariant validators and fault injection.
+
+* :mod:`repro.verify.invariants` — :func:`verify_index` checks the
+  structural guarantees of :class:`~repro.hint.index.HintIndex`,
+  :class:`~repro.hint.dynamic.DynamicHint` and
+  :class:`~repro.grid.index.GridIndex` (partition-count bound,
+  subdivision partitioning, sortedness, domain coverage), wired into the
+  builders behind their ``debug_checks`` flag.
+* :mod:`repro.verify.faults` — :class:`FaultPlan`, a seeded and
+  deterministic fault-injection layer with named sites in the batching
+  service and the dynamic index, so tests can prove the error-path
+  contracts (futures never lost, clean drain, consistent metrics).
+
+``python -m repro.cli verify`` (or ``make verify``) runs the validators
+over synthetic workloads from the shell.
+"""
+
+from repro.verify.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    SITES,
+    SITE_FLUSH,
+    SITE_REBUILD,
+    SITE_STRATEGY,
+    SITE_SWAP,
+)
+from repro.verify.invariants import (
+    InvariantViolation,
+    VerificationReport,
+    verify_index,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "InvariantViolation",
+    "SITES",
+    "SITE_FLUSH",
+    "SITE_REBUILD",
+    "SITE_STRATEGY",
+    "SITE_SWAP",
+    "VerificationReport",
+    "verify_index",
+]

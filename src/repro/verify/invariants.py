@@ -1,0 +1,611 @@
+"""Structural invariant validators for the interval indexes.
+
+The HINT papers state structural guarantees that the rest of this code
+base silently relies on: every interval lands in at most two partitions
+per level, exactly one placement is an original, exactly one placement
+ends inside its partition, the four subdivision classes are mutually
+exclusive and exhaustive, per-partition arrays are sorted by the class
+sort key, and the chosen partitions exactly tile the interval.
+:func:`verify_index` checks all of them mechanically against a built
+:class:`~repro.hint.index.HintIndex`,
+:class:`~repro.hint.dynamic.DynamicHint` or
+:class:`~repro.grid.index.GridIndex`.
+
+The deep check exploits a property of the layout itself: because every
+interval has exactly one *original* placement (which stores ``st``) and
+exactly one *ends-inside* placement (which stores ``end``), the whole
+collection can be reconstructed from a storage-optimized index.  The
+reconstruction is re-assigned from scratch and the resulting placement
+sets must match the stored tables exactly — an index is valid iff it
+equals the index rebuilt from its own contents.  When the original
+collection is available it is compared against the reconstruction too,
+which additionally pins the index to the data it claims to hold.
+
+Violations are collected (not fail-fast) and raised together as an
+:class:`InvariantViolation`, so one broken build reports every broken
+table at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hint.assignment import CLASS_NAMES, assign_collection
+from repro.hint.index import HintIndex
+from repro.hint.tables import SubdivisionTable
+from repro.intervals.collection import IntervalCollection
+
+__all__ = ["InvariantViolation", "VerificationReport", "verify_index"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY_I8 = np.empty(0, dtype=np.int8)
+
+#: Sort key column per subdivision class (None: class is never compared).
+_CLASS_KEY = ("st", "st", "end", None)
+
+
+class InvariantViolation(AssertionError):
+    """One or more structural invariants of an index do not hold."""
+
+    def __init__(self, violations: List[str]):
+        self.violations = list(violations)
+        head = f"{len(self.violations)} invariant violation(s):"
+        super().__init__("\n  - ".join([head] + self.violations))
+
+
+@dataclass
+class VerificationReport:
+    """Summary of a successful :func:`verify_index` run."""
+
+    index_type: str
+    num_intervals: int
+    num_placements: int
+    checks: int
+    notes: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        extra = f" ({'; '.join(self.notes)})" if self.notes else ""
+        return (
+            f"{self.index_type}: {self.num_intervals} intervals, "
+            f"{self.num_placements} placements, {self.checks} checks{extra}"
+        )
+
+
+class _Checker:
+    """Accumulates check results; raises them together at the end."""
+
+    def __init__(self):
+        self.violations: List[str] = []
+        self.checks = 0
+
+    def check(self, ok: bool, message: str) -> bool:
+        self.checks += 1
+        if not ok:
+            self.violations.append(message)
+        return bool(ok)
+
+    def finish(self, report: VerificationReport) -> VerificationReport:
+        if self.violations:
+            raise InvariantViolation(self.violations)
+        report.checks = self.checks
+        return report
+
+
+def verify_index(
+    index,
+    *,
+    deep: bool = True,
+    collection: Optional[IntervalCollection] = None,
+) -> VerificationReport:
+    """Validate the structural invariants of a built index.
+
+    Parameters
+    ----------
+    index:
+        A :class:`~repro.hint.index.HintIndex`,
+        :class:`~repro.hint.dynamic.DynamicHint` or
+        :class:`~repro.grid.index.GridIndex`.
+    deep:
+        Also run the semantic checks: reconstruct the collection from
+        the index's own placements, re-assign it from scratch and demand
+        the placement sets match exactly (subsumes the partition-count
+        bound, subdivision partitioning, original/replica disjointness
+        and domain-tiling coverage).  Costs roughly one index build.
+    collection:
+        When given, the reconstruction must also equal this collection
+        — catches an internally consistent index built over the wrong
+        data.  Ignored for :class:`DynamicHint` (its base collection is
+        used automatically).
+
+    Returns
+    -------
+    VerificationReport
+        Summary statistics of the checks that ran.
+
+    Raises
+    ------
+    InvariantViolation
+        Listing every violated invariant.
+    TypeError
+        For unsupported index types.
+    """
+    # Local imports: dynamic.py and grid/index.py import the fault layer
+    # of this package, so importing them at module scope would cycle.
+    from repro.grid.index import GridIndex
+    from repro.hint.dynamic import DynamicHint
+
+    chk = _Checker()
+    if isinstance(index, DynamicHint):
+        return _verify_dynamic(index, chk, deep)
+    if isinstance(index, HintIndex):
+        return _verify_hint(index, chk, deep, collection)
+    if isinstance(index, GridIndex):
+        return _verify_grid(index, chk, deep, collection)
+    raise TypeError(
+        f"verify_index supports HintIndex, DynamicHint and GridIndex, "
+        f"not {type(index).__name__}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# shared table helpers
+# --------------------------------------------------------------------- #
+
+
+def _row_partitions(offsets: np.ndarray) -> np.ndarray:
+    """Partition number of every row of a flattened table."""
+    counts = np.diff(offsets)
+    return np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+
+
+def _check_flat_table(
+    chk: _Checker,
+    label: str,
+    num_partitions: int,
+    offsets: np.ndarray,
+    columns: dict,
+) -> None:
+    """Offsets structure + column length checks for one flattened table."""
+    if not chk.check(
+        offsets.size == num_partitions + 1,
+        f"{label}: offsets has {offsets.size} entries, "
+        f"expected {num_partitions + 1}",
+    ):
+        return
+    chk.check(int(offsets[0]) == 0, f"{label}: offsets[0] != 0")
+    chk.check(
+        bool(np.all(np.diff(offsets) >= 0)),
+        f"{label}: offsets not non-decreasing",
+    )
+    n = int(offsets[-1])
+    for name, col in columns.items():
+        if col is not None:
+            chk.check(
+                col.size == n,
+                f"{label}: column {name!r} has {col.size} rows, "
+                f"offsets imply {n}",
+            )
+
+
+def _check_partition_sorted(
+    chk: _Checker, label: str, offsets: np.ndarray, key: np.ndarray
+) -> None:
+    """The key column must be non-decreasing inside every partition."""
+    if key.size <= 1:
+        chk.check(True, f"{label}: sorted")
+        return
+    parts = _row_partitions(offsets)
+    ok = bool(np.all((np.diff(key) >= 0) | (parts[1:] != parts[:-1])))
+    chk.check(ok, f"{label}: rows not sorted by the class sort key")
+
+
+# --------------------------------------------------------------------- #
+# HintIndex
+# --------------------------------------------------------------------- #
+
+
+def _table_placements(table: SubdivisionTable):
+    """(partitions, ids) of every row of a subdivision table."""
+    return _row_partitions(table.offsets), table.ids
+
+
+def _verify_hint(
+    index: HintIndex,
+    chk: _Checker,
+    deep: bool,
+    collection: Optional[IntervalCollection],
+) -> VerificationReport:
+    m = index.m
+    chk.check(m >= 0, f"m = {m} is negative")
+    chk.check(
+        len(index.levels) == m + 1,
+        f"index has {len(index.levels)} levels, expected {m + 1}",
+    )
+
+    # --- per-table structural checks ---------------------------------- #
+    for pos, data in enumerate(index.levels):
+        chk.check(
+            data.level == pos,
+            f"levels[{pos}] claims to be level {data.level}",
+        )
+        nparts = 1 << data.level
+        for name, table in zip(CLASS_NAMES, data.tables()):
+            label = f"L{data.level}/{name}"
+            before = len(chk.violations)
+            _check_flat_table(
+                chk,
+                label,
+                nparts,
+                table.offsets,
+                {
+                    "ids": table.ids,
+                    "st": table.st,
+                    "end": table.end,
+                    "comp": table.comp,
+                },
+            )
+            if len(chk.violations) > before:
+                # Broken offsets/columns make the row→partition map
+                # meaningless; skip the dependent checks for this table.
+                continue
+            key_name = _CLASS_KEY[CLASS_NAMES.index(name)]
+            key = getattr(table, key_name) if key_name else None
+            if key is not None:
+                _check_partition_sorted(chk, label, table.offsets, key)
+            if table.comp is not None and table.ids.size:
+                chk.check(
+                    data.level + table.key_bits < 64,
+                    f"{label}: key_bits {table.key_bits} overflows int64 "
+                    f"packing at level {data.level}",
+                )
+                chk.check(
+                    bool(np.all(np.diff(table.comp) >= 0)),
+                    f"{label}: packed comp column not globally sorted",
+                )
+                if key is not None and key.size == table.comp.size:
+                    parts = _row_partitions(table.offsets)
+                    expected = (parts << table.key_bits) | key
+                    chk.check(
+                        bool(np.array_equal(table.comp, expected)),
+                        f"{label}: comp disagrees with "
+                        f"(partition << key_bits) | key",
+                    )
+
+    report = VerificationReport(
+        index_type="HintIndex",
+        num_intervals=index.num_intervals,
+        num_placements=index.num_placements(),
+        checks=0,
+    )
+    if not deep:
+        report.notes.append("shallow")
+        return chk.finish(report)
+    if chk.violations:
+        # Broken offsets make the semantic pass unreliable; report what
+        # is known rather than crashing inside it.
+        return chk.finish(report)
+
+    # --- semantic checks: classes partition the placements ------------ #
+    orig_ids, orig_st = [], []
+    in_ids, in_end = [], []
+    for data in index.levels:
+        level_parts, level_ids = [], []
+        for cls, table in enumerate(data.tables()):
+            parts, ids = _table_placements(table)
+            level_parts.append(parts)
+            level_ids.append(ids)
+            if cls in (0, 1):  # O_in, O_aft: the original placements
+                orig_ids.append(ids)
+                orig_st.append(table.st if table.st is not None else _EMPTY)
+            if cls in (0, 2):  # O_in, R_in: the ends-inside placements
+                in_ids.append(ids)
+                in_end.append(table.end if table.end is not None else _EMPTY)
+        lv_parts = np.concatenate(level_parts) if level_parts else _EMPTY
+        lv_ids = np.concatenate(level_ids) if level_ids else _EMPTY
+        if lv_ids.size:
+            # ≤ 2 partitions per level per interval (paper, Lemma 1).
+            _, per_id = np.unique(lv_ids, return_counts=True)
+            chk.check(
+                int(per_id.max()) <= 2,
+                f"L{data.level}: an interval is stored in "
+                f"{int(per_id.max())} partitions (bound is 2)",
+            )
+            # Classes are mutually exclusive: no (partition, id) twice.
+            pairs = np.stack([lv_parts, lv_ids])
+            chk.check(
+                np.unique(pairs, axis=1).shape[1] == lv_ids.size,
+                f"L{data.level}: an interval is stored twice in the "
+                "same partition (classes not mutually exclusive)",
+            )
+
+    orig_ids = np.concatenate(orig_ids) if orig_ids else _EMPTY
+    orig_st = np.concatenate(orig_st) if orig_st else _EMPTY
+    in_ids = np.concatenate(in_ids) if in_ids else _EMPTY
+    in_end = np.concatenate(in_end) if in_end else _EMPTY
+
+    ok_orig = chk.check(
+        orig_ids.size == index.num_intervals
+        and np.unique(orig_ids).size == orig_ids.size,
+        f"expected exactly one original placement per interval, found "
+        f"{orig_ids.size} originals over {index.num_intervals} intervals",
+    )
+    ok_in = chk.check(
+        in_ids.size == index.num_intervals
+        and np.unique(in_ids).size == in_ids.size,
+        f"expected exactly one ends-inside placement per interval, found "
+        f"{in_ids.size} over {index.num_intervals} intervals",
+    )
+    ok_cols = chk.check(
+        orig_st.size == orig_ids.size and in_end.size == in_ids.size,
+        "endpoint columns missing from original/ends-inside tables",
+    )
+    if not (ok_orig and ok_in and ok_cols):
+        return chk.finish(report)
+
+    # --- reconstruction: the index must equal its own rebuild --------- #
+    order = np.argsort(orig_ids, kind="stable")
+    rec_ids, rec_st = orig_ids[order], orig_st[order]
+    rec_end = in_end[np.argsort(in_ids, kind="stable")]
+    chk.check(
+        bool(np.all(rec_st <= rec_end)),
+        "reconstructed intervals have st > end",
+    )
+    top = (1 << m) - 1
+    chk.check(
+        bool(rec_ids.size == 0 or (rec_st.min() >= 0 and rec_end.max() <= top)),
+        f"reconstructed endpoints fall outside the domain [0, {top}]",
+    )
+    if collection is not None:
+        corder = np.argsort(collection.ids, kind="stable")
+        chk.check(
+            bool(
+                np.array_equal(collection.ids[corder], rec_ids)
+                and np.array_equal(collection.st[corder], rec_st)
+                and np.array_equal(collection.end[corder], rec_end)
+            ),
+            "index contents disagree with the provided collection",
+        )
+    if chk.violations:
+        return chk.finish(report)
+
+    expected = assign_collection(m, rec_st, rec_end)
+    for data in index.levels:
+        exp_rows, exp_parts, exp_classes = expected.get(
+            data.level, (_EMPTY, _EMPTY, _EMPTY_I8)
+        )
+        for cls, table in enumerate(data.tables()):
+            sel = exp_classes == cls
+            want_parts = exp_parts[sel]
+            want_ids = rec_ids[exp_rows[sel]]
+            got_parts, got_ids = _table_placements(table)
+            label = f"L{data.level}/{CLASS_NAMES[cls]}"
+            if not chk.check(
+                got_ids.size == want_ids.size,
+                f"{label}: {got_ids.size} placements stored, "
+                f"re-assignment expects {want_ids.size}",
+            ):
+                continue
+            w = np.lexsort((want_ids, want_parts))
+            g = np.lexsort((got_ids, got_parts))
+            chk.check(
+                bool(
+                    np.array_equal(want_parts[w], got_parts[g])
+                    and np.array_equal(want_ids[w], got_ids[g])
+                ),
+                f"{label}: stored placements differ from the "
+                "re-assignment of the reconstructed collection",
+            )
+    report.notes.append("deep: reconstruction re-assigned and matched")
+    return chk.finish(report)
+
+
+# --------------------------------------------------------------------- #
+# DynamicHint
+# --------------------------------------------------------------------- #
+
+
+def _verify_dynamic(dyn, chk: _Checker, deep: bool) -> VerificationReport:
+    inner = _verify_hint(dyn._index, chk, deep, dyn._base)
+
+    nbuf = len(dyn._buf_ids)
+    chk.check(
+        len(dyn._buf_st) == nbuf and len(dyn._buf_end) == nbuf,
+        f"staging buffer columns disagree: {nbuf} ids, "
+        f"{len(dyn._buf_st)} starts, {len(dyn._buf_end)} ends",
+    )
+    top = (1 << dyn.m) - 1
+    for st, end in zip(dyn._buf_st, dyn._buf_end):
+        if not (0 <= st <= end <= top):
+            chk.check(
+                False,
+                f"buffered interval [{st}, {end}] is malformed or outside "
+                f"the domain [0, {top}]",
+            )
+            break
+    else:
+        chk.check(True, "buffered intervals well-formed")
+
+    base_ids = set(dyn._base.ids.tolist())
+    buf_ids = set(dyn._buf_ids)
+    stored = base_ids | buf_ids
+    chk.check(
+        len(base_ids) + len(buf_ids) == len(dyn._base) + nbuf,
+        "duplicate ids across the base collection and the staging buffer",
+    )
+    chk.check(
+        dyn._tombstones <= stored,
+        f"tombstones reference ids never stored: "
+        f"{sorted(dyn._tombstones - stored)[:5]}",
+    )
+    live = stored - dyn._tombstones
+    chk.check(
+        dyn._live == live,
+        "live-id set disagrees with base ∪ buffer − tombstones",
+    )
+    chk.check(
+        len(dyn) == len(live),
+        f"len() reports {len(dyn)}, {len(live)} ids are live",
+    )
+    chk.check(
+        all(dyn._next_id > i for i in stored) if stored else dyn._next_id >= 0,
+        "next auto-id collides with a stored id",
+    )
+
+    report = VerificationReport(
+        index_type="DynamicHint",
+        num_intervals=len(dyn),
+        num_placements=inner.num_placements,
+        checks=0,
+        notes=[f"buffered={nbuf}", f"tombstones={len(dyn._tombstones)}"]
+        + inner.notes,
+    )
+    return chk.finish(report)
+
+
+# --------------------------------------------------------------------- #
+# GridIndex
+# --------------------------------------------------------------------- #
+
+
+def _verify_grid(
+    grid,
+    chk: _Checker,
+    deep: bool,
+    collection: Optional[IntervalCollection],
+) -> VerificationReport:
+    k = grid.k
+    chk.check(k >= 1, f"k = {k} is not positive")
+    chk.check(
+        grid.domain_hi >= grid.domain_lo,
+        f"empty domain [{grid.domain_lo}, {grid.domain_hi}]",
+    )
+    _check_flat_table(
+        chk,
+        "grid/originals",
+        k,
+        grid.o_offsets,
+        {"ids": grid.o_ids, "st": grid.o_st, "end": grid.o_end},
+    )
+    _check_flat_table(
+        chk,
+        "grid/replicas",
+        k,
+        grid.r_offsets,
+        {"ids": grid.r_ids, "st": grid.r_st, "end": grid.r_end},
+    )
+    report = VerificationReport(
+        index_type="GridIndex",
+        num_intervals=grid.num_intervals,
+        num_placements=grid.num_placements(),
+        checks=0,
+    )
+    if chk.violations:
+        return chk.finish(report)
+
+    _check_partition_sorted(chk, "grid/originals", grid.o_offsets, grid.o_st)
+    _check_partition_sorted(chk, "grid/replicas", grid.r_offsets, grid.r_end)
+
+    o_parts = _row_partitions(grid.o_offsets)
+    r_parts = _row_partitions(grid.r_offsets)
+    chk.check(
+        bool(np.array_equal(grid.partition_of(grid.o_st), o_parts)),
+        "grid/originals: an interval does not start in its partition",
+    )
+    if grid.r_ids.size:
+        chk.check(
+            bool(np.all(grid.partition_of(grid.r_st) < r_parts)),
+            "grid/replicas: an interval starts at or after its partition",
+        )
+        chk.check(
+            bool(np.all(grid.partition_of(grid.r_end) >= r_parts)),
+            "grid/replicas: an interval ends before its partition",
+        )
+    chk.check(
+        grid.o_ids.size == grid.num_intervals
+        and np.unique(grid.o_ids).size == grid.o_ids.size,
+        f"expected exactly one original placement per interval, found "
+        f"{grid.o_ids.size} over {grid.num_intervals} intervals",
+    )
+    if not deep or chk.violations:
+        if not deep:
+            report.notes.append("shallow")
+        return chk.finish(report)
+
+    # --- coverage: placements are exactly the overlapped partitions --- #
+    order = np.argsort(grid.o_ids, kind="stable")
+    rec_ids = grid.o_ids[order]
+    rec_st = grid.o_st[order]
+    rec_end = grid.o_end[order]
+    chk.check(
+        bool(np.all(rec_st <= rec_end)),
+        "grid/originals: reconstructed intervals have st > end",
+    )
+    chk.check(
+        bool(
+            rec_ids.size == 0
+            or (
+                int(rec_st.min()) >= grid.domain_lo
+                and int(rec_end.max()) <= grid.domain_hi
+            )
+        ),
+        "grid: endpoints fall outside the declared domain",
+    )
+    if collection is not None:
+        corder = np.argsort(collection.ids, kind="stable")
+        chk.check(
+            bool(
+                np.array_equal(collection.ids[corder], rec_ids)
+                and np.array_equal(collection.st[corder], rec_st)
+                and np.array_equal(collection.end[corder], rec_end)
+            ),
+            "grid contents disagree with the provided collection",
+        )
+    if chk.violations:
+        return chk.finish(report)
+
+    first = grid.partition_of(rec_st)
+    last = grid.partition_of(rec_end)
+    # Expected replica placements: every partition after the first.
+    want_pairs = []
+    span = last - first + 1
+    for j in range(1, int(span.max()) if span.size else 0):
+        sel = span > j
+        want_pairs.append(
+            np.stack([first[sel] + j, rec_ids[sel]])
+        )
+    if want_pairs:
+        want = np.concatenate(want_pairs, axis=1)
+    else:
+        want = np.empty((2, 0), dtype=np.int64)
+    got = np.stack([r_parts, grid.r_ids]) if grid.r_ids.size else np.empty(
+        (2, 0), dtype=np.int64
+    )
+    if chk.check(
+        got.shape == want.shape,
+        f"grid/replicas: {got.shape[1]} placements stored, coverage "
+        f"expects {want.shape[1]}",
+    ) and want.shape[1]:
+        w = np.lexsort((want[1], want[0]))
+        g = np.lexsort((got[1], got[0]))
+        chk.check(
+            bool(np.array_equal(want[:, w], got[:, g])),
+            "grid/replicas: stored placements differ from the partitions "
+            "the intervals overlap",
+        )
+    # Replica endpoint columns must agree with the originals' values.
+    if grid.r_ids.size:
+        pos = np.searchsorted(rec_ids, grid.r_ids)
+        chk.check(
+            bool(
+                np.all(pos < rec_ids.size)
+                and np.array_equal(rec_ids[pos], grid.r_ids)
+                and np.array_equal(rec_st[pos], grid.r_st)
+                and np.array_equal(rec_end[pos], grid.r_end)
+            ),
+            "grid/replicas: endpoint columns disagree with the originals",
+        )
+    report.notes.append("deep: coverage matched")
+    return chk.finish(report)

@@ -25,6 +25,15 @@ settings.register_profile(
     max_examples=15,
     suppress_health_check=[HealthCheck.too_slow],
 )
+# The nightly deep-soak pass: many randomized examples and long stateful
+# runs.  Too slow for the per-commit pipeline, which is the point.
+settings.register_profile(
+    "thorough",
+    max_examples=300,
+    stateful_step_count=50,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
 settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "repro-ci"))
 
 

@@ -84,3 +84,65 @@ def test_query_bad_file(workspace, tmp_path, capsys):
     bad = tmp_path / "bad.txt"
     bad.write_text("1 2 3\n")
     assert main(["query", str(index_path), str(bad)]) == 1
+
+
+class TestServeSimSmoke:
+    def test_metrics_add_up(self, capsys):
+        """Fixed-seed Poisson replay; the printed ServiceMetrics must be
+        internally consistent: per-reason flush counts sum to the total
+        and every submitted query completed."""
+        import re
+
+        n = 60
+        assert (
+            main(
+                [
+                    "serve-sim",
+                    "--queries", str(n),
+                    "--cardinality", "400",
+                    "--domain", "5000",
+                    "--m", "10",
+                    "--rate", "50000",
+                    "--max-batch", "16",
+                    "--max-delay-ms", "5",
+                    "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serve-sim:" in out
+
+        q = re.search(
+            r"queries\s+submitted=(\d+) completed=(\d+) failed=(\d+) "
+            r"rejected=(\d+)",
+            out,
+        )
+        assert q, out
+        submitted, completed, failed, rejected = map(int, q.groups())
+        assert submitted == completed == n
+        assert failed == 0
+        assert rejected == 0
+
+        f = re.search(
+            r"flushes\s+total=(\d+) deadline=(\d+) drain=(\d+) forced=(\d+) "
+            r"size=(\d+)",
+            out,
+        )
+        assert f, out
+        total, deadline, drain, forced, size = map(int, f.groups())
+        assert total == deadline + drain + forced + size
+        assert 1 <= total <= n
+        # max_batch=16 with 60 queries at this rate must flush on size
+        # at least once.
+        assert size >= 1
+
+
+class TestVerifySubcommand:
+    def test_verify_runs_clean(self, capsys):
+        assert main(["verify", "--cardinality", "300", "--m", "8"]) == 0
+        captured = capsys.readouterr()
+        assert "verify: 7/7 workload checks passed" in captured.out
+        ok_lines = [l for l in captured.out.splitlines() if l.startswith("ok ")]
+        assert len(ok_lines) == 7
+        assert not [l for l in captured.err.splitlines() if "FAIL" in l]

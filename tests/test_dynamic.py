@@ -137,3 +137,65 @@ class TestAgainstModel:
             assert sorted(dyn.query(a, b).tolist()) == sorted(
                 naive.query(a, b).tolist()
             )
+
+
+class TestIdLifecycleRegressions:
+    """Regression tests for id accounting across the buffer boundary.
+
+    ``len()`` used to drift when delete() accepted ids it had never
+    handed out, and a tombstoned id could silently swallow a later
+    insert of the same id.  These pin the strict lifecycle: every id is
+    live exactly once, and misuse raises instead of corrupting state.
+    """
+
+    def test_delete_of_buffered_id_with_later_rebuild(self):
+        dyn = DynamicHint(m=8, rebuild_threshold=4)
+        keep = [dyn.insert(i * 10, i * 10 + 5) for i in range(2)]
+        victim = dyn.insert(100, 120)  # still in the insert buffer
+        dyn.delete(victim)
+        assert len(dyn) == 2
+        assert victim not in set(dyn.query(0, 255).tolist())
+        # Push past the threshold so the buffer (still containing the
+        # victim's staged row) merges into the base index.
+        more = [dyn.insert(200, 210) for _ in range(3)]
+        assert dyn.rebuilds >= 1
+        got = set(dyn.query(0, 255).tolist())
+        assert victim not in got, "deleted-while-buffered id resurrected"
+        assert got == set(keep) | set(more)
+        assert len(dyn) == 5
+
+    def test_delete_unknown_id_raises_and_changes_nothing(self):
+        dyn = DynamicHint(m=8, rebuild_threshold=16)
+        rid = dyn.insert(0, 10)
+        with pytest.raises(KeyError, match="not live"):
+            dyn.delete(rid + 999)
+        assert len(dyn) == 1
+        assert set(dyn.query(0, 255).tolist()) == {rid}
+
+    def test_double_delete_raises(self):
+        dyn = DynamicHint(m=8, rebuild_threshold=16)
+        rid = dyn.insert(0, 10)
+        dyn.delete(rid)
+        with pytest.raises(KeyError, match="not live"):
+            dyn.delete(rid)
+        assert len(dyn) == 0
+
+    def test_reinsert_of_tombstoned_id_raises(self):
+        # Re-using a tombstoned id before compact() would let the
+        # tombstone swallow the fresh interval — must raise instead.
+        coll = IntervalCollection([5], [15], ids=[7])
+        dyn = DynamicHint(coll, m=8, rebuild_threshold=16)
+        dyn.delete(7)
+        with pytest.raises(ValueError, match="tombstoned"):
+            dyn.insert(20, 30, id=7)
+        dyn.compact()
+        rid = dyn.insert(20, 30, id=7)  # tombstone cleared: fine now
+        assert rid == 7
+        assert set(dyn.query(0, 255).tolist()) == {7}
+
+    def test_insert_duplicate_live_id_raises(self):
+        coll = IntervalCollection([5], [15], ids=[7])
+        dyn = DynamicHint(coll, m=8, rebuild_threshold=16)
+        with pytest.raises(ValueError, match="already live"):
+            dyn.insert(40, 50, id=7)
+        assert len(dyn) == 1

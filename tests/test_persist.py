@@ -89,3 +89,38 @@ class TestFormat:
         with np.load(path) as archive:
             assert "meta" in archive
             assert "L8_o_in_offsets" in archive
+
+
+class TestMidChurnSnapshotRoundTrip:
+    def test_snapshot_taken_mid_churn_persists_faithfully(self, tmp_path, rng):
+        """Snapshot a dynamic index with a dirty buffer and tombstones,
+        persist an index built from it, and prove the reload answers
+        exactly like the live dynamic index."""
+        from repro import DynamicHint, verify_index
+
+        m, top = 9, (1 << 9) - 1
+        dyn = DynamicHint(m=m, rebuild_threshold=13)
+        live = []
+        for _ in range(90):
+            s = int(rng.integers(0, top + 1))
+            live.append(dyn.insert(s, int(min(s + rng.integers(0, 50), top))))
+            if len(live) > 5 and rng.random() < 0.35:
+                dyn.delete(live.pop(int(rng.integers(0, len(live)))))
+        # The interesting case: snapshot while state is split across the
+        # base index, the staging buffer and the tombstone set.
+        assert dyn.buffered > 0
+        assert dyn._tombstones
+
+        snap = dyn.snapshot()
+        index = HintIndex(snap, m=m)
+        path = tmp_path / "mid_churn.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        verify_index(loaded, collection=snap)
+
+        assert sorted(loaded.query(0, top).tolist()) == sorted(live)
+        for _ in range(25):
+            a, b = sorted(rng.integers(0, top + 1, size=2).tolist())
+            assert sorted(loaded.query(a, b).tolist()) == sorted(
+                dyn.query(a, b).tolist()
+            )

@@ -407,3 +407,86 @@ def test_stress_many_clients_with_concurrent_swap(setup):
     assert snap.submitted == snap.completed == n_threads * per_thread
     assert snap.index_swaps >= 1
     assert snap.rejected == 0
+
+
+def test_stress_exactly_once_under_injected_flush_faults(setup):
+    """Every future resolves exactly once even when flushes keep dying.
+
+    A quarter of all flushes raise an injected fault (seeded, so the
+    failure pattern is reproducible) while clients and a swapper thread
+    hammer the service.  Each submitted query must end up either with a
+    correct result or with the injected exception — never lost, never
+    both — and the metrics must partition submitted into completed and
+    failed with nothing left over.
+    """
+    from repro import FaultPlan, FaultRule, InjectedFault
+    from repro.verify.faults import SITE_FLUSH
+
+    coll, index = setup
+    ref = HintIndex(coll, m=M)  # ground truth, never swapped
+    swap_a = index
+    swap_b = HintIndex(coll, m=M + 1)
+    plan = FaultPlan(FaultRule(site=SITE_FLUSH, probability=0.25), seed=7)
+    n_threads, per_thread = 6, 200
+    svc = BatchingQueryService(
+        index,
+        max_batch=32,
+        max_delay_ms=2,
+        max_queue=4096,
+        backpressure="block",
+        fault_plan=plan,
+    )
+    errors = []
+    collected = [[] for _ in range(n_threads)]
+    stop_swapping = threading.Event()
+
+    def client(tid):
+        try:
+            for s, e in _queries(500 + tid, per_thread):
+                collected[tid].append((s, e, svc.submit(s, e)))
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    def swapper():
+        current = swap_b
+        while not stop_swapping.is_set():
+            svc.swap_index(current)
+            current = swap_a if current is swap_b else swap_b
+            time.sleep(0.002)
+
+    threads = [threading.Thread(target=client, args=(t,)) for t in range(n_threads)]
+    swap_thread = threading.Thread(target=swapper)
+    for t in threads:
+        t.start()
+    swap_thread.start()
+    for t in threads:
+        t.join(timeout=WAIT)
+    stop_swapping.set()
+    swap_thread.join(timeout=WAIT)
+    svc.close()
+    assert not errors
+
+    n_ok = n_failed = 0
+    for tid in range(n_threads):
+        assert len(collected[tid]) == per_thread
+        for s, e, fut in collected[tid]:
+            assert fut.done(), "future lost across a failed flush"
+            exc = fut.exception(timeout=WAIT)
+            if exc is None:
+                assert fut.result(timeout=WAIT) == ref.query_count(s, e), (s, e)
+                n_ok += 1
+            else:
+                assert isinstance(exc, InjectedFault)
+                n_failed += 1
+
+    total = n_threads * per_thread
+    assert n_ok + n_failed == total
+    snap = svc.metrics.snapshot()
+    assert snap.submitted == total
+    assert snap.completed == n_ok
+    assert snap.failed == n_failed
+    assert snap.submitted == snap.completed + snap.failed
+    assert svc.queue_depth == 0
+    # The fault path was genuinely exercised, and not on every flush.
+    assert plan.hits(SITE_FLUSH) >= 1
+    assert n_failed < total

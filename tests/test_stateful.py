@@ -1,0 +1,150 @@
+"""Stateful verification of the dynamic index + batching service stack.
+
+A hypothesis rule-based state machine drives arbitrary interleavings of
+``insert`` / ``delete`` / ``compact`` / ``query`` / ``swap_index``
+against a dictionary model.  Two things distinguish it from the older
+machine in ``test_property_dynamic``:
+
+* after **every** rule the full structural invariant validator
+  (:func:`repro.verify.verify_index`) runs over the dynamic index —
+  hierarchy structure, subdivision partitioning, reconstruction
+  re-assignment, buffer/tombstone accounting;
+* a real :class:`~repro.service.BatchingQueryService` rides along:
+  ``swap_index`` installs a freshly built snapshot index (itself built
+  with ``debug_checks``) and service queries are answered against the
+  contents at the last swap, proving the swap/flush semantics under
+  arbitrary op interleavings.
+
+The explicit ``settings`` below keep the machine at ≥ 50 examples even
+under the reduced ``quick`` CI profile (derandomization still follows
+the loaded profile).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as hs
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import (
+    BatchingQueryService,
+    DynamicHint,
+    HintIndex,
+    IntervalCollection,
+)
+from repro.verify import verify_index
+
+M = 6
+TOP = (1 << M) - 1
+WAIT = 30.0
+
+
+class ServiceBackedDynamicHintMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.dyn = DynamicHint(m=M, rebuild_threshold=4)
+        self.model = {}  # live id -> (st, end), mirrors self.dyn
+        self.svc_model = {}  # contents of the index at the last swap
+        self.svc = BatchingQueryService(
+            HintIndex(IntervalCollection.empty(), m=M),
+            mode="ids",
+            max_batch=64,
+            max_delay_ms=60_000.0,
+        )
+
+    # ----------------------------------------------------------------- #
+    # mutations of the dynamic index
+    # ----------------------------------------------------------------- #
+
+    @rule(st=hs.integers(0, TOP), length=hs.integers(0, TOP))
+    def insert(self, st, length):
+        end = min(st + length, TOP)
+        rid = self.dyn.insert(st, end)
+        assert rid not in self.model
+        self.model[rid] = (st, end)
+
+    @precondition(lambda self: self.model)
+    @rule(data=hs.data())
+    def delete(self, data):
+        rid = data.draw(hs.sampled_from(sorted(self.model)))
+        self.dyn.delete(rid)
+        del self.model[rid]
+
+    @rule(offset=hs.integers(1, 100))
+    def delete_unknown_id_raises(self, offset):
+        dead_id = self.dyn._next_id + offset  # never assigned
+        try:
+            self.dyn.delete(dead_id)
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("delete of a never-inserted id must raise")
+
+    @rule()
+    def compact(self):
+        self.dyn.compact()
+        assert self.dyn.buffered == 0
+
+    # ----------------------------------------------------------------- #
+    # queries: dynamic index and service must both match their models
+    # ----------------------------------------------------------------- #
+
+    @rule(a=hs.integers(0, TOP), b=hs.integers(0, TOP))
+    def query(self, a, b):
+        a, b = min(a, b), max(a, b)
+        got = set(self.dyn.query(a, b).tolist())
+        expected = {
+            rid
+            for rid, (st, end) in self.model.items()
+            if st <= b and a <= end
+        }
+        assert got == expected
+
+    @rule()
+    def swap_index(self):
+        snap = self.dyn.snapshot()  # compacts; the dyn model is unchanged
+        self.svc.swap_index(HintIndex(snap, m=M, debug_checks=True))
+        self.svc_model = dict(self.model)
+
+    @rule(a=hs.integers(0, TOP), b=hs.integers(0, TOP))
+    def query_service(self, a, b):
+        a, b = min(a, b), max(a, b)
+        future = self.svc.submit(a, b)
+        self.svc.flush()
+        got = set(int(v) for v in future.result(timeout=WAIT))
+        expected = {
+            rid
+            for rid, (st, end) in self.svc_model.items()
+            if st <= b and a <= end
+        }
+        assert got == expected
+
+    # ----------------------------------------------------------------- #
+
+    @invariant()
+    def structural_invariants_hold(self):
+        verify_index(self.dyn, deep=True)
+
+    @invariant()
+    def accounting_matches_model(self):
+        assert len(self.dyn) == len(self.model)
+
+    def teardown(self):
+        self.svc.close()  # drain must leave nothing behind
+        snap = self.svc.metrics.snapshot()
+        assert snap.submitted == snap.completed + snap.failed
+        assert snap.failed == 0
+        assert self.svc.queue_depth == 0
+        super().teardown()
+
+
+TestServiceBackedDynamicHint = ServiceBackedDynamicHintMachine.TestCase
+# ISSUE 2 acceptance: >= 50 examples even in the quick profile.
+TestServiceBackedDynamicHint.settings = settings(
+    max_examples=55, stateful_step_count=20, deadline=None
+)
