@@ -6,7 +6,7 @@
 
 PYENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test verify bench bench-service experiments examples serve-sim clean
+.PHONY: install test verify bench bench-service obs-smoke experiments examples serve-sim clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,6 +24,12 @@ bench:
 
 bench-service:
 	$(PYENV) python benchmarks/bench_service.py --out results/service.csv
+
+# Observability smoke: the disabled-plane overhead gate (<5% policy) in
+# quick mode, plus a schema check of the `repro stats --json` snapshot.
+obs-smoke:
+	$(PYENV) python benchmarks/bench_obs_overhead.py --quick
+	$(PYENV) python -m repro.cli stats --json | python scripts/check_stats_schema.py
 
 experiments:
 	$(PYENV) python -m repro.experiments all --csv results/ --repeats 3

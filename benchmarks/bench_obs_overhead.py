@@ -1,0 +1,169 @@
+"""Overhead of the observability plane on the hot batch path.
+
+The whole design of :mod:`repro.obs` rests on one promise: when the
+plane is disabled (the default), the instrumented production code costs
+what un-instrumented code would — a single ``obs.active() is None``
+check per batch.  This benchmark turns the promise into a gate.  It
+times ``partition_based`` (the fastest strategy, i.e. the one with the
+least work to hide an overhead in) under three configurations:
+
+* **baseline** — the internal ``_partition_based_run(..., ob=None)``
+  entry, bypassing even the module-level gate: what the code would cost
+  with no observability subsystem at all;
+* **obs-off** — the public strategy with the plane disabled: what every
+  user pays by default;
+* **obs-on** — the plane enabled (spans + per-level counters), the
+  price of actually looking.
+
+The gate is **obs-off <= 1.05 x baseline** on median batch time
+(ISSUE 3's <5% policy, documented in ``docs/observability.md``).
+obs-on is reported for context but not gated — enabling telemetry is an
+explicit choice with a known cost.
+
+Run directly to record the numbers (``make obs-smoke`` uses --quick)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \\
+        --out results/obs-overhead.csv
+
+The script exits non-zero when the gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from conftest import DEFAULT_EXTENT, synthetic_setup
+
+import repro.obs as obs
+from repro.core.strategies import _partition_based_run, partition_based
+from repro.workloads.queries import data_following_queries
+
+N_QUERIES = 5_000
+REPEATS = 9
+#: Maximum tolerated obs-off/baseline median ratio (the <5% policy).
+MAX_DISABLED_OVERHEAD = 1.05
+
+
+def _workload(n_queries: int, *, quick: bool):
+    if quick:
+        index, coll, domain = synthetic_setup(
+            domain=16_000_000, cardinality=40_000, sigma=200_000, m=14
+        )
+    else:
+        index, coll, domain = synthetic_setup()
+    batch = data_following_queries(
+        n_queries, coll, DEFAULT_EXTENT, domain=domain, seed=23
+    )
+    return index, batch
+
+
+def _median_time(fn, repeats: int) -> float:
+    # One untimed warm-up absorbs allocator/cache effects, then the
+    # median over `repeats` timed passes resists scheduler noise.
+    fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def run_gate(out: str = None, n_queries: int = N_QUERIES, repeats: int = REPEATS,
+             *, quick: bool = False):
+    index, batch = _workload(n_queries, quick=quick)
+    obs.configure(enabled=False)
+
+    configs = [
+        (
+            "baseline",
+            lambda: _partition_based_run(index, batch, True, "count", None),
+        ),
+        ("obs-off", lambda: partition_based(index, batch, mode="count")),
+    ]
+    rows = []
+    for name, fn in configs:
+        median = _median_time(fn, repeats)
+        rows.append({"config": name, "median_s": median})
+        print(f"{name:<9} median {median * 1000:8.2f} ms "
+              f"({n_queries} queries, {repeats} repeats)")
+
+    obs.configure(enabled=True)
+    median_on = _median_time(
+        lambda: partition_based(index, batch, mode="count"), repeats
+    )
+    rows.append({"config": "obs-on", "median_s": median_on})
+    print(f"{'obs-on':<9} median {median_on * 1000:8.2f} ms "
+          f"({n_queries} queries, {repeats} repeats)")
+    obs.configure(enabled=False)
+
+    base = rows[0]["median_s"]
+    for row in rows:
+        row["queries"] = n_queries
+        row["repeats"] = repeats
+        row["overhead_vs_baseline"] = row["median_s"] / base
+
+    if out:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(
+                fh,
+                fieldnames=[
+                    "config", "queries", "repeats",
+                    "median_s", "overhead_vs_baseline",
+                ],
+            )
+            writer.writeheader()
+            for row in rows:
+                writer.writerow(
+                    {
+                        **row,
+                        "median_s": f"{row['median_s']:.6f}",
+                        "overhead_vs_baseline":
+                            f"{row['overhead_vs_baseline']:.4f}",
+                    }
+                )
+        print(f"wrote {path}")
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="CSV output path")
+    parser.add_argument("--queries", type=int, default=N_QUERIES)
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload + fewer repeats (the CI smoke configuration)",
+    )
+    args = parser.parse_args(argv)
+    n_queries = min(args.queries, 2_000) if args.quick else args.queries
+    repeats = min(args.repeats, 5) if args.quick else args.repeats
+    rows = run_gate(args.out, n_queries, repeats, quick=args.quick)
+    by_config = {row["config"]: row for row in rows}
+    ratio = by_config["obs-off"]["overhead_vs_baseline"]
+    if ratio > MAX_DISABLED_OVERHEAD:
+        print(
+            f"FAIL: disabled-plane overhead {(ratio - 1) * 100:.1f}% exceeds "
+            f"the {(MAX_DISABLED_OVERHEAD - 1) * 100:.0f}% policy",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: disabled-plane overhead {(ratio - 1) * 100:+.1f}% "
+        f"(policy < {(MAX_DISABLED_OVERHEAD - 1) * 100:.0f}%); "
+        f"enabled plane costs "
+        f"{(by_config['obs-on']['overhead_vs_baseline'] - 1) * 100:+.1f}%"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,11 @@ The package provides:
 * :mod:`repro.verify` — machine-checked structural invariants
   (:func:`~repro.verify.verify_index`, the ``debug_checks`` build flag)
   and deterministic fault injection (:class:`~repro.verify.FaultPlan`)
-  for the service and the dynamic index.
+  for the service and the dynamic index;
+* :mod:`repro.obs` — the opt-in observability plane (metrics registry,
+  hierarchical tracing spans with a slow log, Prometheus/JSON
+  exporters) every layer above publishes into; off by default at a
+  benchmarked <5% overhead (see ``docs/observability.md``).
 
 Quickstart
 ----------

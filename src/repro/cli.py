@@ -12,8 +12,14 @@ together for shell use::
     # describe a saved index
     python -m repro.cli info index.npz
 
-    # replay a synthetic workload through the micro-batching service
-    python -m repro.cli serve-sim --queries 5000 --rate 20000 --max-batch 256
+    # replay a synthetic workload through the micro-batching service,
+    # dumping the observability snapshot for later inspection
+    python -m repro.cli serve-sim --queries 5000 --rate 20000 \\
+        --max-batch 256 --metrics-json run.json
+
+    # render an observability snapshot (live burst, or a saved dump)
+    python -m repro.cli stats
+    python -m repro.cli stats --input run.json --json
 
     # run the structural invariant validators over synthetic workloads
     python -m repro.cli verify --cardinality 5000 --m 12
@@ -99,9 +105,16 @@ def _cmd_query(args) -> int:
 
 def _cmd_serve_sim(args) -> int:
     """Replay a workload as a Poisson arrival stream through the service."""
+    import repro.obs as obs
     from repro.service import BatchingQueryService, QueueFullError
     from repro.workloads.queries import data_following_queries
     from repro.workloads.synthetic import generate_synthetic
+
+    if args.metrics_json is not None:
+        # The dump needs the plane live for the whole replay; the
+        # ServiceMetrics adapter below then publishes into the same
+        # process-wide registry the dump snapshots.
+        obs.configure(enabled=True)
 
     if args.index is not None:
         index = load_index(args.index)
@@ -170,6 +183,70 @@ def _cmd_serve_sim(args) -> int:
         f"{elapsed:.2f}s -> {len(futures) / elapsed:,.0f} q/s, "
         f"{total:,} total results"
     )
+    if args.metrics_json is not None:
+        import json
+
+        dump = obs.snapshot(
+            meta={
+                "source": "serve-sim",
+                "strategy": args.strategy,
+                "queries": len(futures),
+                "rejected": rejected,
+                "elapsed_s": elapsed,
+            }
+        )
+        with open(args.metrics_json, "w") as fh:
+            json.dump(dump, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"metrics snapshot written to {args.metrics_json}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Render an observability snapshot as table, JSON or Prometheus text.
+
+    With ``--input`` the snapshot comes from a file previously written by
+    ``serve-sim --metrics-json``; otherwise a short synthetic burst (all
+    three strategies over a data-following batch) runs with the plane
+    enabled and is snapshotted live.
+    """
+    import json
+
+    import repro.obs as obs
+    from repro.obs.export import render_table, to_prometheus
+
+    if args.input is not None:
+        with open(args.input) as fh:
+            snap = json.load(fh)
+    else:
+        from repro.workloads.queries import data_following_queries
+        from repro.workloads.synthetic import generate_synthetic
+
+        obs.configure(enabled=True)
+        domain = 1 << args.m
+        coll = generate_synthetic(
+            args.cardinality, domain, 1.2, domain / 20, seed=args.seed
+        ).normalized(args.m)
+        index = HintIndex(coll, m=args.m)
+        batch = data_following_queries(
+            args.queries, coll, 0.1, domain=domain, seed=args.seed + 1
+        )
+        for strategy in sorted(STRATEGIES):
+            run_strategy(strategy, index, batch, mode="count")
+        snap = obs.snapshot(
+            meta={
+                "source": "stats-burst",
+                "m": args.m,
+                "cardinality": len(coll),
+                "queries": len(batch),
+            }
+        )
+    if args.json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    elif args.prometheus:
+        print(to_prometheus(snap), end="")
+    else:
+        print(render_table(snap))
     return 0
 
 
@@ -346,7 +423,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sim.add_argument("--workers", type=int, default=4)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="enable the observability plane for the replay and write its "
+        "JSON snapshot here (readable by `stats --input`)",
+    )
     p_sim.set_defaults(fn=_cmd_serve_sim)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="render an observability snapshot (live synthetic burst, or "
+        "a --metrics-json dump) as table, JSON or Prometheus text",
+    )
+    p_stats.add_argument(
+        "--input",
+        default=None,
+        metavar="PATH",
+        help="snapshot JSON written by `serve-sim --metrics-json` "
+        "(default: run a short live burst)",
+    )
+    fmt = p_stats.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true", help="emit snapshot JSON")
+    fmt.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus text exposition format",
+    )
+    p_stats.add_argument(
+        "--cardinality", type=int, default=20_000, help="burst intervals"
+    )
+    p_stats.add_argument("--m", type=int, default=12, help="burst HINT parameter")
+    p_stats.add_argument(
+        "--queries", type=int, default=2_000, help="burst batch size"
+    )
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.set_defaults(fn=_cmd_stats)
 
     p_verify = sub.add_parser(
         "verify",

@@ -20,10 +20,12 @@ exactly where the speedup lands.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 from typing import List, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.result import BatchResult
 from repro.core.strategies import STRATEGIES
 from repro.hint.index import HintIndex
@@ -91,15 +93,30 @@ def parallel_batch(
     if len(slices) == 1:
         return fn(index, batch, sort=True, mode=mode)
 
-    def run(sl: slice) -> BatchResult:
-        sub = QueryBatch(work.st[sl], work.end[sl])
-        return fn(index, sub, sort=True, mode=mode)
+    ob = obs.active()
 
+    def run(job) -> BatchResult:
+        worker, sl = job
+        sub = QueryBatch(work.st[sl], work.end[sl])
+        if ob is None:
+            return fn(index, sub, sort=True, mode=mode)
+        # Per-worker timing: each chunk is a `parallel.chunk` span and a
+        # sample of the chunk-latency histogram, so skew between workers
+        # (the straggler that bounds the whole flush) is visible live.
+        t0 = perf_counter()
+        try:
+            return fn(index, sub, sort=True, mode=mode)
+        finally:
+            ob.record_parallel_chunk(
+                strategy, worker, len(sub), perf_counter() - t0
+            )
+
+    jobs = list(enumerate(slices))
     if executor is None:
         with ThreadPoolExecutor(max_workers=len(slices)) as pool:
-            partials = list(pool.map(run, slices))
+            partials = list(pool.map(run, jobs))
     else:
-        partials = list(executor.map(run, slices))
+        partials = list(executor.map(run, jobs))
 
     # Stitch chunk results (in sorted order) back to caller order.
     counts_sorted = np.concatenate([p.counts for p in partials])

@@ -31,10 +31,12 @@ The pseudocode-faithful sweep, used for access-pattern traces, lives in
 from __future__ import annotations
 
 import warnings
+from time import perf_counter
 from typing import Dict
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.collector import make_collector
 from repro.core.result import BatchResult
 from repro.hint.index import HintIndex
@@ -185,6 +187,17 @@ def query_based(
     variant: queries are examined in increasing start order, which in the
     original C++ setting reduces horizontal cache jumps.
     """
+    ob = obs.active()
+    if ob is None:
+        return _query_based_impl(index, batch, sort, mode, None)
+    name = "query-based-sorted" if sort else "query-based"
+    with ob.strategy_span(name, len(batch), mode):
+        return _query_based_impl(index, batch, sort, mode, ob)
+
+
+def _query_based_impl(
+    index: HintIndex, batch: QueryBatch, sort: bool, mode: str, ob
+) -> BatchResult:
     work, q_st, q_end = _prepare(index, batch, sort)
     collector = make_collector(mode, len(work))
     m = index.m
@@ -193,6 +206,7 @@ def query_based(
     # index property (the skewness & sparsity optimization), available
     # to the serial baseline just as to the batch strategies.
     occupied = [data.total() > 0 for data in levels]
+    touches = [0] * (m + 1) if ob is not None else None
     for pos in range(len(work)):
         s, e = int(q_st[pos]), int(q_end[pos])
         compfirst = True
@@ -201,6 +215,8 @@ def query_based(
             shift = m - level
             f = s >> shift
             l = e >> shift
+            if touches is not None:
+                touches[level] += l - f + 1
             if occupied[level]:
                 _process_level(
                     levels[level], s, e, f, l, compfirst, complast, collector, pos
@@ -209,6 +225,16 @@ def query_based(
                 compfirst = False
             if l & 1:
                 complast = False
+    if ob is not None:
+        name = "query-based-sorted" if sort else "query-based"
+        for level in range(m, -1, -1):
+            if ob.config.trace_partitions:
+                shift = m - level
+                ob.record_level(
+                    name, level, f=q_st >> shift, l=q_end >> shift
+                )
+            else:
+                ob.record_level(name, level, touches=touches[level])
     return collector.finalize(work.order)
 
 
@@ -229,6 +255,16 @@ def level_based(
     The per-level prefix (``f``, ``l``) and flag bookkeeping is computed
     for the entire batch with vectorized bit arithmetic.
     """
+    ob = obs.active()
+    if ob is None:
+        return _level_based_impl(index, batch, sort, mode, None)
+    with ob.strategy_span("level-based", len(batch), mode):
+        return _level_based_impl(index, batch, sort, mode, ob)
+
+
+def _level_based_impl(
+    index: HintIndex, batch: QueryBatch, sort: bool, mode: str, ob
+) -> BatchResult:
     work, q_st, q_end = _prepare(index, batch, sort)
     n = len(work)
     collector = make_collector(mode, n)
@@ -238,6 +274,8 @@ def level_based(
     end_list = q_end.tolist()
     m = index.m
     for level in range(m, -1, -1):
+        if ob is not None:
+            t_level = perf_counter()
         shift = m - level
         f = q_st >> shift
         l = q_end >> shift
@@ -273,6 +311,11 @@ def level_based(
                     collector,
                     pos,
                 )
+        if ob is not None:
+            ob.record_level(
+                "level-based", level, f=f, l=l,
+                duration=perf_counter() - t_level,
+            )
         compfirst &= (f & 1) == 1
         complast &= (l & 1) == 0
     return collector.finalize(work.order)
@@ -538,6 +581,7 @@ def _partition_based_vectorized(
     q_st: np.ndarray,
     q_end: np.ndarray,
     mode: str,
+    ob=None,
 ) -> BatchResult:
     """Count/checksum partition-based evaluation, fully vectorized per
     level: every probe class for the whole batch is one ``searchsorted``
@@ -550,6 +594,8 @@ def _partition_based_vectorized(
     complast = np.ones(n, dtype=bool)
     m = index.m
     for level in range(m, -1, -1):
+        if ob is not None:
+            t_level = perf_counter()
         shift = m - level
         f = q_st >> shift
         l = q_end >> shift
@@ -670,6 +716,11 @@ def _partition_based_vectorized(
                                 table.offsets[l[sel] + 1],
                             )
 
+        if ob is not None:
+            ob.record_level(
+                "partition-based", level, f=f, l=l,
+                duration=perf_counter() - t_level,
+            )
         compfirst &= (f & 1) == 1
         complast &= (l & 1) == 0
 
@@ -700,17 +751,27 @@ def partition_based(
     either way); passing ``sort=False`` with an unsorted batch warns
     that the request cannot be honored.
     """
+    ob = obs.active()
+    if ob is None:
+        return _partition_based_run(index, batch, sort, mode, None)
+    with ob.strategy_span("partition-based", len(batch), mode):
+        return _partition_based_run(index, batch, sort, mode, ob)
+
+
+def _partition_based_run(
+    index: HintIndex, batch: QueryBatch, sort: bool, mode: str, ob
+) -> BatchResult:
     if not sort and not batch.is_sorted:
         warnings.warn(
             "partition_based(sort=False) received an unsorted batch; "
             "Algorithm 4 requires start order, so the batch is sorted "
             "internally anyway",
             UserWarning,
-            stacklevel=2,
+            stacklevel=3,
         )
     work, q_st, q_end = _prepare(index, batch.sorted_by_start(), sort=False)
     if mode in ("count", "checksum"):
-        return _partition_based_vectorized(index, work, q_st, q_end, mode)
+        return _partition_based_vectorized(index, work, q_st, q_end, mode, ob)
     if mode != "ids":
         raise ValueError(
             f"unknown result mode {mode!r}; expected 'count', 'ids' or 'checksum'"
@@ -722,6 +783,8 @@ def partition_based(
     positions = np.arange(n, dtype=np.int64)
     m = index.m
     for level in range(m, -1, -1):
+        if ob is not None:
+            t_level = perf_counter()
         shift = m - level
         f = q_st >> shift
         l = q_end >> shift
@@ -732,6 +795,11 @@ def partition_based(
             )
             _middle_ranges(data, f, l, positions, collector)
             _last_partition_groups(data, q_end, f, l, complast, collector)
+        if ob is not None:
+            ob.record_level(
+                "partition-based", level, f=f, l=l,
+                duration=perf_counter() - t_level,
+            )
         compfirst &= (f & 1) == 1
         complast &= (l & 1) == 0
     return collector.finalize(work.order)

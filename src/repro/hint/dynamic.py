@@ -17,10 +17,12 @@ Queries therefore always see the current state:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.hint.index import HintIndex
 from repro.intervals.collection import IntervalCollection
 from repro.intervals.relations import g_overlaps
@@ -149,6 +151,33 @@ class DynamicHint:
         :data:`~repro.verify.faults.SITE_REBUILD` fault) leaves the
         wrapper exactly as it was.
         """
+        ob = obs.active()
+        if ob is None:
+            return self._rebuild_inner()
+        with ob.span(
+            "dynamic.rebuild",
+            buffered=len(self._buf_ids),
+            tombstones=len(self._tombstones),
+        ) as sp:
+            t0 = perf_counter()
+            self._rebuild_inner()
+            duration = perf_counter() - t0
+            sp.attrs["size"] = len(self._live)
+            reg = ob.registry
+            reg.counter(
+                "repro_dynamic_rebuilds_total",
+                help="Merge-and-rebuild passes of DynamicHint.",
+            ).inc()
+            reg.histogram(
+                "repro_dynamic_rebuild_seconds",
+                help="DynamicHint rebuild duration.",
+            ).observe(duration)
+            reg.gauge(
+                "repro_dynamic_live",
+                help="Live intervals in DynamicHint after the last rebuild.",
+            ).set(len(self._live))
+
+    def _rebuild_inner(self) -> None:
         if self._fault_plan is not None:
             self._fault_plan.fire(SITE_REBUILD)
         merged_ids = np.concatenate(

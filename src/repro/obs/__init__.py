@@ -1,0 +1,380 @@
+"""repro.obs — the unified runtime observability plane.
+
+One subsystem shared by every layer of the stack: the batch strategies,
+the parallel executor, the micro-batching service, the dynamic index and
+the fault injector all publish into the same
+:class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.spans.SpanRecorder`, exported via Prometheus text or
+JSON (:mod:`repro.obs.export`) and rendered by ``python -m repro.cli
+stats``.
+
+The plane is **off by default** and instrumentation is a no-op when
+disabled: every hook site starts with ``ob = obs.active()`` and does
+nothing when that returns ``None`` — one attribute load, one call, one
+``is None`` check per *batch-grained* operation (never per query).  The
+``make obs-smoke`` benchmark enforces the <5 % overhead policy on the
+tier-1 strategies with the plane off.
+
+Usage::
+
+    from repro import obs
+
+    obs.configure(enabled=True)           # turn the plane on
+    ...run strategies / the service...
+    print(obs.render())                   # human table
+    text = obs.prometheus()               # exposition format
+    obs.configure(enabled=False)          # back to zero-cost
+
+Span hierarchy: ``strategy.batch`` → ``strategy.level`` →
+``strategy.partition`` (partition detail only with
+``trace_partitions=True``), plus ``service.flush``,
+``service.swap_index``, ``dynamic.rebuild`` and ``parallel.chunk``.
+Metric names are documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    POW2_BUCKETS,
+)
+from repro.obs.spans import SPAN_LATENCY_METRIC, Span, SpanRecorder
+from repro.obs.export import (
+    render_table,
+    snapshot_dict,
+    to_json,
+    to_prometheus,
+)
+
+__all__ = [
+    "Observability",
+    "ObsConfig",
+    "configure",
+    "active",
+    "enabled",
+    "registry",
+    "recorder",
+    "reset",
+    "snapshot",
+    "render",
+    "prometheus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "LATENCY_BUCKETS",
+    "POW2_BUCKETS",
+    "SPAN_LATENCY_METRIC",
+]
+
+# Canonical metric names of the strategy layer (one place, so tests and
+# docs cannot drift from the instrumentation).
+STRATEGY_BATCHES = "repro_strategy_batches_total"
+STRATEGY_QUERIES = "repro_strategy_queries_total"
+STRATEGY_BATCH_SECONDS = "repro_strategy_batch_seconds"
+STRATEGY_LEVEL_SECONDS = "repro_strategy_level_seconds"
+STRATEGY_PARTITION_TOUCHES = "repro_strategy_partition_touches_total"
+PARALLEL_CHUNKS = "repro_parallel_chunks_total"
+PARALLEL_CHUNK_SECONDS = "repro_parallel_chunk_seconds"
+FAULTS_INJECTED = "repro_faults_injected_total"
+
+
+class ObsConfig:
+    """Configuration of the plane (immutable once applied)."""
+
+    __slots__ = (
+        "enabled",
+        "trace_partitions",
+        "span_capacity",
+        "slow_threshold_s",
+        "slow_overrides",
+    )
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = False,
+        trace_partitions: bool = False,
+        span_capacity: int = 4096,
+        slow_threshold_s: float = 0.1,
+        slow_overrides: Optional[Mapping[str, float]] = None,
+    ):
+        self.enabled = bool(enabled)
+        self.trace_partitions = bool(trace_partitions)
+        self.span_capacity = int(span_capacity)
+        self.slow_threshold_s = float(slow_threshold_s)
+        self.slow_overrides = dict(slow_overrides or {})
+
+    def __repr__(self) -> str:
+        return (
+            f"ObsConfig(enabled={self.enabled}, "
+            f"trace_partitions={self.trace_partitions}, "
+            f"span_capacity={self.span_capacity})"
+        )
+
+
+class Observability:
+    """The live plane: one registry + one span recorder + helpers.
+
+    Instrumented modules call the ``record_*`` helpers below rather than
+    naming metrics inline, which keeps series names consistent across
+    layers (and in ``docs/observability.md``).
+    """
+
+    def __init__(self, config: ObsConfig):
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.recorder = SpanRecorder(
+            capacity=config.span_capacity,
+            slow_threshold_s=config.slow_threshold_s,
+            slow_overrides=config.slow_overrides,
+            registry=self.registry,
+        )
+
+    # -------------------------------------------------------------- #
+    # generic helpers
+    # -------------------------------------------------------------- #
+
+    def span(self, name: str, **attrs):
+        """Open a span (context manager yielding the mutable span)."""
+        return self.recorder.span(name, **attrs)
+
+    # -------------------------------------------------------------- #
+    # strategy instrumentation
+    # -------------------------------------------------------------- #
+
+    @contextmanager
+    def strategy_span(self, strategy: str, queries: int, mode: str):
+        """Wraps one batch-strategy execution: the ``strategy.batch``
+        span plus the batch/query counters and latency histogram."""
+        reg = self.registry
+        reg.counter(
+            STRATEGY_BATCHES,
+            labels={"strategy": strategy},
+            help="Batches executed, by strategy.",
+        ).inc()
+        reg.counter(
+            STRATEGY_QUERIES,
+            labels={"strategy": strategy},
+            help="Queries executed, by strategy.",
+        ).inc(int(queries))
+        t0 = time.perf_counter()
+        try:
+            with self.recorder.span(
+                "strategy.batch", strategy=strategy, queries=int(queries), mode=mode
+            ) as sp:
+                yield sp
+        finally:
+            reg.histogram(
+                STRATEGY_BATCH_SECONDS,
+                buckets=LATENCY_BUCKETS,
+                labels={"strategy": strategy},
+                help="End-to-end batch execution latency, by strategy.",
+            ).observe(time.perf_counter() - t0)
+
+    def record_level(
+        self,
+        strategy: str,
+        level: int,
+        *,
+        f=None,
+        l=None,
+        touches: Optional[int] = None,
+        duration: Optional[float] = None,
+    ) -> int:
+        """Per-level accounting of one strategy pass.
+
+        *f* and *l* are the first/last relevant partition prefixes of
+        every query at this level (arrays); the partition-touch count is
+        ``sum(l - f + 1)`` — exactly the number of ``recorder.record``
+        calls the reference implementation
+        (:mod:`repro.analysis.trace`) makes at this level, so live
+        counters and offline traces agree verbatim.  Callers that
+        accumulate the count themselves (the per-query strategy) pass
+        *touches* directly instead of the arrays.
+        """
+        if f is not None:
+            f = np.asarray(f)
+            l = np.asarray(l)
+        if touches is None:
+            if f is None:
+                raise ValueError("record_level needs either touches or f/l")
+            touches = int(np.sum(l - f + 1)) if f.size else 0
+        self.registry.counter(
+            STRATEGY_PARTITION_TOUCHES,
+            labels={"strategy": strategy, "level": level},
+            help="Partition touches per level (matches AccessRecorder).",
+        ).inc(touches)
+        span_id = None
+        if duration is not None:
+            self.registry.histogram(
+                STRATEGY_LEVEL_SECONDS,
+                buckets=LATENCY_BUCKETS,
+                labels={"strategy": strategy},
+                help="Per-level pass latency, by strategy.",
+            ).observe(duration)
+            sp = self.recorder.add(
+                "strategy.level",
+                duration,
+                attrs={"strategy": strategy, "level": level, "touches": touches},
+            )
+            span_id = sp.span_id
+        if self.config.trace_partitions and f is not None and f.size:
+            self._record_partitions(strategy, level, f, l, span_id)
+        return touches
+
+    def _record_partitions(self, strategy, level, f, l, parent_id) -> None:
+        """Partition-grained detail: one ``strategy.partition`` span per
+        touched partition of the level (ascending, like Algorithm 4's
+        sweep), carrying how many queries touch it."""
+        size = int(l.max()) + 2
+        diff = np.bincount(f, minlength=size) - np.bincount(l + 1, minlength=size)
+        counts = np.cumsum(diff[:-1])
+        parts = np.flatnonzero(counts)
+        for part in parts:
+            self.recorder.add(
+                "strategy.partition",
+                0.0,
+                attrs={
+                    "strategy": strategy,
+                    "level": int(level),
+                    "partition": int(part),
+                    "queries": int(counts[part]),
+                },
+                parent_id=parent_id,
+            )
+
+    # -------------------------------------------------------------- #
+    # other layers
+    # -------------------------------------------------------------- #
+
+    def record_parallel_chunk(
+        self, strategy: str, worker: int, queries: int, duration: float
+    ) -> None:
+        self.registry.counter(
+            PARALLEL_CHUNKS,
+            labels={"strategy": strategy},
+            help="Chunks executed by the parallel executor.",
+        ).inc()
+        self.registry.histogram(
+            PARALLEL_CHUNK_SECONDS,
+            buckets=LATENCY_BUCKETS,
+            labels={"strategy": strategy},
+            help="Per-worker chunk latency of the parallel executor.",
+        ).observe(duration)
+        self.recorder.add(
+            "parallel.chunk",
+            duration,
+            attrs={"strategy": strategy, "worker": int(worker), "queries": int(queries)},
+        )
+
+    def record_fault(self, site: str, action: str) -> None:
+        self.registry.counter(
+            FAULTS_INJECTED,
+            labels={"site": site, "action": action},
+            help="Faults fired by an installed FaultPlan, by site/action.",
+        ).inc()
+
+
+# --------------------------------------------------------------------- #
+# the module-level gate
+# --------------------------------------------------------------------- #
+
+_lock = threading.Lock()
+_active: Optional[Observability] = None
+
+
+def configure(
+    enabled: bool = True,
+    *,
+    trace_partitions: bool = False,
+    span_capacity: int = 4096,
+    slow_threshold_s: float = 0.1,
+    slow_overrides: Optional[Mapping[str, float]] = None,
+) -> Optional[Observability]:
+    """(Re)configure the plane; returns the live plane or ``None``.
+
+    ``configure(enabled=True)`` installs a **fresh** registry and
+    recorder (previous series are dropped — snapshot first if you need
+    them); ``configure(enabled=False)`` tears the plane down, returning
+    every hook site to its zero-cost path.
+    """
+    global _active
+    with _lock:
+        if not enabled:
+            _active = None
+            return None
+        _active = Observability(
+            ObsConfig(
+                enabled=True,
+                trace_partitions=trace_partitions,
+                span_capacity=span_capacity,
+                slow_threshold_s=slow_threshold_s,
+                slow_overrides=slow_overrides,
+            )
+        )
+        return _active
+
+
+def active() -> Optional[Observability]:
+    """The live plane, or ``None`` when disabled — THE hot-path gate."""
+    return _active
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def registry() -> MetricsRegistry:
+    """The live registry; raises when the plane is disabled."""
+    ob = _active
+    if ob is None:
+        raise RuntimeError("observability is disabled; call obs.configure() first")
+    return ob.registry
+
+
+def recorder() -> SpanRecorder:
+    """The live span recorder; raises when the plane is disabled."""
+    ob = _active
+    if ob is None:
+        raise RuntimeError("observability is disabled; call obs.configure() first")
+    return ob.recorder
+
+
+def reset() -> None:
+    """Drop all recorded series and spans, keeping the configuration."""
+    global _active
+    with _lock:
+        if _active is not None:
+            _active = Observability(_active.config)
+
+
+def snapshot(*, meta: Optional[dict] = None) -> dict:
+    """JSON-able snapshot of the live plane (metrics + spans)."""
+    ob = _active
+    if ob is None:
+        raise RuntimeError("observability is disabled; call obs.configure() first")
+    return snapshot_dict(ob.registry, ob.recorder, meta=meta)
+
+
+def render(*, meta: Optional[dict] = None) -> str:
+    """Human-readable table of the live plane."""
+    return render_table(snapshot(meta=meta))
+
+
+def prometheus() -> str:
+    """Prometheus text exposition of the live registry."""
+    return to_prometheus(registry())

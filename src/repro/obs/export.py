@@ -1,0 +1,239 @@
+"""Exporters of the observability plane.
+
+One intermediate representation, three renderings:
+
+* :func:`snapshot_dict` — plain-data snapshot of a registry (and
+  optionally a span recorder): the JSON schema scripts consume and the
+  input every renderer accepts, so a dump written by ``serve-sim
+  --metrics-json`` can later be re-rendered by ``repro stats --input``;
+* :func:`to_json` — the snapshot serialized;
+* :func:`to_prometheus` — Prometheus text exposition format (counters
+  and gauges as samples, histograms as cumulative ``_bucket`` series
+  plus ``_sum`` / ``_count``);
+* :func:`render_table` — the human-readable table ``repro stats``
+  prints.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "snapshot_dict",
+    "to_json",
+    "to_prometheus",
+    "render_table",
+]
+
+#: Schema version stamped into every snapshot.
+SNAPSHOT_VERSION = 1
+
+#: How many of the most recent spans a snapshot embeds.
+RECENT_SPANS = 64
+
+
+def snapshot_dict(
+    registry: MetricsRegistry,
+    recorder: Optional[SpanRecorder] = None,
+    *,
+    meta: Optional[dict] = None,
+) -> dict:
+    """Plain-data snapshot of the plane (the exporters' common input)."""
+    out = {
+        "version": SNAPSHOT_VERSION,
+        "generated_unix": time.time(),
+        "meta": dict(meta or {}),
+        "metrics": registry.snapshot(),
+    }
+    if recorder is not None:
+        started, finished, dropped = recorder.counts()
+        out["spans"] = {
+            "capacity": recorder.capacity,
+            "started": started,
+            "finished": finished,
+            "dropped": dropped,
+            "summary": recorder.summary(),
+            "recent": [sp.state() for sp in recorder.spans()[-RECENT_SPANS:]],
+            "slow": [sp.state() for sp in recorder.slow()],
+        }
+    return out
+
+
+def to_json(
+    registry: MetricsRegistry,
+    recorder: Optional[SpanRecorder] = None,
+    *,
+    meta: Optional[dict] = None,
+    indent: Optional[int] = 2,
+) -> str:
+    """The snapshot as a JSON document."""
+    return json.dumps(
+        snapshot_dict(registry, recorder, meta=meta), indent=indent, sort_keys=True
+    )
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------- #
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = dict(labels)
+    if extra:
+        pairs.update(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(pairs.items())
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(source: Union[dict, MetricsRegistry]) -> str:
+    """Render a snapshot (or a live registry) in Prometheus text format."""
+    if isinstance(source, MetricsRegistry):
+        metrics = source.snapshot()
+    else:
+        metrics = source["metrics"]
+    lines: List[str] = []
+    typed: set = set()
+
+    def header(entry: dict, kind: str) -> None:
+        name = entry["name"]
+        if name not in typed:
+            typed.add(name)
+            if entry.get("help"):
+                lines.append(f"# HELP {name} {_escape_label(entry['help'])}")
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in metrics.get("counters", ()):
+        header(entry, "counter")
+        lines.append(
+            f"{entry['name']}{_labels_text(entry['labels'])} {_fmt(entry['value'])}"
+        )
+    for entry in metrics.get("gauges", ()):
+        header(entry, "gauge")
+        lines.append(
+            f"{entry['name']}{_labels_text(entry['labels'])} {_fmt(entry['value'])}"
+        )
+    for entry in metrics.get("histograms", ()):
+        name = entry["name"]
+        header(entry, "histogram")
+        labels = entry["labels"]
+        cumulative = 0
+        for bound, count in zip(entry["buckets"], entry["counts"]):
+            cumulative += count
+            lines.append(
+                f"{name}_bucket"
+                f"{_labels_text(labels, {'le': _fmt(bound)})} {cumulative}"
+            )
+        lines.append(
+            f"{name}_bucket{_labels_text(labels, {'le': '+Inf'})} {entry['count']}"
+        )
+        lines.append(f"{name}_sum{_labels_text(labels)} {repr(float(entry['sum']))}")
+        lines.append(f"{name}_count{_labels_text(labels)} {entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# human-readable table (``repro stats``)
+# --------------------------------------------------------------------- #
+
+
+def _series_label(entry: dict) -> str:
+    labels = entry["labels"]
+    if not labels:
+        return entry["name"]
+    body = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{entry['name']}{{{body}}}"
+
+
+def _hist_quantile(entry: dict, q: float) -> Optional[float]:
+    """Bucket-interpolated quantile straight from snapshot data."""
+    total = entry["count"]
+    if not total:
+        return None
+    rank = q * total
+    seen = 0.0
+    lower = 0.0
+    bounds = entry["buckets"]
+    for pos, count in enumerate(entry["counts"]):
+        upper = bounds[pos] if pos < len(bounds) else bounds[-1]
+        if seen + count >= rank:
+            if count == 0:
+                return upper
+            return lower + (rank - seen) / count * (upper - lower)
+        seen += count
+        lower = upper
+    return bounds[-1]
+
+
+def render_table(snapshot: dict) -> str:
+    """Fixed-width table of every series, plus a span section."""
+    metrics = snapshot["metrics"]
+    rows: List[tuple] = []
+    for entry in metrics.get("counters", ()):
+        rows.append((_series_label(entry), "counter", _fmt(entry["value"])))
+    for entry in metrics.get("gauges", ()):
+        rows.append((_series_label(entry), "gauge", _fmt(entry["value"])))
+    for entry in metrics.get("histograms", ()):
+        count = entry["count"]
+        mean = entry["sum"] / count if count else 0.0
+        p50 = _hist_quantile(entry, 0.50)
+        p99 = _hist_quantile(entry, 0.99)
+        detail = (
+            f"count={count} mean={mean:.6g}"
+            + (f" p50~{p50:.6g} p99~{p99:.6g}" if count else "")
+        )
+        rows.append((_series_label(entry), "histogram", detail))
+
+    width = max((len(r[0]) for r in rows), default=20)
+    lines = [f"{'series'.ljust(width)}  kind       value"]
+    lines.append("-" * (width + 30))
+    for label, kind, value in rows:
+        lines.append(f"{label.ljust(width)}  {kind:<9}  {value}")
+
+    spans = snapshot.get("spans")
+    if spans:
+        lines.append("")
+        lines.append(
+            f"spans: finished={spans['finished']} "
+            f"retained<={spans['capacity']} dropped={spans['dropped']} "
+            f"slow={len(spans['slow'])}"
+        )
+        summary = spans.get("summary", {})
+        if summary:
+            name_w = max(len(n) for n in summary)
+            lines.append(
+                f"{'span'.ljust(name_w)}  count  total_ms   max_ms"
+            )
+            for name in sorted(summary):
+                agg = summary[name]
+                lines.append(
+                    f"{name.ljust(name_w)}  {agg['count']:>5}  "
+                    f"{agg['total_s'] * 1000:>8.2f}  {agg['max_s'] * 1000:>7.2f}"
+                )
+        for sp in spans.get("slow", [])[-10:]:
+            lines.append(
+                f"SLOW {sp['name']} {sp['duration'] * 1000:.2f}ms "
+                f"attrs={sp['attrs']}"
+            )
+    return "\n".join(lines)

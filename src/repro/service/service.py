@@ -36,6 +36,7 @@ import time
 from concurrent.futures import Future
 from typing import Callable, List, Optional
 
+import repro.obs as obs
 from repro.analysis.service_stats import ServiceMetrics
 from repro.core.parallel import parallel_batch
 from repro.core.result import MODES
@@ -260,6 +261,13 @@ class BatchingQueryService:
         rebuilt offline, under live traffic.  In-flight flushes finish
         on the index they started with.
         """
+        ob = obs.active()
+        if ob is None:
+            return self._swap_inner(new_index)
+        with ob.span("service.swap_index"):
+            return self._swap_inner(new_index)
+
+    def _swap_inner(self, new_index):
         if self._fault_plan is not None:
             # Fires before the swap: an injected failure leaves the old
             # index installed and the swap counter untouched.
@@ -339,6 +347,17 @@ class BatchingQueryService:
                 self._has_work.wait()
 
     def _execute(self, staged: List[_Pending], reason: str, depth: int) -> None:
+        ob = obs.active()
+        if ob is None:
+            return self._execute_inner(staged, reason, depth, None)
+        with ob.span(
+            "service.flush", reason=reason, batch_size=len(staged)
+        ) as sp:
+            return self._execute_inner(staged, reason, depth, sp)
+
+    def _execute_inner(
+        self, staged: List[_Pending], reason: str, depth: int, sp
+    ) -> None:
         t0 = self._clock()
         use_parallel = False
         try:
@@ -367,6 +386,8 @@ class BatchingQueryService:
             else:
                 result = run_strategy(self.strategy, index, batch, mode=self.mode)
         except BaseException as exc:  # route failures to the callers
+            if sp is not None:
+                sp.attrs["error"] = type(exc).__name__
             self.metrics.record_flush(
                 reason,
                 len(staged),

@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+import repro.obs as obs
+
 __all__ = [
     "ACTIONS",
     "FaultPlan",
@@ -200,6 +202,7 @@ class FaultPlan:
             )
         to_raise: Optional[BaseException] = None
         sleep_for = 0.0
+        fired_action: Optional[str] = None
         with self._lock:
             self._passes[site] += 1
             pass_no = self._passes[site]
@@ -214,6 +217,7 @@ class FaultPlan:
                     continue
                 self._fired[pos] += 1
                 self.history.append((site, pass_no, rule.action))
+                fired_action = rule.action
                 if rule.action == "delay":
                     sleep_for = rule.delay
                 else:
@@ -225,6 +229,10 @@ class FaultPlan:
                         )
                     )
                 break  # first eligible rule wins this pass
+        if fired_action is not None:
+            ob = obs.active()
+            if ob is not None:
+                ob.record_fault(site, fired_action)
         if to_raise is not None:
             raise to_raise
         if sleep_for > 0.0:

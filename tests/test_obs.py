@@ -1,0 +1,344 @@
+"""Unit tests of the observability plane (:mod:`repro.obs`).
+
+Covers the metric primitives and registry, the span recorder (nesting,
+ring-buffer bounds, slow log), the exporters (JSON snapshot, Prometheus
+text exposition, the stats table), and the module-level on/off gate the
+production hooks key on.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.export import (
+    render_table,
+    snapshot_dict,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    POW2_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.spans import SPAN_LATENCY_METRIC, SpanRecorder
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    """Every test starts and ends with the plane torn down."""
+    obs.configure(enabled=False)
+    yield
+    obs.configure(enabled=False)
+
+
+# --------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------- #
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = MetricsRegistry().counter("c_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_threaded_increments_exact(self):
+        c = MetricsRegistry().counter("c_total")
+
+        def work():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10)
+        g.inc(2.5)
+        g.dec(0.5)
+        assert g.value == 12.0
+
+    def test_set_max_is_high_watermark(self):
+        g = MetricsRegistry().gauge("g")
+        g.set_max(5)
+        g.set_max(3)
+        assert g.value == 5.0
+        g.set_max(9)
+        assert g.value == 9.0
+
+
+class TestHistogram:
+    def test_bucketing_and_aggregates(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        state = h.state()
+        assert state["counts"] == [1, 1, 1, 1]  # last slot is +Inf
+        assert state["count"] == 4
+        assert state["sum"] == pytest.approx(105.0)
+        assert h.mean == pytest.approx(105.0 / 4)
+
+    def test_boundary_value_lands_in_le_bucket(self):
+        # Prometheus `le` semantics: an observation equal to a bound
+        # belongs to that bound's bucket.
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.state()["counts"] == [1, 0, 0]
+
+    def test_quantile_interpolation(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            h.observe(1.5)
+        q = h.quantile(0.5)
+        assert 1.0 <= q <= 2.0
+        assert h.quantile(0.0) is not None
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_quantile_none(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.5) is None
+
+    def test_invalid_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="at least one"):
+            reg.histogram("h1", buckets=())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            reg.histogram("h2", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="implicit"):
+            reg.histogram("h3", buckets=(1.0, float("inf")))
+
+
+class TestRegistry:
+    def test_get_or_create_shares_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels={"k": "v"})
+        b = reg.counter("x_total", labels={"k": "v"})
+        assert a is b
+        assert reg.counter("x_total", labels={"k": "other"}) is not a
+        assert len(reg) == 2
+
+    def test_kind_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", help="a counter").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=LATENCY_BUCKETS).observe(0.01)
+        snap = reg.snapshot()
+        assert [e["value"] for e in snap["counters"]] == [3]
+        assert snap["counters"][0]["help"] == "a counter"
+        assert [e["value"] for e in snap["gauges"]] == [1.5]
+        (h,) = snap["histograms"]
+        assert len(h["counts"]) == len(h["buckets"]) + 1
+        assert sum(h["counts"]) == h["count"] == 1
+
+    def test_find_by_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels={"strategy": "a", "level": "3"}).inc()
+        found = reg.find("x_total", strategy="a")
+        assert found is not None and found.value == 1
+        assert reg.find("x_total", strategy="zzz") is None
+
+    def test_pow2_buckets_cover_batch_sizes(self):
+        assert POW2_BUCKETS[0] == 1.0
+        assert POW2_BUCKETS[-1] == float(1 << 17)
+
+
+# --------------------------------------------------------------------- #
+# spans
+# --------------------------------------------------------------------- #
+
+
+class TestSpanRecorder:
+    def test_nesting_parents_by_thread_stack(self):
+        rec = SpanRecorder()
+        with rec.span("outer") as outer:
+            with rec.span("inner"):
+                pass
+        inner, = rec.spans("inner")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert [sp.name for sp in rec.children(outer.span_id)] == ["inner"]
+
+    def test_add_defaults_parent_to_open_span(self):
+        rec = SpanRecorder()
+        with rec.span("outer") as outer:
+            sp = rec.add("timed", 0.004, attrs={"k": 1})
+        assert sp.parent_id == outer.span_id
+        assert sp.duration == pytest.approx(0.004)
+        assert rec.add("orphan", 0.001).parent_id is None
+
+    def test_ring_buffer_drops_oldest(self):
+        rec = SpanRecorder(capacity=3, slow_threshold_s=10.0)
+        for pos in range(5):
+            rec.add(f"s{pos}", 0.0)
+        started, finished, dropped = rec.counts()
+        assert (started, finished, dropped) == (5, 5, 2)
+        assert [sp.name for sp in rec.spans()] == ["s2", "s3", "s4"]
+
+    def test_slow_log_with_override(self):
+        rec = SpanRecorder(
+            slow_threshold_s=1.0, slow_overrides={"flush": 0.001}
+        )
+        rec.add("flush", 0.01)     # over its 1ms override
+        rec.add("rebuild", 0.01)   # under the 1s default
+        assert [sp.name for sp in rec.slow()] == ["flush"]
+
+    def test_exception_tags_error_attr(self):
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("doomed"):
+                raise RuntimeError("boom")
+        sp, = rec.spans("doomed")
+        assert sp.attrs["error"] == "RuntimeError"
+
+    def test_finished_spans_feed_latency_histogram(self):
+        reg = MetricsRegistry()
+        rec = SpanRecorder(registry=reg)
+        rec.add("unit", 0.02)
+        h = reg.find(SPAN_LATENCY_METRIC, span="unit")
+        assert h is not None and h.count == 1
+
+    def test_summary_aggregates_by_name(self):
+        rec = SpanRecorder()
+        rec.add("x", 0.010)
+        rec.add("x", 0.030)
+        agg = rec.summary()["x"]
+        assert agg["count"] == 2
+        assert agg["total_s"] == pytest.approx(0.040)
+        assert agg["max_s"] == pytest.approx(0.030)
+
+
+# --------------------------------------------------------------------- #
+# exporters
+# --------------------------------------------------------------------- #
+
+
+def _sample_plane():
+    reg = MetricsRegistry()
+    rec = SpanRecorder(registry=reg)
+    reg.counter(
+        "repro_demo_total", labels={"strategy": "partition-based"},
+        help="Demo counter.",
+    ).inc(7)
+    reg.gauge("repro_demo_depth").set(3)
+    reg.histogram("repro_demo_seconds", buckets=(0.01, 0.1)).observe(0.05)
+    with rec.span("strategy.batch", queries=10):
+        rec.add("strategy.level", 0.002, attrs={"level": 4})
+    return reg, rec
+
+
+class TestExporters:
+    def test_json_snapshot_round_trips(self):
+        reg, rec = _sample_plane()
+        snap = json.loads(to_json(reg, rec, meta={"source": "unit"}))
+        assert snap["version"] == 1
+        assert snap["meta"] == {"source": "unit"}
+        assert snap["metrics"]["counters"][0]["value"] == 7
+        assert snap["spans"]["finished"] == 2
+        names = {sp["name"] for sp in snap["spans"]["recent"]}
+        assert names == {"strategy.batch", "strategy.level"}
+
+    def test_prometheus_exposition(self):
+        reg, _ = _sample_plane()
+        text = to_prometheus(reg)
+        assert "# HELP repro_demo_total Demo counter." in text
+        assert "# TYPE repro_demo_total counter" in text
+        assert 'repro_demo_total{strategy="partition-based"} 7' in text
+        assert "# TYPE repro_demo_depth gauge" in text
+        # Cumulative le buckets plus the implicit +Inf, _sum and _count.
+        assert 'repro_demo_seconds_bucket{le="0.01"} 0' in text
+        assert 'repro_demo_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_demo_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_demo_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_accepts_snapshot_dict(self):
+        reg, rec = _sample_plane()
+        assert to_prometheus(snapshot_dict(reg, rec)) == to_prometheus(reg)
+
+    def test_render_table_lists_every_series_and_span(self):
+        reg, rec = _sample_plane()
+        text = render_table(snapshot_dict(reg, rec))
+        assert "repro_demo_total{strategy=partition-based}" in text
+        assert "histogram" in text and "count=1" in text
+        assert "strategy.batch" in text and "spans:" in text
+
+
+# --------------------------------------------------------------------- #
+# the module-level gate
+# --------------------------------------------------------------------- #
+
+
+class TestGate:
+    def test_disabled_by_default_in_tests(self):
+        assert obs.active() is None
+        assert not obs.enabled()
+
+    def test_accessors_raise_when_disabled(self):
+        with pytest.raises(RuntimeError, match="disabled"):
+            obs.registry()
+        with pytest.raises(RuntimeError, match="disabled"):
+            obs.recorder()
+        with pytest.raises(RuntimeError, match="disabled"):
+            obs.snapshot()
+
+    def test_configure_installs_and_tears_down(self):
+        ob = obs.configure(enabled=True)
+        assert ob is obs.active()
+        assert obs.registry() is ob.registry
+        assert obs.configure(enabled=False) is None
+        assert obs.active() is None
+
+    def test_reconfigure_drops_old_series(self):
+        obs.configure(enabled=True)
+        obs.registry().counter("stale_total").inc()
+        obs.configure(enabled=True)
+        assert obs.registry().snapshot()["counters"] == []
+
+    def test_reset_keeps_configuration(self):
+        obs.configure(enabled=True, trace_partitions=True)
+        obs.registry().counter("stale_total").inc()
+        obs.reset()
+        assert obs.enabled()
+        assert obs.active().config.trace_partitions
+        assert obs.registry().snapshot()["counters"] == []
+
+    def test_strategy_span_records_batch_counters(self):
+        obs.configure(enabled=True)
+        ob = obs.active()
+        with ob.strategy_span("unit-strategy", 42, "count"):
+            pass
+        reg = obs.registry()
+        assert reg.find(
+            obs.STRATEGY_BATCHES, strategy="unit-strategy"
+        ).value == 1
+        assert reg.find(
+            obs.STRATEGY_QUERIES, strategy="unit-strategy"
+        ).value == 42
+        sp, = obs.recorder().spans("strategy.batch")
+        assert sp.attrs["strategy"] == "unit-strategy"
