@@ -6,7 +6,7 @@
 
 PYENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test verify bench bench-service obs-smoke experiments examples serve-sim clean
+.PHONY: install test verify bench bench-service obs-smoke shard-smoke bench-shard experiments examples serve-sim clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,6 +30,17 @@ bench-service:
 obs-smoke:
 	$(PYENV) python benchmarks/bench_obs_overhead.py --quick
 	$(PYENV) python -m repro.cli stats --json | python scripts/check_stats_schema.py
+
+# Sharding smoke: tiny 2-shard differential check — the sharded backend
+# must agree with the single index in every result mode; exits non-zero
+# on any mismatch (docs/sharding.md).
+shard-smoke:
+	$(PYENV) python -m repro.cli shard-sim --k 2 --cardinality 5000 --m 12 --queries 2000 --repeat 1
+
+# Shard-count scaling sweep on the default synthetic workload; records
+# results/shard-scaling.csv (uploaded as a CI artifact).
+bench-shard:
+	$(PYENV) python benchmarks/bench_shard_scaling.py --out results/shard-scaling.csv
 
 experiments:
 	$(PYENV) python -m repro.experiments all --csv results/ --repeats 3

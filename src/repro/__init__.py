@@ -27,7 +27,11 @@ The package provides:
 * :mod:`repro.obs` — the opt-in observability plane (metrics registry,
   hierarchical tracing spans with a slow log, Prometheus/JSON
   exporters) every layer above publishes into; off by default at a
-  benchmarked <5% overhead (see ``docs/observability.md``).
+  benchmarked <5% overhead (see ``docs/observability.md``);
+* :mod:`repro.shard` — :class:`~repro.shard.ShardedHint`, the
+  domain-range sharded execution layer: ``k`` contiguous sub-domain
+  HINT indexes behind the same ``execute`` surface, with exact merge
+  of boundary-spanning queries (see ``docs/sharding.md``).
 
 Quickstart
 ----------
@@ -92,6 +96,7 @@ from repro.verify import (
     InvariantViolation,
     verify_index,
 )
+from repro.shard import ShardedHint, load_sharded, save_sharded
 
 __version__ = "1.0.0"
 
@@ -136,5 +141,8 @@ __all__ = [
     "InjectedFault",
     "InvariantViolation",
     "verify_index",
+    "ShardedHint",
+    "save_sharded",
+    "load_sharded",
     "__version__",
 ]

@@ -330,6 +330,76 @@ def _cmd_verify(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_shard_sim(args) -> int:
+    """Build single-index and sharded backends over the same synthetic
+    workload, check they agree exactly, and report per-shard routing
+    plus the observed speedup; exit 0 iff every mode agrees."""
+    from repro.shard import ShardedHint
+    from repro.workloads.queries import data_following_queries
+    from repro.workloads.synthetic import generate_synthetic
+
+    m = args.m
+    domain = 1 << m
+    coll = generate_synthetic(
+        args.cardinality, domain, 1.2, domain / 20, seed=args.seed
+    ).normalized(m)
+    batch = data_following_queries(
+        args.queries, coll, args.extent, domain=domain, seed=args.seed + 1
+    )
+    t0 = time.perf_counter()
+    index = HintIndex(coll, m=m)
+    t_single_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sharded = ShardedHint(
+        coll, k=args.k, m=m, boundaries=args.boundaries, workers=args.workers
+    )
+    t_shard_build = time.perf_counter() - t0
+    print(
+        f"shard-sim: {len(coll):,} intervals (m={m}), {len(batch):,} "
+        f"queries, k={args.k} ({args.boundaries} cuts), "
+        f"strategy {args.strategy}"
+    )
+    print(
+        f"build: single {t_single_build:.2f}s, sharded {t_shard_build:.2f}s "
+        f"({sharded.num_replicas():,} boundary replicas, "
+        f"replication x{sharded.replication_factor():.2f})"
+    )
+    print("routing:  shard  range                 originals  replicas")
+    for j, (orig, reps) in sorted(sharded.shard_histogram().items()):
+        lo, hi = int(sharded.cuts[j]), int(sharded.cuts[j + 1]) - 1
+        print(f"          {j:>5}  [{lo:>9,}, {hi:>9,}]  {orig:>9,}  {reps:>8,}")
+
+    failures = 0
+    for mode in ("count", "checksum", "ids"):
+        want = run_strategy(args.strategy, index, batch, mode=mode)
+        got = sharded.execute(batch, strategy=args.strategy, mode=mode)
+        ok = got == want
+        failures += 0 if ok else 1
+        print(f"differential[{mode}]: {'exact' if ok else 'MISMATCH'}")
+
+    best_single = min(
+        _timed(run_strategy, args.strategy, index, batch, mode=args.mode)
+        for _ in range(args.repeat)
+    )
+    best_sharded = min(
+        _timed(sharded.execute, batch, strategy=args.strategy, mode=args.mode)
+        for _ in range(args.repeat)
+    )
+    print(
+        f"latency ({args.mode}, best of {args.repeat}): single "
+        f"{best_single * 1000:.1f} ms, sharded {best_sharded * 1000:.1f} ms "
+        f"-> {best_single / best_sharded:.2f}x"
+    )
+    sharded.close()
+    return 1 if failures else 0
+
+
+def _timed(fn, *fn_args, **fn_kwargs) -> float:
+    t0 = time.perf_counter()
+    fn(*fn_args, **fn_kwargs)
+    return time.perf_counter() - t0
+
+
 def _cmd_info(args) -> int:
     index = load_index(args.index)
     print(f"HINT index: m={index.m}, levels={index.m + 1}")
@@ -460,6 +530,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("--seed", type=int, default=0)
     p_stats.set_defaults(fn=_cmd_stats)
+
+    p_shard = sub.add_parser(
+        "shard-sim",
+        help="differential + latency comparison of the sharded backend "
+        "against a single index over a synthetic workload",
+    )
+    p_shard.add_argument("--k", type=int, default=4, help="number of shards")
+    p_shard.add_argument(
+        "--boundaries",
+        default="equal",
+        choices=("equal", "balanced"),
+        help="cut policy: equal-width or start-quantile balanced",
+    )
+    p_shard.add_argument(
+        "--cardinality", type=int, default=100_000, help="synthetic intervals"
+    )
+    p_shard.add_argument("--m", type=int, default=16, help="HINT parameter")
+    p_shard.add_argument(
+        "--queries", type=int, default=10_000, help="batch size"
+    )
+    p_shard.add_argument(
+        "--extent", type=float, default=0.1, help="query extent (%% of domain)"
+    )
+    p_shard.add_argument(
+        "--strategy", default="partition-based", choices=sorted(STRATEGIES)
+    )
+    p_shard.add_argument(
+        "--mode",
+        default="count",
+        choices=("count", "checksum", "ids"),
+        help="result mode of the timed runs",
+    )
+    p_shard.add_argument(
+        "--workers", type=int, default=None, help="shard thread pool size"
+    )
+    p_shard.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    p_shard.add_argument("--seed", type=int, default=0)
+    p_shard.set_defaults(fn=_cmd_shard_sim)
 
     p_verify = sub.add_parser(
         "verify",

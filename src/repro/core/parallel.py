@@ -88,7 +88,10 @@ def parallel_batch(
     work = batch.sorted_by_start()
     n = len(work)
     if n == 0:
-        return BatchResult(np.zeros(0, dtype=np.int64), [] if mode == "ids" else None)
+        # The short-circuit must still honour the requested mode: a
+        # count-mode result for mode="checksum" breaks every caller
+        # that dispatches on result.mode.
+        return BatchResult.empty(mode)
     slices = _chunks(n, workers)
     if len(slices) == 1:
         return fn(index, batch, sort=True, mode=mode)

@@ -148,6 +148,26 @@ class BatchResult:
     # ------------------------------------------------------------------ #
 
     @classmethod
+    def empty(cls, mode: str = "count") -> "BatchResult":
+        """A zero-query result whose :attr:`mode` matches *mode*.
+
+        Callers that short-circuit on an empty batch must still hand
+        back a result of the requested mode — dispatchers downstream
+        (the service accumulator, differential harnesses) branch on
+        ``result.mode``.
+        """
+        zero = np.zeros(0, dtype=np.int64)
+        if mode == "count":
+            return cls(zero)
+        if mode == "checksum":
+            return cls(zero, checksums=zero.copy())
+        if mode == "ids":
+            return cls(zero, [])
+        raise ValueError(
+            f"unknown result mode {mode!r}; expected one of {MODES}"
+        )
+
+    @classmethod
     def from_id_lists(cls, lists: Sequence[Sequence[int]]) -> "BatchResult":
         """Build a full (ids-mode) result from plain Python lists."""
         ids = [

@@ -806,6 +806,61 @@ def _partition_based_run(
 
 
 # --------------------------------------------------------------------- #
+# join-based adapter
+# --------------------------------------------------------------------- #
+
+
+def join_based_on_index(
+    index: HintIndex,
+    batch: QueryBatch,
+    *,
+    sort: bool = False,
+    mode: str = "count",
+) -> BatchResult:
+    """:func:`~repro.core.join_based.join_based` behind the index surface.
+
+    The join-based strategy wants the raw collection ``S``, not an
+    index — but :func:`recommend_strategy` can return ``"join-based"``
+    and every recommendation must be executable through
+    :func:`run_strategy`.  This adapter recovers the collection from the
+    index (:meth:`HintIndex.as_collection`, cached after the first
+    call), clips the batch into the index domain exactly like the other
+    strategies, and reports results in the caller's order.  *sort* is
+    accepted for registry uniformity; the plane sweep sorts internally.
+    """
+    # Imported here: repro.joins pulls hint_join, which imports this
+    # module — a cycle at import time, none at call time.
+    from repro.core.join_based import join_based
+
+    del sort
+    work = batch.clipped(0, index._domain_top)
+    ob = obs.active()
+    if ob is None:
+        result = join_based(index.as_collection(), work, mode=mode)
+    else:
+        with ob.strategy_span("join-based", len(work), mode):
+            result = join_based(index.as_collection(), work, mode=mode)
+    n = len(work)
+    order = work.order
+    if bool(np.all(order == np.arange(n))):
+        return result
+    # The batch arrived pre-permuted (e.g. via sorted_by_start); put the
+    # positional join output back into the caller's order.
+    counts = np.empty(n, dtype=np.int64)
+    counts[order] = result.counts
+    if mode == "count":
+        return BatchResult(counts)
+    if mode == "checksum":
+        sums = np.empty(n, dtype=np.int64)
+        sums[order] = result.checksums
+        return BatchResult(counts, checksums=sums)
+    ids = [None] * n
+    for i in range(n):
+        ids[int(order[i])] = result.ids(i)
+    return BatchResult(counts, ids)
+
+
+# --------------------------------------------------------------------- #
 # registry
 # --------------------------------------------------------------------- #
 
@@ -814,6 +869,7 @@ STRATEGIES: Dict[str, dict] = {
     "query-based-sorted": {"fn": query_based, "sort": True},
     "level-based": {"fn": level_based, "sort": True},
     "partition-based": {"fn": partition_based, "sort": True},
+    "join-based": {"fn": join_based_on_index, "sort": False},
 }
 
 

@@ -165,6 +165,46 @@ class HintIndex:
         """Placements per level — shows where durations put intervals."""
         return {level.level: level.total() for level in self.levels}
 
+    def as_collection(self) -> IntervalCollection:
+        """Reconstruct the indexed collection from the level tables.
+
+        Every interval has exactly one *original* placement (O_in or
+        O_aft — stores ``st``) and exactly one *ends-inside* placement
+        (O_in or R_in — stores ``end``), and the storage-optimized
+        layout keeps precisely those columns, so the full ``<id, st,
+        end>`` collection is always recoverable.  Consumers that need
+        the raw data — the join-based strategy, re-sharding — get it
+        without the caller having to retain the build input.  The
+        result is cached on the index (both are immutable).
+        """
+        cached = getattr(self, "_collection_cache", None)
+        if cached is not None:
+            return cached
+        orig_ids, orig_st, in_ids, in_end = [], [], [], []
+        for data in self.levels:
+            o_in, o_aft, r_in, _ = data.tables()
+            for table in (o_in, o_aft):
+                if table.ids.size:  # empty tables carry st=None
+                    orig_ids.append(table.ids)
+                    orig_st.append(table.st)
+            for table in (o_in, r_in):
+                if table.ids.size:
+                    in_ids.append(table.ids)
+                    in_end.append(table.end)
+        ids = np.concatenate(orig_ids) if orig_ids else _EMPTY
+        st = np.concatenate(orig_st) if orig_st else _EMPTY
+        order = np.argsort(ids, kind="stable")
+        end_ids = np.concatenate(in_ids) if in_ids else _EMPTY
+        end = np.concatenate(in_end) if in_end else _EMPTY
+        coll = IntervalCollection(
+            st[order],
+            end[np.argsort(end_ids, kind="stable")],
+            ids[order],
+            copy=False,
+        )
+        self._collection_cache = coll
+        return coll
+
     # ------------------------------------------------------------------ #
     # single-query processing (Algorithm 1)
     # ------------------------------------------------------------------ #

@@ -54,16 +54,60 @@ def save_index(index: HintIndex, path: PathLike) -> None:
     np.savez_compressed(path, **payload)
 
 
+def _check_archive_complete(archive, m: int) -> None:
+    """Demand every level's mandatory keys before touching any of them.
+
+    A truncated or doctored archive would otherwise surface as a bare
+    ``KeyError`` deep in the load loop; diagnose it up front with the
+    full list of what is missing.
+    """
+    present = set(archive.files)
+    missing = []
+    for level in range(m + 1):
+        for cls_key in _CLASS_KEYS:
+            prefix = f"L{level}_{cls_key}"
+            for column in ("offsets", "ids", "keybits"):
+                key = f"{prefix}_{column}"
+                if key not in present:
+                    missing.append(key)
+    if missing:
+        shown = ", ".join(missing[:6])
+        more = f" (+{len(missing) - 6} more)" if len(missing) > 6 else ""
+        raise ValueError(
+            f"index archive is truncated or corrupted: m={m} requires "
+            f"{4 * (m + 1)} level tables but {len(missing)} mandatory "
+            f"key(s) are missing: {shown}{more}"
+        )
+
+
 def load_index(path: PathLike) -> HintIndex:
-    """Load an index previously written by :func:`save_index`."""
+    """Load an index previously written by :func:`save_index`.
+
+    Raises
+    ------
+    ValueError
+        On a version mismatch, a malformed metadata header, or an
+        archive whose level tables are incomplete for the stored ``m``.
+    """
     with np.load(path) as archive:
+        if "meta" not in archive.files:
+            raise ValueError(
+                "index archive is missing its 'meta' header; not a "
+                "save_index archive?"
+            )
         meta = archive["meta"]
+        if meta.size != 4:
+            raise ValueError(
+                f"index archive 'meta' header has {meta.size} entries, "
+                "expected 4"
+            )
         version, m, num_intervals, storage_optimized = (int(v) for v in meta)
         if version != FORMAT_VERSION:
             raise ValueError(
                 f"unsupported index format version {version} "
                 f"(expected {FORMAT_VERSION})"
             )
+        _check_archive_complete(archive, m)
         index = HintIndex.__new__(HintIndex)
         index.m = m
         index.num_intervals = num_intervals

@@ -90,6 +90,10 @@ STRATEGY_PARTITION_TOUCHES = "repro_strategy_partition_touches_total"
 PARALLEL_CHUNKS = "repro_parallel_chunks_total"
 PARALLEL_CHUNK_SECONDS = "repro_parallel_chunk_seconds"
 FAULTS_INJECTED = "repro_faults_injected_total"
+SHARD_BATCHES = "repro_shard_batches_total"
+SHARD_QUERIES = "repro_shard_queries_total"
+SHARD_SPILL_QUERIES = "repro_shard_spill_queries_total"
+SHARD_BATCH_SECONDS = "repro_shard_batch_seconds"
 
 
 class ObsConfig:
@@ -279,6 +283,46 @@ class Observability:
             "parallel.chunk",
             duration,
             attrs={"strategy": strategy, "worker": int(worker), "queries": int(queries)},
+        )
+
+    def record_shard_batch(
+        self, shard: int, queries: int, spill: int, duration: float
+    ) -> None:
+        """Per-shard accounting of one sharded-batch execution.
+
+        *queries* are the shard's primary queries (starts in the shard),
+        *spill* the boundary-spanning queries fanned in from earlier
+        shards.  Every series carries a ``shard`` label so skew between
+        shards — the straggler that bounds the whole batch — is visible
+        live.
+        """
+        labels = {"shard": int(shard)}
+        self.registry.counter(
+            SHARD_BATCHES,
+            labels=labels,
+            help="Sub-batches executed, by shard.",
+        ).inc()
+        self.registry.counter(
+            SHARD_QUERIES,
+            labels=labels,
+            help="Primary queries routed to each shard.",
+        ).inc(int(queries))
+        if spill:
+            self.registry.counter(
+                SHARD_SPILL_QUERIES,
+                labels=labels,
+                help="Boundary-spanning queries fanned into each shard.",
+            ).inc(int(spill))
+        self.registry.histogram(
+            SHARD_BATCH_SECONDS,
+            buckets=LATENCY_BUCKETS,
+            labels=labels,
+            help="Per-shard sub-batch execution latency.",
+        ).observe(duration)
+        self.recorder.add(
+            "shard.batch",
+            duration,
+            attrs={"shard": int(shard), "queries": int(queries), "spill": int(spill)},
         )
 
     def record_fault(self, site: str, action: str) -> None:

@@ -375,7 +375,16 @@ class BatchingQueryService:
             )
             if self._fault_plan is not None:
                 self._fault_plan.fire(SITE_STRATEGY)
-            if use_parallel:
+            execute = getattr(index, "execute", None)
+            if execute is not None:
+                # Self-executing backend (e.g. repro.shard.ShardedHint):
+                # it owns its parallelism, so the service hands the whole
+                # batch over instead of chunking it here.  swap_index can
+                # therefore install a sharded backend with zero call-site
+                # changes.
+                use_parallel = False
+                result = execute(batch, strategy=self.strategy, mode=self.mode)
+            elif use_parallel:
                 result = parallel_batch(
                     index,
                     batch,

@@ -1,0 +1,24 @@
+"""repro.shard — domain-range sharding of the HINT index.
+
+The paper closes by naming parallel/multi-core batch processing as
+future work; :mod:`repro.core.parallel` chunks a batch over one shared
+index, and this package provides the other half of the scaling story:
+**the index itself is split**.  :class:`ShardedHint` cuts the domain
+``[0, 2**m - 1]`` into ``k`` contiguous sub-domains, each backed by its
+own (smaller, locally re-normalized) :class:`~repro.hint.index.HintIndex`,
+routes a sorted batch across the shards with two ``searchsorted`` calls,
+fans boundary-spanning queries out to every shard they touch, and merges
+per-shard results exactly (counts sum, id arrays concatenate, checksums
+XOR — no deduplication pass is ever needed, see
+:mod:`repro.shard.sharded` for the originals/replicas argument).
+
+Persistence lives in :mod:`repro.shard.persist` (one ``.npz`` archive
+per shard plus a JSON manifest); the routing invariants are checked by
+:func:`repro.verify.verify_index`, which accepts a :class:`ShardedHint`
+like any other index.
+"""
+
+from repro.shard.sharded import ShardedHint
+from repro.shard.persist import load_sharded, save_sharded
+
+__all__ = ["ShardedHint", "save_sharded", "load_sharded"]

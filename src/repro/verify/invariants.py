@@ -132,10 +132,12 @@ def verify_index(
     TypeError
         For unsupported index types.
     """
-    # Local imports: dynamic.py and grid/index.py import the fault layer
-    # of this package, so importing them at module scope would cycle.
+    # Local imports: dynamic.py, grid/index.py and shard/sharded.py
+    # import (parts of) this package, so importing them at module scope
+    # would cycle.
     from repro.grid.index import GridIndex
     from repro.hint.dynamic import DynamicHint
+    from repro.shard.sharded import ShardedHint
 
     chk = _Checker()
     if isinstance(index, DynamicHint):
@@ -144,9 +146,11 @@ def verify_index(
         return _verify_hint(index, chk, deep, collection)
     if isinstance(index, GridIndex):
         return _verify_grid(index, chk, deep, collection)
+    if isinstance(index, ShardedHint):
+        return _verify_sharded(index, chk, deep, collection)
     raise TypeError(
-        f"verify_index supports HintIndex, DynamicHint and GridIndex, "
-        f"not {type(index).__name__}"
+        f"verify_index supports HintIndex, DynamicHint, GridIndex and "
+        f"ShardedHint, not {type(index).__name__}"
     )
 
 
@@ -399,6 +403,247 @@ def _verify_hint(
                 "re-assignment of the reconstructed collection",
             )
     report.notes.append("deep: reconstruction re-assigned and matched")
+    return chk.finish(report)
+
+
+# --------------------------------------------------------------------- #
+# ShardedHint
+# --------------------------------------------------------------------- #
+
+
+def _verify_sharded(
+    sharded,
+    chk: _Checker,
+    deep: bool,
+    collection: Optional[IntervalCollection],
+) -> VerificationReport:
+    """Routing invariants of a :class:`~repro.shard.sharded.ShardedHint`.
+
+    Beyond verifying every per-shard HINT index, the sharded layout
+    promises: the cut points tile ``[0, 2**m]``; every interval's
+    original lives in exactly the shard containing its start (endpoints
+    clipped/translated into the shard's local domain); every shard the
+    interval reaches after that holds exactly one replica, sorted by
+    global end; and the merged result over any batch equals a linear
+    scan of the reconstructed collection (global result == union of the
+    shard results).
+    """
+    k = sharded.k
+    cuts = sharded.cuts
+    chk.check(k >= 1, f"k = {k} is not positive")
+    chk.check(
+        cuts.size == k + 1,
+        f"{cuts.size} cut points for k = {k} shards (expected {k + 1})",
+    )
+    chk.check(
+        int(cuts[0]) == 0 and int(cuts[-1]) == 1 << sharded.m,
+        f"cuts [{cuts[0]}, ..., {cuts[-1]}] do not tile "
+        f"[0, {1 << sharded.m}]",
+    )
+    chk.check(
+        bool(np.all(np.diff(cuts) >= 1)),
+        "cut points are not strictly increasing",
+    )
+    chk.check(
+        len(sharded.shards) == k,
+        f"{len(sharded.shards)} shard objects for k = {k}",
+    )
+    if chk.violations:
+        return chk.finish(
+            VerificationReport(
+                "ShardedHint", sharded.num_intervals, 0, checks=0
+            )
+        )
+
+    # --- per-shard checks, with global reconstruction ------------------ #
+    placements = 0
+    rec_parts: List[np.ndarray] = []
+    for j, shard in enumerate(sharded.shards):
+        lo, hi = int(cuts[j]), int(cuts[j + 1]) - 1
+        chk.check(
+            shard.lo == lo and shard.hi == hi,
+            f"shard {j} claims [{shard.lo}, {shard.hi}], cuts say "
+            f"[{lo}, {hi}]",
+        )
+        local = shard.index.as_collection()
+        max_end = int(local.end.max()) if len(local) else -1
+        # Occupied-range normalization allows the local domain to be
+        # narrower than the shard width; that is exact only while the
+        # probe-time clip cannot engage (top covers the width) or
+        # cannot bite (top strictly above every end).
+        top_local = (1 << shard.index.m) - 1
+        chk.check(
+            top_local >= hi - lo or top_local > max_end,
+            f"shard {j}: local domain 2**{shard.index.m} neither covers "
+            f"width {hi - lo + 1} nor clears the occupied range "
+            f"(max end {max_end})",
+        )
+        try:
+            inner = _verify_hint(shard.index, chk, deep, None)
+        except InvariantViolation as exc:
+            raise InvariantViolation(
+                [f"shard {j}: {v}" for v in exc.violations]
+            ) from None
+        placements += inner.num_placements + int(shard.rep_ids.size)
+        chk.check(
+            shard.rep_end.size == shard.rep_ids.size,
+            f"shard {j}: replica columns disagree "
+            f"({shard.rep_end.size} ends, {shard.rep_ids.size} ids)",
+        )
+        chk.check(
+            bool(np.all(np.diff(shard.rep_end) >= 0)),
+            f"shard {j}: replica table not sorted by end",
+        )
+        sx = shard.rep_xor_suffix
+        ok_sx = sx.size == shard.rep_ids.size + 1 and int(sx[-1]) == 0
+        if ok_sx and shard.rep_ids.size:
+            ok_sx = bool(
+                np.array_equal(
+                    sx[:-1] ^ sx[1:], shard.rep_ids
+                )
+            )
+        chk.check(
+            ok_sx, f"shard {j}: replica suffix-XOR array inconsistent"
+        )
+        px = shard.orig_xor_prefix
+        ok_sp = (
+            shard.orig_st.size == shard.orig_ids.size
+            and px.size == shard.orig_ids.size + 1
+            and int(px[0]) == 0
+            and bool(np.all(np.diff(shard.orig_st) >= 0))
+        )
+        if ok_sp and shard.orig_ids.size:
+            ok_sp = bool(
+                np.array_equal(px[:-1] ^ px[1:], shard.orig_ids)
+            ) and bool(
+                np.array_equal(np.sort(shard.orig_ids), np.sort(local.ids))
+            )
+        chk.check(
+            ok_sp,
+            f"shard {j}: start-sorted spill table inconsistent with the "
+            f"shard's originals",
+        )
+        rec_parts.append(
+            np.stack(
+                [
+                    local.ids,
+                    local.st + lo,
+                    local.end + lo,
+                ]
+            )
+        )
+    if chk.violations:
+        return chk.finish(
+            VerificationReport(
+                "ShardedHint", sharded.num_intervals, placements, checks=0
+            )
+        )
+
+    # --- global reconstruction: originals give <id, st, clipped end>;
+    # --- an interval's true end is its last replica's stored end ------- #
+    rec = np.concatenate(rec_parts, axis=1)
+    order = np.argsort(rec[0], kind="stable")
+    rec_ids, rec_st, rec_end = rec[0][order], rec[1][order], rec[2][order]
+    ok_ids = chk.check(
+        rec_ids.size == sharded.num_intervals
+        and np.unique(rec_ids).size == rec_ids.size,
+        f"expected exactly one original placement per interval across "
+        f"all shards, found {rec_ids.size} over {sharded.num_intervals}",
+    )
+    if not ok_ids:
+        return chk.finish(
+            VerificationReport(
+                "ShardedHint", sharded.num_intervals, placements, checks=0
+            )
+        )
+    rec_end = rec_end.copy()
+    for shard in sharded.shards:
+        if shard.rep_ids.size:
+            pos = np.searchsorted(rec_ids, shard.rep_ids)
+            valid = (pos < rec_ids.size) & (rec_ids[np.minimum(pos, rec_ids.size - 1)] == shard.rep_ids)
+            chk.check(
+                bool(np.all(valid)),
+                "replica table references ids with no original placement",
+            )
+            # Replicas store the *global* end; later shards overwrite
+            # earlier clips, so after the loop rec_end is the true end.
+            np.maximum.at(rec_end, pos[valid], shard.rep_end[valid])
+
+    first = sharded.shard_of(rec_st)
+    last = sharded.shard_of(rec_end)
+    # Every interval's original is in exactly the shard of its start —
+    # walk the pre-sort stack, whose rows are grouped shard by shard.
+    unsorted_first = sharded.shard_of(rec[1])
+    boundaries_ok = True
+    offset = 0
+    for j, shard in enumerate(sharded.shards):
+        n_orig = len(shard.index)
+        if not np.all(unsorted_first[offset : offset + n_orig] == j):
+            boundaries_ok = False
+        offset += n_orig
+    chk.check(
+        boundaries_ok,
+        "an original placement lives in a shard other than the one "
+        "containing its start point",
+    )
+    # Every shard j the interval reaches beyond its first holds exactly
+    # one replica: replicas of shard j == intervals with first < j <= last.
+    for j, shard in enumerate(sharded.shards):
+        want = np.sort(rec_ids[(first < j) & (last >= j)])
+        got = np.sort(shard.rep_ids)
+        chk.check(
+            bool(np.array_equal(want, got)),
+            f"shard {j}: replica set differs from the intervals whose "
+            f"extent dictates a replica there "
+            f"({got.size} stored, {want.size} expected)",
+        )
+    if collection is not None:
+        corder = np.argsort(collection.ids, kind="stable")
+        chk.check(
+            bool(
+                np.array_equal(collection.ids[corder], rec_ids)
+                and np.array_equal(collection.st[corder], rec_st)
+                and np.array_equal(collection.end[corder], rec_end)
+            ),
+            "sharded contents disagree with the provided collection",
+        )
+
+    report = VerificationReport(
+        index_type="ShardedHint",
+        num_intervals=sharded.num_intervals,
+        num_placements=placements,
+        checks=0,
+        notes=[f"k={k}", f"replicas={sharded.num_replicas()}"],
+    )
+    if not deep or chk.violations:
+        if not deep:
+            report.notes.append("shallow")
+        return chk.finish(report)
+
+    # --- differential: merged result == linear scan (union of shards) - #
+    from repro.baselines.naive import NaiveScan
+    from repro.intervals.batch import QueryBatch
+
+    top = (1 << sharded.m) - 1
+    probe_st, probe_end = [0], [top]
+    for c in cuts[1:-1]:
+        c = int(c)
+        # Queries hugging, touching and straddling every boundary —
+        # the exact cases the spill fan-out and replica probe must get
+        # right.
+        for a, b in ((c - 2, c - 1), (c - 1, c), (c, c), (c - 1, c + 1), (c, c + 1)):
+            probe_st.append(max(a, 0))
+            probe_end.append(min(max(b, 0), top))
+    probe = QueryBatch(probe_st, probe_end)
+    reconstructed = IntervalCollection(rec_st, rec_end, rec_ids, copy=False)
+    want = NaiveScan(reconstructed).batch(probe, mode="ids")
+    got = sharded.execute(probe, mode="ids")
+    chk.check(
+        got == want,
+        "merged shard results differ from a linear scan on the "
+        "boundary-probe batch",
+    )
+    report.notes.append("deep: boundary probes matched the linear scan")
     return chk.finish(report)
 
 

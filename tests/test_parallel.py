@@ -90,6 +90,71 @@ def test_empty_batch(small_index):
     assert len(result) == 0
 
 
+class TestEmptyBatchModes:
+    """Regression: an empty batch must yield a *mode-correct* result.
+
+    ``parallel_batch`` used to return a count-mode ``BatchResult`` for
+    ``mode="checksum"`` (no ``checksums`` array), so callers dispatching
+    on ``result.mode`` — e.g. the service accumulator — mis-handled it.
+    """
+
+    @pytest.mark.parametrize("mode", ["count", "checksum", "ids"])
+    def test_parallel_batch(self, small_index, mode):
+        result = parallel_batch(
+            small_index, QueryBatch([], []), workers=4, mode=mode
+        )
+        assert len(result) == 0
+        assert result.mode == mode
+
+    @pytest.mark.parametrize("mode", ["count", "checksum", "ids"])
+    def test_every_strategy(self, small_index, mode):
+        from repro import STRATEGIES, run_strategy
+
+        for name in STRATEGIES:
+            result = run_strategy(
+                name, small_index, QueryBatch([], []), mode=mode
+            )
+            assert len(result) == 0
+            assert result.mode == mode
+
+
+class TestExecutorSizing:
+    """Exact agreement with the sequential strategy in all three modes
+    when the executor queues work (fewer workers than slices) and when
+    workers outnumber the batch."""
+
+    @pytest.mark.parametrize("mode", ["count", "checksum", "ids"])
+    def test_executor_smaller_than_slices(self, rng, mode):
+        from repro import run_strategy
+
+        m = 8
+        top = (1 << m) - 1
+        coll = random_collection(rng, 500, top)
+        index = HintIndex(coll, m=m)
+        batch = random_batch(rng, 96, top)
+        expected = run_strategy("partition-based", index, batch, mode=mode)
+        # workers=6 requests 6 slices; the pool only runs 2 at a time,
+        # so the remaining slices queue behind them.
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            got = parallel_batch(
+                index, batch, workers=6, executor=pool, mode=mode
+            )
+        assert got == expected
+
+    @pytest.mark.parametrize("mode", ["count", "checksum", "ids"])
+    def test_more_workers_than_queries(self, rng, mode):
+        from repro import run_strategy
+
+        m = 8
+        top = (1 << m) - 1
+        coll = random_collection(rng, 300, top)
+        index = HintIndex(coll, m=m)
+        batch = random_batch(rng, 5, top)
+        expected = run_strategy("partition-based", index, batch, mode=mode)
+        got = parallel_batch(index, batch, workers=16, mode=mode)
+        assert got == expected
+
+
 def test_invalid_inputs(small_index):
     batch = QueryBatch([0], [5])
     with pytest.raises(ValueError):

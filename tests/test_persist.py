@@ -90,6 +90,35 @@ class TestFormat:
             assert "meta" in archive
             assert "L8_o_in_offsets" in archive
 
+    @pytest.mark.parametrize(
+        "dropped",
+        ["L0_o_in_offsets", "L3_r_aft_ids", "L8_o_aft_keybits"],
+    )
+    def test_truncated_archive_rejected(self, tmp_path, rng, dropped):
+        """Regression: a doctored/truncated archive must fail with a
+        clear ``ValueError`` naming the missing level keys, not a bare
+        ``KeyError`` deep inside reconstruction."""
+        coll = random_collection(rng, 60, 255)
+        index = HintIndex(coll, m=8)
+        path = tmp_path / "whole.npz"
+        save_index(index, path)
+        with np.load(path) as archive:
+            kept = {
+                name: archive[name]
+                for name in archive.files
+                if name != dropped
+            }
+        doctored = tmp_path / "doctored.npz"
+        np.savez(doctored, **kept)
+        with pytest.raises(ValueError, match=dropped):
+            load_index(doctored)
+
+    def test_missing_meta_rejected(self, tmp_path):
+        path = tmp_path / "nometa.npz"
+        np.savez(path, junk=np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="meta"):
+            load_index(path)
+
 
 class TestMidChurnSnapshotRoundTrip:
     def test_snapshot_taken_mid_churn_persists_faithfully(self, tmp_path, rng):

@@ -142,6 +142,7 @@ class TestRegistry:
             "query-based-sorted",
             "level-based",
             "partition-based",
+            "join-based",
         }
 
     def test_run_strategy(self, small_index):
@@ -153,6 +154,43 @@ class TestRegistry:
     def test_run_strategy_unknown(self, small_index):
         with pytest.raises(ValueError, match="unknown strategy"):
             run_strategy("nope", small_index, QueryBatch([0], [1]))
+
+
+class TestAdvisorRecommendationsExecutable:
+    """Every strategy name ``recommend_strategy`` can return — including
+    ``"join-based"`` — must be directly executable via ``run_strategy``
+    (regression: the advisor used to recommend a name absent from the
+    registry)."""
+
+    def _batches(self, top):
+        return [
+            QueryBatch([], []),                       # -> query-based
+            QueryBatch([3], [7]),                     # -> query-based
+            QueryBatch([0, 4, 8], [5, 9, top]),       # -> partition-based
+            QueryBatch(                               # -> join-based
+                list(range(0, top, 1)), list(range(1, top + 1, 1))
+            ),
+        ]
+
+    def test_each_recommendation_runs(self, small_index, small_collection):
+        from repro import recommend_strategy
+
+        top = (1 << small_index.m) - 1
+        seen = set()
+        for batch in self._batches(top):
+            rec = recommend_strategy(len(small_collection), batch)
+            seen.add(rec.strategy)
+            assert rec.strategy in STRATEGIES, rec
+            for mode in ("count", "checksum", "ids"):
+                result = run_strategy(
+                    rec.strategy, small_index, batch, mode=mode
+                )
+                reference = run_strategy(
+                    "partition-based", small_index, batch, mode=mode
+                )
+                assert result == reference
+        # The crafted batches must actually exercise the join-based branch.
+        assert "join-based" in seen
 
 
 class TestPartitionBasedSortFlag:
