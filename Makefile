@@ -6,7 +6,7 @@
 
 PYENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test verify bench bench-service obs-smoke shard-smoke bench-shard experiments examples serve-sim clean
+.PHONY: install test verify bench bench-service obs-smoke shard-smoke engine-smoke bench-shard bench-engine experiments examples serve-sim clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -37,10 +37,25 @@ obs-smoke:
 shard-smoke:
 	$(PYENV) python -m repro.cli shard-sim --k 2 --cardinality 5000 --m 12 --queries 2000 --repeat 1
 
+# Engine smoke: quick backend sweep of the process-parallel execution
+# engine, then the zero-leak gate — no repro-arena shared-memory
+# segment may survive (docs/parallelism.md).
+engine-smoke:
+	$(PYENV) python benchmarks/bench_process_scaling.py --quick --out /tmp/process-scaling-smoke.csv
+	$(PYENV) python -c "from repro.engine import list_arena_segments as f; \
+	segs = f(); \
+	raise SystemExit(f'leaked shared-memory segments: {segs}' if segs else 0)"
+
 # Shard-count scaling sweep on the default synthetic workload; records
 # results/shard-scaling.csv (uploaded as a CI artifact).
 bench-shard:
 	$(PYENV) python benchmarks/bench_shard_scaling.py --out results/shard-scaling.csv
+
+# Execution-backend scaling sweep (serial/threads/processes/auto ×
+# strategy × mode × workers) + arena pack/attach amortization; records
+# results/process-scaling.csv (uploaded as a CI artifact).
+bench-engine:
+	$(PYENV) python benchmarks/bench_process_scaling.py --out results/process-scaling.csv
 
 experiments:
 	$(PYENV) python -m repro.experiments all --csv results/ --repeats 3

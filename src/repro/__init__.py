@@ -31,7 +31,12 @@ The package provides:
 * :mod:`repro.shard` — :class:`~repro.shard.ShardedHint`, the
   domain-range sharded execution layer: ``k`` contiguous sub-domain
   HINT indexes behind the same ``execute`` surface, with exact merge
-  of boundary-spanning queries (see ``docs/sharding.md``).
+  of boundary-spanning queries (see ``docs/sharding.md``);
+* :mod:`repro.engine` — :class:`~repro.engine.ExecutionEngine`, the
+  process-parallel execution engine: the built index packed once into
+  a shared-memory arena, persistent worker processes attaching
+  zero-copy views, serial/threads/processes/auto backends behind the
+  same ``execute`` surface (see ``docs/parallelism.md``).
 
 Quickstart
 ----------
@@ -97,6 +102,7 @@ from repro.verify import (
     verify_index,
 )
 from repro.shard import ShardedHint, load_sharded, save_sharded
+from repro.engine import ExecutionEngine
 
 __version__ = "1.0.0"
 
@@ -144,5 +150,6 @@ __all__ = [
     "ShardedHint",
     "save_sharded",
     "load_sharded",
+    "ExecutionEngine",
     "__version__",
 ]

@@ -143,16 +143,26 @@ def _cmd_serve_sim(args) -> int:
     print(
         f"serve-sim: {len(batch):,} queries at {args.rate:,.0f} q/s "
         f"(Poisson arrivals, seed {args.seed}) against HINT(m={m}), "
-        f"strategy {args.strategy}, max_batch={args.max_batch}, "
-        f"max_delay_ms={args.max_delay_ms:g}, backpressure={args.backpressure}"
+        f"strategy {args.strategy}, backend {args.backend or 'direct'}, "
+        f"max_batch={args.max_batch}, max_delay_ms={args.max_delay_ms:g}, "
+        f"backpressure={args.backpressure}"
     )
     if args.rate <= 0:
         print("--rate must be positive", file=sys.stderr)
         return 1
+    engine = None
+    backend = index
+    if args.backend is not None:
+        from repro.engine import ExecutionEngine
+
+        engine = ExecutionEngine(
+            index, backend=args.backend, workers=args.workers
+        )
+        backend = engine
     rng = np.random.default_rng(args.seed + 2)
     offsets = np.cumsum(rng.exponential(1.0 / args.rate, size=len(batch)))
     service = BatchingQueryService(
-        index,
+        backend,
         strategy=args.strategy,
         mode="count",
         max_batch=args.max_batch,
@@ -175,6 +185,8 @@ def _cmd_serve_sim(args) -> int:
             rejected += 1
     total = sum(f.result() for f in futures)
     service.close()
+    if engine is not None:
+        engine.close()
     elapsed = time.perf_counter() - t0
     snap = service.metrics.snapshot()
     print(snap.describe())
@@ -233,6 +245,15 @@ def _cmd_stats(args) -> int:
         )
         for strategy in sorted(STRATEGIES):
             run_strategy(strategy, index, batch, mode="count")
+        # Exercise the execution engine too, so the burst snapshot
+        # carries the repro_engine_* series (auto-policy pick plus one
+        # forced backend per batch, all against the same index).
+        from repro.engine import ExecutionEngine
+
+        with ExecutionEngine(index) as engine:
+            engine.execute(batch, mode="count")
+            engine.execute(batch, mode="count", backend="serial")
+            engine.execute(batch, mode="checksum", backend="threads")
         snap = obs.snapshot(
             meta={
                 "source": "stats-burst",
@@ -354,10 +375,19 @@ def _cmd_shard_sim(args) -> int:
         coll, k=args.k, m=m, boundaries=args.boundaries, workers=args.workers
     )
     t_shard_build = time.perf_counter() - t0
+    executor = sharded
+    engine = None
+    if args.backend is not None:
+        from repro.engine import ExecutionEngine
+
+        engine = ExecutionEngine(
+            sharded, backend=args.backend, workers=args.workers
+        )
+        executor = engine
     print(
         f"shard-sim: {len(coll):,} intervals (m={m}), {len(batch):,} "
         f"queries, k={args.k} ({args.boundaries} cuts), "
-        f"strategy {args.strategy}"
+        f"strategy {args.strategy}, backend {args.backend or 'direct'}"
     )
     print(
         f"build: single {t_single_build:.2f}s, sharded {t_shard_build:.2f}s "
@@ -372,7 +402,7 @@ def _cmd_shard_sim(args) -> int:
     failures = 0
     for mode in ("count", "checksum", "ids"):
         want = run_strategy(args.strategy, index, batch, mode=mode)
-        got = sharded.execute(batch, strategy=args.strategy, mode=mode)
+        got = executor.execute(batch, strategy=args.strategy, mode=mode)
         ok = got == want
         failures += 0 if ok else 1
         print(f"differential[{mode}]: {'exact' if ok else 'MISMATCH'}")
@@ -382,7 +412,7 @@ def _cmd_shard_sim(args) -> int:
         for _ in range(args.repeat)
     )
     best_sharded = min(
-        _timed(sharded.execute, batch, strategy=args.strategy, mode=args.mode)
+        _timed(executor.execute, batch, strategy=args.strategy, mode=args.mode)
         for _ in range(args.repeat)
     )
     print(
@@ -390,6 +420,8 @@ def _cmd_shard_sim(args) -> int:
         f"{best_single * 1000:.1f} ms, sharded {best_sharded * 1000:.1f} ms "
         f"-> {best_single / best_sharded:.2f}x"
     )
+    if engine is not None:
+        engine.close()
     sharded.close()
     return 1 if failures else 0
 
@@ -491,7 +523,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="flushes this large run through parallel_batch",
     )
-    p_sim.add_argument("--workers", type=int, default=4)
+    p_sim.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads/processes (default: cpu count)",
+    )
+    p_sim.add_argument(
+        "--backend",
+        default=None,
+        choices=("serial", "threads", "processes", "auto"),
+        help="wrap the index in an ExecutionEngine with this backend "
+        "(default: install the index directly)",
+    )
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument(
         "--metrics-json",
@@ -567,6 +611,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_shard.add_argument(
         "--repeat", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    p_shard.add_argument(
+        "--backend",
+        default=None,
+        choices=("serial", "threads", "processes", "auto"),
+        help="run the sharded side through an ExecutionEngine with this "
+        "backend (default: the index's own thread pool)",
     )
     p_shard.add_argument("--seed", type=int, default=0)
     p_shard.set_defaults(fn=_cmd_shard_sim)

@@ -19,6 +19,7 @@ exactly where the speedup lands.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 from typing import List, Optional
@@ -31,9 +32,25 @@ from repro.core.strategies import STRATEGIES
 from repro.hint.index import HintIndex
 from repro.intervals.batch import QueryBatch
 
-__all__ = ["parallel_batch"]
+__all__ = ["parallel_batch", "resolve_workers"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Resolve a ``workers`` argument to a concrete positive count.
+
+    ``None`` means "derive from the machine": ``os.cpu_count()`` (at
+    least 1) — the same convention :class:`~repro.shard.ShardedHint`
+    uses for its thread pool.  Explicit values are validated (< 1
+    raises ``ValueError``) and returned unchanged.
+    """
+    if workers is None:
+        return os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be positive (or None for cpu count)")
+    return workers
 
 
 def _chunks(n: int, workers: int) -> List[slice]:
@@ -52,7 +69,7 @@ def parallel_batch(
     batch: QueryBatch,
     *,
     strategy: str = "partition-based",
-    workers: int = 4,
+    workers: Optional[int] = None,
     mode: str = "count",
     executor: Optional[ThreadPoolExecutor] = None,
 ) -> BatchResult:
@@ -70,13 +87,16 @@ def parallel_batch(
     strategy:
         Name from :data:`repro.core.strategies.STRATEGIES`.
     workers:
-        Number of chunks / threads (>= 1).
+        Number of chunks / threads (>= 1).  ``None`` (the default)
+        resolves to ``os.cpu_count()`` (at least 1) via
+        :func:`resolve_workers` — the same machine-derived convention
+        :class:`~repro.shard.ShardedHint` and
+        :class:`~repro.service.BatchingQueryService` use.
     executor:
         Optional externally managed pool (reused across calls); when
         omitted, a pool is created per call.
     """
-    if workers < 1:
-        raise ValueError("workers must be positive")
+    workers = resolve_workers(workers)
     try:
         spec = STRATEGIES[strategy]
     except KeyError:

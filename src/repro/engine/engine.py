@@ -1,0 +1,540 @@
+"""Unified batch-execution engine: serial, threads, or processes.
+
+:class:`ExecutionEngine` wraps a built index behind the same
+``run_strategy``-shaped ``execute()`` contract that
+:class:`~repro.shard.ShardedHint` exposes, and picks **per batch** how
+to run it:
+
+``serial``
+    The sequential strategy call — lowest constant cost, and on a
+    single-core machine the fastest option for everything.
+``threads``
+    The existing chunked thread path
+    (:func:`~repro.core.parallel.parallel_batch`, or the sharded
+    index's own pool) — real parallelism only where the numpy hot loops
+    release the GIL.
+``processes``
+    A persistent process pool sharing the index through a
+    :class:`~repro.engine.arena.SharedIndexArena` — workers attach the
+    shared-memory segment once at warm-up, per-batch dispatch ships
+    only the chunk query arrays plus ``(strategy, mode)``, and results
+    return as compact flat arrays.  Sidesteps the GIL for the
+    Python-loop strategies and ids-mode materialization.
+``auto``
+    A policy over the above, driven by batch size, strategy, result
+    mode and the machine's core count (see :meth:`_choose`).
+
+Because the surface matches ``ShardedHint.execute``, a
+:class:`~repro.service.BatchingQueryService` installs an engine through
+``swap_index`` with zero call-site changes.
+
+Failure containment: every process dispatch passes the
+:data:`~repro.verify.faults.SITE_DISPATCH` fault site, and a broken
+pool (killed worker, injected fault) **degrades** the engine to
+in-process execution for the batch at hand and permanently thereafter —
+callers see results, not hangs; the arena is still unlinked at
+:meth:`close`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from time import perf_counter
+from typing import List, Optional
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.parallel import _chunks, parallel_batch, resolve_workers
+from repro.core.result import MODES, BatchResult
+from repro.core.strategies import STRATEGIES, run_strategy
+from repro.engine.arena import SharedIndexArena
+from repro.engine.worker import (
+    decode_result,
+    init_worker,
+    ping,
+    run_hint_chunk,
+    run_shard_primary,
+)
+from repro.hint.index import HintIndex
+from repro.intervals.batch import QueryBatch
+from repro.shard.sharded import ShardedHint
+from repro.verify.faults import SITE_DISPATCH, FaultPlan, InjectedFault
+
+__all__ = ["ExecutionEngine", "BACKENDS"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+#: Backend names accepted by :class:`ExecutionEngine`.
+BACKENDS = ("auto", "serial", "threads", "processes")
+
+#: Strategies whose per-query work is a Python-level loop: they hold the
+#: GIL, so threads cannot speed them up but processes can.  The
+#: partition-based strategy is one vectorized numpy pipeline — its
+#: count/checksum modes parallelize poorly across processes too (the
+#: serial version is already memory-bound), but its ids mode spends its
+#: time materializing per-query arrays, which is GIL-bound again.
+_GIL_BOUND_STRATEGIES = frozenset(
+    {"query-based", "query-based-sorted", "level-based", "join-based"}
+)
+
+
+class _InlineMap:
+    """Executor-shaped shim whose ``map`` runs inline on the caller.
+
+    Passed to ``ShardedHint.execute`` to force genuinely serial
+    execution without touching the index's own pool configuration.
+    """
+
+    def map(self, fn, iterable):
+        return [fn(item) for item in iterable]
+
+
+class ExecutionEngine:
+    """Backend-selecting executor over a built index.
+
+    Parameters
+    ----------
+    index:
+        A :class:`~repro.hint.index.HintIndex` or
+        :class:`~repro.shard.ShardedHint`.  The engine borrows it (for
+        the serial/thread paths and the sharded routing/merge) — it is
+        not closed by :meth:`close`.
+    backend:
+        One of :data:`BACKENDS`; ``"auto"`` (default) picks per call.
+        The per-call ``backend=`` argument of :meth:`execute` overrides
+        this for one batch (benchmarks measure all backends through one
+        engine and one arena this way).
+    workers:
+        Worker count for the thread and process paths; ``None`` resolves
+        to ``os.cpu_count()`` via
+        :func:`~repro.core.parallel.resolve_workers`.
+    mp_context:
+        Multiprocessing start method (``"fork"``/``"spawn"``/
+        ``"forkserver"`` or a context object).  Defaults to ``"fork"``
+        where available — microsecond worker start and no re-import; see
+        ``docs/parallelism.md`` for the spawn caveats.
+    shard_affinity:
+        For a sharded index, pin whole shards to dedicated single-worker
+        pools (shard ``j`` always runs on pool ``j % npools``), so each
+        worker only ever touches its shards' pages.  With ``False`` one
+        shared pool runs any shard anywhere.
+    fault_plan:
+        Optional :class:`~repro.verify.faults.FaultPlan`; the
+        :data:`~repro.verify.faults.SITE_DISPATCH` site fires right
+        before every process-pool dispatch.
+    serial_cutoff, process_cutoff, thread_cutoff:
+        ``auto``-policy thresholds (batch sizes); see :meth:`_choose`.
+
+    The process infrastructure (arena + pools) starts eagerly when the
+    configured backend is ``"processes"``, or on first demand otherwise;
+    ``"auto"`` on a single-core machine never starts it.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        backend: str = "auto",
+        workers: Optional[int] = None,
+        mp_context=None,
+        shard_affinity: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        serial_cutoff: int = 128,
+        process_cutoff: int = 512,
+        thread_cutoff: int = 2048,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if not isinstance(index, (HintIndex, ShardedHint)):
+            raise TypeError(
+                "ExecutionEngine wraps HintIndex or ShardedHint, got "
+                f"{type(index).__name__}"
+            )
+        self._index = index
+        self._is_sharded = isinstance(index, ShardedHint)
+        self.backend = backend
+        self.workers = resolve_workers(workers)
+        self.shard_affinity = bool(shard_affinity)
+        self.serial_cutoff = int(serial_cutoff)
+        self.process_cutoff = int(process_cutoff)
+        self.thread_cutoff = int(thread_cutoff)
+        self._fault_plan = fault_plan
+        self._cpus = os.cpu_count() or 1
+        if mp_context is None or isinstance(mp_context, str):
+            methods = multiprocessing.get_all_start_methods()
+            method = mp_context or ("fork" if "fork" in methods else "spawn")
+            self._mp_context = multiprocessing.get_context(method)
+        else:
+            self._mp_context = mp_context
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._inflight = 0
+        self._closed = False
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._arena: Optional[SharedIndexArena] = None
+        self._pools: List[ProcessPoolExecutor] = []
+        self._procs_started = False
+        self._procs_broken = False
+        if backend == "processes":
+            self._ensure_processes()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def index(self):
+        """The wrapped index (borrowed, never closed by the engine)."""
+        return self._index
+
+    @property
+    def arena(self) -> Optional[SharedIndexArena]:
+        """The shared-memory arena, once the process backend started."""
+        return self._arena
+
+    @property
+    def processes_available(self) -> bool:
+        """True while the process backend is started and healthy."""
+        with self._lock:
+            return self._procs_started and not self._procs_broken
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __repr__(self) -> str:
+        kind = "sharded" if self._is_sharded else "hint"
+        return (
+            f"ExecutionEngine(backend={self.backend!r}, kind={kind!r}, "
+            f"workers={self.workers}, processes="
+            f"{'up' if self.processes_available else 'down'})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # backend selection
+    # ------------------------------------------------------------------ #
+
+    def _choose(self, n: int, strategy: str, mode: str, override) -> str:
+        """Resolve the backend for one batch.
+
+        Fixed backends resolve to themselves (``processes`` degrades to
+        ``threads`` once the pool is broken).  The ``auto`` policy:
+
+        * small batches (< ``serial_cutoff``) and single-core machines
+          always run serial — no parallel backend can amortize its
+          dispatch there;
+        * GIL-bound work (a Python-loop strategy, or ids-mode
+          materialization) of at least ``process_cutoff`` queries goes
+          to the process pool — threads cannot help it;
+        * remaining vectorized work of at least ``thread_cutoff``
+          queries uses threads (numpy releases the GIL in the hot
+          loops); anything else runs serial.
+        """
+        backend = override if override is not None else self.backend
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if backend == "processes":
+            self._ensure_processes()
+            return "processes" if self.processes_available else "threads"
+        if backend != "auto":
+            return backend
+        if n < self.serial_cutoff or self._cpus <= 1:
+            return "serial"
+        gil_bound = strategy in _GIL_BOUND_STRATEGIES or mode == "ids"
+        if gil_bound and n >= self.process_cutoff:
+            self._ensure_processes()
+            if self.processes_available:
+                return "processes"
+        if n >= self.thread_cutoff:
+            return "threads"
+        return "serial"
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        batch: QueryBatch,
+        *,
+        strategy: str = "partition-based",
+        mode: str = "count",
+        backend: Optional[str] = None,
+        executor=None,
+    ) -> BatchResult:
+        """Evaluate *batch*; results in caller order, any backend.
+
+        Mirrors :func:`~repro.core.strategies.run_strategy` /
+        :meth:`ShardedHint.execute` — same strategy names, same result
+        modes, same ordering contract — so the engine drops into a
+        :class:`~repro.service.BatchingQueryService` via ``swap_index``
+        unchanged.  ``backend`` overrides the engine's configured
+        backend for this one call; ``executor`` is forwarded to the
+        thread path (externally managed pools).
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; available: {sorted(STRATEGIES)}"
+            )
+        if mode not in MODES:
+            raise ValueError(
+                f"unknown result mode {mode!r}; expected one of {MODES}"
+            )
+        n = len(batch)
+        if n == 0:
+            return BatchResult.empty(mode)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            self._inflight += 1
+        try:
+            resolved = self._choose(n, strategy, mode, backend)
+            ob = obs.active()
+            if ob is None:
+                result, ran_on = self._run(
+                    batch, strategy, mode, resolved, executor
+                )
+                return result
+            t0 = perf_counter()
+            with ob.span(
+                "engine.execute",
+                backend=resolved,
+                strategy=strategy,
+                queries=n,
+                mode=mode,
+            ) as sp:
+                result, ran_on = self._run(
+                    batch, strategy, mode, resolved, executor
+                )
+                if ran_on != resolved:
+                    sp.attrs["degraded_to"] = ran_on
+            ob.record_engine_batch(ran_on, n, perf_counter() - t0)
+            return result
+        finally:
+            with self._cond:
+                self._inflight -= 1
+                self._cond.notify_all()
+
+    def _run(self, batch, strategy, mode, resolved, executor):
+        """Dispatch to *resolved*; returns ``(result, backend_that_ran)``."""
+        if resolved == "processes":
+            try:
+                if self._fault_plan is not None:
+                    self._fault_plan.fire(SITE_DISPATCH)
+                return self._dispatch_processes(batch, strategy, mode), "processes"
+            except (BrokenExecutor, InjectedFault, OSError) as exc:
+                # A killed worker (BrokenProcessPool), an injected
+                # dispatch fault, or a torn-down segment: degrade to
+                # in-process execution rather than failing the batch —
+                # and stay degraded, a broken pool does not heal.
+                self._degrade(exc)
+        if resolved == "threads" or resolved == "processes":
+            return self._execute_threads(batch, strategy, mode, executor), "threads"
+        return self._execute_serial(batch, strategy, mode), "serial"
+
+    def _execute_serial(self, batch, strategy, mode) -> BatchResult:
+        if self._is_sharded:
+            return self._index.execute(
+                batch, strategy=strategy, mode=mode, executor=_InlineMap()
+            )
+        return run_strategy(strategy, self._index, batch, mode=mode)
+
+    def _execute_threads(self, batch, strategy, mode, executor=None) -> BatchResult:
+        if self._is_sharded:
+            return self._index.execute(
+                batch, strategy=strategy, mode=mode, executor=executor
+            )
+        return parallel_batch(
+            self._index,
+            batch,
+            strategy=strategy,
+            workers=self.workers,
+            mode=mode,
+            executor=executor if executor is not None else self._threads(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # process backend
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_processes(self, batch, strategy, mode) -> BatchResult:
+        if self._is_sharded:
+            return self._dispatch_sharded(batch, strategy, mode)
+        return self._dispatch_hint(batch, strategy, mode)
+
+    def _dispatch_hint(self, batch, strategy, mode) -> BatchResult:
+        """Chunk the sorted batch across the pool; stitch to caller order."""
+        work = batch.sorted_by_start()
+        n = len(work)
+        pool = self._pools[0]
+        futures = [
+            pool.submit(
+                run_hint_chunk, work.st[sl], work.end[sl], strategy, mode
+            )
+            for sl in _chunks(n, self.workers)
+        ]
+        partials = [decode_result(f.result(), mode) for f in futures]
+        return _stitch(partials, work, n, mode)
+
+    def _dispatch_sharded(self, batch, strategy, mode) -> BatchResult:
+        """Route parent-side, run primaries on shard-pinned workers.
+
+        Only the HINT traversals cross the process boundary: routing,
+        the replica/spill probes (single vectorized ``searchsorted``
+        calls — cheaper than a round-trip) and the exact merge all stay
+        in the parent, reusing the sharded index's own helpers.
+        """
+        index = self._index
+        work, q_st, q_end, jobs = index._route(batch)
+        staged = []
+        for j, j0, j1, spill in jobs:
+            future = None
+            if j1 > j0:
+                sub = index._primary_local_batch(j, j0, j1, q_st, q_end)
+                future = self._pool_for_shard(j).submit(
+                    run_shard_primary, j, sub.st, sub.end, strategy, mode
+                )
+            staged.append((j, j0, j1, spill, future))
+        partials = []
+        for j, j0, j1, spill, future in staged:
+            primary = rep_ks = sp_ks = None
+            if future is not None:
+                primary = decode_result(future.result(), mode)
+                rep_ks = index._probe_replicas(j, j0, j1, q_st)
+            if spill.size:
+                sp_ks = index._probe_spills(j, spill, q_end)
+            partials.append((j, j0, j1, spill, primary, rep_ks, sp_ks))
+        return index._merge(partials, work, len(batch), mode)
+
+    def _pool_for_shard(self, j: int) -> ProcessPoolExecutor:
+        return self._pools[j % len(self._pools)]
+
+    def _ensure_processes(self) -> None:
+        """Start the arena and pools once; warm every worker's attach."""
+        with self._lock:
+            if self._procs_started or self._procs_broken or self._closed:
+                return
+            self._procs_started = True
+        try:
+            arena = SharedIndexArena(self._index)
+            pools: List[ProcessPoolExecutor] = []
+            warmups = []
+            if self._is_sharded and self.shard_affinity:
+                npools = min(self.workers, self._index.k)
+                for i in range(npools):
+                    pinned = list(range(i, self._index.k, npools))
+                    pool = ProcessPoolExecutor(
+                        max_workers=1,
+                        mp_context=self._mp_context,
+                        initializer=init_worker,
+                        initargs=(arena.manifest, pinned),
+                    )
+                    pools.append(pool)
+                    warmups.append(pool.submit(ping))
+            else:
+                pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=self._mp_context,
+                    initializer=init_worker,
+                    initargs=(arena.manifest, None),
+                )
+                pools.append(pool)
+                warmups.extend(pool.submit(ping) for _ in range(self.workers))
+            self._arena = arena
+            self._pools = pools
+            for future in warmups:
+                future.result()
+        except Exception as exc:
+            self._degrade(exc)
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Abandon the process backend permanently; keep serving."""
+        with self._lock:
+            if self._procs_broken:
+                return
+            self._procs_broken = True
+            pools, self._pools = self._pools, []
+        for pool in pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+        ob = obs.active()
+        if ob is not None:
+            ob.record_engine_fallback(type(exc).__name__)
+
+    def _threads(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-engine",
+                )
+            return self._thread_pool
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Drain in-flight batches, stop the pools, unlink the arena.
+
+        Blocks until every in-flight :meth:`execute` has finished (the
+        refcount the service's ``swap_index(..., close_old=True)`` path
+        relies on), then releases every resource the engine created.
+        The wrapped index is left untouched.  Idempotent.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            while self._inflight:
+                self._cond.wait()
+            pools, self._pools = self._pools, []
+            thread_pool, self._thread_pool = self._thread_pool, None
+            arena, self._arena = self._arena, None
+        for pool in pools:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if thread_pool is not None:
+            thread_pool.shutdown(wait=True)
+        if arena is not None:
+            arena.release()
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _stitch(partials, work: QueryBatch, n: int, mode: str) -> BatchResult:
+    """Reassemble per-chunk results (sorted order) into caller order.
+
+    Same contract as the tail of
+    :func:`~repro.core.parallel.parallel_batch`, operating on already
+    decoded per-chunk :class:`BatchResult`\\ s.
+    """
+    counts_sorted = np.concatenate([p.counts for p in partials])
+    counts = np.empty(n, dtype=np.int64)
+    counts[work.order] = counts_sorted
+    if mode == "count":
+        return BatchResult(counts)
+    if mode == "checksum":
+        sums_sorted = np.concatenate([p.checksums for p in partials])
+        sums = np.empty(n, dtype=np.int64)
+        sums[work.order] = sums_sorted
+        return BatchResult(counts, checksums=sums)
+    ids: List[np.ndarray] = [_EMPTY] * n
+    pos = 0
+    for partial in partials:
+        for i in range(len(partial)):
+            ids[int(work.order[pos])] = partial.ids(i)
+            pos += 1
+    return BatchResult(counts, ids)

@@ -1,0 +1,140 @@
+"""Worker-process side of the execution engine.
+
+Each process of an :class:`~repro.engine.ExecutionEngine` pool runs
+:func:`init_worker` exactly once (as the pool initializer): it attaches
+the shared-memory arena, rebuilds the index as numpy views over it, and
+parks both in module globals.  Per-batch tasks then only carry the
+chunk's query endpoint arrays plus ``(strategy, mode)`` — a few KB —
+and return the compact encodings below instead of
+:class:`~repro.core.result.BatchResult` objects (a Python list of
+per-query arrays pickles an object per query; three flat arrays pickle
+as three buffers).
+
+Everything here must stay importable under the ``spawn`` start method:
+module-level code only defines functions and constants, and all state
+lives in :data:`_STATE`, populated by the initializer.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.result import BatchResult
+from repro.core.strategies import run_strategy
+from repro.engine.arena import attach_index
+from repro.intervals.batch import QueryBatch
+
+__all__ = [
+    "init_worker",
+    "ping",
+    "run_hint_chunk",
+    "run_shard_primary",
+    "encode_result",
+    "decode_result",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+# Populated by init_worker; one arena attach per worker process, reused
+# for every task the worker ever runs.
+_STATE: Dict[str, object] = {"shm": None, "index": None, "shards": None}
+
+
+def init_worker(manifest: dict, pinned: Optional[List[int]] = None) -> None:
+    """Pool initializer: attach the arena once, keep views for life.
+
+    ``pinned`` restricts a sharded manifest to the shard numbers this
+    worker serves (shard-affinity pools); ``None`` attaches everything.
+    The segment mapping (``shm``) is parked alongside the views — the
+    worker never closes it; the OS reclaims the mapping at process exit
+    and only the owning process unlinks.
+    """
+    obj, shm = attach_index(manifest, shards=pinned)
+    _STATE["shm"] = shm
+    if manifest["kind"] == "hint":
+        _STATE["index"] = obj
+        _STATE["shards"] = None
+    elif pinned is None:
+        _STATE["index"] = obj  # a full ShardedHint
+        _STATE["shards"] = obj.shards
+    else:
+        _STATE["index"] = None
+        _STATE["shards"] = obj  # sparse list: _Shard at pinned slots
+
+
+def ping() -> int:
+    """Warm-up no-op; returns the worker pid (spawns + attaches eagerly)."""
+    return os.getpid()
+
+
+# --------------------------------------------------------------------- #
+# compact result encoding
+# --------------------------------------------------------------------- #
+
+
+def encode_result(result: BatchResult, mode: str) -> Tuple[np.ndarray, ...]:
+    """Flatten a chunk's :class:`BatchResult` into plain arrays.
+
+    ``count`` → ``(counts,)``; ``checksum`` → ``(counts, checksums)``;
+    ``ids`` → ``(counts, flat_ids, offsets)`` with query ``i`` of the
+    chunk owning ``flat_ids[offsets[i]:offsets[i+1]]``.
+    """
+    if mode == "count":
+        return (result.counts,)
+    if mode == "checksum":
+        return (result.counts, result.checksums)
+    n = len(result)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(result.counts, out=offsets[1:])
+    parts = [result.ids(i) for i in range(n)]
+    flat = np.concatenate(parts) if parts else _EMPTY
+    return (result.counts, flat, offsets)
+
+
+def decode_result(payload: Tuple[np.ndarray, ...], mode: str) -> BatchResult:
+    """Inverse of :func:`encode_result` (ids become zero-copy views)."""
+    if mode == "count":
+        return BatchResult(payload[0])
+    if mode == "checksum":
+        return BatchResult(payload[0], checksums=payload[1])
+    counts, flat, offsets = payload
+    ids = [
+        flat[int(offsets[i]) : int(offsets[i + 1])]
+        for i in range(counts.size)
+    ]
+    return BatchResult(counts, ids)
+
+
+# --------------------------------------------------------------------- #
+# task entry points (run in the worker process)
+# --------------------------------------------------------------------- #
+
+
+def run_hint_chunk(
+    st: np.ndarray, end: np.ndarray, strategy: str, mode: str
+) -> Tuple[np.ndarray, ...]:
+    """Execute one contiguous chunk of the sorted batch on the index."""
+    result = run_strategy(
+        strategy, _STATE["index"], QueryBatch(st, end), mode=mode
+    )
+    return encode_result(result, mode)
+
+
+def run_shard_primary(
+    j: int, st: np.ndarray, end: np.ndarray, strategy: str, mode: str
+) -> Tuple[np.ndarray, ...]:
+    """Execute shard *j*'s pre-clipped primary sub-batch.
+
+    The parent already routed the batch and clipped the slice into the
+    shard's local domain (:meth:`ShardedHint._primary_local_batch`);
+    replica/spill probes stay parent-side — they are single vectorized
+    ``searchsorted`` calls, cheaper than a round-trip.
+    """
+    shard = _STATE["shards"][j]
+    result = run_strategy(
+        strategy, shard.index, QueryBatch(st, end), mode=mode
+    )
+    return encode_result(result, mode)

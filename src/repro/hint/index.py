@@ -52,6 +52,13 @@ class HintIndex:
         :func:`repro.hint.cost.choose_m_model`.
     storage_optimized:
         Drop endpoint columns that query processing never reads.
+    precompute_aux:
+        Eagerly build the lazy per-table auxiliary arrays
+        (:attr:`~repro.hint.tables.SubdivisionTable.xor_prefix`) at the
+        end of the build.  Off by default — count-only workloads never
+        need them — but build paths feeding checksum-heavy serving (or
+        the shared-memory arena of :mod:`repro.engine`, which packs
+        them) should turn it on so no query thread pays the lazy build.
     debug_checks:
         Run the structural invariant validators
         (:func:`repro.verify.invariants.verify_index`) against the
@@ -74,6 +81,7 @@ class HintIndex:
         m: Optional[int] = None,
         *,
         storage_optimized: bool = True,
+        precompute_aux: bool = False,
         debug_checks: bool = False,
     ):
         if m is None:
@@ -97,6 +105,8 @@ class HintIndex:
         self.debug_checks = bool(debug_checks)
         self._domain_top = (1 << self.m) - 1
         self.levels: List[LevelData] = self._build(collection)
+        if precompute_aux:
+            self.precompute_aux()
         if self.debug_checks:
             # Imported here: repro.verify depends on this module.
             from repro.verify.invariants import verify_index
@@ -160,6 +170,18 @@ class HintIndex:
     def nbytes(self) -> int:
         """Approximate memory footprint of the level tables."""
         return sum(level.nbytes() for level in self.levels)
+
+    def precompute_aux(self) -> None:
+        """Eagerly build every table's lazy auxiliary arrays.
+
+        Build/attach paths call this when checksum-mode traffic is
+        expected (the service warm-up, the shared-memory arena pack in
+        :mod:`repro.engine`), so the per-table ``xor_prefix`` arrays are
+        materialized once, up front, instead of lazily — and racily —
+        on the first checksum flush.  Idempotent and thread-safe.
+        """
+        for level in self.levels:
+            level.precompute_aux()
 
     def level_histogram(self) -> Dict[int, int]:
         """Placements per level — shows where durations put intervals."""

@@ -17,13 +17,26 @@ import numpy as np
 from repro.hint.index import HintIndex
 from repro.hint.tables import LevelData, SubdivisionTable
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "CLASS_KEYS", "TABLE_COLUMNS"]
 
 PathLike = Union[str, pathlib.Path]
 
 FORMAT_VERSION = 1
-_CLASS_KEYS = ("o_in", "o_aft", "r_in", "r_aft")
-_COLUMNS = ("offsets", "ids", "st", "end", "comp")
+
+#: Systematic per-level table keys, in :meth:`LevelData.tables` order.
+#: Shared layout metadata: the ``.npz`` archive format here and the
+#: shared-memory arena manifest (:mod:`repro.engine.arena`) both
+#: enumerate a :class:`HintIndex`'s arrays through these constants, so
+#: the two serializations cannot drift.
+CLASS_KEYS = ("o_in", "o_aft", "r_in", "r_aft")
+
+#: Optional (nullable) array columns of a :class:`SubdivisionTable`, in
+#: addition to the always-present ``offsets``/``ids``.
+TABLE_COLUMNS = ("offsets", "ids", "st", "end", "comp")
+
+# Backwards-compatible private aliases (pre-engine internal names).
+_CLASS_KEYS = CLASS_KEYS
+_COLUMNS = TABLE_COLUMNS
 
 
 def save_index(index: HintIndex, path: PathLike) -> None:

@@ -32,6 +32,7 @@ R_aft  (unsorted)     never compared, ids only
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -48,6 +49,13 @@ from repro.hint.assignment import (
 __all__ = ["SubdivisionTable", "LevelData", "build_level_data"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+# One process-wide lock for lazy auxiliary-array builds.  Coarse on
+# purpose: each table builds its prefix exactly once, so contention is a
+# few microseconds per table over the whole process lifetime, and a
+# shared lock keeps SubdivisionTable a plain picklable dataclass (a
+# per-instance Lock field would not survive pickling).
+_AUX_LOCK = threading.Lock()
 
 
 @dataclass
@@ -78,13 +86,34 @@ class SubdivisionTable:
         ``ids[lo:hi]`` — it turns any row-range checksum into O(1),
         which keeps the checksum result mode as cheap as count mode for
         every comparison-free range.
+
+        Thread-safe via double-checked locking: concurrent first reads
+        (e.g. two pool workers hitting the same table in a checksum
+        flush) build the array exactly once and every caller observes
+        the same fully initialized object.  Callers that know they will
+        need it (index build, arena attach) should call
+        :meth:`precompute_aux` up front instead of racing here.
         """
-        if self._xor_prefix is None:
-            xp = np.zeros(self.ids.size + 1, dtype=np.int64)
-            if self.ids.size:
-                np.bitwise_xor.accumulate(self.ids, out=xp[1:])
-            self._xor_prefix = xp
-        return self._xor_prefix
+        xp = self._xor_prefix
+        if xp is None:
+            with _AUX_LOCK:
+                xp = self._xor_prefix
+                if xp is None:
+                    xp = np.zeros(self.ids.size + 1, dtype=np.int64)
+                    if self.ids.size:
+                        np.bitwise_xor.accumulate(self.ids, out=xp[1:])
+                    self._xor_prefix = xp
+        return xp
+
+    def precompute_aux(self) -> None:
+        """Eagerly build the lazy auxiliary arrays (:attr:`xor_prefix`).
+
+        Hook for build/attach paths that know checksum-mode traffic is
+        coming — pre-building under the shared lock means no query
+        thread ever pays the construction cost (or contends for the
+        build) on the hot path.  Idempotent and thread-safe.
+        """
+        self.xor_prefix  # noqa: B018 — double-checked lazy build
 
     @classmethod
     def empty(cls, num_partitions: int, key_bits: int = 0) -> "SubdivisionTable":
@@ -148,6 +177,11 @@ class LevelData:
 
     def nbytes(self) -> int:
         return sum(t.nbytes() for t in self.tables())
+
+    def precompute_aux(self) -> None:
+        """Eagerly build every table's auxiliary arrays."""
+        for table in self.tables():
+            table.precompute_aux()
 
     def describe(self) -> Dict[str, int]:
         return {name: len(t) for name, t in zip(CLASS_NAMES, self.tables())}

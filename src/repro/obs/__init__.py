@@ -94,6 +94,12 @@ SHARD_BATCHES = "repro_shard_batches_total"
 SHARD_QUERIES = "repro_shard_queries_total"
 SHARD_SPILL_QUERIES = "repro_shard_spill_queries_total"
 SHARD_BATCH_SECONDS = "repro_shard_batch_seconds"
+ENGINE_BATCHES = "repro_engine_batches_total"
+ENGINE_QUERIES = "repro_engine_queries_total"
+ENGINE_BATCH_SECONDS = "repro_engine_batch_seconds"
+ENGINE_FALLBACKS = "repro_engine_fallbacks_total"
+ENGINE_ARENA_BYTES = "repro_engine_arena_bytes"
+ENGINE_ARENA_SEGMENTS = "repro_engine_arena_segments"
 
 
 class ObsConfig:
@@ -324,6 +330,53 @@ class Observability:
             duration,
             attrs={"shard": int(shard), "queries": int(queries), "spill": int(spill)},
         )
+
+    def record_engine_batch(
+        self, backend: str, queries: int, duration: float
+    ) -> None:
+        """Per-batch accounting of one :class:`~repro.engine.
+        ExecutionEngine` execution, labelled by the backend that
+        actually ran it (``serial`` / ``threads`` / ``processes`` —
+        the *resolved* backend, so an ``auto`` engine's policy mix is
+        directly visible)."""
+        labels = {"backend": backend}
+        self.registry.counter(
+            ENGINE_BATCHES,
+            labels=labels,
+            help="Batches executed by the execution engine, by backend.",
+        ).inc()
+        self.registry.counter(
+            ENGINE_QUERIES,
+            labels=labels,
+            help="Queries executed by the execution engine, by backend.",
+        ).inc(int(queries))
+        self.registry.histogram(
+            ENGINE_BATCH_SECONDS,
+            buckets=LATENCY_BUCKETS,
+            labels=labels,
+            help="End-to-end engine batch latency, by backend.",
+        ).observe(duration)
+
+    def record_engine_fallback(self, reason: str) -> None:
+        """The engine abandoned its process pool mid-dispatch (worker
+        crash, injected fault) and degraded to in-process execution."""
+        self.registry.counter(
+            ENGINE_FALLBACKS,
+            labels={"reason": reason},
+            help="Process-backend dispatches degraded to in-process "
+            "execution, by failure reason.",
+        ).inc()
+
+    def record_engine_arena(self, nbytes: int, segments: int) -> None:
+        """Current shared-memory arena footprint of live engines."""
+        self.registry.gauge(
+            ENGINE_ARENA_BYTES,
+            help="Bytes currently held in shared-memory index arenas.",
+        ).inc(nbytes)
+        self.registry.gauge(
+            ENGINE_ARENA_SEGMENTS,
+            help="Live shared-memory segments backing index arenas.",
+        ).inc(segments)
 
     def record_fault(self, site: str, action: str) -> None:
         self.registry.counter(

@@ -38,7 +38,7 @@ from typing import Callable, List, Optional
 
 import repro.obs as obs
 from repro.analysis.service_stats import ServiceMetrics
-from repro.core.parallel import parallel_batch
+from repro.core.parallel import parallel_batch, resolve_workers
 from repro.core.result import MODES
 from repro.core.strategies import STRATEGIES, run_strategy
 from repro.intervals.batch import QueryBatch
@@ -111,7 +111,11 @@ class BatchingQueryService:
         :func:`~repro.core.parallel.parallel_batch` with *workers*
         threads; ``None`` disables parallel execution.
     workers:
-        Thread count for parallel flushes.
+        Thread count for parallel flushes.  ``None`` (the default)
+        resolves to ``os.cpu_count()`` (at least 1) via
+        :func:`~repro.core.parallel.resolve_workers` — the same
+        machine-derived convention :class:`~repro.shard.ShardedHint`
+        uses for its pool.
     metrics:
         Optional externally owned :class:`ServiceMetrics` (a fresh one
         is created by default and exposed as :attr:`metrics`).
@@ -149,7 +153,7 @@ class BatchingQueryService:
         max_queue: int = 8192,
         backpressure: str = "block",
         parallel_threshold: Optional[int] = None,
-        workers: int = 4,
+        workers: Optional[int] = None,
         metrics: Optional[ServiceMetrics] = None,
         clock: Callable[[], float] = time.monotonic,
         fault_plan: Optional[FaultPlan] = None,
@@ -173,8 +177,7 @@ class BatchingQueryService:
             )
         if parallel_threshold is not None and parallel_threshold < 1:
             raise ValueError("parallel_threshold must be positive (or None)")
-        if workers < 1:
-            raise ValueError("workers must be positive")
+        workers = resolve_workers(workers)
         self._index = index
         self.strategy = strategy
         self.mode = mode
@@ -251,7 +254,7 @@ class BatchingQueryService:
         """The currently installed index."""
         return self._index
 
-    def swap_index(self, new_index):
+    def swap_index(self, new_index, *, close_old: bool = False):
         """Atomically install *new_index*; returns the replaced index.
 
         The flusher snapshots the index reference once per flush, so a
@@ -260,20 +263,32 @@ class BatchingQueryService:
         :class:`~repro.hint.dynamic.DynamicHint` rebuild, or any index
         rebuilt offline, under live traffic.  In-flight flushes finish
         on the index they started with.
+
+        With ``close_old=True`` the replaced backend's ``close()`` is
+        called (when it has one) after the swap and the result is still
+        returned.  For an installed
+        :class:`~repro.engine.ExecutionEngine` this is the resource
+        contract: its ``close()`` waits for the in-flight flush to
+        drain, then shuts its pools down and unlinks its shared-memory
+        arena — swapping an engine out can never leak a segment.
         """
         ob = obs.active()
         if ob is None:
-            return self._swap_inner(new_index)
+            return self._swap_inner(new_index, close_old)
         with ob.span("service.swap_index"):
-            return self._swap_inner(new_index)
+            return self._swap_inner(new_index, close_old)
 
-    def _swap_inner(self, new_index):
+    def _swap_inner(self, new_index, close_old: bool = False):
         if self._fault_plan is not None:
             # Fires before the swap: an injected failure leaves the old
             # index installed and the swap counter untouched.
             self._fault_plan.fire(SITE_SWAP)
         old, self._index = self._index, new_index
         self.metrics.record_swap()
+        if close_old:
+            close = getattr(old, "close", None)
+            if close is not None:
+                close()
         return old
 
     # ------------------------------------------------------------------ #

@@ -81,9 +81,6 @@ def load_sharded(path: PathLike, *, workers=None) -> ShardedHint:
         shard archives — the same diagnose-up-front contract as
         :func:`~repro.hint.persist.load_index`.
     """
-    import os
-    import threading
-
     root = pathlib.Path(path)
     manifest_path = root / MANIFEST_NAME
     if not manifest_path.is_file():
@@ -122,20 +119,6 @@ def load_sharded(path: PathLike, *, workers=None) -> ShardedHint:
             f"{', '.join(absent)}"
         )
 
-    sharded = ShardedHint.__new__(ShardedHint)
-    sharded.m = int(manifest["m"])
-    sharded.k = k
-    sharded.num_intervals = int(manifest["num_intervals"])
-    sharded.storage_optimized = bool(manifest.get("storage_optimized", True))
-    sharded.debug_checks = False
-    sharded._domain_top = (1 << sharded.m) - 1
-    sharded.cuts = cuts
-    sharded._validate_cuts(cuts)
-    if workers is None:
-        workers = min(k, os.cpu_count() or 1)
-    sharded.workers = int(workers)
-    sharded._pool = None
-    sharded._pool_lock = threading.Lock()
     shards = []
     with np.load(root / REPLICAS_NAME) as replicas:
         for j, entry in enumerate(entries):
@@ -154,5 +137,11 @@ def load_sharded(path: PathLike, *, workers=None) -> ShardedHint:
                     np.asarray(rep_ids, dtype=np.int64),
                 )
             )
-    sharded.shards = shards
-    return sharded
+    return ShardedHint.from_shards(
+        shards,
+        m=int(manifest["m"]),
+        cuts=cuts,
+        num_intervals=int(manifest["num_intervals"]),
+        storage_optimized=bool(manifest.get("storage_optimized", True)),
+        workers=workers,
+    )

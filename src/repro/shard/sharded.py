@@ -123,6 +123,38 @@ class _Shard:
         "orig_xor_prefix",
     )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        lo: int,
+        hi: int,
+        index: HintIndex,
+        rep_end: np.ndarray,
+        rep_ids: np.ndarray,
+        rep_xor_suffix: np.ndarray,
+        orig_st: np.ndarray,
+        orig_ids: np.ndarray,
+        orig_xor_prefix: np.ndarray,
+    ) -> "_Shard":
+        """Assemble a shard from prebuilt side tables without copying.
+
+        Reconstruction path (shared-memory attach, future re-sharding):
+        the caller supplies the derived arrays instead of having
+        ``__init__`` recompute them from ``index.as_collection()``,
+        which would allocate fresh copies and defeat zero-copy sharing.
+        """
+        shard = cls.__new__(cls)
+        shard.lo = int(lo)
+        shard.hi = int(hi)
+        shard.index = index
+        shard.rep_end = rep_end
+        shard.rep_ids = rep_ids
+        shard.rep_xor_suffix = rep_xor_suffix
+        shard.orig_st = orig_st
+        shard.orig_ids = orig_ids
+        shard.orig_xor_prefix = orig_xor_prefix
+        return shard
+
     def __init__(
         self,
         lo: int,
@@ -371,6 +403,54 @@ class ShardedHint:
     def nbytes(self) -> int:
         return sum(s.nbytes() for s in self.shards)
 
+    def precompute_aux(self) -> None:
+        """Eagerly build every per-shard index's lazy auxiliary arrays.
+
+        The shard side tables (replica/original XOR prefixes) are always
+        materialized at build; this extends the same eagerness to the
+        per-shard HINT tables' ``xor_prefix`` — called by checksum-heavy
+        warm-up paths and the shared-memory arena pack.
+        """
+        for shard in self.shards:
+            shard.index.precompute_aux()
+
+    @classmethod
+    def from_shards(
+        cls,
+        shards: List[_Shard],
+        *,
+        m: int,
+        cuts: np.ndarray,
+        num_intervals: int,
+        storage_optimized: bool = True,
+        workers: Optional[int] = None,
+    ) -> "ShardedHint":
+        """Assemble an instance from prebuilt shards without rebuilding.
+
+        Reconstruction path shared by persistence
+        (:func:`~repro.shard.persist.load_sharded`) and the
+        shared-memory arena attach in :mod:`repro.engine` — no
+        collection pass, no copies, cuts validated.
+        """
+        sharded = cls.__new__(cls)
+        sharded.m = int(m)
+        sharded.k = len(shards)
+        sharded.num_intervals = int(num_intervals)
+        sharded.storage_optimized = bool(storage_optimized)
+        sharded.debug_checks = False
+        sharded._domain_top = (1 << sharded.m) - 1
+        sharded.cuts = np.asarray(cuts, dtype=np.int64)
+        sharded._validate_cuts(sharded.cuts)
+        if workers is None:
+            workers = min(sharded.k, os.cpu_count() or 1)
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        sharded.workers = int(workers)
+        sharded._pool = None
+        sharded._pool_lock = threading.Lock()
+        sharded.shards = list(shards)
+        return sharded
+
     def shard_histogram(self) -> dict:
         """Per shard: (originals, replicas) — where the data landed."""
         return {
@@ -417,10 +497,16 @@ class ShardedHint:
         ):
             return self._execute_inner(batch, strategy, mode, executor, ob)
 
-    def _execute_inner(
-        self, batch: QueryBatch, strategy: str, mode: str, executor, ob
-    ) -> BatchResult:
-        n = len(batch)
+    def _route(self, batch: QueryBatch):
+        """Sort and route *batch*: ``(work, q_st, q_end, jobs)``.
+
+        ``jobs`` is one ``(j, j0, j1, spill)`` tuple per shard with any
+        work: primary queries occupy the contiguous slice ``j0:j1`` of
+        the sorted batch, ``spill`` indexes its boundary-spanning
+        fan-ins.  Shared by the in-process path below and the
+        process-parallel engine (:mod:`repro.engine`), which dispatches
+        the same jobs to pinned worker processes.
+        """
         work = batch.sorted_by_start()
         q_st = np.clip(work.st, 0, self._domain_top)
         q_end = np.clip(work.end, 0, self._domain_top)
@@ -439,6 +525,51 @@ class ShardedHint:
             spill = np.flatnonzero((f_sh[:j0] < j) & (l_sh[:j0] >= j))
             if j1 > j0 or spill.size:
                 jobs.append((j, j0, j1, spill))
+        return work, q_st, q_end, jobs
+
+    def _primary_local_batch(self, j, j0, j1, q_st, q_end) -> QueryBatch:
+        """Shard *j*'s primary slice clipped into its local domain.
+
+        With local top > max(end) the clip is exact: an ``st <= q.end``
+        test already true at the top stays true, and a clipped ``q.st``
+        above every end still rejects everything.
+        """
+        shard = self.shards[j]
+        ltop = (1 << shard.index.m) - 1
+        return QueryBatch(
+            np.minimum(q_st[j0:j1] - shard.lo, ltop),
+            np.minimum(np.minimum(q_end[j0:j1], shard.hi) - shard.lo, ltop),
+        )
+
+    def _probe_replicas(self, j, j0, j1, q_st) -> Optional[np.ndarray]:
+        """Replica-suffix cut per primary query of shard *j* (or None).
+
+        Replicas cross the shard's lower boundary, so for a query
+        starting here the only live test is ``s.end >= q.st`` — a
+        suffix of the end-sorted table.
+        """
+        shard = self.shards[j]
+        if not shard.rep_end.size:
+            return None
+        return np.searchsorted(shard.rep_end, q_st[j0:j1], side="left")
+
+    def _probe_spills(self, j, spill, q_end) -> Optional[np.ndarray]:
+        """Originals-prefix cut per fanned-in query of shard *j*.
+
+        Fanned-out queries enter from the left boundary: locally they
+        are prefix queries ``[0, e]``, matching exactly the originals
+        with ``st <= e`` — one searchsorted against the start-sorted
+        originals, no HINT traversal.
+        """
+        shard = self.shards[j]
+        e_local = np.minimum(q_end[spill], shard.hi) - shard.lo
+        return np.searchsorted(shard.orig_st, e_local, side="right")
+
+    def _execute_inner(
+        self, batch: QueryBatch, strategy: str, mode: str, executor, ob
+    ) -> BatchResult:
+        n = len(batch)
+        work, q_st, q_end, jobs = self._route(batch)
 
         def run(job):
             j, j0, j1, spill = job
@@ -465,31 +596,13 @@ class ShardedHint:
         Runs on a worker thread; returns contributions only — all
         merging happens on the calling thread.
         """
-        shard = self.shards[j]
         primary = rep_ks = sp_ks = None
         if j1 > j0:
-            # Clip into the (occupied-range normalized) local domain.
-            # With local top > max(end) this is exact: an ``st <= q.end``
-            # test already true at the top stays true, and a clipped
-            # ``q.st`` above every end still rejects everything.
-            ltop = (1 << shard.index.m) - 1
-            sub = QueryBatch(
-                np.minimum(q_st[j0:j1] - shard.lo, ltop),
-                np.minimum(np.minimum(q_end[j0:j1], shard.hi) - shard.lo, ltop),
-            )
-            primary = run_strategy(strategy, shard.index, sub, mode=mode)
-            if shard.rep_end.size:
-                # Replicas cross the shard's lower boundary, so for a
-                # query starting here the only live test is
-                # ``s.end >= q.st`` — a suffix of the end-sorted table.
-                rep_ks = np.searchsorted(shard.rep_end, q_st[j0:j1], side="left")
+            sub = self._primary_local_batch(j, j0, j1, q_st, q_end)
+            primary = run_strategy(strategy, self.shards[j].index, sub, mode=mode)
+            rep_ks = self._probe_replicas(j, j0, j1, q_st)
         if spill.size:
-            # Fanned-out queries enter from the left boundary: locally
-            # they are prefix queries ``[0, e]``, matching exactly the
-            # originals with ``st <= e`` — one searchsorted against the
-            # start-sorted originals, no HINT traversal.
-            e_local = np.minimum(q_end[spill], shard.hi) - shard.lo
-            sp_ks = np.searchsorted(shard.orig_st, e_local, side="right")
+            sp_ks = self._probe_spills(j, spill, q_end)
         return (j, j0, j1, spill, primary, rep_ks, sp_ks)
 
     def _merge(self, partials, work, n, mode) -> BatchResult:

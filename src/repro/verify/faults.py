@@ -34,6 +34,7 @@ __all__ = [
     "FaultRule",
     "InjectedFault",
     "SITES",
+    "SITE_DISPATCH",
     "SITE_FLUSH",
     "SITE_REBUILD",
     "SITE_STRATEGY",
@@ -48,9 +49,13 @@ SITE_FLUSH = "service.flush"
 SITE_SWAP = "service.swap_index"
 #: :class:`~repro.hint.dynamic.DynamicHint` is about to merge-and-rebuild.
 SITE_REBUILD = "dynamic.rebuild"
+#: :class:`~repro.engine.ExecutionEngine` is about to dispatch a batch
+#: to its process pool (fired only on the process-backend path; an
+#: injected failure exercises the degrade-to-in-process fallback).
+SITE_DISPATCH = "engine.dispatch"
 
 #: All injection sites wired into the production code.
-SITES = (SITE_STRATEGY, SITE_FLUSH, SITE_SWAP, SITE_REBUILD)
+SITES = (SITE_STRATEGY, SITE_FLUSH, SITE_SWAP, SITE_REBUILD, SITE_DISPATCH)
 
 #: Supported fault actions.
 ACTIONS = ("raise", "delay")

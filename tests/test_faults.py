@@ -77,6 +77,7 @@ class TestFaultRuleValidation:
             "service.flush",
             "service.swap_index",
             "dynamic.rebuild",
+            "engine.dispatch",
         }
         assert ACTIONS == ("raise", "delay")
 

@@ -161,3 +161,43 @@ def test_invalid_inputs(small_index):
         parallel_batch(small_index, batch, workers=0)
     with pytest.raises(ValueError):
         parallel_batch(small_index, batch, strategy="bogus")
+
+
+class TestResolveWorkers:
+    """``workers=None`` derives the count from the machine (satellite of
+    the execution-engine issue: a hard default of 4 ignored both small
+    and large machines, and ``None`` crashed)."""
+
+    def test_none_resolves_to_cpu_count(self):
+        import os
+
+        from repro.core.parallel import resolve_workers
+
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_values_pass_through(self):
+        from repro.core.parallel import resolve_workers
+
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    def test_invalid_values_rejected(self):
+        from repro.core.parallel import resolve_workers
+
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(0)
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(-3)
+
+    @pytest.mark.parametrize("mode", ["count", "checksum", "ids"])
+    def test_parallel_batch_accepts_none(self, rng, mode):
+        from repro import run_strategy
+
+        m = 8
+        top = (1 << m) - 1
+        coll = random_collection(rng, 400, top)
+        index = HintIndex(coll, m=m)
+        batch = random_batch(rng, 64, top)
+        expected = run_strategy("partition-based", index, batch, mode=mode)
+        assert parallel_batch(index, batch, workers=None, mode=mode) == expected

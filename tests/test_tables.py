@@ -152,3 +152,71 @@ class TestBuildLevelData:
         placements = assign_collection(6, index_st := st.astype(np.int64), end.astype(np.int64))
         for level, (rows, parts, classes) in placements.items():
             assert index.levels[level].total() == rows.size
+
+
+class TestXorPrefixConcurrency:
+    """The lazy ``xor_prefix`` build must be race-free (engine satellite).
+
+    The old unlocked code let concurrent first readers each build and
+    publish their own array: callers could hold *different* objects for
+    the same table (so identity-based caching and zero-copy view
+    sharing break), with the last publisher silently discarding the
+    others.  The double-checked-locking rewrite guarantees exactly one
+    build, fully initialized before publication.
+    """
+
+    def _fresh_table(self, n=50_000):
+        rng = np.random.default_rng(99)
+        ids = rng.integers(0, 1 << 40, size=n)
+        return SubdivisionTable(
+            offsets=np.array([0, n], dtype=np.int64),
+            ids=ids.astype(np.int64),
+            st=None,
+            end=None,
+        )
+
+    def test_eight_thread_hammer_single_build(self):
+        import threading
+
+        for _ in range(20):  # 20 fresh races
+            table = self._fresh_table()
+            expected = np.zeros(table.ids.size + 1, dtype=np.int64)
+            np.bitwise_xor.accumulate(table.ids, out=expected[1:])
+            barrier = threading.Barrier(8)
+            seen = []
+            lock = threading.Lock()
+
+            def probe():
+                barrier.wait()
+                xp = table.xor_prefix
+                with lock:
+                    seen.append(xp)
+
+            threads = [threading.Thread(target=probe) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # Every thread observed the same fully built object.
+            assert all(xp is seen[0] for xp in seen)
+            assert np.array_equal(seen[0], expected)
+
+    def test_precompute_aux_idempotent(self):
+        table = self._fresh_table(1000)
+        table.precompute_aux()
+        first = table.xor_prefix
+        table.precompute_aux()
+        assert table.xor_prefix is first
+
+    def test_precompute_aux_walks_every_table(self):
+        index = build_index([(0, 15), (2, 5), (5, 9), (12, 13)], m=4)
+        index.precompute_aux()
+        for data in index.levels:
+            for table in data.tables():
+                assert table._xor_prefix is not None
+
+    def test_build_flag_precomputes(self):
+        index = build_index([(0, 15), (2, 5)], m=4, precompute_aux=True)
+        for data in index.levels:
+            for table in data.tables():
+                assert table._xor_prefix is not None
