@@ -6,7 +6,7 @@
 
 PYENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test verify bench bench-service obs-smoke shard-smoke engine-smoke bench-shard bench-engine experiments examples serve-sim clean
+.PHONY: install test verify bench bench-service obs-smoke shard-smoke engine-smoke cache-smoke bench-shard bench-engine bench-cache experiments examples serve-sim clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -46,6 +46,16 @@ engine-smoke:
 	segs = f(); \
 	raise SystemExit(f'leaked shared-memory segments: {segs}' if segs else 0)"
 
+# Cache smoke: a reduced differential sweep of the caching executor
+# (cached == uncached for every backend × strategy × mode) plus the
+# stateful machine covering live mutation, eviction and the
+# cache.invalidate fault site (docs/caching.md).
+cache-smoke:
+	REPRO_CACHE_TRIALS=40 $(PYENV) python -m pytest -x -q \
+		tests/test_cache_differential.py tests/test_cache_stateful.py
+	$(PYENV) python -m repro.cli cache-sim --cardinality 5000 --m 12 \
+		--batch 256 --batches 4 --universe 512 --skew 1.2 --repeat 1
+
 # Shard-count scaling sweep on the default synthetic workload; records
 # results/shard-scaling.csv (uploaded as a CI artifact).
 bench-shard:
@@ -56,6 +66,11 @@ bench-shard:
 # results/process-scaling.csv (uploaded as a CI artifact).
 bench-engine:
 	$(PYENV) python benchmarks/bench_process_scaling.py --out results/process-scaling.csv
+
+# Result-cache hit-rate/throughput sweep over Zipfian query streams;
+# records results/cache.csv (uploaded as a CI artifact).
+bench-cache:
+	$(PYENV) python benchmarks/bench_cache.py --out results/cache.csv
 
 experiments:
 	$(PYENV) python -m repro.experiments all --csv results/ --repeats 3

@@ -36,7 +36,12 @@ The package provides:
   process-parallel execution engine: the built index packed once into
   a shared-memory arena, persistent worker processes attaching
   zero-copy views, serial/threads/processes/auto backends behind the
-  same ``execute`` surface (see ``docs/parallelism.md``).
+  same ``execute`` surface (see ``docs/parallelism.md``);
+* :mod:`repro.cache` — :class:`~repro.cache.CachingExecutor`, the live
+  result/partition cache in front of any backend (LRU byte budget,
+  never-stale invalidation against :class:`~repro.hint.DynamicHint`
+  mutations), plus :class:`~repro.cache.AffinityFlushPolicy`, the
+  data-driven flush selector for the service (see ``docs/caching.md``).
 
 Quickstart
 ----------
@@ -103,6 +108,7 @@ from repro.verify import (
 )
 from repro.shard import ShardedHint, load_sharded, save_sharded
 from repro.engine import ExecutionEngine
+from repro.cache import AffinityFlushPolicy, CachingExecutor, ResultCache
 
 __version__ = "1.0.0"
 
@@ -151,5 +157,8 @@ __all__ = [
     "save_sharded",
     "load_sharded",
     "ExecutionEngine",
+    "CachingExecutor",
+    "AffinityFlushPolicy",
+    "ResultCache",
     "__version__",
 ]

@@ -1,0 +1,452 @@
+"""The caching execution front end.
+
+:class:`CachingExecutor` wraps any backend that the
+:class:`~repro.service.BatchingQueryService` can install — a
+:class:`~repro.hint.index.HintIndex`, a
+:class:`~repro.hint.dynamic.DynamicHint`, a
+:class:`~repro.shard.ShardedHint`, an
+:class:`~repro.engine.ExecutionEngine`, anything with the
+``run_strategy``-shaped ``execute()`` surface — and answers repeated
+queries from a two-tier cache:
+
+* the **result tier** (:class:`~repro.cache.result.ResultCache`) holds
+  exact per-query answers keyed by the normalized query and result mode;
+* the optional **partition tier**
+  (:class:`~repro.cache.partition.PartitionProbeCache`) memoizes
+  per-partition comparison probes for plain :class:`HintIndex` backends,
+  so even *novel* queries anchored at hot partitions with previously
+  seen endpoints skip probe work.
+
+Invalidation contract
+---------------------
+
+The executor may never serve a stale answer.  Backends are classified by
+mutability:
+
+* immutable backends (``HintIndex``, ``ShardedHint``,
+  ``ExecutionEngine``) never invalidate — entries live until evicted or
+  the backend is replaced;
+* a mutable :class:`DynamicHint` exposes a monotonic
+  :attr:`~repro.hint.dynamic.DynamicHint.cache_version` plus a bounded
+  mutation log.  Before every batch the executor compares versions; on a
+  change it asks for the mutation deltas and **selectively** drops only
+  cached queries overlapping a mutated interval.  When the deltas are
+  unavailable (log overflow) — or when the selective pass itself fails
+  (the :data:`~repro.verify.faults.SITE_CACHE_INVALIDATE` injection
+  site) — the executor degrades to a **full flush**: strictly more
+  invalidation than needed, never less, so a failed invalidation can
+  produce extra misses but never a wrong answer;
+* replacing the backend (:meth:`swap_backend`, or installing a fresh
+  executor through ``service.swap_index``) always flushes both tiers.
+
+``DynamicHint`` rebuilds (``_rebuild``/``compact``) do *not* bump the
+content version — a merge-and-rebuild changes the physical layout but
+not one query answer — which is itself proven by the stateful cache
+machine (``tests/test_cache_stateful.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+import repro.obs as obs
+from repro.cache.partition import PartitionProbeCache, partition_cached_execute
+from repro.cache.result import ResultCache
+from repro.core.result import MODES, BatchResult
+from repro.core.strategies import STRATEGIES, run_strategy
+from repro.hint.dynamic import DynamicHint
+from repro.intervals.batch import QueryBatch
+from repro.verify.faults import SITE_CACHE_INVALIDATE, FaultPlan
+
+__all__ = ["CachingExecutor", "CacheCounters"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.setflags(write=False)
+
+
+@dataclass(frozen=True)
+class CacheCounters:
+    """Point-in-time cache statistics (see :meth:`CachingExecutor.stats`)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidated_entries: int
+    invalidation_flushes: int
+    bytes_resident: int
+    entries: int
+    partition_hits: int
+    partition_misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachingExecutor:
+    """Result/partition cache in front of an execution backend.
+
+    Parameters
+    ----------
+    backend:
+        The wrapped index/executor.  Self-executing backends (those with
+        an ``execute`` method) are delegated to as-is; a plain
+        :class:`HintIndex` runs through
+        :func:`~repro.core.strategies.run_strategy` (or the
+        partition-cached path); a :class:`DynamicHint` is served through
+        its single-query API so mutations are always visible.
+    max_bytes / max_entries:
+        Result-tier residency budgets (see :class:`ResultCache`).
+    partition_tier:
+        Enable the partition probe cache.  Only effective for plain
+        :class:`HintIndex` backends (the only backend whose partitions
+        the executor can probe directly); ignored otherwise.
+    partition_max_entries:
+        Probe-cache entry bound.
+    fault_plan:
+        Optional :class:`~repro.verify.faults.FaultPlan`; the
+        :data:`~repro.verify.faults.SITE_CACHE_INVALIDATE` site fires at
+        the start of every selective invalidation pass, and an injected
+        failure degrades that pass to a full flush.  The attribute is
+        public and may be re-armed between batches (tests do).
+
+    Examples
+    --------
+    >>> from repro import HintIndex, IntervalCollection, QueryBatch
+    >>> from repro.cache import CachingExecutor
+    >>> index = HintIndex(IntervalCollection.from_pairs([(2, 5), (4, 9)]), m=4)
+    >>> cached = CachingExecutor(index)
+    >>> batch = QueryBatch([0, 8], [3, 12])
+    >>> cached.execute(batch).counts.tolist()
+    [1, 1]
+    >>> cached.execute(batch).counts.tolist()  # served from cache
+    [1, 1]
+    >>> cached.stats().hits
+    2
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        max_bytes: int = 64 << 20,
+        max_entries: Optional[int] = None,
+        partition_tier: bool = False,
+        partition_max_entries: int = 1 << 16,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        self._lock = threading.RLock()
+        self._results = ResultCache(max_bytes, max_entries)
+        self._pcache = (
+            PartitionProbeCache(partition_max_entries) if partition_tier else None
+        )
+        self.fault_plan = fault_plan
+        self._hits = 0
+        self._misses = 0
+        self._invalidated = 0
+        self._flushes = 0
+        self._install(backend)
+
+    # ------------------------------------------------------------------ #
+    # backend management
+    # ------------------------------------------------------------------ #
+
+    def _install(self, backend) -> None:
+        self._backend = backend
+        if isinstance(backend, DynamicHint):
+            self._kind = "dynamic"
+        elif hasattr(backend, "execute"):
+            self._kind = "execute"
+        elif hasattr(backend, "levels") and hasattr(backend, "m"):
+            self._kind = "index"
+        else:
+            raise TypeError(
+                "backend must be a DynamicHint, expose execute(), or be a "
+                f"HintIndex-like object; got {type(backend).__name__}"
+            )
+        self._seen_version = getattr(backend, "cache_version", 0)
+        self._top = self._resolve_top(backend)
+
+    @staticmethod
+    def _resolve_top(backend) -> Optional[int]:
+        for obj in (backend, getattr(backend, "_index", None)):
+            if obj is None:
+                continue
+            top = getattr(obj, "_domain_top", None)
+            if top is not None:
+                return int(top)
+            m = getattr(obj, "m", None)
+            if m is not None:
+                return (1 << int(m)) - 1
+        return None
+
+    @property
+    def backend(self):
+        """The currently wrapped backend."""
+        return self._backend
+
+    def swap_backend(self, new_backend, *, close_old: bool = False):
+        """Install *new_backend*; flushes both tiers; returns the old one.
+
+        The cache-preserving counterpart of
+        ``service.swap_index(CachingExecutor(...))`` — use it when the
+        executor itself stays installed and only the index underneath
+        changes (e.g. after an offline rebuild).
+        """
+        with self._lock:
+            old = self._backend
+            self._flush_all()
+            self._install(new_backend)
+        if close_old:
+            close = getattr(old, "close", None)
+            if close is not None:
+                close()
+        return old
+
+    def close(self) -> None:
+        """Close the wrapped backend (when it is closable)."""
+        close = getattr(self._backend, "close", None)
+        if close is not None:
+            close()
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+
+    def _flush_all(self) -> None:
+        self._invalidated += self._results.clear()
+        if self._pcache is not None:
+            self._invalidated += self._pcache.clear()
+        self._flushes += 1
+
+    def invalidate(self, lo: Optional[int] = None, hi: Optional[int] = None) -> None:
+        """Drop cached results overlapping ``[lo, hi]`` (or everything).
+
+        The selective pass fires the ``cache.invalidate`` fault site; a
+        failure degrades to a full flush — never a stale entry.
+        """
+        with self._lock:
+            if lo is None or hi is None:
+                self._flush_all()
+                return
+            self._apply_regions([(int(lo), int(hi))])
+
+    def _apply_regions(self, regions) -> None:
+        """Selective drop with the degrade-to-flush contract."""
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.fire(SITE_CACHE_INVALIDATE)
+            if regions is None:
+                raise RuntimeError("mutation deltas unavailable")
+            self._invalidated += self._results.drop_overlapping(regions)
+            # Probe answers depend on physical partition contents, which
+            # any mutation may reshape; the partition tier is never used
+            # for mutable backends, but clear defensively anyway.
+            if self._pcache is not None:
+                self._invalidated += self._pcache.clear()
+        except Exception:
+            self._flush_all()
+
+    def _maybe_invalidate(self) -> None:
+        version = getattr(self._backend, "cache_version", None)
+        if version is None or version == self._seen_version:
+            return
+        regions = None
+        dirty_since = getattr(self._backend, "dirty_since", None)
+        if dirty_since is not None:
+            regions = dirty_since(self._seen_version)
+        self._apply_regions(regions)
+        self._seen_version = version
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        batch: QueryBatch,
+        *,
+        strategy: str = "partition-based",
+        mode: str = "count",
+    ) -> BatchResult:
+        """Evaluate *batch*; results in caller order, hits served cached.
+
+        Mirrors :func:`~repro.core.strategies.run_strategy` — same
+        strategy names, same result modes, same ordering contract — so
+        the executor installs into a
+        :class:`~repro.service.BatchingQueryService` via ``swap_index``
+        with zero call-site changes, exactly like
+        :class:`~repro.shard.ShardedHint` and
+        :class:`~repro.engine.ExecutionEngine`.
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; available: {sorted(STRATEGIES)}"
+            )
+        if mode not in MODES:
+            raise ValueError(
+                f"unknown result mode {mode!r}; expected one of {MODES}"
+            )
+        n = len(batch)
+        if n == 0:
+            return BatchResult.empty(mode)
+        ob = obs.active()
+        if ob is None:
+            return self._execute_inner(batch, strategy, mode, None)
+        with ob.span(
+            "cache.execute", strategy=strategy, queries=n, mode=mode
+        ) as sp:
+            result = self._execute_inner(batch, strategy, mode, ob)
+            sp.attrs["entries"] = len(self._results)
+            return result
+
+    def _execute_inner(self, batch, strategy, mode, ob) -> BatchResult:
+        n = len(batch)
+        with self._lock:
+            pre = (self._hits, self._misses, self._results.evictions,
+                   self._invalidated, self._flushes)
+            self._maybe_invalidate()
+            if self._top is not None:
+                q_st = np.clip(batch.st, 0, self._top)
+                q_end = np.clip(batch.end, 0, self._top)
+            else:
+                q_st, q_end = batch.st, batch.end
+            st_list = q_st.tolist()
+            end_list = q_end.tolist()
+            payloads: List = [None] * n
+            miss_keys: List[Tuple[int, int]] = []
+            miss_positions: dict = {}
+            for pos in range(n):
+                key = (st_list[pos], end_list[pos], mode)
+                payload = self._results.get(key)
+                if payload is not None:
+                    payloads[pos] = payload
+                    self._hits += 1
+                    continue
+                qkey = (st_list[pos], end_list[pos])
+                if qkey in miss_positions:
+                    # Within-batch duplicate of a missed query: answered
+                    # from that miss's shared execution, no extra
+                    # backend work — counted as a hit.
+                    self._hits += 1
+                    miss_positions[qkey].append(pos)
+                else:
+                    self._misses += 1
+                    miss_positions[qkey] = [pos]
+                    miss_keys.append(qkey)
+            if miss_keys:
+                sub = QueryBatch(
+                    [k[0] for k in miss_keys], [k[1] for k in miss_keys]
+                )
+                miss_result = self._execute_misses(sub, strategy, mode)
+                for i, qkey in enumerate(miss_keys):
+                    payload = self._payload_of(miss_result, i, mode)
+                    self._results.put((qkey[0], qkey[1], mode), payload)
+                    for pos in miss_positions[qkey]:
+                        payloads[pos] = payload
+            result = self._assemble(payloads, batch.order, mode)
+            if ob is not None:
+                ob.record_cache_batch(
+                    hits=self._hits - pre[0],
+                    misses=self._misses - pre[1],
+                    evictions=self._results.evictions - pre[2],
+                    invalidated=self._invalidated - pre[3],
+                    flushes=self._flushes - pre[4],
+                    bytes_resident=self._results.bytes_resident,
+                    entries=len(self._results),
+                )
+            return result
+
+    def _execute_misses(self, sub: QueryBatch, strategy: str, mode: str) -> BatchResult:
+        if self._kind == "execute":
+            return self._backend.execute(sub, strategy=strategy, mode=mode)
+        if self._kind == "dynamic":
+            arrays = [
+                np.asarray(self._backend.query(s, e), dtype=np.int64)
+                for s, e in sub
+            ]
+            return BatchResult.from_id_arrays(arrays, mode)
+        if self._pcache is not None:
+            return partition_cached_execute(self._backend, sub, mode, self._pcache)
+        return run_strategy(strategy, self._backend, sub, mode=mode)
+
+    @staticmethod
+    def _payload_of(result: BatchResult, pos: int, mode: str):
+        if mode == "count":
+            return int(result.counts[pos])
+        if mode == "checksum":
+            return (int(result.counts[pos]), result.query_checksum(pos))
+        arr = np.asarray(result.ids(pos), dtype=np.int64)
+        try:
+            arr.setflags(write=False)
+        except ValueError:  # non-owned writable base; keep a private copy
+            arr = arr.copy()
+            arr.setflags(write=False)
+        return arr
+
+    @staticmethod
+    def _assemble(payloads: List, order: np.ndarray, mode: str) -> BatchResult:
+        n = len(payloads)
+        counts = np.empty(n, dtype=np.int64)
+        if mode == "count":
+            for pos in range(n):
+                counts[int(order[pos])] = payloads[pos]
+            return BatchResult(counts)
+        if mode == "checksum":
+            sums = np.empty(n, dtype=np.int64)
+            for pos in range(n):
+                cnt, xor = payloads[pos]
+                caller = int(order[pos])
+                counts[caller] = cnt
+                sums[caller] = xor
+            return BatchResult(counts, checksums=sums)
+        ids: List[np.ndarray] = [_EMPTY] * n
+        for pos in range(n):
+            arr = payloads[pos]
+            caller = int(order[pos])
+            ids[caller] = arr
+            counts[caller] = arr.size
+        return BatchResult(counts, ids)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> CacheCounters:
+        """Current hit/miss/eviction/invalidation/residency counters."""
+        with self._lock:
+            return CacheCounters(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._results.evictions,
+                invalidated_entries=self._invalidated,
+                invalidation_flushes=self._flushes,
+                bytes_resident=self._results.bytes_resident,
+                entries=len(self._results),
+                partition_hits=self._pcache.hits if self._pcache else 0,
+                partition_misses=self._pcache.misses if self._pcache else 0,
+            )
+
+    def clear(self) -> None:
+        """Flush both tiers (counted as an invalidation flush)."""
+        with self._lock:
+            self._flush_all()
+
+    def set_budget(
+        self, max_bytes: Optional[int] = None, max_entries: Optional[int] = None
+    ) -> None:
+        """Adjust result-tier budgets; shrinking evicts immediately."""
+        with self._lock:
+            self._results.set_budget(max_bytes, max_entries)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"CachingExecutor(kind={self._kind!r}, entries={s.entries}, "
+            f"bytes={s.bytes_resident}, hit_rate={s.hit_rate:.2f})"
+        )

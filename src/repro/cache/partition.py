@@ -1,0 +1,327 @@
+"""The partition tier: memoized per-partition probe answers.
+
+The partition-based strategy (Algorithm 4) derives, per level, each
+query's *relevant partition range* ``[f, l]`` and resolves it with a
+fixed set of per-partition probes: a both-sided filter on ``O_in`` when
+the query is anchored in one partition, an ``st <= q.end`` prefix cut,
+an ``end >= q.st`` suffix cut, and comparison-free full ranges.  Those
+probes are pure functions of ``(level, table, partition, operand)`` —
+exactly the sharing the paper exploits *within* one batch.  This module
+extends the sharing **across batches**: probe answers are memoized in an
+LRU :class:`PartitionProbeCache`, so a later query anchored at a hot
+partition with a previously seen endpoint skips the ``searchsorted`` and
+mask work entirely.
+
+Comparison-free contributions (full partitions, middle ranges) are *not*
+cached: they are O(1) offset subtractions (plus a prefix-XOR gather in
+checksum mode, an id-slice view in ids mode) — caching them would spend
+residency on work that costs nothing to recompute.
+
+:func:`partition_cached_execute` is the evaluation path that consumes
+the cache.  It mirrors the per-(query, level) case analysis of
+:func:`repro.core.strategies._process_level` exactly — same tables, same
+flag algebra, same partition ranges — and the cache-differential suite
+(``tests/test_cache_differential.py``) holds it to bit-identical
+agreement with every registered strategy.  The cache is only valid for
+the immutable :class:`~repro.hint.index.HintIndex` it was filled
+against; :class:`~repro.cache.executor.CachingExecutor` clears it
+whenever the backend changes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.core.result import MODES, BatchResult
+from repro.hint.index import HintIndex
+from repro.intervals.batch import QueryBatch
+
+__all__ = ["PartitionProbeCache", "partition_cached_execute"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.setflags(write=False)
+
+
+class PartitionProbeCache:
+    """LRU memo of per-partition probe results.
+
+    Keys are ``(kind, mode, level, partition, operand...)`` tuples built
+    by :func:`partition_cached_execute`; values are ``(count, xor)``
+    pairs (count/checksum modes) or read-only id arrays (ids mode).
+    """
+
+    def __init__(self, max_entries: int = 1 << 16):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._lru: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(self, key):
+        entry = self._lru.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._lru.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, value) -> None:
+        self._lru[key] = value
+        if len(self._lru) > self.max_entries:
+            self._lru.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> int:
+        dropped = len(self._lru)
+        self._lru.clear()
+        return dropped
+
+
+class _Acc:
+    """Per-query accumulator shared by the three result modes."""
+
+    __slots__ = ("counts", "sums", "ids")
+
+    def __init__(self, n: int, mode: str):
+        self.counts = np.zeros(n, dtype=np.int64)
+        self.sums = np.zeros(n, dtype=np.int64) if mode == "checksum" else None
+        self.ids = [[] for _ in range(n)] if mode == "ids" else None
+
+    def add_agg(self, pos: int, cnt: int, xor: int) -> None:
+        self.counts[pos] += cnt
+        if self.sums is not None:
+            self.sums[pos] ^= xor
+
+    def add_ids(self, pos: int, arr: np.ndarray) -> None:
+        if arr.size:
+            self.counts[pos] += arr.size
+            self.ids[pos].append(arr)
+
+    def finalize(self, order: np.ndarray, mode: str) -> BatchResult:
+        n = self.counts.size
+        counts = np.empty_like(self.counts)
+        counts[order] = self.counts
+        if mode == "count":
+            return BatchResult(counts)
+        if mode == "checksum":
+            sums = np.empty_like(self.sums)
+            sums[order] = self.sums
+            return BatchResult(counts, checksums=sums)
+        out = [_EMPTY] * n
+        for pos in range(n):
+            chunks = self.ids[pos]
+            if chunks:
+                out[int(order[pos])] = (
+                    chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                )
+        return BatchResult(counts, out)
+
+
+def _xor_of(ids: np.ndarray) -> int:
+    if ids.size == 0:
+        return 0
+    return int(np.bitwise_xor.reduce(ids))
+
+
+def partition_cached_execute(
+    index: HintIndex,
+    batch: QueryBatch,
+    mode: str = "count",
+    cache: Optional[PartitionProbeCache] = None,
+) -> BatchResult:
+    """Evaluate *batch* with all comparison probes served via *cache*.
+
+    Returns results in the caller's original batch order, identical to
+    :func:`~repro.core.strategies.run_strategy` on the same inputs.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown result mode {mode!r}; expected one of {MODES}")
+    n = len(batch)
+    if n == 0:
+        return BatchResult.empty(mode)
+    if cache is None:
+        cache = PartitionProbeCache()
+    m = index.m
+    top = (1 << m) - 1
+    q_st = np.clip(batch.st, 0, top)
+    q_end = np.clip(batch.end, 0, top)
+    levels = index.levels
+    occupied = [data.total() > 0 for data in levels]
+    want_ids = mode == "ids"
+    want_xor = mode == "checksum"
+    acc = _Acc(n, mode)
+
+    # ---- uncached comparison-free contribution ----------------------- #
+
+    def full_range(pos, table, lo, hi):
+        if hi <= lo:
+            return
+        if want_ids:
+            view = table.ids[lo:hi]
+            view.setflags(write=False)
+            acc.add_ids(pos, view)
+        elif want_xor:
+            xp = table.xor_prefix
+            acc.add_agg(pos, hi - lo, int(xp[hi] ^ xp[lo]))
+        else:
+            acc.add_agg(pos, hi - lo, 0)
+
+    def full(pos, table, part):
+        lo, hi = table.bounds(part)
+        full_range(pos, table, lo, hi)
+
+    # ---- memoized comparison probes ----------------------------------- #
+
+    def apply(pos, val):
+        if want_ids:
+            acc.add_ids(pos, val)
+        else:
+            acc.add_agg(pos, val[0], val[1])
+
+    empty_val = _EMPTY if want_ids else (0, 0)
+
+    def o_in_both(pos, level, table, part, s, e):
+        key = ("oib", mode, level, part, s, e)
+        val = cache.get(key)
+        if val is None:
+            lo, hi = table.bounds(part)
+            if hi <= lo:
+                val = empty_val
+            else:
+                k = int(np.searchsorted(table.st[lo:hi], e, side="right"))
+                ids = table.ids[lo : lo + k][table.end[lo : lo + k] >= s]
+                ids.setflags(write=False)
+                val = (
+                    ids
+                    if want_ids
+                    else (int(ids.size), _xor_of(ids) if want_xor else 0)
+                )
+            cache.put(key, val)
+        apply(pos, val)
+
+    def o_in_end_geq(pos, level, table, part, s):
+        key = ("oig", mode, level, part, s)
+        val = cache.get(key)
+        if val is None:
+            lo, hi = table.bounds(part)
+            if hi <= lo:
+                val = empty_val
+            else:
+                ids = table.ids[lo:hi][table.end[lo:hi] >= s]
+                ids.setflags(write=False)
+                val = (
+                    ids
+                    if want_ids
+                    else (int(ids.size), _xor_of(ids) if want_xor else 0)
+                )
+            cache.put(key, val)
+        apply(pos, val)
+
+    def st_leq(pos, tag, level, table, part, e):
+        key = ("leq", tag, mode, level, part, e)
+        val = cache.get(key)
+        if val is None:
+            lo, hi = table.bounds(part)
+            if hi <= lo:
+                val = empty_val
+            elif want_ids:
+                k = int(np.searchsorted(table.st[lo:hi], e, side="right"))
+                val = table.ids[lo : lo + k]
+                val.setflags(write=False)
+            else:
+                k = int(np.searchsorted(table.st[lo:hi], e, side="right"))
+                if want_xor:
+                    xp = table.xor_prefix
+                    val = (k, int(xp[lo + k] ^ xp[lo]))
+                else:
+                    val = (k, 0)
+            cache.put(key, val)
+        apply(pos, val)
+
+    def end_geq(pos, tag, level, table, part, s):
+        key = ("geq", tag, mode, level, part, s)
+        val = cache.get(key)
+        if val is None:
+            lo, hi = table.bounds(part)
+            if hi <= lo:
+                val = empty_val
+            else:
+                k = int(np.searchsorted(table.end[lo:hi], s, side="left"))
+                if want_ids:
+                    val = table.ids[lo + k : hi]
+                    val.setflags(write=False)
+                elif want_xor:
+                    xp = table.xor_prefix
+                    val = (hi - (lo + k), int(xp[hi] ^ xp[lo + k]))
+                else:
+                    val = (hi - (lo + k), 0)
+            cache.put(key, val)
+        apply(pos, val)
+
+    # ---- the per-(query, level) sweep --------------------------------- #
+
+    st_list = q_st.tolist()
+    end_list = q_end.tolist()
+    for pos in range(n):
+        s = st_list[pos]
+        e = end_list[pos]
+        compfirst = True
+        complast = True
+        for level in range(m, -1, -1):
+            shift = m - level
+            f = s >> shift
+            l = e >> shift
+            if occupied[level]:
+                data = levels[level]
+                o_in, o_aft, r_in, r_aft = data.tables()
+                # first relevant partition — the same case split as
+                # strategies._process_level (Lines 6-21 of Algorithm 1)
+                if f == l and compfirst and complast:
+                    o_in_both(pos, level, o_in, f, s, e)
+                    st_leq(pos, "oa", level, o_aft, f, e)
+                    end_geq(pos, "ri", level, r_in, f, s)
+                    full(pos, r_aft, f)
+                elif compfirst:
+                    o_in_end_geq(pos, level, o_in, f, s)
+                    full(pos, o_aft, f)
+                    end_geq(pos, "ri", level, r_in, f, s)
+                    full(pos, r_aft, f)
+                elif f == l and complast:
+                    st_leq(pos, "oi", level, o_in, f, e)
+                    st_leq(pos, "oa", level, o_aft, f, e)
+                    full(pos, r_in, f)
+                    full(pos, r_aft, f)
+                else:
+                    full(pos, o_in, f)
+                    full(pos, o_aft, f)
+                    full(pos, r_in, f)
+                    full(pos, r_aft, f)
+                if l > f:
+                    if l > f + 1:
+                        full_range(
+                            pos, o_in, int(o_in.offsets[f + 1]), int(o_in.offsets[l])
+                        )
+                        full_range(
+                            pos, o_aft, int(o_aft.offsets[f + 1]), int(o_aft.offsets[l])
+                        )
+                    if complast:
+                        st_leq(pos, "oi", level, o_in, l, e)
+                        st_leq(pos, "oa", level, o_aft, l, e)
+                    else:
+                        full(pos, o_in, l)
+                        full(pos, o_aft, l)
+            if not f & 1:
+                compfirst = False
+            if l & 1:
+                complast = False
+
+    return acc.finalize(batch.order, mode)

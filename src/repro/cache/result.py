@@ -1,0 +1,146 @@
+"""The result tier: an LRU cache of per-query answers.
+
+Entries are keyed by the *normalized* query — endpoints clipped into the
+backend's domain, exactly the normalization every index applies before
+probing — plus the result mode, because the three modes materialize
+different payloads (an ``int``, a ``(count, checksum)`` pair, an id
+array).  The strategy name is deliberately **not** part of the key: the
+repository-wide differential contract (``tests/test_differential.py``)
+guarantees every strategy returns identical answers, so a result cached
+under one strategy is valid for all of them.
+
+Residency is bounded in **bytes** (ids-mode payloads dominate, so an
+entry count alone would under-control memory) with an optional entry
+bound on top; eviction is plain LRU.  The cache itself is a dumb store —
+all invalidation logic lives in
+:class:`~repro.cache.executor.CachingExecutor`, which knows when its
+backend mutated.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ResultCache"]
+
+#: Fixed per-entry bookkeeping estimate (key tuple + dict slot + payload
+#: object headers); payload array bytes are added on top.
+ENTRY_OVERHEAD_BYTES = 96
+
+
+def payload_nbytes(payload) -> int:
+    """Approximate residency cost of one cached payload."""
+    if isinstance(payload, np.ndarray):
+        return ENTRY_OVERHEAD_BYTES + int(payload.nbytes)
+    return ENTRY_OVERHEAD_BYTES
+
+
+class ResultCache:
+    """LRU map ``(st, end, mode) -> payload`` with a byte budget.
+
+    Parameters
+    ----------
+    max_bytes:
+        Residency budget; entries are evicted (LRU first) while the
+        accounted total exceeds it.
+    max_entries:
+        Optional additional bound on the entry count.
+    """
+
+    def __init__(self, max_bytes: int = 64 << 20, max_entries: Optional[int] = None):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None)")
+        self.max_bytes = int(max_bytes)
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self._lru: "OrderedDict[Tuple[int, int, str], tuple]" = OrderedDict()
+        self._bytes = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def bytes_resident(self) -> int:
+        return self._bytes
+
+    def get(self, key: Tuple[int, int, str]):
+        """Payload for *key* (refreshing recency), or ``None``."""
+        entry = self._lru.get(key)
+        if entry is None:
+            return None
+        self._lru.move_to_end(key)
+        return entry[0]
+
+    def put(self, key: Tuple[int, int, str], payload) -> None:
+        """Insert (or refresh) *key*; evicts LRU entries over budget."""
+        old = self._lru.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        size = payload_nbytes(payload)
+        self._lru[key] = (payload, size)
+        self._bytes += size
+        self._evict()
+
+    def _evict(self) -> None:
+        while self._lru and (
+            self._bytes > self.max_bytes
+            or (self.max_entries is not None and len(self._lru) > self.max_entries)
+        ):
+            _, (_, size) = self._lru.popitem(last=False)
+            self._bytes -= size
+            self.evictions += 1
+
+    def set_budget(
+        self, max_bytes: Optional[int] = None, max_entries: Optional[int] = None
+    ) -> None:
+        """Shrink/grow the budgets; shrinking evicts immediately."""
+        if max_bytes is not None:
+            if max_bytes < 1:
+                raise ValueError("max_bytes must be positive")
+            self.max_bytes = int(max_bytes)
+        if max_entries is not None:
+            if max_entries < 1:
+                raise ValueError("max_entries must be positive")
+            self.max_entries = int(max_entries)
+        self._evict()
+
+    # ------------------------------------------------------------------ #
+    # invalidation primitives (driven by the executor)
+    # ------------------------------------------------------------------ #
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries dropped."""
+        dropped = len(self._lru)
+        self._lru.clear()
+        self._bytes = 0
+        return dropped
+
+    def drop_overlapping(self, regions: Iterable[Tuple[int, int]]) -> int:
+        """Drop entries whose query range G-overlaps any ``(lo, hi)``.
+
+        A mutated interval ``[lo, hi]`` can only change the answer of
+        queries overlapping it, so everything else stays valid — the
+        selective-invalidation rule :class:`CachingExecutor` applies for
+        mutation deltas it can attribute.
+        """
+        spans: List[Tuple[int, int]] = [
+            (int(lo), int(hi)) for lo, hi in regions
+        ]
+        if not spans:
+            return 0
+        doomed = [
+            key
+            for key in self._lru
+            if any(key[0] <= hi and lo <= key[1] for lo, hi in spans)
+        ]
+        for key in doomed:
+            _, size = self._lru.pop(key)
+            self._bytes -= size
+        return len(doomed)

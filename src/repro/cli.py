@@ -426,6 +426,90 @@ def _cmd_shard_sim(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_cache_sim(args) -> int:
+    """Replay a skewed query stream uncached and through the caching
+    executor, check every batch agrees exactly, and report the hit rate
+    and speedup; exit 0 iff all modes agree."""
+    from repro.cache import CachingExecutor
+    from repro.workloads.queries import zipfian_queries
+    from repro.workloads.synthetic import generate_synthetic
+
+    m = args.m
+    domain = 1 << m
+    coll = generate_synthetic(
+        args.cardinality, domain, 1.2, domain / 20, seed=args.seed
+    ).normalized(m)
+    index = HintIndex(coll, m=m)
+    total = args.batches * args.batch
+    stream = zipfian_queries(
+        total,
+        domain,
+        args.extent,
+        s=args.skew,
+        universe=args.universe,
+        seed=args.seed + 1,
+    )
+    batches = [
+        QueryBatch(
+            stream.st[i * args.batch : (i + 1) * args.batch],
+            stream.end[i * args.batch : (i + 1) * args.batch],
+        )
+        for i in range(args.batches)
+    ]
+    print(
+        f"cache-sim: {len(coll):,} intervals (m={m}), {total:,} queries "
+        f"in {args.batches} batches, zipf s={args.skew:g} over "
+        f"{args.universe:,} templates, strategy {args.strategy}"
+    )
+
+    failures = 0
+    cached = CachingExecutor(index, max_bytes=args.max_bytes)
+    for mode in ("count", "checksum", "ids"):
+        ok = all(
+            cached.execute(b, strategy=args.strategy, mode=mode)
+            == run_strategy(args.strategy, index, b, mode=mode)
+            for b in batches
+        )
+        failures += 0 if ok else 1
+        print(f"differential[{mode}]: {'exact' if ok else 'MISMATCH'}")
+
+    t_un = min(
+        _timed(
+            lambda: [
+                run_strategy(args.strategy, index, b, mode=args.mode)
+                for b in batches
+            ]
+        )
+        for _ in range(args.repeat)
+    )
+    timings = []
+    stats = None
+    for _ in range(args.repeat):
+        fresh = CachingExecutor(index, max_bytes=args.max_bytes)
+        timings.append(
+            _timed(
+                lambda: [
+                    fresh.execute(b, strategy=args.strategy, mode=args.mode)
+                    for b in batches
+                ]
+            )
+        )
+        stats = fresh.stats()
+    t_c = min(timings)
+    print(
+        f"stream ({args.mode}, best of {args.repeat}): uncached "
+        f"{t_un * 1000:.1f} ms, cached {t_c * 1000:.1f} ms "
+        f"-> {t_un / t_c:.2f}x"
+    )
+    print(
+        f"cache: hit rate {stats.hit_rate:.2f} "
+        f"({stats.hits:,} hits / {stats.misses:,} misses), "
+        f"{stats.entries:,} entries, {stats.bytes_resident / 1e6:.1f} MB "
+        f"resident, {stats.evictions:,} evictions"
+    )
+    return 1 if failures else 0
+
+
 def _timed(fn, *fn_args, **fn_kwargs) -> float:
     t0 = time.perf_counter()
     fn(*fn_args, **fn_kwargs)
@@ -621,6 +705,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_shard.add_argument("--seed", type=int, default=0)
     p_shard.set_defaults(fn=_cmd_shard_sim)
+
+    p_cache = sub.add_parser(
+        "cache-sim",
+        help="differential + hit-rate/speedup report of the caching "
+        "executor over a skewed query stream",
+    )
+    p_cache.add_argument(
+        "--cardinality", type=int, default=100_000, help="synthetic intervals"
+    )
+    p_cache.add_argument("--m", type=int, default=16, help="HINT parameter")
+    p_cache.add_argument("--batch", type=int, default=1_024, help="batch size")
+    p_cache.add_argument(
+        "--batches", type=int, default=8, help="batches in the stream"
+    )
+    p_cache.add_argument(
+        "--skew", type=float, default=1.0, help="zipf skew s of the stream"
+    )
+    p_cache.add_argument(
+        "--universe",
+        type=int,
+        default=4_096,
+        help="distinct query templates in the stream",
+    )
+    p_cache.add_argument(
+        "--extent", type=float, default=0.1, help="query extent (%% of domain)"
+    )
+    p_cache.add_argument(
+        "--strategy", default="partition-based", choices=sorted(STRATEGIES)
+    )
+    p_cache.add_argument(
+        "--mode",
+        default="ids",
+        choices=("count", "checksum", "ids"),
+        help="result mode of the timed runs",
+    )
+    p_cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=64 << 20,
+        help="result-tier residency budget",
+    )
+    p_cache.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    p_cache.add_argument("--seed", type=int, default=0)
+    p_cache.set_defaults(fn=_cmd_cache_sim)
 
     p_verify = sub.add_parser(
         "verify",

@@ -17,8 +17,9 @@ Queries therefore always see the current state:
 
 from __future__ import annotations
 
+from collections import deque
 from time import perf_counter
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -81,6 +82,11 @@ class DynamicHint:
         self._live: set = set(collection.ids.tolist())
         self._next_id = int(collection.ids.max()) + 1 if len(collection) else 0
         self.rebuilds = 0
+        # Content-version bookkeeping for caches (see cache_version):
+        # every content mutation bumps the version and logs the mutated
+        # interval; rebuilds do NOT (they change layout, not answers).
+        self._cache_version = 0
+        self._mutations: deque = deque(maxlen=1024)
 
     # ------------------------------------------------------------------ #
 
@@ -125,6 +131,7 @@ class DynamicHint:
         self._buf_st.append(int(st))
         self._buf_end.append(int(end))
         self._live.add(id)
+        self._record_mutation(int(st), int(end))
         if len(self._buf_ids) >= self.rebuild_threshold:
             self._rebuild()
         return id
@@ -140,8 +147,73 @@ class DynamicHint:
         id = int(id)
         if id not in self._live:
             raise KeyError(f"id {id} is not live")
+        span = self._coords_of(id)
         self._live.discard(id)
         self._tombstones.add(id)
+        if span is not None:
+            self._record_mutation(span[0], span[1])
+        else:  # untrackable: force full invalidation downstream
+            self._record_mutation(None, None)
+
+    # ------------------------------------------------------------------ #
+    # cache-invalidation bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _coords_of(self, id: int) -> Optional[Tuple[int, int]]:
+        """``(st, end)`` of a live object, buffer or base; None if lost."""
+        try:
+            pos = self._buf_ids.index(id)
+            return (self._buf_st[pos], self._buf_end[pos])
+        except ValueError:
+            pass
+        hits = np.flatnonzero(self._base.ids == id)
+        if hits.size:
+            pos = int(hits[0])
+            return (int(self._base.st[pos]), int(self._base.end[pos]))
+        return None
+
+    def _record_mutation(self, lo: Optional[int], hi: Optional[int]) -> None:
+        self._cache_version += 1
+        self._mutations.append((self._cache_version, lo, hi))
+
+    @property
+    def cache_version(self) -> int:
+        """Monotonic content version; bumps on insert/delete, not rebuild.
+
+        Caches compare this against the version they last observed and
+        call :meth:`dirty_since` to learn what changed.  Rebuilds leave
+        it untouched on purpose: a merge-and-rebuild changes the
+        physical layout but not a single query answer.
+        """
+        return self._cache_version
+
+    def dirty_since(self, version: int) -> Optional[List[Tuple[int, int]]]:
+        """Mutated ``(lo, hi)`` intervals since *version*, or ``None``.
+
+        ``None`` means the history is unavailable — the requested
+        version predates the bounded mutation log, or a mutation could
+        not be attributed to an interval — and the caller must treat
+        *everything* as dirty (full flush).  An empty list means nothing
+        changed.
+        """
+        version = int(version)
+        if version > self._cache_version:
+            raise ValueError(
+                f"version {version} is ahead of cache_version "
+                f"{self._cache_version}"
+            )
+        if version == self._cache_version:
+            return []
+        if not self._mutations or self._mutations[0][0] > version + 1:
+            return None  # log truncated: can't prove what changed
+        regions: List[Tuple[int, int]] = []
+        for ver, lo, hi in self._mutations:
+            if ver <= version:
+                continue
+            if lo is None:
+                return None
+            regions.append((lo, hi))
+        return regions
 
     def _rebuild(self) -> None:
         """Merge buffer + base, drop tombstones, rebuild the index.

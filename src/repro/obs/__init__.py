@@ -100,6 +100,13 @@ ENGINE_BATCH_SECONDS = "repro_engine_batch_seconds"
 ENGINE_FALLBACKS = "repro_engine_fallbacks_total"
 ENGINE_ARENA_BYTES = "repro_engine_arena_bytes"
 ENGINE_ARENA_SEGMENTS = "repro_engine_arena_segments"
+CACHE_HITS = "repro_cache_hits_total"
+CACHE_MISSES = "repro_cache_misses_total"
+CACHE_EVICTIONS = "repro_cache_evictions_total"
+CACHE_INVALIDATIONS = "repro_cache_invalidations_total"
+CACHE_FLUSHES = "repro_cache_flushes_total"
+CACHE_BYTES = "repro_cache_bytes_resident"
+CACHE_ENTRIES = "repro_cache_entries"
 
 
 class ObsConfig:
@@ -377,6 +384,51 @@ class Observability:
             ENGINE_ARENA_SEGMENTS,
             help="Live shared-memory segments backing index arenas.",
         ).inc(segments)
+
+    def record_cache_batch(
+        self,
+        *,
+        hits: int,
+        misses: int,
+        evictions: int,
+        invalidated: int,
+        flushes: int,
+        bytes_resident: int,
+        entries: int,
+    ) -> None:
+        """Per-execute accounting of a :class:`~repro.cache.
+        CachingExecutor` batch: hit/miss/eviction/invalidation **deltas**
+        for this execution plus the current residency gauges."""
+        reg = self.registry
+        if hits:
+            reg.counter(
+                CACHE_HITS, help="Result-tier cache hits."
+            ).inc(int(hits))
+        if misses:
+            reg.counter(
+                CACHE_MISSES, help="Result-tier cache misses."
+            ).inc(int(misses))
+        if evictions:
+            reg.counter(
+                CACHE_EVICTIONS, help="Result-tier LRU evictions."
+            ).inc(int(evictions))
+        if invalidated:
+            reg.counter(
+                CACHE_INVALIDATIONS,
+                help="Cache entries dropped by invalidation.",
+            ).inc(int(invalidated))
+        if flushes:
+            reg.counter(
+                CACHE_FLUSHES,
+                help="Full cache flushes (backend swap, lost history, "
+                "failed selective invalidation).",
+            ).inc(int(flushes))
+        reg.gauge(
+            CACHE_BYTES, help="Bytes resident in the result tier."
+        ).set(int(bytes_resident))
+        reg.gauge(
+            CACHE_ENTRIES, help="Entries resident in the result tier."
+        ).set(int(entries))
 
     def record_fault(self, site: str, action: str) -> None:
         self.registry.counter(

@@ -71,12 +71,14 @@ class QueueFullError(RuntimeError):
 class _Pending:
     """One staged query and the future its caller holds."""
 
-    __slots__ = ("st", "end", "enqueued_at", "future")
+    __slots__ = ("st", "end", "enqueued_at", "deferred", "future")
 
     def __init__(self, st: int, end: int, enqueued_at: float):
         self.st = st
         self.end = end
         self.enqueued_at = enqueued_at
+        #: Flushes this query has been passed over by a flush policy.
+        self.deferred = 0
         self.future: Future = Future()
 
 
@@ -121,6 +123,17 @@ class BatchingQueryService:
         is created by default and exposed as :attr:`metrics`).
     clock:
         Monotonic time source; injectable for tests.
+    flush_policy:
+        Optional flush selector (e.g.
+        :class:`~repro.cache.AffinityFlushPolicy`).  When set, each
+        flush calls ``flush_policy.select(pending, max_batch)`` with the
+        service lock held; the returned indices are staged and every
+        passed-over query's ``deferred`` counter is incremented (the
+        input the policy's starvation bound works from).  Selections are
+        validated — duplicate/out-of-range indices or a policy exception
+        fall back to plain FIFO, so a misbehaving policy can reorder
+        work but never lose or duplicate a future.  ``None`` (the
+        default) drains FIFO.
     fault_plan:
         Optional :class:`repro.verify.faults.FaultPlan`.  When set, the
         flusher fires the :data:`~repro.verify.faults.SITE_FLUSH` site
@@ -156,8 +169,13 @@ class BatchingQueryService:
         workers: Optional[int] = None,
         metrics: Optional[ServiceMetrics] = None,
         clock: Callable[[], float] = time.monotonic,
+        flush_policy=None,
         fault_plan: Optional[FaultPlan] = None,
     ):
+        if flush_policy is not None and not callable(
+            getattr(flush_policy, "select", None)
+        ):
+            raise TypeError("flush_policy must expose select(pending, max_batch)")
         if strategy not in STRATEGIES:
             raise ValueError(
                 f"unknown strategy {strategy!r}; available: {sorted(STRATEGIES)}"
@@ -191,6 +209,7 @@ class BatchingQueryService:
         self.workers = int(workers)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._clock = clock
+        self.flush_policy = flush_policy
         self._fault_plan = fault_plan
 
         self._lock = threading.Lock()
@@ -333,12 +352,44 @@ class BatchingQueryService:
                 reason = self._wait_for_batch()
                 if reason is None:
                     return
-                staged = self._pending[: self.max_batch]
-                del self._pending[: len(staged)]
+                staged = self._select_staged()
                 depth = len(self._pending)
                 self._force_flush = False
                 self._has_room.notify_all()
             self._execute(staged, reason, depth)
+
+    def _select_staged(self) -> List[_Pending]:
+        """Pick and remove this flush's batch from the pending queue.
+
+        Holds the lock (called from :meth:`_run`).  Without a policy:
+        plain FIFO.  With one: the policy's selection is validated and
+        applied; passed-over queries get ``deferred += 1``; any invalid
+        selection or policy exception degrades to FIFO.
+        """
+        if self.flush_policy is None:
+            staged = self._pending[: self.max_batch]
+            del self._pending[: len(staged)]
+            return staged
+        n = len(self._pending)
+        cap = min(n, self.max_batch)
+        try:
+            idxs = list(self.flush_policy.select(self._pending, self.max_batch))
+            if len(idxs) > cap or len(set(idxs)) != len(idxs):
+                raise ValueError("invalid flush selection")
+            idxs = [int(i) for i in idxs]
+            if any(i < 0 or i >= n for i in idxs):
+                raise ValueError("flush selection index out of range")
+            if not idxs:
+                raise ValueError("empty flush selection")
+        except Exception:
+            idxs = list(range(cap))  # FIFO fallback
+        chosen = set(idxs)
+        staged = [self._pending[i] for i in idxs]
+        rest = [p for i, p in enumerate(self._pending) if i not in chosen]
+        for item in rest:
+            item.deferred += 1
+        self._pending[:] = rest
+        return staged
 
     def _wait_for_batch(self) -> Optional[str]:
         """Hold the lock until a batch is due; returns the flush trigger

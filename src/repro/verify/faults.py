@@ -34,6 +34,7 @@ __all__ = [
     "FaultRule",
     "InjectedFault",
     "SITES",
+    "SITE_CACHE_INVALIDATE",
     "SITE_DISPATCH",
     "SITE_FLUSH",
     "SITE_REBUILD",
@@ -53,9 +54,22 @@ SITE_REBUILD = "dynamic.rebuild"
 #: to its process pool (fired only on the process-backend path; an
 #: injected failure exercises the degrade-to-in-process fallback).
 SITE_DISPATCH = "engine.dispatch"
+#: :class:`~repro.cache.CachingExecutor` is about to run a *selective*
+#: invalidation pass (dropping only cached queries that overlap mutated
+#: intervals).  An injected failure exercises the degrade path: the
+#: executor falls back to a full cache flush — strictly more
+#: invalidation, never a stale answer.
+SITE_CACHE_INVALIDATE = "cache.invalidate"
 
 #: All injection sites wired into the production code.
-SITES = (SITE_STRATEGY, SITE_FLUSH, SITE_SWAP, SITE_REBUILD, SITE_DISPATCH)
+SITES = (
+    SITE_STRATEGY,
+    SITE_FLUSH,
+    SITE_SWAP,
+    SITE_REBUILD,
+    SITE_DISPATCH,
+    SITE_CACHE_INVALIDATE,
+)
 
 #: Supported fault actions.
 ACTIONS = ("raise", "delay")

@@ -29,6 +29,7 @@ __all__ = [
     "uniform_queries",
     "data_following_queries",
     "stabbing_queries",
+    "zipfian_queries",
     "extent_from_pct",
     "EXTENT_PCT_GRID",
     "BATCH_SIZE_GRID",
@@ -99,6 +100,74 @@ def data_following_queries(
     st = np.clip(anchors - extent // 2, 0, max(domain - extent, 0)).astype(np.int64)
     end = np.minimum(st + extent - 1, domain - 1)
     st = np.minimum(st, end)
+    return QueryBatch(st, end)
+
+
+def zipfian_queries(
+    count: int,
+    domain: int,
+    extent_pct: float = DEFAULT_EXTENT_PCT,
+    *,
+    s: float = 1.0,
+    universe: int = 1024,
+    hot_fraction: float = 0.1,
+    hot_start: float = 0.0,
+    seed: int = 0,
+) -> QueryBatch:
+    """Skewed repeating queries: a Zipf-weighted template universe.
+
+    Models the access skew that makes result caching and affinity
+    batching pay off (YCSB-style): a fixed **universe** of distinct
+    query templates is laid out once, then each of the *count* emitted
+    queries picks template rank ``r`` with probability proportional to
+    ``(r + 1) ** -s``.  Exact templates repeat — a continuous-position
+    generator would never produce a repeated query, so a result cache
+    could never hit.
+
+    The hottest ``ceil(universe * hot_fraction)`` templates are anchored
+    inside a *hot span* of the domain starting at fraction *hot_start*
+    and covering *hot_fraction* of it, so skew in popularity is also
+    skew in **partition** affinity: hot queries hammer the same
+    partition neighbourhood, which is what the partition tier and the
+    affinity flush policy exploit.  The remaining (cold) templates are
+    spread uniformly over the whole domain.
+
+    ``s = 0`` degenerates to uniform template choice; larger *s* means
+    heavier skew (at ``s = 1`` the top template draws ~1/H(universe) of
+    all traffic).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if domain < 1:
+        raise ValueError("domain must be positive")
+    if s < 0:
+        raise ValueError("skew s must be non-negative")
+    if universe < 1:
+        raise ValueError("universe must be positive")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must lie in (0, 1]")
+    if not 0.0 <= hot_start <= 1.0 - hot_fraction:
+        raise ValueError("hot_start must lie in [0, 1 - hot_fraction]")
+    extent = extent_from_pct(domain, extent_pct)
+    rng = np.random.default_rng(seed)
+    max_start = max(domain - extent, 1)
+    # --- template layout: hot ranks inside the hot span, the rest
+    #     uniform over the full domain -------------------------------- #
+    n_hot = max(1, int(np.ceil(universe * hot_fraction)))
+    hot_lo = int(hot_start * max_start)
+    hot_hi = max(hot_lo + 1, int((hot_start + hot_fraction) * max_start))
+    starts = np.empty(universe, dtype=np.int64)
+    starts[:n_hot] = rng.integers(hot_lo, hot_hi, size=n_hot, dtype=np.int64)
+    if universe > n_hot:
+        starts[n_hot:] = rng.integers(
+            0, max_start, size=universe - n_hot, dtype=np.int64
+        )
+    # --- Zipf rank sampling over the finite universe ----------------- #
+    weights = (np.arange(1, universe + 1, dtype=np.float64)) ** -s
+    probs = weights / weights.sum()
+    ranks = rng.choice(universe, size=count, p=probs)
+    st = starts[ranks]
+    end = np.minimum(st + extent - 1, domain - 1)
     return QueryBatch(st, end)
 
 

@@ -78,6 +78,7 @@ class TestFaultRuleValidation:
             "service.swap_index",
             "dynamic.rebuild",
             "engine.dispatch",
+            "cache.invalidate",
         }
         assert ACTIONS == ("raise", "delay")
 

@@ -8,6 +8,7 @@ from repro.workloads.queries import (
     extent_from_pct,
     stabbing_queries,
     uniform_queries,
+    zipfian_queries,
 )
 from repro.workloads.realistic import (
     REAL_DATASET_SPECS,
@@ -163,3 +164,94 @@ class TestQueryGenerators:
         assert batch.st.max() < 5_000
         with pytest.raises(ValueError):
             stabbing_queries(-5, 100)
+
+
+class TestZipfianQueries:
+    """Distribution sanity of the skewed/repeating query generator."""
+
+    def test_bounds_and_extent(self):
+        batch = zipfian_queries(500, 4096, 0.5, s=1.2, seed=1)
+        extent = extent_from_pct(4096, 0.5)
+        assert np.all(batch.st >= 0)
+        assert np.all(batch.end < 4096)
+        assert np.all(batch.st <= batch.end)
+        assert np.all(batch.end - batch.st + 1 <= extent)
+
+    def test_deterministic(self):
+        a = zipfian_queries(200, 10_000, s=1.0, seed=9)
+        b = zipfian_queries(200, 10_000, s=1.0, seed=9)
+        assert a.st.tolist() == b.st.tolist()
+        assert a.end.tolist() == b.end.tolist()
+
+    def test_templates_repeat(self):
+        # The whole point: exact queries recur, so a result cache can hit.
+        batch = zipfian_queries(2_000, 1 << 16, s=1.1, universe=128, seed=3)
+        distinct = len(set(zip(batch.st.tolist(), batch.end.tolist())))
+        assert distinct <= 128
+        assert distinct < len(batch) / 4
+
+    def test_skew_concentrates_mass(self):
+        # At s=1.2 the head templates draw far more than their uniform
+        # share; at s=0 template choice is uniform.
+        n = 20_000
+        skewed = zipfian_queries(n, 1 << 16, s=1.2, universe=100, seed=4)
+        flat = zipfian_queries(n, 1 << 16, s=0.0, universe=100, seed=4)
+
+        def top_share(batch, k=10):
+            pairs = list(zip(batch.st.tolist(), batch.end.tolist()))
+            counts = {}
+            for p in pairs:
+                counts[p] = counts.get(p, 0) + 1
+            top = sorted(counts.values(), reverse=True)[:k]
+            return sum(top) / len(pairs)
+
+        assert top_share(skewed) > 0.55
+        assert top_share(flat) < 0.25
+
+    def test_zipf_rank_frequencies_follow_power_law(self):
+        # Empirical frequency of rank r should be ~ r^-s (normalized);
+        # check the head ranks within loose tolerance.
+        n = 50_000
+        s, universe = 1.0, 50
+        batch = zipfian_queries(n, 1 << 16, s=s, universe=universe, seed=5)
+        pairs = list(zip(batch.st.tolist(), batch.end.tolist()))
+        counts = {}
+        for p in pairs:
+            counts[p] = counts.get(p, 0) + 1
+        observed = sorted(counts.values(), reverse=True)
+        harmonic = sum(1.0 / r for r in range(1, universe + 1))
+        for rank in (1, 2, 5):
+            expected = n / (rank**s * harmonic)
+            assert abs(observed[rank - 1] - expected) < 0.25 * expected
+
+    def test_hot_span_placement(self):
+        # Hot templates anchor inside the configured span, so most
+        # traffic lands there under heavy skew.
+        batch = zipfian_queries(
+            5_000,
+            1 << 16,
+            s=1.5,
+            universe=100,
+            hot_fraction=0.1,
+            hot_start=0.4,
+            seed=6,
+        )
+        domain = 1 << 16
+        in_span = np.mean(
+            (batch.st >= 0.4 * domain) & (batch.st <= 0.52 * domain)
+        )
+        assert in_span > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipfian_queries(-1, 100)
+        with pytest.raises(ValueError):
+            zipfian_queries(10, 0)
+        with pytest.raises(ValueError):
+            zipfian_queries(10, 100, s=-0.5)
+        with pytest.raises(ValueError):
+            zipfian_queries(10, 100, universe=0)
+        with pytest.raises(ValueError):
+            zipfian_queries(10, 100, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            zipfian_queries(10, 100, hot_fraction=0.5, hot_start=0.9)
