@@ -6,7 +6,7 @@
 
 PYENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test verify bench bench-service obs-smoke shard-smoke engine-smoke cache-smoke bench-shard bench-engine bench-cache experiments examples serve-sim clean
+.PHONY: install test verify bench bench-service obs-smoke shard-smoke engine-smoke cache-smoke serve-smoke bench-shard bench-engine bench-cache bench-serve experiments examples serve-sim clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -56,6 +56,13 @@ cache-smoke:
 	$(PYENV) python -m repro.cli cache-sim --cardinality 5000 --m 12 \
 		--batch 256 --batches 4 --universe 512 --skew 1.2 --repeat 1
 
+# Serving smoke: differential agreement over the socket, then a real
+# `repro.cli serve` subprocess under a bursty open-loop trace with one
+# overload window — every request must be answered (typed OVERLOAD
+# included, hung sockets not); see docs/serving.md.
+serve-smoke:
+	$(PYENV) python scripts/serve_smoke.py
+
 # Shard-count scaling sweep on the default synthetic workload; records
 # results/shard-scaling.csv (uploaded as a CI artifact).
 bench-shard:
@@ -71,6 +78,13 @@ bench-engine:
 # records results/cache.csv (uploaded as a CI artifact).
 bench-cache:
 	$(PYENV) python benchmarks/bench_cache.py --out results/cache.csv
+
+# Serving latency/goodput sweep: open-loop bursty load at multiples of
+# calibrated capacity through both backpressure policies; records
+# results/serve-net.csv (uploaded as a CI artifact) and gates on
+# reject-mode goodput >= block-mode goodput at >= 2x capacity.
+bench-serve:
+	$(PYENV) python benchmarks/bench_serve_net.py --out results/serve-net.csv
 
 experiments:
 	$(PYENV) python -m repro.experiments all --csv results/ --repeats 3

@@ -1,0 +1,151 @@
+"""Serving-path smoke gate (``make serve-smoke``).
+
+Two phases, both fast enough for tier-1 CI:
+
+1. **Differential over the socket** — an ids-mode server over a random
+   collection must return, through the full frame-encode / TCP /
+   decode path, exactly the sorted id sets the linear-scan oracle
+   produces.
+2. **Overload burst through the CLI** — launches ``python -m repro.cli
+   serve`` as a real subprocess (reject backpressure, a deliberately
+   tiny in-flight quota and a slow flush deadline so the burst exceeds
+   capacity), offers a 200+-query open-loop trace containing a burst
+   window, and requires **every** request to be answered — typed
+   ``OVERLOAD`` responses included, hung sockets not — with both
+   sheds and successes present.
+
+Exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import HintIndex, IntervalCollection, NaiveScan
+from repro.net import QueryClient, serve_in_thread
+from repro.net.loadgen import run_load, summarize
+from repro.service import BatchingQueryService
+from repro.workloads.arrivals import ArrivalSpec
+
+M = 12
+N_DIFFERENTIAL = 60
+
+
+def phase_differential() -> None:
+    rng = np.random.default_rng(42)
+    top = (1 << M) - 1
+    st = rng.integers(0, top + 1, 5_000)
+    end = np.minimum(st + rng.integers(0, 200, 5_000), top)
+    coll = IntervalCollection(st, end)
+    naive = NaiveScan(coll)
+    service = BatchingQueryService(
+        HintIndex(coll, m=M), mode="ids", max_batch=16, max_delay_ms=2.0
+    )
+    handle = serve_in_thread(service, owns_service=True)
+    try:
+        with QueryClient(handle.host, handle.port) as client:
+            for _ in range(N_DIFFERENTIAL):
+                a = int(rng.integers(0, top + 1))
+                b = min(a + int(rng.integers(0, 500)), top)
+                got = client.query(a, b)
+                want = tuple(sorted(int(v) for v in naive.query(a, b)))
+                if got != want:
+                    raise SystemExit(
+                        f"differential mismatch for [{a}, {b}]: "
+                        f"{len(got)} ids over the socket vs "
+                        f"{len(want)} from the oracle"
+                    )
+    finally:
+        handle.close()
+    print(f"serve-smoke: differential ok ({N_DIFFERENTIAL} queries)")
+
+
+def phase_overload() -> None:
+    repo = Path(__file__).resolve().parent.parent
+    # Tiny quota + slow flush deadline => the burst window exceeds
+    # capacity and the reject policy must shed, visibly and typed.
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--cardinality", "10000",
+            "--m", str(M),
+            "--duration", "30",
+            "--backpressure", "reject",
+            "--max-batch", "1000",
+            "--max-delay-ms", "50",
+            "--max-queue", "8",
+            "--max-inflight", "8",
+        ],
+        cwd=repo,
+        env={**os.environ, "PYTHONPATH": "src"},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"serving on ([\d.]+):(\d+)", line)
+        if not match:
+            raise SystemExit(f"could not parse server address from {line!r}")
+        host, port = match.group(1), int(match.group(2))
+        spec = ArrivalSpec(
+            duration=2.0,
+            rate=100.0,
+            burst_factor=8.0,
+            burst_every=1.0,
+            burst_duration=0.3,
+            tenants=("alpha", "beta"),
+            domain=(1 << M) - 1,
+            extent=256,
+            seed=5,
+        )
+        t0 = time.perf_counter()
+        records = run_load(host, port, spec, processes=1)
+        elapsed = time.perf_counter() - t0
+        summary = summarize(records, duration=elapsed)
+    finally:
+        proc.terminate()
+        proc.wait(timeout=15)
+    print(f"serve-smoke: {summary.describe()}")
+    if summary.offered < 200:
+        raise SystemExit(
+            f"burst offered only {summary.offered} queries (< 200); "
+            "the trace spec is mis-sized"
+        )
+    if summary.unanswered:
+        raise SystemExit(
+            f"{summary.unanswered} request(s) went unanswered under "
+            "overload — every request must get a typed response"
+        )
+    if not summary.by_status.get("overload"):
+        raise SystemExit(
+            "no OVERLOAD responses — the burst never exceeded the "
+            "in-flight quota, so the shedding path went untested"
+        )
+    if not summary.by_status.get("ok"):
+        raise SystemExit("no successful responses under baseline load")
+    print(
+        f"serve-smoke: overload ok ({summary.offered} offered, "
+        f"{summary.by_status['overload']} shed typed, 0 unanswered)"
+    )
+
+
+def main() -> int:
+    phase_differential()
+    phase_overload()
+    print("serve-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ SUBMITTED = "repro_service_submitted_total"
 COMPLETED = "repro_service_completed_total"
 FAILED = "repro_service_failed_total"
 REJECTED = "repro_service_rejected_total"
+DEADLINE_DROPPED = "repro_service_deadline_dropped_total"
 FLUSHES = "repro_service_flushes_total"
 PARALLEL_FLUSHES = "repro_service_parallel_flushes_total"
 INDEX_SWAPS = "repro_service_index_swaps_total"
@@ -79,6 +80,7 @@ class ServiceSnapshot:
     index_swaps: int
     queue_depth: int
     max_queue_depth: int
+    deadline_dropped: int = 0
     batch_size_histogram: Dict[int, int] = field(default_factory=dict)
     mean_batch_size: float = 0.0
     p50_flush_latency: Optional[float] = None
@@ -88,7 +90,8 @@ class ServiceSnapshot:
         """Multi-line human-readable summary."""
         lines = [
             f"queries    submitted={self.submitted} completed={self.completed}"
-            f" failed={self.failed} rejected={self.rejected}",
+            f" failed={self.failed} rejected={self.rejected}"
+            f" deadline_dropped={self.deadline_dropped}",
             f"flushes    total={self.flushes} "
             + " ".join(
                 f"{reason}={count}"
@@ -163,6 +166,11 @@ class ServiceMetrics:
         self._c_rejected = registry.counter(
             REJECTED, help="Queries rejected by reject-mode backpressure."
         )
+        self._c_deadline_dropped = registry.counter(
+            DEADLINE_DROPPED,
+            help="Queries dropped unexecuted because their client "
+            "deadline expired while staged.",
+        )
         self._c_flushes = {
             reason: registry.counter(
                 FLUSHES,
@@ -209,6 +217,10 @@ class ServiceMetrics:
     def record_rejected(self) -> None:
         with self._lock:
             self._c_rejected.inc()
+
+    def record_deadline_dropped(self, count: int = 1) -> None:
+        with self._lock:
+            self._c_deadline_dropped.inc(int(count))
 
     def record_flush(
         self,
@@ -263,6 +275,10 @@ class ServiceMetrics:
     @property
     def rejected(self) -> int:
         return self._c_rejected.value
+
+    @property
+    def deadline_dropped(self) -> int:
+        return self._c_deadline_dropped.value
 
     @property
     def flushes(self) -> int:
@@ -320,6 +336,7 @@ class ServiceMetrics:
                 index_swaps=self._c_swaps.value,
                 queue_depth=int(self._g_depth.value),
                 max_queue_depth=int(self._g_depth_max.value),
+                deadline_dropped=self._c_deadline_dropped.value,
                 batch_size_histogram=histogram,
                 mean_batch_size=(batch_total / flushes if flushes else 0.0),
                 p50_flush_latency=p50,

@@ -17,6 +17,11 @@ together for shell use::
     python -m repro.cli serve-sim --queries 5000 --rate 20000 \\
         --max-batch 256 --metrics-json run.json
 
+    # serve queries over TCP (length-prefixed binary protocol), then
+    # offer bursty open-loop load against it from another shell
+    python -m repro.cli serve --port 7433 --mode count --admit-rate 500
+    python -m repro.cli serve-load --port 7433 --rate 2000 --duration 5
+
     # render an observability snapshot (live burst, or a saved dump)
     python -m repro.cli stats
     python -m repro.cli stats --input run.json --json
@@ -212,6 +217,159 @@ def _cmd_serve_sim(args) -> int:
             fh.write("\n")
         print(f"metrics snapshot written to {args.metrics_json}")
     return 0
+
+
+def _build_serve_service(args):
+    """Index + optional engine backend + batching service from CLI args.
+
+    Shared by ``serve`` and the smoke/bench harnesses; returns
+    ``(service, engine_or_None)``.
+    """
+    from repro.service import BatchingQueryService
+    from repro.workloads.synthetic import generate_synthetic
+
+    if args.index is not None:
+        index = load_index(args.index)
+    else:
+        coll = generate_synthetic(
+            args.cardinality, args.domain, args.alpha, args.sigma,
+            seed=args.seed,
+        ).normalized(args.m)
+        index = HintIndex(coll, m=args.m)
+    engine = None
+    backend = index
+    if args.backend is not None:
+        from repro.engine import ExecutionEngine
+
+        engine = ExecutionEngine(
+            index, backend=args.backend, workers=args.workers
+        )
+        backend = engine
+    service = BatchingQueryService(
+        backend,
+        strategy=args.strategy,
+        mode=args.mode,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_queue=args.max_queue,
+        backpressure=args.backpressure,
+        parallel_threshold=args.parallel_threshold,
+        workers=args.workers,
+    )
+    return service, engine
+
+
+def _cmd_serve(args) -> int:
+    """Run the TCP query server over a synthetic (or prebuilt) index."""
+    import json
+
+    import repro.obs as obs
+    from repro.net import TenantAdmission, serve_in_thread
+
+    if args.metrics_json is not None:
+        obs.configure(enabled=True)
+    service, engine = _build_serve_service(args)
+    admission = None
+    if args.admit_rate is not None:
+        admission = TenantAdmission(args.admit_rate, args.admit_burst)
+    handle = serve_in_thread(
+        service,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        backpressure=args.backpressure,
+        admission=admission,
+        owns_service=True,
+    )
+    # The smoke harness parses this line for the ephemeral port; keep
+    # the format stable.
+    print(f"serving on {handle.host}:{handle.port}", flush=True)
+    print(
+        f"  mode={service.mode} strategy={service.strategy} "
+        f"backpressure={handle.server.backpressure} "
+        f"max_inflight={handle.server.max_inflight} "
+        f"admission={'on' if admission is not None else 'off'}",
+        file=sys.stderr,
+    )
+    try:
+        if args.duration > 0:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("interrupted; draining", file=sys.stderr)
+    finally:
+        handle.close()
+        if engine is not None:
+            engine.close()
+    print(service.metrics.snapshot().describe(), file=sys.stderr)
+    if args.metrics_json is not None:
+        dump = obs.snapshot(meta={"source": "serve"})
+        with open(args.metrics_json, "w") as fh:
+            json.dump(dump, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"metrics snapshot written to {args.metrics_json}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_serve_load(args) -> int:
+    """Offer a bursty open-loop multi-tenant trace to a running server."""
+    from repro.net import run_load, summarize
+    from repro.workloads.arrivals import ArrivalSpec
+
+    tenants = tuple(
+        t.strip() for t in args.tenants.split(",") if t.strip()
+    )
+    spec = ArrivalSpec(
+        duration=args.duration,
+        rate=args.rate,
+        burst_factor=args.burst_factor,
+        burst_every=args.burst_every,
+        burst_duration=args.burst_duration,
+        tenants=tenants,
+        domain=args.domain,
+        extent=args.extent,
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+    )
+    print(
+        f"serve-load: offering ~{args.rate:,.0f} q/s for "
+        f"{args.duration:g}s (x{args.burst_factor:g} bursts every "
+        f"{args.burst_every:g}s) to {args.host}:{args.port} from "
+        f"{args.processes} process(es)",
+        file=sys.stderr,
+    )
+    t0 = time.perf_counter()
+    records = run_load(
+        args.host, args.port, spec, processes=args.processes
+    )
+    elapsed = time.perf_counter() - t0
+    summary = summarize(
+        records,
+        duration=args.duration,
+        goodput_budget_ms=args.goodput_budget_ms,
+    )
+    print(summary.describe())
+    if summary.unanswered:
+        print(
+            f"WARNING: {summary.unanswered} request(s) went unanswered",
+            file=sys.stderr,
+        )
+    if args.csv is not None:
+        with open(args.csv, "w") as fh:
+            fh.write("at_s,tenant,status,latency_ms\n")
+            for r in sorted(records, key=lambda r: r.at):
+                fh.write(
+                    f"{r.at:.6f},{r.tenant},{r.status},"
+                    f"{r.latency * 1000.0:.3f}\n"
+                )
+        print(f"per-request records written to {args.csv}", file=sys.stderr)
+    print(f"wall time {elapsed:.2f}s", file=sys.stderr)
+    return 0 if summary.unanswered == 0 else 1
 
 
 def _cmd_stats(args) -> int:
@@ -629,6 +787,120 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON snapshot here (readable by `stats --input`)",
     )
     p_sim.set_defaults(fn=_cmd_serve_sim)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve queries over TCP (length-prefixed binary protocol) "
+        "through the micro-batching service",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = ephemeral; the bound port is printed)",
+    )
+    p_srv.add_argument(
+        "--index", default=None, help="prebuilt .npz index (default: synthetic)"
+    )
+    p_srv.add_argument(
+        "--cardinality", type=int, default=100_000, help="synthetic intervals"
+    )
+    p_srv.add_argument(
+        "--domain", type=int, default=1_000_000, help="synthetic domain length"
+    )
+    p_srv.add_argument("--alpha", type=float, default=1.2)
+    p_srv.add_argument("--sigma", type=float, default=10_000.0)
+    p_srv.add_argument("--m", type=int, default=16, help="HINT parameter")
+    p_srv.add_argument("--mode", default="count",
+                       choices=("count", "checksum", "ids"))
+    p_srv.add_argument("--strategy", default="partition-based",
+                       choices=sorted(STRATEGIES))
+    p_srv.add_argument("--max-batch", type=int, default=256)
+    p_srv.add_argument("--max-delay-ms", type=float, default=5.0)
+    p_srv.add_argument("--max-queue", type=int, default=8192)
+    p_srv.add_argument("--backpressure", default="block",
+                       choices=("block", "reject"))
+    p_srv.add_argument("--parallel-threshold", type=int, default=None)
+    p_srv.add_argument("--workers", type=int, default=None)
+    p_srv.add_argument(
+        "--backend",
+        default=None,
+        choices=("serial", "threads", "processes", "auto"),
+        help="wrap the index in an ExecutionEngine with this backend",
+    )
+    p_srv.add_argument(
+        "--max-inflight", type=int, default=1024,
+        help="global in-flight quota (clamped to --max-queue)",
+    )
+    p_srv.add_argument(
+        "--admit-rate", type=float, default=None,
+        help="per-tenant token-bucket refill rate, q/s (default: no "
+        "admission control)",
+    )
+    p_srv.add_argument(
+        "--admit-burst", type=float, default=64.0,
+        help="per-tenant token-bucket capacity",
+    )
+    p_srv.add_argument(
+        "--duration", type=float, default=0.0,
+        help="serve for this many seconds then drain (0 = until Ctrl-C)",
+    )
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="enable the observability plane and write its JSON snapshot "
+        "here on exit",
+    )
+    p_srv.set_defaults(fn=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "serve-load",
+        help="offer a bursty open-loop multi-tenant trace to a running "
+        "`serve` instance",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, required=True)
+    p_load.add_argument(
+        "--duration", type=float, default=5.0, help="trace length, seconds"
+    )
+    p_load.add_argument(
+        "--rate", type=float, default=500.0, help="baseline offered q/s"
+    )
+    p_load.add_argument(
+        "--burst-factor", type=float, default=6.0,
+        help="rate multiplier inside burst windows",
+    )
+    p_load.add_argument("--burst-every", type=float, default=2.0)
+    p_load.add_argument("--burst-duration", type=float, default=0.5)
+    p_load.add_argument(
+        "--tenants", default="alpha,beta,gamma",
+        help="comma-separated tenant ids",
+    )
+    p_load.add_argument(
+        "--domain", type=int, default=1 << 16,
+        help="query positions drawn in [0, domain]",
+    )
+    p_load.add_argument(
+        "--extent", type=int, default=1024, help="max query extent"
+    )
+    p_load.add_argument(
+        "--deadline-ms", type=int, default=0,
+        help="propagated client deadline per query (0 = none)",
+    )
+    p_load.add_argument(
+        "--goodput-budget-ms", type=float, default=None,
+        help="client-side latency budget an answer must beat to count "
+        "as goodput (default: every ok counts)",
+    )
+    p_load.add_argument(
+        "--processes", type=int, default=2,
+        help="load generator worker processes",
+    )
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write per-request records (at,tenant,status,latency) here",
+    )
+    p_load.set_defaults(fn=_cmd_serve_load)
 
     p_stats = sub.add_parser(
         "stats",

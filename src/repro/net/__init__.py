@@ -1,0 +1,106 @@
+"""Network serving front end: binary protocol, asyncio server, clients.
+
+The serving stack, outermost layer first::
+
+    QueryClient / AsyncQueryClient        (this package)
+        | length-prefixed binary frames (repro.net.protocol)
+    QueryServer                           (this package)
+        | admission (token buckets) + in-flight quota + deadlines
+    BatchingQueryService                  (repro.service)
+        | micro-batches
+    execute()-shaped backend              (HintIndex / ShardedHint /
+                                           ExecutionEngine /
+                                           CachingExecutor, swappable
+                                           live via swap_index)
+
+See ``docs/serving.md`` for the wire format, the admission and
+backpressure knobs, deadline semantics and the load-generator usage;
+``python -m repro.cli serve`` runs a server from the shell.
+
+Note :class:`DeadlineExceededError` exported here is the **client-side**
+typed error (a :class:`ServerError`); the service-side exception of the
+same name lives in :mod:`repro.service`.
+"""
+
+from repro.net.admission import TenantAdmission, TokenBucket
+from repro.net.client import (
+    AsyncQueryClient,
+    BadRequestError,
+    ConnectionClosedError,
+    DeadlineExceededError,
+    ERROR_EXCEPTIONS,
+    InternalServerError,
+    OverloadError,
+    QueryClient,
+    RateLimitedError,
+    ServerClosingError,
+    ServerError,
+)
+from repro.net.loadgen import (
+    LoadSummary,
+    RequestRecord,
+    run_load,
+    summarize,
+)
+from repro.net.protocol import (
+    ERROR_CODES,
+    ERROR_NAMES,
+    ErrorFrame,
+    Frame,
+    MAGIC,
+    MAX_FRAME,
+    MODE_CODES,
+    MODE_DEFAULT,
+    MODE_NAMES,
+    PingFrame,
+    PongFrame,
+    ProtocolError,
+    QueryFrame,
+    ResultFrame,
+    VERSION,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+)
+from repro.net.server import QueryServer, ServerHandle, serve_in_thread
+
+__all__ = [
+    "AsyncQueryClient",
+    "BadRequestError",
+    "ConnectionClosedError",
+    "DeadlineExceededError",
+    "ERROR_CODES",
+    "ERROR_EXCEPTIONS",
+    "ERROR_NAMES",
+    "ErrorFrame",
+    "Frame",
+    "InternalServerError",
+    "LoadSummary",
+    "MAGIC",
+    "MAX_FRAME",
+    "MODE_CODES",
+    "MODE_DEFAULT",
+    "MODE_NAMES",
+    "OverloadError",
+    "PingFrame",
+    "PongFrame",
+    "ProtocolError",
+    "QueryClient",
+    "QueryFrame",
+    "QueryServer",
+    "RateLimitedError",
+    "RequestRecord",
+    "ResultFrame",
+    "ServerClosingError",
+    "ServerError",
+    "ServerHandle",
+    "TenantAdmission",
+    "TokenBucket",
+    "VERSION",
+    "decode_frame",
+    "decode_payload",
+    "encode_frame",
+    "run_load",
+    "serve_in_thread",
+    "summarize",
+]

@@ -1,0 +1,448 @@
+"""Clients for the query server: a sync socket client and an async
+multiplexing client.
+
+Both speak the :mod:`repro.net.protocol` framing and raise typed
+exceptions mapped from the server's error codes
+(:data:`ERROR_EXCEPTIONS`), so callers branch on exception type instead
+of parsing messages:
+
+* :class:`QueryClient` — blocking, one request in flight at a time;
+  the workhorse for tests and simple scripts.  Thread-safe (an internal
+  lock serializes request/response pairs).
+* :class:`AsyncQueryClient` — asyncio, many requests multiplexed over
+  one connection keyed by ``request_id``; what the open-loop load
+  generator uses to offer load beyond the server's capacity.
+
+A server-side framing error arrives with ``request_id=0`` and the
+server closes the connection; both clients surface that as
+:class:`ConnectionClosedError` (carrying the server's message) on every
+request that was in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import struct
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.net.protocol import (
+    ErrorFrame,
+    Frame,
+    MAX_FRAME,
+    PingFrame,
+    PongFrame,
+    ProtocolError,
+    QueryFrame,
+    ResultFrame,
+    decode_payload,
+    encode_frame,
+)
+
+__all__ = [
+    "QueryClient",
+    "AsyncQueryClient",
+    "ServerError",
+    "BadRequestError",
+    "DeadlineExceededError",
+    "OverloadError",
+    "RateLimitedError",
+    "ServerClosingError",
+    "InternalServerError",
+    "ConnectionClosedError",
+    "ERROR_EXCEPTIONS",
+]
+
+_LEN = struct.Struct(">I")
+
+
+class ServerError(RuntimeError):
+    """Base of all typed errors the server can answer with."""
+
+    code = "internal"
+
+    def __init__(self, message: str = "", request_id: int = 0):
+        super().__init__(message or self.code)
+        self.request_id = request_id
+        self.message = message
+
+
+class BadRequestError(ServerError):
+    code = "bad_request"
+
+
+class DeadlineExceededError(ServerError):
+    """The client's latency budget expired before execution."""
+
+    code = "deadline_exceeded"
+
+
+class OverloadError(ServerError):
+    """Shed by the global in-flight quota (reject backpressure)."""
+
+    code = "overload"
+
+
+class RateLimitedError(ServerError):
+    """Rejected by the tenant's token bucket."""
+
+    code = "rate_limited"
+
+
+class ServerClosingError(ServerError):
+    code = "closing"
+
+
+class InternalServerError(ServerError):
+    code = "internal"
+
+
+#: Error-code name -> exception class raised for it.
+ERROR_EXCEPTIONS = {
+    cls.code: cls
+    for cls in (
+        BadRequestError,
+        DeadlineExceededError,
+        OverloadError,
+        RateLimitedError,
+        ServerClosingError,
+        InternalServerError,
+    )
+}
+
+
+class ConnectionClosedError(ConnectionError):
+    """The server closed the connection (EOF or after a framing error)."""
+
+
+def _raise_for_error(frame: ErrorFrame) -> None:
+    raise ERROR_EXCEPTIONS.get(frame.code, InternalServerError)(
+        frame.message, frame.request_id
+    )
+
+
+def _result_value(frame: ResultFrame):
+    return frame.value
+
+
+# --------------------------------------------------------------------- #
+# sync client
+# --------------------------------------------------------------------- #
+
+
+class QueryClient:
+    """Blocking client; one request/response pair in flight at a time.
+
+    Parameters
+    ----------
+    host, port:
+        The server address.
+    tenant:
+        Default tenant id stamped on queries (overridable per call).
+    timeout:
+        Socket timeout in seconds for connect and each response.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        timeout: float = 10.0,
+    ):
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._rid = itertools.count(1)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def query(
+        self,
+        st: int,
+        end: int,
+        *,
+        mode: Optional[str] = None,
+        deadline_ms: int = 0,
+        tenant: Optional[str] = None,
+    ):
+        """Execute one G-OVERLAPS query; returns the mode-shaped value.
+
+        Raises the typed :class:`ServerError` subclass matching the
+        server's error code, or :class:`ConnectionClosedError` when the
+        connection dies mid-request.
+        """
+        with self._lock:
+            rid = next(self._rid)
+            self._send(
+                QueryFrame(
+                    request_id=rid,
+                    tenant=tenant if tenant is not None else self.tenant,
+                    st=st,
+                    end=end,
+                    mode=mode,
+                    deadline_ms=deadline_ms,
+                )
+            )
+            frame = self._recv()
+        return self._finish(frame, rid)
+
+    def ping(self) -> float:
+        """Round-trip a PING; returns the latency in seconds."""
+        with self._lock:
+            rid = next(self._rid)
+            t0 = time.monotonic()
+            self._send(PingFrame(rid))
+            frame = self._recv()
+            rtt = time.monotonic() - t0
+        if isinstance(frame, PongFrame) and frame.request_id == rid:
+            return rtt
+        if isinstance(frame, ErrorFrame):
+            _raise_for_error(frame)
+        raise ProtocolError(f"expected PONG({rid}), got {frame!r}")
+
+    def _finish(self, frame: Frame, rid: int):
+        if isinstance(frame, ResultFrame):
+            if frame.request_id != rid:
+                raise ProtocolError(
+                    f"response id {frame.request_id} != request id {rid}"
+                )
+            return _result_value(frame)
+        if isinstance(frame, ErrorFrame):
+            if frame.request_id == 0:
+                # Connection-level error; the server is hanging up.
+                self.close()
+                raise ConnectionClosedError(
+                    f"server closed the connection: {frame.message}"
+                )
+            _raise_for_error(frame)
+        raise ProtocolError(f"unexpected {type(frame).__name__} response")
+
+    def _send(self, frame: Frame) -> None:
+        if self._closed:
+            raise ConnectionClosedError("client is closed")
+        try:
+            self._sock.sendall(encode_frame(frame))
+        except OSError as exc:
+            self.close()
+            raise ConnectionClosedError(str(exc)) from exc
+
+    def _recv(self) -> Frame:
+        prefix = self._read_exactly(_LEN.size)
+        (length,) = _LEN.unpack(prefix)
+        if length > MAX_FRAME:
+            self.close()
+            raise ProtocolError(
+                f"server announced an oversized {length}-byte frame"
+            )
+        return decode_payload(self._read_exactly(length))
+
+    def _read_exactly(self, n: int) -> bytes:
+        chunks = []
+        got = 0
+        while got < n:
+            try:
+                chunk = self._sock.recv(n - got)
+            except socket.timeout as exc:
+                self.close()
+                raise ConnectionClosedError(
+                    "timed out waiting for the server"
+                ) from exc
+            except OSError as exc:
+                self.close()
+                raise ConnectionClosedError(str(exc)) from exc
+            if not chunk:
+                self.close()
+                raise ConnectionClosedError("server closed the connection")
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
+
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes to the socket — for protocol fuzzing tests."""
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise ConnectionClosedError(str(exc)) from exc
+
+    def recv_frame(self) -> Frame:
+        """Read one frame off the socket — for protocol fuzzing tests."""
+        return self._recv()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# async client
+# --------------------------------------------------------------------- #
+
+
+class AsyncQueryClient:
+    """Asyncio client multiplexing many in-flight requests over one
+    connection, matched up by ``request_id``."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        tenant: str = "default",
+    ):
+        self.tenant = tenant
+        self._reader = reader
+        self._writer = writer
+        self._rid = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._conn_error: Optional[BaseException] = None
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, tenant: str = "default"
+    ) -> "AsyncQueryClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, tenant=tenant)
+
+    async def query(
+        self,
+        st: int,
+        end: int,
+        *,
+        mode: Optional[str] = None,
+        deadline_ms: int = 0,
+        tenant: Optional[str] = None,
+    ):
+        """Execute one query; awaits its mode-shaped value.
+
+        Many calls may be outstanding concurrently; responses are routed
+        back by request id regardless of completion order.
+        """
+        rid = next(self._rid)
+        frame = await self._roundtrip(
+            rid,
+            QueryFrame(
+                request_id=rid,
+                tenant=tenant if tenant is not None else self.tenant,
+                st=st,
+                end=end,
+                mode=mode,
+                deadline_ms=deadline_ms,
+            ),
+        )
+        if isinstance(frame, ResultFrame):
+            return _result_value(frame)
+        if isinstance(frame, ErrorFrame):
+            _raise_for_error(frame)
+        raise ProtocolError(f"unexpected {type(frame).__name__} response")
+
+    async def ping(self) -> float:
+        rid = next(self._rid)
+        t0 = time.monotonic()
+        frame = await self._roundtrip(rid, PingFrame(rid))
+        if isinstance(frame, PongFrame):
+            return time.monotonic() - t0
+        if isinstance(frame, ErrorFrame):
+            _raise_for_error(frame)
+        raise ProtocolError(f"expected PONG({rid}), got {frame!r}")
+
+    async def _roundtrip(self, rid: int, frame: Frame) -> Frame:
+        if self._closed:
+            raise ConnectionClosedError(
+                str(self._conn_error) if self._conn_error else
+                "client is closed"
+            )
+        future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        try:
+            data = encode_frame(frame)
+            async with self._write_lock:
+                self._writer.write(data)
+                await self._writer.drain()
+            return await future
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise ConnectionClosedError(str(exc)) from exc
+        finally:
+            self._pending.pop(rid, None)
+
+    async def _read_loop(self) -> None:
+        error: BaseException = ConnectionClosedError(
+            "server closed the connection"
+        )
+        try:
+            while True:
+                prefix = await self._reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(prefix)
+                if length > MAX_FRAME:
+                    error = ProtocolError(
+                        f"server announced an oversized {length}-byte frame"
+                    )
+                    break
+                frame = decode_payload(
+                    await self._reader.readexactly(length)
+                )
+                if isinstance(frame, ErrorFrame) and frame.request_id == 0:
+                    error = ConnectionClosedError(
+                        f"server closed the connection: {frame.message}"
+                    )
+                    break
+                future = self._pending.pop(frame.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            error = ConnectionClosedError("client is closed")
+        except ProtocolError as exc:
+            error = exc
+        self._conn_error = error
+        self._closed = True
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+
+    async def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    async def __aenter__(self) -> "AsyncQueryClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

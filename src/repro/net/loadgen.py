@@ -1,0 +1,206 @@
+"""Multi-process open-loop load generator for the query server.
+
+Replays an arrival trace (:mod:`repro.workloads.arrivals`) against a
+running server **open-loop**: every query is sent at its scheduled wall
+clock time, whether or not earlier queries have been answered.  That is
+the property that makes overload measurable — a closed loop slows its
+own offering down to the server's completion rate and can never offer
+2x capacity.
+
+Concurrency model: the trace is split round-robin across ``processes``
+worker processes (the GIL would otherwise serialize frame encoding with
+response decoding at high rates); each worker replays its slice on an
+asyncio loop through one multiplexing :class:`AsyncQueryClient`
+connection, with one task per arrival sleeping until its send time.
+
+Every offered query produces exactly one :class:`RequestRecord` —
+answered requests carry the protocol status (``ok`` or the typed error
+code), requests whose connection died carry ``connection_closed``, so
+"zero unanswered" is checkable as
+``len(records) == offered and no record.status == 'connection_closed'``.
+
+:func:`summarize` folds records into the serving metrics the
+benchmarks report: latency percentiles (p50/p99/p999) over answered
+requests and **goodput** — completed ``ok`` within the client-side
+latency budget, in queries/second.  Goodput, not throughput, is what
+distinguishes the backpressure policies: a blocked query that completes
+after its budget counts for throughput but not for goodput.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.client import (
+    AsyncQueryClient,
+    ConnectionClosedError,
+    ServerError,
+)
+from repro.workloads.arrivals import Arrival, ArrivalSpec, generate_arrivals
+
+__all__ = ["RequestRecord", "LoadSummary", "run_load", "summarize"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one offered query."""
+
+    at: float  #: scheduled send time (seconds since trace start)
+    tenant: str
+    status: str  #: ``ok``, a typed error code, or ``connection_closed``
+    latency: float  #: send-to-answer seconds (wire round trip)
+
+
+@dataclass(frozen=True)
+class LoadSummary:
+    """Aggregate serving metrics over one load run."""
+
+    offered: int
+    answered: int  #: got a RESULT or a typed ERROR (not a dead socket)
+    ok: int
+    goodput_qps: float  #: ok within the goodput budget, per second
+    duration: float
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    by_status: Dict[str, int]
+
+    @property
+    def unanswered(self) -> int:
+        return self.offered - self.answered
+
+    def describe(self) -> str:
+        statuses = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.by_status.items())
+        )
+        return (
+            f"offered={self.offered} answered={self.answered} "
+            f"ok={self.ok} goodput={self.goodput_qps:.1f} qps "
+            f"p50={self.p50_ms:.2f}ms p99={self.p99_ms:.2f}ms "
+            f"p999={self.p999_ms:.2f}ms [{statuses}]"
+        )
+
+
+async def _replay_slice(
+    host: str, port: int, arrivals: Sequence[Arrival]
+) -> List[RequestRecord]:
+    """Open-loop replay of one trace slice over one connection."""
+    client = await AsyncQueryClient.connect(host, port)
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    records: List[RequestRecord] = []
+
+    async def one(a: Arrival) -> None:
+        delay = start + a.at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        sent = time.monotonic()
+        try:
+            await client.query(
+                a.st, a.end, tenant=a.tenant, deadline_ms=a.deadline_ms
+            )
+            status = "ok"
+        except ServerError as exc:
+            status = exc.code
+        except (ConnectionClosedError, ConnectionError, OSError):
+            status = "connection_closed"
+        records.append(
+            RequestRecord(a.at, a.tenant, status, time.monotonic() - sent)
+        )
+
+    try:
+        await asyncio.gather(*[one(a) for a in arrivals])
+    finally:
+        await client.close()
+    return records
+
+
+def _worker(
+    host: str, port: int, spec: ArrivalSpec, shard: int, shards: int
+) -> List[RequestRecord]:
+    """One load process: regenerate the trace, replay every
+    ``shards``-th arrival starting at ``shard``."""
+    arrivals = generate_arrivals(spec)[shard::shards]
+    return asyncio.run(_replay_slice(host, port, arrivals))
+
+
+def run_load(
+    host: str,
+    port: int,
+    spec: ArrivalSpec,
+    *,
+    processes: int = 2,
+) -> List[RequestRecord]:
+    """Offer *spec*'s trace to ``host:port`` from *processes* workers.
+
+    Workers regenerate the (seeded, deterministic) trace instead of
+    receiving it pickled — the spec is a few hundred bytes regardless of
+    trace length.  With ``processes=1`` the replay runs in-process,
+    which is what the tests use (no fork, no pickling of results).
+    """
+    if processes < 1:
+        raise ValueError("processes must be positive")
+    if processes == 1:
+        return _worker(host, port, spec, 0, 1)
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes) as pool:
+        slices = pool.starmap(
+            _worker,
+            [(host, port, spec, i, processes) for i in range(processes)],
+        )
+    out: List[RequestRecord] = []
+    for part in slices:
+        out.extend(part)
+    return out
+
+
+def summarize(
+    records: Sequence[RequestRecord],
+    *,
+    duration: float,
+    goodput_budget_ms: Optional[float] = None,
+) -> LoadSummary:
+    """Fold request records into the report the benchmarks emit.
+
+    ``goodput_budget_ms`` is the client-side latency budget an answer
+    must beat to count as goodput; ``None`` counts every ``ok``.
+    """
+    by_status: Dict[str, int] = {}
+    for r in records:
+        by_status[r.status] = by_status.get(r.status, 0) + 1
+    answered = sum(
+        1 for r in records if r.status != "connection_closed"
+    )
+    oks = [r for r in records if r.status == "ok"]
+    if goodput_budget_ms is None:
+        good = len(oks)
+    else:
+        budget = goodput_budget_ms / 1000.0
+        good = sum(1 for r in oks if r.latency <= budget)
+    lat = np.asarray(
+        [r.latency for r in records if r.status != "connection_closed"]
+    )
+    if lat.size:
+        p50, p99, p999 = (
+            float(v) * 1000.0
+            for v in np.percentile(lat, [50.0, 99.0, 99.9])
+        )
+    else:
+        p50 = p99 = p999 = float("nan")
+    return LoadSummary(
+        offered=len(records),
+        answered=answered,
+        ok=len(oks),
+        goodput_qps=good / duration if duration > 0 else float("nan"),
+        duration=duration,
+        p50_ms=p50,
+        p99_ms=p99,
+        p999_ms=p999,
+        by_status=by_status,
+    )

@@ -1,0 +1,405 @@
+"""The wire protocol of the query server: length-prefixed binary frames.
+
+Every frame on the wire is::
+
+    u32 length          big-endian payload byte count (prefix, not
+                        included in itself); bounded by ``MAX_FRAME``
+    payload             `length` bytes:
+        u16 magic       0xB173 — rejects random/plaintext peers cheaply
+        u8  version     protocol version (currently 1)
+        u8  type        frame type (below)
+        ...             type-specific body
+
+Frame types and bodies (all integers big-endian):
+
+``QUERY`` (client -> server)
+    ``u64 request_id`` · ``u8 tenant_len`` + utf-8 tenant id ·
+    ``i64 st`` · ``i64 end`` · ``u8 mode`` · ``u32 deadline_ms``.
+    ``mode`` is a :data:`MODE_CODES` value or :data:`MODE_DEFAULT`
+    (255, "whatever the server executes").  ``deadline_ms`` is the
+    client's **relative** latency budget (0 = none); the server anchors
+    it on its own clock at decode time, so the two machines never need
+    synchronized clocks.
+``RESULT`` (server -> client)
+    ``u64 request_id`` · ``u8 mode`` · mode-shaped body — count:
+    ``u64``; checksum: ``u64 count`` + ``u64 xor``; ids: ``u32 n`` +
+    ``n × i64``.
+``ERROR`` (server -> client)
+    ``u64 request_id`` · ``u8 code`` (:data:`ERROR_CODES`) ·
+    ``u16 msg_len`` + utf-8 message.
+``PING`` / ``PONG``
+    ``u64 request_id`` — liveness probe and its echo.
+
+Decoding is strict: unknown magic, version, type, mode or error code,
+truncated bodies and trailing garbage all raise :class:`ProtocolError`.
+The server answers decodable-stream errors with a typed ``ERROR`` frame
+and closes the connection (after a framing error the byte stream can no
+longer be trusted); see :mod:`repro.net.server`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "MAX_FRAME",
+    "MODE_CODES",
+    "MODE_NAMES",
+    "MODE_DEFAULT",
+    "FRAME_QUERY",
+    "FRAME_RESULT",
+    "FRAME_ERROR",
+    "FRAME_PING",
+    "FRAME_PONG",
+    "ERR_BAD_REQUEST",
+    "ERR_DEADLINE_EXCEEDED",
+    "ERR_OVERLOAD",
+    "ERR_RATE_LIMITED",
+    "ERR_CLOSING",
+    "ERR_INTERNAL",
+    "ERROR_CODES",
+    "ERROR_NAMES",
+    "ProtocolError",
+    "QueryFrame",
+    "ResultFrame",
+    "ErrorFrame",
+    "PingFrame",
+    "PongFrame",
+    "Frame",
+    "encode_frame",
+    "decode_payload",
+    "decode_frame",
+]
+
+#: First two payload bytes of every frame.
+MAGIC = 0xB173
+#: Current protocol version.
+VERSION = 1
+#: Default upper bound on a payload (1 MiB) — an oversized length prefix
+#: is rejected *before* the body is read, so a hostile peer cannot make
+#: the server buffer arbitrary amounts.
+MAX_FRAME = 1 << 20
+
+FRAME_QUERY = 0x01
+FRAME_RESULT = 0x02
+FRAME_ERROR = 0x03
+FRAME_PING = 0x04
+FRAME_PONG = 0x05
+
+#: Result modes on the wire (matches :data:`repro.core.result.MODES`).
+MODE_CODES = {"count": 0, "ids": 1, "checksum": 2}
+MODE_NAMES = {v: k for k, v in MODE_CODES.items()}
+#: "Execute in whatever mode the server is configured for."
+MODE_DEFAULT = 0xFF
+
+ERR_BAD_REQUEST = 1
+ERR_DEADLINE_EXCEEDED = 2
+ERR_OVERLOAD = 3
+ERR_RATE_LIMITED = 4
+ERR_CLOSING = 5
+ERR_INTERNAL = 6
+
+ERROR_CODES = {
+    "bad_request": ERR_BAD_REQUEST,
+    "deadline_exceeded": ERR_DEADLINE_EXCEEDED,
+    "overload": ERR_OVERLOAD,
+    "rate_limited": ERR_RATE_LIMITED,
+    "closing": ERR_CLOSING,
+    "internal": ERR_INTERNAL,
+}
+ERROR_NAMES = {v: k for k, v in ERROR_CODES.items()}
+
+_HEADER = struct.Struct(">HBB")  # magic, version, type
+_LEN = struct.Struct(">I")
+_QUERY_HEAD = struct.Struct(">QB")  # request_id, tenant_len
+_QUERY_TAIL = struct.Struct(">qqBI")  # st, end, mode, deadline_ms
+_RESULT_HEAD = struct.Struct(">QB")  # request_id, mode
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+_ERROR_HEAD = struct.Struct(">QBH")  # request_id, code, msg_len
+_REQ_ID = struct.Struct(">Q")
+
+_U64_MASK = (1 << 64) - 1
+
+
+class ProtocolError(ValueError):
+    """A frame (or stream) violated the wire protocol."""
+
+
+@dataclass(frozen=True)
+class QueryFrame:
+    """One G-OVERLAPS query as sent by a client."""
+
+    request_id: int
+    tenant: str = "default"
+    st: int = 0
+    end: int = 0
+    mode: Optional[str] = None  #: None = the server's configured mode
+    deadline_ms: int = 0  #: relative budget; 0 = no deadline
+
+
+@dataclass(frozen=True)
+class ResultFrame:
+    """A successful answer; ``value`` is shaped by ``mode``.
+
+    ``count`` → ``int``; ``checksum`` → ``(count, xor)``; ``ids`` →
+    tuple of ids (the server sends them sorted ascending).
+    """
+
+    request_id: int
+    mode: str
+    value: Union[int, Tuple[int, int], Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class ErrorFrame:
+    """A typed failure answer."""
+
+    request_id: int
+    code: str  #: an :data:`ERROR_CODES` key, e.g. ``"overload"``
+    message: str = ""
+
+
+@dataclass(frozen=True)
+class PingFrame:
+    request_id: int
+
+
+@dataclass(frozen=True)
+class PongFrame:
+    request_id: int
+
+
+Frame = Union[QueryFrame, ResultFrame, ErrorFrame, PingFrame, PongFrame]
+
+
+# --------------------------------------------------------------------- #
+# encoding
+# --------------------------------------------------------------------- #
+
+
+def _check_u64(value: int, what: str) -> int:
+    value = int(value)
+    if not 0 <= value <= _U64_MASK:
+        raise ProtocolError(f"{what} out of range for u64: {value}")
+    return value
+
+
+def _encode_body(frame: Frame) -> bytes:
+    if isinstance(frame, QueryFrame):
+        tenant = frame.tenant.encode("utf-8")
+        if len(tenant) > 255:
+            raise ProtocolError("tenant id exceeds 255 utf-8 bytes")
+        if frame.mode is None:
+            mode_code = MODE_DEFAULT
+        elif frame.mode in MODE_CODES:
+            mode_code = MODE_CODES[frame.mode]
+        else:
+            raise ProtocolError(f"unknown result mode {frame.mode!r}")
+        deadline_ms = int(frame.deadline_ms)
+        if not 0 <= deadline_ms <= 0xFFFFFFFF:
+            raise ProtocolError(f"deadline_ms out of range: {deadline_ms}")
+        return (
+            _QUERY_HEAD.pack(_check_u64(frame.request_id, "request_id"),
+                             len(tenant))
+            + tenant
+            + _QUERY_TAIL.pack(
+                int(frame.st), int(frame.end), mode_code, deadline_ms
+            )
+        )
+    if isinstance(frame, ResultFrame):
+        head = _RESULT_HEAD.pack(
+            _check_u64(frame.request_id, "request_id"),
+            _mode_code(frame.mode),
+        )
+        if frame.mode == "count":
+            return head + _U64.pack(_check_u64(frame.value, "count"))
+        if frame.mode == "checksum":
+            count, xor = frame.value
+            return head + _U64.pack(_check_u64(count, "count")) + _U64.pack(
+                _check_u64(xor, "checksum")
+            )
+        ids = np.asarray(frame.value, dtype=np.int64)
+        return head + _U32.pack(ids.size) + ids.astype(">i8").tobytes()
+    if isinstance(frame, ErrorFrame):
+        if frame.code not in ERROR_CODES:
+            raise ProtocolError(f"unknown error code {frame.code!r}")
+        msg = frame.message.encode("utf-8")
+        if len(msg) > 0xFFFF:
+            msg = msg[:0xFFFF]
+        return (
+            _ERROR_HEAD.pack(
+                _check_u64(frame.request_id, "request_id"),
+                ERROR_CODES[frame.code],
+                len(msg),
+            )
+            + msg
+        )
+    if isinstance(frame, PingFrame):
+        return _REQ_ID.pack(_check_u64(frame.request_id, "request_id"))
+    if isinstance(frame, PongFrame):
+        return _REQ_ID.pack(_check_u64(frame.request_id, "request_id"))
+    raise ProtocolError(f"cannot encode {type(frame).__name__}")
+
+
+def _mode_code(mode: str) -> int:
+    try:
+        return MODE_CODES[mode]
+    except KeyError:
+        raise ProtocolError(f"unknown result mode {mode!r}") from None
+
+
+_FRAME_TYPE = {
+    QueryFrame: FRAME_QUERY,
+    ResultFrame: FRAME_RESULT,
+    ErrorFrame: FRAME_ERROR,
+    PingFrame: FRAME_PING,
+    PongFrame: FRAME_PONG,
+}
+
+
+def encode_frame(frame: Frame, *, max_frame: int = MAX_FRAME) -> bytes:
+    """Serialize *frame* into length prefix + payload bytes."""
+    payload = _HEADER.pack(MAGIC, VERSION, _FRAME_TYPE[type(frame)])
+    payload += _encode_body(frame)
+    if len(payload) > max_frame:
+        raise ProtocolError(
+            f"frame payload ({len(payload)} bytes) exceeds the "
+            f"{max_frame}-byte frame bound"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+# --------------------------------------------------------------------- #
+# decoding
+# --------------------------------------------------------------------- #
+
+
+class _Cursor:
+    """Strict forward reader over one payload."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise ProtocolError(
+                f"truncated frame: wanted {n} bytes at offset {self.pos}, "
+                f"payload is {len(self.data)} bytes"
+            )
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def unpack(self, fmt: struct.Struct):
+        return fmt.unpack(self.take(fmt.size))
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise ProtocolError(
+                f"{len(self.data) - self.pos} trailing bytes after frame body"
+            )
+
+
+def decode_payload(payload: bytes) -> Frame:
+    """Decode one frame payload (the bytes after the length prefix).
+
+    Raises :class:`ProtocolError` on any violation — and only
+    :class:`ProtocolError`, which is what lets the server turn arbitrary
+    hostile bytes into one typed error path.
+    """
+    cur = _Cursor(payload)
+    magic, version, ftype = cur.unpack(_HEADER)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:04X} (want 0x{MAGIC:04X})")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if ftype == FRAME_QUERY:
+        request_id, tenant_len = cur.unpack(_QUERY_HEAD)
+        try:
+            tenant = cur.take(tenant_len).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"tenant id is not utf-8: {exc}") from None
+        st, end, mode_code, deadline_ms = cur.unpack(_QUERY_TAIL)
+        cur.done()
+        if mode_code == MODE_DEFAULT:
+            mode = None
+        elif mode_code in MODE_NAMES:
+            mode = MODE_NAMES[mode_code]
+        else:
+            raise ProtocolError(f"unknown mode code {mode_code}")
+        return QueryFrame(
+            request_id=request_id,
+            tenant=tenant,
+            st=st,
+            end=end,
+            mode=mode,
+            deadline_ms=deadline_ms,
+        )
+    if ftype == FRAME_RESULT:
+        request_id, mode_code = cur.unpack(_RESULT_HEAD)
+        if mode_code not in MODE_NAMES:
+            raise ProtocolError(f"unknown mode code {mode_code}")
+        mode = MODE_NAMES[mode_code]
+        if mode == "count":
+            (value,) = cur.unpack(_U64)
+            cur.done()
+            return ResultFrame(request_id, mode, value)
+        if mode == "checksum":
+            (count,) = cur.unpack(_U64)
+            (xor,) = cur.unpack(_U64)
+            cur.done()
+            return ResultFrame(request_id, mode, (count, xor))
+        (n,) = cur.unpack(_U32)
+        raw = cur.take(8 * n)
+        cur.done()
+        ids = np.frombuffer(raw, dtype=">i8").astype(np.int64)
+        return ResultFrame(request_id, mode, tuple(int(v) for v in ids))
+    if ftype == FRAME_ERROR:
+        request_id, code, msg_len = cur.unpack(_ERROR_HEAD)
+        if code not in ERROR_NAMES:
+            raise ProtocolError(f"unknown error code {code}")
+        try:
+            message = cur.take(msg_len).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"error message is not utf-8: {exc}") from None
+        cur.done()
+        return ErrorFrame(request_id, ERROR_NAMES[code], message)
+    if ftype == FRAME_PING:
+        (request_id,) = cur.unpack(_REQ_ID)
+        cur.done()
+        return PingFrame(request_id)
+    if ftype == FRAME_PONG:
+        (request_id,) = cur.unpack(_REQ_ID)
+        cur.done()
+        return PongFrame(request_id)
+    raise ProtocolError(f"unknown frame type 0x{ftype:02X}")
+
+
+def decode_frame(data: bytes) -> Tuple[Frame, int]:
+    """Decode one length-prefixed frame from the head of *data*.
+
+    Returns ``(frame, consumed_bytes)``.  Raises :class:`ProtocolError`
+    when the prefix or payload is malformed, or when *data* is too short
+    (sync helper for tests; the async path reads exactly-sized chunks).
+    """
+    if len(data) < _LEN.size:
+        raise ProtocolError("truncated length prefix")
+    (length,) = _LEN.unpack(data[: _LEN.size])
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"declared payload ({length} bytes) exceeds the frame bound"
+        )
+    if len(data) < _LEN.size + length:
+        raise ProtocolError("truncated frame payload")
+    frame = decode_payload(data[_LEN.size : _LEN.size + length])
+    return frame, _LEN.size + length

@@ -1,0 +1,666 @@
+"""The asyncio TCP front end over :class:`~repro.service.BatchingQueryService`.
+
+:class:`QueryServer` accepts length-prefixed binary frames
+(:mod:`repro.net.protocol`), applies the production traffic controls,
+and feeds admitted queries into the batching service — which is exactly
+the existing serving stack: whatever backend ``swap_index`` has
+installed (a plain :class:`~repro.hint.HintIndex`, a
+:class:`~repro.shard.ShardedHint`, an
+:class:`~repro.engine.ExecutionEngine`, a
+:class:`~repro.cache.CachingExecutor`) serves the wire unchanged.
+
+Traffic controls, in the order a query meets them:
+
+1. **Framing** — malformed frames (bad magic/version, truncated body,
+   oversized length prefix, an injected ``net.decode`` fault) get a
+   typed ``BAD_REQUEST`` error and the connection is closed; the byte
+   stream cannot be trusted after a framing error.  The server itself
+   never crashes and never leaks the socket.
+2. **Per-tenant admission** — a token bucket per tenant
+   (:class:`~repro.net.admission.TenantAdmission`); an empty bucket gets
+   a typed ``RATE_LIMITED`` error immediately.
+3. **Global in-flight quota** — at most ``max_inflight`` admitted
+   queries may be outstanding (submitted, response not yet written).
+   Under ``backpressure="reject"`` the excess is shed with a typed
+   ``OVERLOAD`` response (graceful shedding — never a hung socket);
+   under ``"block"`` the connection's read loop waits for a slot, which
+   stops consuming the socket and pushes back through TCP flow control.
+   The quota is clamped to the service's ``max_queue`` so a submit can
+   never block the event loop — the wire quota *is* the service's
+   bounded staging queue, surfaced one layer out.
+4. **Deadline propagation** — the client's relative ``deadline_ms``
+   budget is anchored on the server clock at decode time and travels
+   with the query into the service, whose flusher drops it unexecuted
+   (typed ``DEADLINE_EXCEEDED``) if the deadline passes while staged.
+
+Every request is answered exactly once (``RESULT`` or a typed
+``ERROR``) unless its connection is gone; shutdown
+(:meth:`QueryServer.stop`) drains in-flight work through
+``service.close(drain=True, timeout=...)``, whose timeout bound
+guarantees even an abandoned drain resolves every future.
+
+For embedding in synchronous code (tests, benchmarks, the load
+generator) :func:`serve_in_thread` runs the whole server on a dedicated
+event-loop thread and returns a handle with ``host``/``port`` and a
+blocking ``close()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import threading
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+import repro.obs as obs
+from repro.service import (
+    BatchingQueryService,
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.verify.faults import SITE_NET_ACCEPT, SITE_NET_DECODE, FaultPlan
+
+from repro.net.admission import TenantAdmission
+from repro.net.protocol import (
+    ErrorFrame,
+    Frame,
+    MAX_FRAME,
+    PingFrame,
+    PongFrame,
+    ProtocolError,
+    QueryFrame,
+    ResultFrame,
+    decode_payload,
+    encode_frame,
+)
+
+__all__ = ["QueryServer", "ServerHandle", "serve_in_thread"]
+
+_LEN = struct.Struct(">I")
+
+
+class QueryServer:
+    """Asyncio TCP server feeding a :class:`BatchingQueryService`.
+
+    Parameters
+    ----------
+    service:
+        The batching service every admitted query is submitted to.  The
+        server never builds one itself; pass ``owns_service=True`` to
+        have :meth:`stop` close it.
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    max_inflight:
+        Global quota on admitted-but-unanswered queries; clamped to the
+        service's ``max_queue`` (see the module docstring for why).
+    backpressure:
+        ``"block"`` or ``"reject"`` behaviour when the quota is
+        exhausted; ``None`` (default) inherits the service's policy.
+    admission:
+        Optional :class:`TenantAdmission`; ``None`` admits everything.
+    max_frame:
+        Upper bound on accepted frame payloads, bytes.
+    request_timeout:
+        Hard bound (seconds) on waiting for a submitted query's future;
+        on expiry the client gets a typed ``INTERNAL`` error instead of
+        a hung socket.  Generous by default — the service's own deadline
+        and drain bounds fire long before it.
+    fault_plan:
+        Optional :class:`FaultPlan`; fires ``net.accept`` per accepted
+        connection and ``net.decode`` per received frame.
+    clock:
+        Monotonic time source used to anchor client deadlines; **must**
+        be the same clock the service was built with (both default to
+        ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        service: BatchingQueryService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 1024,
+        backpressure: Optional[str] = None,
+        admission: Optional[TenantAdmission] = None,
+        max_frame: int = MAX_FRAME,
+        request_timeout: float = 30.0,
+        fault_plan: Optional[FaultPlan] = None,
+        clock: Callable[[], float] = time.monotonic,
+        owns_service: bool = False,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        if backpressure not in (None, "block", "reject"):
+            raise ValueError(
+                f"unknown backpressure policy {backpressure!r}; "
+                "expected 'block', 'reject' or None"
+            )
+        if max_frame < 64:
+            raise ValueError("max_frame is too small to hold any frame")
+        if request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        self.service = service
+        self.host = host
+        self._requested_port = int(port)
+        self.max_inflight = min(int(max_inflight), service.max_queue)
+        self.backpressure = (
+            service.backpressure if backpressure is None else backpressure
+        )
+        self.admission = admission
+        self.max_frame = int(max_frame)
+        self.request_timeout = float(request_timeout)
+        self._fault_plan = fault_plan
+        self._clock = clock
+        self._owns_service = owns_service
+
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._inflight = 0
+        self._slot_free: Optional[asyncio.Condition] = None
+        self._closing = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._conn_tasks: set = set()
+        self._writers: set = set()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "QueryServer":
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._slot_free = asyncio.Condition()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self._requested_port
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` is called (from a signal handler or
+        another task)."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    async def stop(self, *, drain: bool = True, timeout: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting, drain, close connections.
+
+        New queries arriving during the drain get a typed ``CLOSING``
+        error; queries already admitted still complete (``drain=True``)
+        within the service's drain bound — on timeout the service
+        abandons the remainder with errors, so every outstanding request
+        is answered either way.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._slot_free is not None:
+            async with self._slot_free:
+                self._slot_free.notify_all()  # wake blocked admissions
+        # Drain the service first: this resolves every in-flight future
+        # (results, or errors once the timeout bound trips).  While this
+        # coroutine waits in the executor, the per-request tasks run on
+        # the loop and write their final responses.
+        if self._owns_service:
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self.service.close(drain=drain, timeout=timeout)
+            )
+        # Wait for the in-flight count to hit zero (responses written),
+        # bounded; idle read loops never finish on their own and are
+        # cancelled below instead.
+        waited = 0.0
+        while self._inflight > 0 and waited < max(timeout, 0.1):
+            await asyncio.sleep(0.01)
+            waited += 0.01
+        for task in list(self._conn_tasks):
+            task.cancel()
+        for writer in list(self._writers):
+            self._close_writer(writer)
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=1.0)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    @staticmethod
+    def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._writers.add(writer)
+        ob = obs.active()
+        counted = False
+        try:
+            if self._closing:
+                return
+            if self._fault_plan is not None:
+                # An injected net.accept fault models an I/O error on
+                # accept: the connection is dropped, the server lives.
+                self._fault_plan.fire(SITE_NET_ACCEPT)
+            if ob is not None:
+                ob.record_net_connection(+1)
+                counted = True
+            await self._read_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass  # server shutdown cancelled an idle read loop
+        except Exception:
+            # Per-connection containment: nothing a single peer does
+            # (or an injected fault) may take the acceptor down.
+            pass
+        finally:
+            if counted:
+                ob2 = obs.active()
+                if ob2 is not None:
+                    ob2.record_net_connection(-1)
+            self._close_writer(writer)
+            self._writers.discard(writer)
+            self._conn_tasks.discard(task)
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        request_tasks: set = set()
+        try:
+            while not self._closing:
+                try:
+                    prefix = await reader.readexactly(_LEN.size)
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    BrokenPipeError,
+                ):
+                    return  # peer went away (or sent a truncated prefix)
+                (length,) = _LEN.unpack(prefix)
+                if length > self.max_frame:
+                    # Reject before reading the body: a hostile length
+                    # prefix must not make the server buffer it.
+                    self._record_decode_error()
+                    await self._send(
+                        writer,
+                        write_lock,
+                        ErrorFrame(
+                            0,
+                            "bad_request",
+                            f"frame of {length} bytes exceeds the "
+                            f"{self.max_frame}-byte bound",
+                        ),
+                    )
+                    return
+                try:
+                    payload = await reader.readexactly(length)
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    BrokenPipeError,
+                ):
+                    return
+                try:
+                    if self._fault_plan is not None:
+                        self._fault_plan.fire(SITE_NET_DECODE)
+                    frame = decode_payload(payload)
+                except ProtocolError as exc:
+                    self._record_decode_error()
+                    await self._send(
+                        writer, write_lock, ErrorFrame(0, "bad_request", str(exc))
+                    )
+                    return
+                except Exception as exc:  # injected net.decode fault
+                    self._record_decode_error()
+                    await self._send(
+                        writer,
+                        write_lock,
+                        ErrorFrame(
+                            0, "bad_request", f"decode failed: {exc}"
+                        ),
+                    )
+                    return
+                if isinstance(frame, PingFrame):
+                    await self._send(
+                        writer, write_lock, PongFrame(frame.request_id)
+                    )
+                    continue
+                if not isinstance(frame, QueryFrame):
+                    await self._send(
+                        writer,
+                        write_lock,
+                        ErrorFrame(
+                            getattr(frame, "request_id", 0),
+                            "bad_request",
+                            f"unexpected {type(frame).__name__} from client",
+                        ),
+                    )
+                    continue
+                task = await self._admit_and_dispatch(
+                    frame, writer, write_lock
+                )
+                if task is not None:
+                    request_tasks.add(task)
+                    task.add_done_callback(request_tasks.discard)
+        finally:
+            if request_tasks:
+                # The connection's read side is done (EOF or framing
+                # error); in-flight answers still get written.
+                await asyncio.wait(
+                    list(request_tasks), timeout=self.request_timeout
+                )
+
+    # ------------------------------------------------------------------ #
+    # the request path
+    # ------------------------------------------------------------------ #
+
+    async def _admit_and_dispatch(
+        self,
+        frame: QueryFrame,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> Optional[asyncio.Task]:
+        """Run the traffic controls; returns the response task (or None
+        when the query was answered synchronously with an error)."""
+        t0 = self._clock()
+        if self._closing:
+            await self._respond_error(
+                frame, writer, write_lock, "closing",
+                "server is shutting down", t0,
+            )
+            return None
+        if frame.st > frame.end:
+            await self._respond_error(
+                frame, writer, write_lock, "bad_request",
+                f"query must have st <= end (got [{frame.st}, {frame.end}])",
+                t0,
+            )
+            return None
+        if frame.mode is not None and frame.mode != self.service.mode:
+            await self._respond_error(
+                frame, writer, write_lock, "bad_request",
+                f"server executes mode {self.service.mode!r}, "
+                f"not {frame.mode!r}",
+                t0,
+            )
+            return None
+        if self.admission is not None and not self.admission.try_admit(
+            frame.tenant
+        ):
+            await self._respond_error(
+                frame, writer, write_lock, "rate_limited",
+                f"tenant {frame.tenant!r} is over its admission rate", t0,
+            )
+            return None
+        # Global in-flight quota — the wire face of the service's
+        # bounded staging queue.
+        if self._inflight >= self.max_inflight:
+            if self.backpressure == "reject":
+                await self._respond_error(
+                    frame, writer, write_lock, "overload",
+                    f"{self._inflight} queries in flight "
+                    f"(quota {self.max_inflight})",
+                    t0,
+                )
+                return None
+            async with self._slot_free:
+                while self._inflight >= self.max_inflight:
+                    if self._closing:
+                        break
+                    await self._slot_free.wait()
+            if self._closing:
+                await self._respond_error(
+                    frame, writer, write_lock, "closing",
+                    "server is shutting down", t0,
+                )
+                return None
+        self._inflight += 1
+        deadline = (
+            t0 + frame.deadline_ms / 1000.0 if frame.deadline_ms else None
+        )
+        try:
+            future = self.service.submit(
+                frame.st, frame.end, deadline=deadline
+            )
+        except BaseException as exc:
+            await self._release_slot()
+            await self._respond_error(
+                frame, writer, write_lock, *_classify(exc), t0
+            )
+            return None
+        return asyncio.ensure_future(
+            self._respond_when_done(frame, future, writer, write_lock, t0)
+        )
+
+    async def _release_slot(self) -> None:
+        async with self._slot_free:
+            self._inflight -= 1
+            self._slot_free.notify()
+
+    async def _respond_when_done(
+        self,
+        frame: QueryFrame,
+        future,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        t0: float,
+    ) -> None:
+        try:
+            try:
+                value = await asyncio.wait_for(
+                    asyncio.wrap_future(future), self.request_timeout
+                )
+            except asyncio.TimeoutError:
+                await self._respond_error(
+                    frame, writer, write_lock, "internal",
+                    f"no result within {self.request_timeout:g}s", t0,
+                )
+                return
+            except BaseException as exc:
+                await self._respond_error(
+                    frame, writer, write_lock, *_classify(exc), t0
+                )
+                return
+            mode = self.service.mode
+            if mode == "ids":
+                value = tuple(
+                    int(v) for v in np.sort(np.asarray(value, dtype=np.int64))
+                )
+            elif mode == "checksum":
+                value = (int(value[0]), int(value[1]))
+            else:
+                value = int(value)
+            await self._send(
+                writer, write_lock, ResultFrame(frame.request_id, mode, value)
+            )
+            self._record_request(frame, "ok", self._clock() - t0)
+        finally:
+            await self._release_slot()
+
+    async def _respond_error(
+        self,
+        frame: QueryFrame,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        code: str,
+        message: str,
+        t0: float,
+    ) -> None:
+        await self._send(
+            writer, write_lock, ErrorFrame(frame.request_id, code, message)
+        )
+        self._record_request(frame, code, self._clock() - t0)
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        frame: Frame,
+    ) -> None:
+        data = encode_frame(frame, max_frame=max(self.max_frame, MAX_FRAME))
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            pass  # peer is gone; nothing left to answer
+
+    # ------------------------------------------------------------------ #
+    # instrumentation
+    # ------------------------------------------------------------------ #
+
+    def _record_request(
+        self, frame: QueryFrame, status: str, duration: float
+    ) -> None:
+        ob = obs.active()
+        if ob is None:
+            return
+        ob.record_net_request(status, duration)
+        ob.recorder.add(
+            "net.request",
+            duration,
+            attrs={
+                "tenant": frame.tenant,
+                "status": status,
+                "mode": self.service.mode,
+                "st": int(frame.st),
+                "end": int(frame.end),
+            },
+        )
+
+    def _record_decode_error(self) -> None:
+        ob = obs.active()
+        if ob is not None:
+            ob.record_net_decode_error()
+
+    def __repr__(self) -> str:
+        state = "closing" if self._closing else (
+            "listening" if self._server is not None else "new"
+        )
+        return (
+            f"QueryServer({self.host}:{self.port}, "
+            f"backpressure={self.backpressure!r}, "
+            f"max_inflight={self.max_inflight}, {state})"
+        )
+
+
+def _classify(exc: BaseException):
+    """Map a service-side exception onto (protocol code, message)."""
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline_exceeded", str(exc)
+    if isinstance(exc, QueueFullError):
+        return "overload", str(exc)
+    if isinstance(exc, ServiceClosedError):
+        return "closing", str(exc)
+    if isinstance(exc, ValueError):
+        return "bad_request", str(exc)
+    return "internal", f"{type(exc).__name__}: {exc}"
+
+
+class ServerHandle:
+    """A :class:`QueryServer` running on its own event-loop thread."""
+
+    def __init__(
+        self,
+        server: QueryServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self):
+        return self.server.host, self.server.port
+
+    def close(self, *, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop the server, drain in-flight work, join the loop thread."""
+        if self._closed:
+            return
+        self._closed = True
+        stop = asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain=drain, timeout=timeout), self._loop
+        )
+        try:
+            stop.result(timeout + 10.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout + 10.0)
+            if not self._thread.is_alive():
+                self._loop.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def serve_in_thread(
+    service: BatchingQueryService, **server_kwargs
+) -> ServerHandle:
+    """Start a :class:`QueryServer` on a dedicated event-loop thread.
+
+    The synchronous embedding used by tests, benchmarks and the smoke
+    harness: returns once the server is bound (its ephemeral port is
+    readable from the handle), and ``handle.close()`` performs the full
+    graceful shutdown from the calling thread.
+    """
+    server = QueryServer(service, **server_kwargs)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    boot_error = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # bind failure etc.
+            boot_error.append(exc)
+            started.set()
+            return
+        started.set()
+        loop.run_forever()
+        # Drain loop callbacks scheduled during stop() before exiting.
+        loop.run_until_complete(asyncio.sleep(0))
+
+    thread = threading.Thread(target=run, name="repro-net-server", daemon=True)
+    thread.start()
+    if not started.wait(10.0):
+        raise RuntimeError("server thread failed to start in time")
+    if boot_error:
+        thread.join(1.0)
+        raise boot_error[0]
+    return ServerHandle(server, loop, thread)

@@ -107,6 +107,14 @@ CACHE_INVALIDATIONS = "repro_cache_invalidations_total"
 CACHE_FLUSHES = "repro_cache_flushes_total"
 CACHE_BYTES = "repro_cache_bytes_resident"
 CACHE_ENTRIES = "repro_cache_entries"
+NET_REQUESTS = "repro_net_requests_total"
+NET_REQUEST_SECONDS = "repro_net_request_seconds"
+NET_CONNECTIONS = "repro_net_connections_total"
+NET_CONNECTIONS_ACTIVE = "repro_net_connections_active"
+NET_DEADLINE_DROPPED = "repro_net_deadline_dropped_total"
+NET_ADMISSION_REJECTED = "repro_net_admission_rejected_total"
+NET_OVERLOAD_SHED = "repro_net_overload_shed_total"
+NET_DECODE_ERRORS = "repro_net_decode_errors_total"
 
 
 class ObsConfig:
@@ -429,6 +437,61 @@ class Observability:
         reg.gauge(
             CACHE_ENTRIES, help="Entries resident in the result tier."
         ).set(int(entries))
+
+    def record_net_connection(self, delta: int) -> None:
+        """A network connection opened (``+1``) or closed (``-1``)."""
+        if delta > 0:
+            self.registry.counter(
+                NET_CONNECTIONS,
+                help="TCP connections accepted by the query server.",
+            ).inc(delta)
+        self.registry.gauge(
+            NET_CONNECTIONS_ACTIVE,
+            help="Currently open query-server connections.",
+        ).inc(delta)
+
+    def record_net_request(self, status: str, duration: float) -> None:
+        """One wire request finished with *status* (the protocol-level
+        outcome: ``ok`` or an error-code name in lowercase).  Statuses
+        with a dedicated shedding counter (deadline drops, overload,
+        admission rejections) bump that series too, so the tests and
+        dashboards that watch a single control each have one number."""
+        self.registry.counter(
+            NET_REQUESTS,
+            labels={"status": status},
+            help="Wire requests answered, by protocol status.",
+        ).inc()
+        self.registry.histogram(
+            NET_REQUEST_SECONDS,
+            buckets=LATENCY_BUCKETS,
+            labels={"status": status},
+            help="Server-side request latency (decode to response write).",
+        ).observe(duration)
+        if status == "deadline_exceeded":
+            self.registry.counter(
+                NET_DEADLINE_DROPPED,
+                help="Queries dropped unexecuted after their propagated "
+                "client deadline expired.",
+            ).inc()
+        elif status == "overload":
+            self.registry.counter(
+                NET_OVERLOAD_SHED,
+                help="Queries shed with a typed OVERLOAD response.",
+            ).inc()
+        elif status == "rate_limited":
+            self.registry.counter(
+                NET_ADMISSION_REJECTED,
+                help="Queries rejected by per-tenant token-bucket "
+                "admission.",
+            ).inc()
+
+    def record_net_decode_error(self) -> None:
+        """A received frame failed to decode (malformed, oversized,
+        wrong magic/version, or an injected ``net.decode`` fault)."""
+        self.registry.counter(
+            NET_DECODE_ERRORS,
+            help="Received frames that failed to decode.",
+        ).inc()
 
     def record_fault(self, site: str, action: str) -> None:
         self.registry.counter(

@@ -20,12 +20,14 @@ thread-safe service around the same admission policy.
 from repro.service.service import (
     BACKPRESSURE_POLICIES,
     BatchingQueryService,
+    DeadlineExceededError,
     QueueFullError,
     ServiceClosedError,
 )
 
 __all__ = [
     "BatchingQueryService",
+    "DeadlineExceededError",
     "QueueFullError",
     "ServiceClosedError",
     "BACKPRESSURE_POLICIES",

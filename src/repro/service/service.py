@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from typing import Callable, List, Optional
 
 import repro.obs as obs
@@ -51,6 +51,7 @@ from repro.verify.faults import (
 
 __all__ = [
     "BatchingQueryService",
+    "DeadlineExceededError",
     "QueueFullError",
     "ServiceClosedError",
     "BACKPRESSURE_POLICIES",
@@ -68,15 +69,50 @@ class QueueFullError(RuntimeError):
     """Rejected because the staging queue is full (``backpressure="reject"``)."""
 
 
+class DeadlineExceededError(RuntimeError):
+    """The query's client deadline expired before it was executed.
+
+    Raised into the caller's future when a query submitted with a
+    ``deadline`` is still staged when that deadline passes: the flusher
+    drops it at batch-formation time instead of spending index work on
+    an answer nobody is waiting for (deadline propagation).  Also raised
+    synchronously by :meth:`BatchingQueryService.submit` when the
+    deadline is already in the past at admission time.
+    """
+
+
+def _fail_future(future: Future, exc: BaseException) -> bool:
+    """Resolve *future* with *exc* iff it is still unresolved.
+
+    The exactly-once helper of every error path that may race another
+    resolver (drain-timeout abandonment vs. the in-flight flush): a
+    future that is already done (or was cancelled by its caller) is left
+    untouched.  Returns whether this call resolved it.
+    """
+    try:
+        future.set_exception(exc)
+        return True
+    except InvalidStateError:
+        return False
+
+
 class _Pending:
     """One staged query and the future its caller holds."""
 
-    __slots__ = ("st", "end", "enqueued_at", "deferred", "future")
+    __slots__ = ("st", "end", "enqueued_at", "deadline", "deferred", "future")
 
-    def __init__(self, st: int, end: int, enqueued_at: float):
+    def __init__(
+        self,
+        st: int,
+        end: int,
+        enqueued_at: float,
+        deadline: Optional[float] = None,
+    ):
         self.st = st
         self.end = end
         self.enqueued_at = enqueued_at
+        #: Absolute deadline on the service clock (None = no deadline).
+        self.deadline = deadline
         #: Flushes this query has been passed over by a flush policy.
         self.deferred = 0
         self.future: Future = Future()
@@ -216,6 +252,7 @@ class BatchingQueryService:
         self._has_work = threading.Condition(self._lock)
         self._has_room = threading.Condition(self._lock)
         self._pending: List[_Pending] = []
+        self._in_flight: List[_Pending] = []
         self._force_flush = False
         self._closing = False
         self._closed = False
@@ -228,15 +265,32 @@ class BatchingQueryService:
     # client side
     # ------------------------------------------------------------------ #
 
-    def submit(self, q_st: int, q_end: int) -> Future:
+    def submit(
+        self, q_st: int, q_end: int, *, deadline: Optional[float] = None
+    ) -> Future:
         """Stage one query; the returned future resolves after its flush.
 
         Applies the configured backpressure policy when the staging
         queue is full, and raises :class:`ServiceClosedError` once
         :meth:`close` has begun.
+
+        *deadline* is an absolute instant on the service clock (the
+        ``clock`` constructor argument — ``time.monotonic`` by default).
+        A staged query whose deadline has passed when its flush forms a
+        batch is **dropped instead of executed**: its future fails with
+        :class:`DeadlineExceededError` and no index work is spent on it
+        (deadline propagation — the contract the network front end in
+        :mod:`repro.net` relies on).  A deadline already in the past at
+        submit time raises :class:`DeadlineExceededError` synchronously.
         """
         if q_st > q_end:
             raise ValueError("query must have st <= end")
+        now = self._clock()
+        if deadline is not None and now >= deadline:
+            self.metrics.record_deadline_dropped()
+            raise DeadlineExceededError(
+                "client deadline expired before admission"
+            )
         with self._lock:
             if self._closing:
                 raise ServiceClosedError("service is shut down")
@@ -249,7 +303,7 @@ class BatchingQueryService:
                 self._has_room.wait()
                 if self._closing:
                     raise ServiceClosedError("service is shut down")
-            item = _Pending(int(q_st), int(q_end), self._clock())
+            item = _Pending(int(q_st), int(q_end), self._clock(), deadline)
             self._pending.append(item)
             self.metrics.record_submitted(len(self._pending))
             self._has_work.notify()
@@ -320,6 +374,15 @@ class BatchingQueryService:
         With ``drain=False`` staged queries fail with
         :class:`ServiceClosedError` instead of executing.  Idempotent;
         blocks until the flusher exits (or *timeout* elapses).
+
+        When *timeout* expires mid-drain, the drain is **abandoned**:
+        every outstanding future — staged *and* in the flush currently
+        running — fails immediately with :class:`ServiceClosedError`,
+        exactly once (when the in-flight flush later completes, its
+        result for an already-failed future is discarded by the
+        ``InvalidStateError`` guard).  No caller is ever left holding an
+        unresolved future after ``close`` returns; the network front
+        end's shutdown path depends on this bound.
         """
         with self._lock:
             if not self._closing:
@@ -328,12 +391,33 @@ class BatchingQueryService:
                     abandoned = self._pending[:]
                     self._pending.clear()
                     for item in abandoned:
-                        item.future.set_exception(
-                            ServiceClosedError("service shut down before execution")
+                        _fail_future(
+                            item.future,
+                            ServiceClosedError(
+                                "service shut down before execution"
+                            ),
                         )
                 self._has_work.notify_all()
                 self._has_room.notify_all()
         self._flusher.join(timeout)
+        if self._flusher.is_alive():
+            # Drain timed out.  Fail everything still outstanding: the
+            # staged queue, and the batch the in-flight flush is holding
+            # (its eventual result hits already-resolved futures and is
+            # discarded — _fail_future / the InvalidStateError guard make
+            # both orders exactly-once).  The flusher finishes its flush
+            # on its own and then exits on the empty queue.
+            with self._lock:
+                abandoned = self._in_flight + self._pending
+                self._in_flight = []
+                self._pending.clear()
+                self._has_work.notify_all()
+                self._has_room.notify_all()
+            for item in abandoned:
+                _fail_future(
+                    item.future,
+                    ServiceClosedError("drain timed out; query abandoned"),
+                )
         self._closed = True
 
     def __enter__(self) -> "BatchingQueryService":
@@ -355,8 +439,11 @@ class BatchingQueryService:
                 staged = self._select_staged()
                 depth = len(self._pending)
                 self._force_flush = False
+                self._in_flight = staged
                 self._has_room.notify_all()
             self._execute(staged, reason, depth)
+            with self._lock:
+                self._in_flight = []
 
     def _select_staged(self) -> List[_Pending]:
         """Pick and remove this flush's batch from the pending queue.
@@ -426,6 +513,33 @@ class BatchingQueryService:
     ) -> None:
         t0 = self._clock()
         use_parallel = False
+        # Deadline propagation: queries whose client deadline already
+        # passed are dropped at batch-formation time — their callers
+        # fail with DeadlineExceededError and the strategy never sees
+        # them.  The drop happens before the fault sites so an injected
+        # flush failure cannot double-resolve a dropped future.
+        expired: List[_Pending] = []
+        if any(q.deadline is not None for q in staged):
+            live: List[_Pending] = []
+            for q in staged:
+                if q.deadline is not None and t0 >= q.deadline:
+                    expired.append(q)
+                else:
+                    live.append(q)
+            staged = live
+        if expired:
+            for item in expired:
+                _fail_future(
+                    item.future,
+                    DeadlineExceededError(
+                        "client deadline expired while staged"
+                    ),
+                )
+            self.metrics.record_deadline_dropped(len(expired))
+            if sp is not None:
+                sp.attrs["deadline_dropped"] = len(expired)
+            if not staged:
+                return
         try:
             # The whole flush body sits inside the try: whatever dies —
             # batch formation, an injected fault, the strategy itself —
@@ -472,11 +586,16 @@ class BatchingQueryService:
                 queue_depth=depth,
             )
             for item in staged:
-                item.future.set_exception(exc)
+                _fail_future(item.future, exc)
             return
         latency = self._clock() - t0
         for pos, item in enumerate(staged):
-            item.future.set_result(self._extract(result, pos))
+            try:
+                item.future.set_result(self._extract(result, pos))
+            except InvalidStateError:
+                # The caller cancelled (e.g. a disconnected network
+                # client); the result is simply discarded.
+                pass
         self.metrics.record_flush(
             reason, len(staged), latency, parallel=use_parallel, queue_depth=depth
         )

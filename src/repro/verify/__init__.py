@@ -21,6 +21,8 @@ from repro.verify.faults import (
     InjectedFault,
     SITES,
     SITE_FLUSH,
+    SITE_NET_ACCEPT,
+    SITE_NET_DECODE,
     SITE_REBUILD,
     SITE_STRATEGY,
     SITE_SWAP,
@@ -38,6 +40,8 @@ __all__ = [
     "InvariantViolation",
     "SITES",
     "SITE_FLUSH",
+    "SITE_NET_ACCEPT",
+    "SITE_NET_DECODE",
     "SITE_REBUILD",
     "SITE_STRATEGY",
     "SITE_SWAP",

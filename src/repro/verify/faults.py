@@ -37,6 +37,8 @@ __all__ = [
     "SITE_CACHE_INVALIDATE",
     "SITE_DISPATCH",
     "SITE_FLUSH",
+    "SITE_NET_ACCEPT",
+    "SITE_NET_DECODE",
     "SITE_REBUILD",
     "SITE_STRATEGY",
     "SITE_SWAP",
@@ -60,6 +62,16 @@ SITE_DISPATCH = "engine.dispatch"
 #: executor falls back to a full cache flush — strictly more
 #: invalidation, never a stale answer.
 SITE_CACHE_INVALIDATE = "cache.invalidate"
+#: :class:`~repro.net.QueryServer` accepted a TCP connection (fired
+#: before any frame is read).  An injected failure simulates an I/O
+#: error on accept: the connection is closed immediately and counted —
+#: the server itself must survive.
+SITE_NET_ACCEPT = "net.accept"
+#: :class:`~repro.net.QueryServer` is about to decode a received frame.
+#: An injected failure simulates a decode/IO failure mid-stream: the
+#: client gets a typed ``BAD_REQUEST`` error and the connection is
+#: closed; the server never crashes or leaks the socket.
+SITE_NET_DECODE = "net.decode"
 
 #: All injection sites wired into the production code.
 SITES = (
@@ -69,6 +81,8 @@ SITES = (
     SITE_REBUILD,
     SITE_DISPATCH,
     SITE_CACHE_INVALIDATE,
+    SITE_NET_ACCEPT,
+    SITE_NET_DECODE,
 )
 
 #: Supported fault actions.

@@ -13,8 +13,16 @@
   positions (used on the real datasets) and data-following positions
   (used on the synthetic ones), with the paper's extent/batch-size
   parameter grids.
+* :mod:`~repro.workloads.arrivals` — open-loop bursty multi-tenant
+  arrival traces (inhomogeneous Poisson by thinning) for the network
+  serving benchmarks and the ``serve-load`` generator.
 """
 
+from repro.workloads.arrivals import (
+    Arrival,
+    ArrivalSpec,
+    generate_arrivals,
+)
 from repro.workloads.synthetic import SyntheticSpec, generate_synthetic
 from repro.workloads.realistic import (
     REAL_DATASET_SPECS,
@@ -28,6 +36,9 @@ from repro.workloads.queries import (
 )
 
 __all__ = [
+    "Arrival",
+    "ArrivalSpec",
+    "generate_arrivals",
     "SyntheticSpec",
     "generate_synthetic",
     "REAL_DATASET_SPECS",

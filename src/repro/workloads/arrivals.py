@@ -1,0 +1,123 @@
+"""Bursty multi-tenant arrival traces for the network serving path.
+
+The serving benchmarks need *open-loop* load: queries arrive on a wall
+clock schedule that does not slow down when the server does — that is
+what makes overload visible (a closed loop self-throttles and hides
+it).  :func:`generate_arrivals` produces such a schedule as a plain
+list of :class:`Arrival` records that the load generator
+(:mod:`repro.net.loadgen`) replays.
+
+The arrival process is an inhomogeneous Poisson process, sampled by
+thinning: a baseline ``rate`` queries/second with periodic burst
+windows where the instantaneous rate is multiplied by
+``burst_factor``.  Each arrival is assigned a tenant by weighted
+choice and a query interval uniform in the domain, mirroring the
+uniform query generator used across the paper's benchmarks
+(:func:`repro.workloads.queries.uniform_queries`).
+
+Everything is driven by a seeded generator, so a trace is reproducible
+from its spec — the load generator's worker processes can regenerate
+their slice from ``(spec, seed)`` instead of pickling the full trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Arrival", "ArrivalSpec", "generate_arrivals"]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled query in an open-loop trace."""
+
+    at: float  #: seconds since trace start
+    tenant: str
+    st: int
+    end: int
+    deadline_ms: int = 0  #: propagated client budget (0 = none)
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Parameters of a bursty multi-tenant arrival trace.
+
+    ``rate`` is the baseline offered load in queries/second; every
+    ``burst_every`` seconds a window of ``burst_duration`` seconds opens
+    during which the instantaneous rate is ``rate * burst_factor`` —
+    that window is what drives the server past capacity in the
+    overload experiments.
+    """
+
+    duration: float = 5.0
+    rate: float = 200.0
+    burst_factor: float = 6.0
+    burst_every: float = 2.0
+    burst_duration: float = 0.5
+    tenants: Tuple[str, ...] = ("alpha", "beta", "gamma")
+    #: relative tenant weights; None = uniform
+    tenant_weights: Optional[Tuple[float, ...]] = None
+    domain: int = 1 << 20  #: query positions drawn in [0, domain]
+    extent: int = 1024  #: maximum query extent (uniform in [0, extent])
+    deadline_ms: int = 0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.duration <= 0 or self.rate <= 0:
+            raise ValueError("duration and rate must be positive")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if not self.tenants:
+            raise ValueError("at least one tenant is required")
+        if self.tenant_weights is not None and len(
+            self.tenant_weights
+        ) != len(self.tenants):
+            raise ValueError("tenant_weights must match tenants")
+
+
+def _rate_at(spec: ArrivalSpec, t: float) -> float:
+    """Instantaneous arrival rate at trace time *t*."""
+    if spec.burst_factor > 1.0 and spec.burst_every > 0:
+        phase = t % spec.burst_every
+        if phase < spec.burst_duration:
+            return spec.rate * spec.burst_factor
+    return spec.rate
+
+
+def generate_arrivals(spec: ArrivalSpec) -> List[Arrival]:
+    """Sample the trace — an inhomogeneous Poisson process by thinning.
+
+    Candidate arrivals are drawn at the peak rate and kept with
+    probability ``rate(t) / peak``, which is the standard exact sampler
+    for a time-varying Poisson process (no discretization error).
+    """
+    rng = np.random.default_rng(spec.seed)
+    peak = spec.rate * spec.burst_factor
+    weights = None
+    if spec.tenant_weights is not None:
+        w = np.asarray(spec.tenant_weights, dtype=np.float64)
+        weights = w / w.sum()
+    arrivals: List[Arrival] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / peak)
+        if t >= spec.duration:
+            break
+        if rng.random() > _rate_at(spec, t) / peak:
+            continue  # thinned: candidate falls outside the burst rate
+        tenant = spec.tenants[rng.choice(len(spec.tenants), p=weights)]
+        st = int(rng.integers(0, spec.domain + 1))
+        end = min(st + int(rng.integers(0, spec.extent + 1)), spec.domain)
+        arrivals.append(
+            Arrival(
+                at=t,
+                tenant=tenant,
+                st=st,
+                end=end,
+                deadline_ms=spec.deadline_ms,
+            )
+        )
+    return arrivals

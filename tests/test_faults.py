@@ -79,6 +79,8 @@ class TestFaultRuleValidation:
             "dynamic.rebuild",
             "engine.dispatch",
             "cache.invalidate",
+            "net.accept",
+            "net.decode",
         }
         assert ACTIONS == ("raise", "delay")
 

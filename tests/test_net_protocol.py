@@ -1,0 +1,277 @@
+"""Wire-protocol tests: round-trip totality and malformed-frame safety.
+
+Two layers:
+
+* **Pure codec** (hypothesis) — ``decode(encode(frame)) == frame`` for
+  every frame type over the full value domains, and decoding arbitrary
+  or corrupted bytes raises :class:`ProtocolError` and nothing else
+  (the property the server's single typed error path rests on).
+* **Over the socket** — each class of malformed input (truncated length
+  prefix, bad magic, wrong version, oversized length prefix, garbage
+  body) gets a typed ``bad_request`` error and a closed connection,
+  the server survives to answer a fresh client, and no connection is
+  leaked (the active-connections gauge returns to zero).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro.obs as obs
+from repro import HintIndex, IntervalCollection
+from repro.net import (
+    ConnectionClosedError,
+    ErrorFrame,
+    MAGIC,
+    MAX_FRAME,
+    PingFrame,
+    PongFrame,
+    ProtocolError,
+    QueryClient,
+    QueryFrame,
+    ResultFrame,
+    VERSION,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+    serve_in_thread,
+)
+from repro.service import BatchingQueryService
+
+_U64 = st.integers(0, (1 << 64) - 1)
+_I64 = st.integers(-(1 << 63), (1 << 63) - 1)
+
+_tenants = st.text(max_size=60).filter(
+    lambda s: len(s.encode("utf-8")) <= 255
+)
+
+_query_frames = st.builds(
+    QueryFrame,
+    request_id=_U64,
+    tenant=_tenants,
+    st=_I64,
+    end=_I64,
+    mode=st.sampled_from([None, "count", "ids", "checksum"]),
+    deadline_ms=st.integers(0, (1 << 32) - 1),
+)
+
+_result_frames = st.one_of(
+    st.builds(ResultFrame, request_id=_U64, mode=st.just("count"),
+              value=_U64),
+    st.builds(
+        ResultFrame,
+        request_id=_U64,
+        mode=st.just("checksum"),
+        value=st.tuples(_U64, _U64),
+    ),
+    st.builds(
+        ResultFrame,
+        request_id=_U64,
+        mode=st.just("ids"),
+        value=st.lists(_I64, max_size=50).map(
+            lambda ids: tuple(sorted(ids))
+        ),
+    ),
+)
+
+_error_frames = st.builds(
+    ErrorFrame,
+    request_id=_U64,
+    code=st.sampled_from(
+        ["bad_request", "deadline_exceeded", "overload", "rate_limited",
+         "closing", "internal"]
+    ),
+    message=st.text(max_size=200),
+)
+
+_frames = st.one_of(
+    _query_frames,
+    _result_frames,
+    _error_frames,
+    st.builds(PingFrame, request_id=_U64),
+    st.builds(PongFrame, request_id=_U64),
+)
+
+
+# --------------------------------------------------------------------- #
+# codec round trip
+# --------------------------------------------------------------------- #
+
+
+@given(_frames)
+def test_roundtrip_every_frame_type(frame):
+    data = encode_frame(frame)
+    decoded, consumed = decode_frame(data)
+    assert consumed == len(data)
+    assert decoded == frame
+
+
+@given(_result_frames)
+def test_result_values_survive_exactly(frame):
+    decoded, _ = decode_frame(encode_frame(frame))
+    assert decoded.value == frame.value
+    assert type(decoded.value) is type(frame.value) or frame.mode == "count"
+
+
+def test_ids_accepts_numpy_arrays():
+    frame = ResultFrame(7, "ids", np.array([3, 1, 2], dtype=np.int64))
+    decoded, _ = decode_frame(encode_frame(frame))
+    # numpy input is normalized to a tuple on decode (order preserved)
+    assert decoded.value == (3, 1, 2)
+
+
+# --------------------------------------------------------------------- #
+# malformed input: ProtocolError and nothing else
+# --------------------------------------------------------------------- #
+
+
+@given(_frames, st.data())
+def test_truncation_always_raises_protocol_error(frame, data):
+    encoded = encode_frame(frame)
+    cut = data.draw(st.integers(0, len(encoded) - 1))
+    with pytest.raises(ProtocolError):
+        decode_frame(encoded[:cut])
+
+
+@given(_frames, st.integers(0, (1 << 16) - 1))
+def test_bad_magic_rejected(frame, magic):
+    encoded = bytearray(encode_frame(frame))
+    if magic == MAGIC:
+        magic ^= 1
+    encoded[4:6] = struct.pack(">H", magic)
+    with pytest.raises(ProtocolError):
+        decode_frame(bytes(encoded))
+
+
+@given(_frames, st.integers(0, 255))
+def test_wrong_version_rejected(frame, version):
+    encoded = bytearray(encode_frame(frame))
+    if version == VERSION:
+        version += 1
+    encoded[6] = version
+    with pytest.raises(ProtocolError):
+        decode_frame(bytes(encoded))
+
+
+@given(_frames)
+def test_trailing_garbage_rejected(frame):
+    encoded = encode_frame(frame)
+    payload = encoded[4:] + b"\x00"
+    data = struct.pack(">I", len(payload)) + payload
+    with pytest.raises(ProtocolError):
+        decode_frame(data)
+
+
+def test_oversized_length_prefix_rejected():
+    with pytest.raises(ProtocolError):
+        decode_frame(struct.pack(">I", MAX_FRAME + 1) + b"x")
+    big = ResultFrame(1, "ids", tuple(range(MAX_FRAME // 8 + 10)))
+    with pytest.raises(ProtocolError):
+        encode_frame(big)
+
+
+@given(st.binary(max_size=300))
+def test_arbitrary_bytes_never_crash_the_decoder(blob):
+    """Totality: random bytes either decode or raise ProtocolError."""
+    try:
+        decode_payload(blob)
+    except ProtocolError:
+        pass
+
+
+# --------------------------------------------------------------------- #
+# malformed input over a live connection
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def server():
+    obs.configure(enabled=True)
+    coll = IntervalCollection([0, 4, 10], [3, 9, 15])
+    service = BatchingQueryService(
+        HintIndex(coll, m=4), mode="count", max_batch=4, max_delay_ms=1.0
+    )
+    handle = serve_in_thread(service, owns_service=True)
+    yield handle
+    handle.close()
+    obs.configure(enabled=False)
+
+
+def _active_connections() -> int:
+    gauge = obs.active().registry.find(obs.NET_CONNECTIONS_ACTIVE)
+    return 0 if gauge is None else int(gauge.value)
+
+
+def _wait_no_connections(deadline: float = 5.0) -> int:
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline:
+        if _active_connections() == 0:
+            return 0
+        time.sleep(0.01)
+    return _active_connections()
+
+
+MALFORMED = {
+    "bad-magic": b"\x00\x00\x00\x08XXXXXXXX",
+    "wrong-version": struct.pack(">IHBB", 4, MAGIC, VERSION + 9, 1),
+    "garbage-body": struct.pack(">IHBB", 12, MAGIC, VERSION, 0x01)
+    + b"\xff" * 8,
+    "unknown-type": struct.pack(">IHBBQ", 12, MAGIC, VERSION, 0x7F, 1),
+    "oversized-prefix": struct.pack(">I", MAX_FRAME + 1),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(MALFORMED))
+def test_malformed_frame_gets_typed_error_and_close(server, kind):
+    client = QueryClient(server.host, server.port)
+    client.send_raw(MALFORMED[kind])
+    frame = client.recv_frame()
+    assert isinstance(frame, ErrorFrame)
+    assert frame.request_id == 0
+    assert frame.code == "bad_request"
+    # After a framing error the server hangs up...
+    with pytest.raises(ConnectionClosedError):
+        client.recv_frame()
+    # ...but keeps serving fresh connections,
+    with QueryClient(server.host, server.port) as fresh:
+        assert fresh.query(0, 15) == 3
+    # ...and leaks no connection state.
+    assert _wait_no_connections() == 0
+
+
+def test_truncated_length_prefix_closes_cleanly(server):
+    """A peer that dies mid-prefix must not wedge or leak anything."""
+    raw = socket.create_connection((server.host, server.port), timeout=5)
+    raw.sendall(b"\x00\x00")  # half a length prefix
+    raw.close()
+    with QueryClient(server.host, server.port) as fresh:
+        assert fresh.query(4, 9) == 1
+    assert _wait_no_connections() == 0
+
+
+def test_truncated_body_closes_cleanly(server):
+    """A full prefix but a dead peer before the body: same guarantees."""
+    raw = socket.create_connection((server.host, server.port), timeout=5)
+    raw.sendall(struct.pack(">I", 64) + b"\x01")  # 1 of 64 promised bytes
+    raw.close()
+    with QueryClient(server.host, server.port) as fresh:
+        assert fresh.query(0, 0) == 1
+    assert _wait_no_connections() == 0
+
+
+def test_decode_errors_are_counted(server):
+    before_metric = obs.active().registry.find(obs.NET_DECODE_ERRORS)
+    before = 0 if before_metric is None else int(before_metric.value)
+    client = QueryClient(server.host, server.port)
+    client.send_raw(MALFORMED["bad-magic"])
+    assert isinstance(client.recv_frame(), ErrorFrame)
+    client.close()
+    after = obs.active().registry.find(obs.NET_DECODE_ERRORS)
+    assert after is not None and int(after.value) == before + 1

@@ -1,0 +1,310 @@
+"""Server-policy tests: admission, quotas, deadlines, and shutdown.
+
+Where :mod:`tests.test_net_protocol` proves the wire format and
+:mod:`tests.test_net_differential` proves result transparency, this file
+proves the *control plane* of the serving front end:
+
+* the token-bucket math (fake clock, no sleeps),
+* per-tenant admission isolation under genuinely concurrent clients,
+* deadline propagation observable from the outside via the
+  ``repro_net_deadline_dropped_total`` counter,
+* reject-mode backpressure: typed ``OVERLOAD`` for the query over quota
+  while the accepted in-flight query still completes, and
+* clean drain on server close — in-flight work is answered, the close
+  is bounded, and idle connections never stall it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro import HintIndex, IntervalCollection
+from repro.core.strategies import run_strategy
+from repro.net import (
+    ConnectionClosedError,
+    DeadlineExceededError,
+    OverloadError,
+    QueryClient,
+    RateLimitedError,
+    TenantAdmission,
+    TokenBucket,
+    serve_in_thread,
+)
+from repro.service import BatchingQueryService
+
+WAIT = 10.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _obs_enabled():
+    obs.configure(enabled=True)
+    yield
+    obs.configure(enabled=False)
+
+
+def _counter(name: str, **labels) -> int:
+    metric = obs.active().registry.find(name, **labels)
+    return 0 if metric is None else int(metric.value)
+
+
+def _small_index(m: int = 4) -> HintIndex:
+    coll = IntervalCollection([0, 4, 10], [3, 9, 15])
+    return HintIndex(coll, m=m)
+
+
+class _SlowBackend:
+    """execute()-shaped backend that sleeps per flush (drain tests)."""
+
+    def __init__(self, index, delay_s):
+        self.index = index
+        self.delay_s = delay_s
+
+    def execute(self, batch, *, strategy, mode):
+        time.sleep(self.delay_s)
+        return run_strategy(strategy, self.index, batch, mode=mode)
+
+
+class _Probe(threading.Thread):
+    """Run one client call on a thread; capture the result or error."""
+
+    def __init__(self, fn):
+        super().__init__(daemon=True)
+        self._fn = fn
+        self.result = None
+        self.error = None
+        self.start()
+
+    def join_and_check(self):
+        self.join(timeout=WAIT)
+        assert not self.is_alive(), "client call hung"
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    def run(self):
+        try:
+            self.result = self._fn()
+        except BaseException as exc:  # re-raised on join_and_check
+            self.error = exc
+
+
+# --------------------------------------------------------------------- #
+# token-bucket math (fake clock)
+# --------------------------------------------------------------------- #
+
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+
+def test_bucket_burst_then_sustained_rate():
+    clock = _FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock.now)
+    # The full burst is admitted instantly...
+    assert [bucket.try_acquire() for _ in range(5)] == [True] * 4 + [False]
+    # ...then exactly rate tokens/second trickle back.
+    clock.t = 1.0
+    assert [bucket.try_acquire() for _ in range(3)] == [True, True, False]
+    # Refill is capped at the burst, however long the idle gap.
+    clock.t = 1000.0
+    assert [bucket.try_acquire() for _ in range(5)] == [True] * 4 + [False]
+
+
+def test_bucket_zero_rate_never_refills():
+    clock = _FakeClock()
+    bucket = TokenBucket(rate=0.0, burst=2.0, clock=clock.now)
+    assert bucket.try_acquire() and bucket.try_acquire()
+    clock.t = 1e9
+    assert not bucket.try_acquire()
+
+
+def test_bucket_rejects_invalid_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=-1.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.0)
+    with pytest.raises(ValueError):
+        TenantAdmission(rate=-1.0)
+    with pytest.raises(ValueError):
+        TenantAdmission(rate=1.0, burst=0.0)
+
+
+def test_tenant_admission_overrides_and_unlimited_default():
+    clock = _FakeClock()
+    adm = TenantAdmission(
+        rate=None, overrides={"metered": (0.0, 2.0)}, clock=clock.now
+    )
+    # Default-rate None: unlimited, no bucket is even materialized.
+    assert all(adm.try_admit("free") for _ in range(100))
+    assert adm.bucket("free") is None
+    # The override meters its tenant without touching the others.
+    assert adm.try_admit("metered") and adm.try_admit("metered")
+    assert not adm.try_admit("metered")
+    assert all(adm.try_admit("free") for _ in range(10))
+    # Buckets are cached per tenant, not rebuilt per call.
+    assert adm.bucket("metered") is adm.bucket("metered")
+
+
+# --------------------------------------------------------------------- #
+# per-tenant admission over the socket, concurrent clients
+# --------------------------------------------------------------------- #
+
+
+def test_per_tenant_buckets_isolate_concurrent_tenants():
+    """rate=0 buckets make admission deterministic: each tenant gets
+    exactly ``burst`` successes however its queries interleave with the
+    other tenant's — one tenant's flood cannot spend another's budget."""
+    service = BatchingQueryService(
+        _small_index(), mode="count", max_batch=8, max_delay_ms=1.0
+    )
+    admission = TenantAdmission(rate=0.0, burst=3.0)
+    handle = serve_in_thread(
+        service, owns_service=True, admission=admission
+    )
+
+    def tenant_run(tenant):
+        ok = limited = 0
+        with QueryClient(handle.host, handle.port, tenant=tenant) as cl:
+            for _ in range(6):
+                try:
+                    assert cl.query(0, 15) == 3
+                    ok += 1
+                except RateLimitedError:
+                    limited += 1
+        return ok, limited
+
+    before = _counter(obs.NET_ADMISSION_REJECTED)
+    try:
+        probes = [
+            _Probe(lambda t=t: tenant_run(t)) for t in ("alpha", "beta")
+        ]
+        outcomes = [p.join_and_check() for p in probes]
+    finally:
+        handle.close()
+    assert outcomes == [(3, 3), (3, 3)]
+    assert _counter(obs.NET_ADMISSION_REJECTED) == before + 6
+
+
+# --------------------------------------------------------------------- #
+# deadline propagation, observed from outside
+# --------------------------------------------------------------------- #
+
+
+def test_expired_deadline_gets_typed_error_and_bumps_counter():
+    """A query staged behind a slow flush whose deadline lapses is
+    answered DEADLINE_EXCEEDED (never executed, never hung) and shows
+    up in ``repro_net_deadline_dropped_total``."""
+    service = BatchingQueryService(
+        _SlowBackend(_small_index(), 0.3),
+        mode="count",
+        max_batch=1,
+        max_delay_ms=1.0,
+    )
+    handle = serve_in_thread(service, owns_service=True)
+    before = _counter(obs.NET_DEADLINE_DROPPED)
+    try:
+        blocker_client = QueryClient(handle.host, handle.port)
+        doomed_client = QueryClient(handle.host, handle.port)
+        with blocker_client, doomed_client:
+            blocker = _Probe(lambda: blocker_client.query(0, 15))
+            time.sleep(0.1)  # blocker's flush is now occupying the index
+            with pytest.raises(DeadlineExceededError):
+                doomed_client.query(0, 15, deadline_ms=50)
+            assert blocker.join_and_check() == 3
+    finally:
+        handle.close()
+    assert _counter(obs.NET_DEADLINE_DROPPED) == before + 1
+
+
+# --------------------------------------------------------------------- #
+# reject-mode overload
+# --------------------------------------------------------------------- #
+
+
+def test_reject_mode_sheds_typed_while_inflight_completes():
+    """With max_inflight=1 and reject backpressure, the second
+    concurrent query is shed with typed OVERLOAD immediately — and the
+    accepted in-flight query still completes normally."""
+    service = BatchingQueryService(
+        _SlowBackend(_small_index(), 0.4),
+        mode="count",
+        max_batch=1,
+        max_delay_ms=1.0,
+    )
+    handle = serve_in_thread(
+        service,
+        owns_service=True,
+        max_inflight=1,
+        backpressure="reject",
+    )
+    before = _counter(obs.NET_OVERLOAD_SHED)
+    try:
+        accepted_client = QueryClient(handle.host, handle.port)
+        shed_client = QueryClient(handle.host, handle.port)
+        with accepted_client, shed_client:
+            accepted = _Probe(lambda: accepted_client.query(0, 15))
+            time.sleep(0.15)  # the accepted query now holds the quota
+            t0 = time.monotonic()
+            with pytest.raises(OverloadError):
+                shed_client.query(0, 15)
+            # The shed is immediate, not queued behind the slow flush.
+            assert time.monotonic() - t0 < 0.3
+            assert accepted.join_and_check() == 3
+    finally:
+        handle.close()
+    assert _counter(obs.NET_OVERLOAD_SHED) == before + 1
+
+
+# --------------------------------------------------------------------- #
+# clean drain on close
+# --------------------------------------------------------------------- #
+
+
+def test_close_drains_inflight_queries_to_completion():
+    """Queries in flight when close() begins are answered with their
+    results — drain means no accepted work is dropped on the floor."""
+    service = BatchingQueryService(
+        _SlowBackend(_small_index(), 0.3),
+        mode="count",
+        max_batch=8,
+        max_delay_ms=5.0,
+    )
+    handle = serve_in_thread(service, owns_service=True)
+    clients = [QueryClient(handle.host, handle.port) for _ in range(3)]
+    try:
+        probes = [_Probe(lambda c=c: c.query(0, 15)) for c in clients]
+        time.sleep(0.1)  # all three are staged or flushing
+        t0 = time.monotonic()
+        handle.close(drain=True, timeout=WAIT)
+        assert time.monotonic() - t0 < 5.0
+        assert [p.join_and_check() for p in probes] == [3, 3, 3]
+    finally:
+        for client in clients:
+            client.close()
+
+
+def test_close_is_fast_with_idle_connections():
+    """An idle connection (blocked in read) must not stall close(); the
+    peer then observes a clean EOF, not a hang."""
+    service = BatchingQueryService(
+        _small_index(), mode="count", max_batch=4, max_delay_ms=1.0
+    )
+    handle = serve_in_thread(service, owns_service=True)
+    client = QueryClient(handle.host, handle.port)
+    try:
+        assert client.query(0, 15) == 3
+        t0 = time.monotonic()
+        handle.close()
+        assert time.monotonic() - t0 < 2.0
+        with pytest.raises((ConnectionClosedError, OSError)):
+            client.query(0, 15)
+    finally:
+        client.close()

@@ -490,3 +490,99 @@ def test_stress_exactly_once_under_injected_flush_faults(setup):
     # The fault path was genuinely exercised, and not on every flush.
     assert plan.hits(SITE_FLUSH) >= 1
     assert n_failed < total
+
+
+# --------------------------------------------------------------------- #
+# deadline propagation and bounded-drain close
+# --------------------------------------------------------------------- #
+
+
+class _SlowBackend:
+    """execute()-shaped backend that sleeps per flush (drain tests)."""
+
+    def __init__(self, index, delay_s):
+        self.index = index
+        self.delay_s = delay_s
+
+    def execute(self, batch, *, strategy, mode):
+        from repro.core.strategies import run_strategy
+
+        time.sleep(self.delay_s)
+        return run_strategy(strategy, self.index, batch, mode=mode)
+
+
+def test_submit_rejects_already_expired_deadline(setup):
+    from repro.service import DeadlineExceededError
+
+    _, index = setup
+    with BatchingQueryService(index, max_batch=4) as svc:
+        with pytest.raises(DeadlineExceededError):
+            svc.submit(0, 10, deadline=time.monotonic() - 0.001)
+        assert svc.metrics.snapshot().deadline_dropped == 1
+
+
+def test_staged_queries_dropped_when_deadline_passes(setup):
+    """A query whose deadline expires while staged behind a slow flush
+    is dropped unexecuted with the typed error, and counted."""
+    from repro.service import DeadlineExceededError
+
+    _, index = setup
+    svc = BatchingQueryService(
+        _SlowBackend(index, 0.25), max_batch=1, max_delay_ms=1.0
+    )
+    try:
+        blocker = svc.submit(0, 10)  # occupies the flusher for 250ms
+        doomed = svc.submit(0, 10, deadline=time.monotonic() + 0.05)
+        alive = svc.submit(0, 10, deadline=time.monotonic() + NEVER_MS)
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(timeout=WAIT)
+        assert blocker.result(timeout=WAIT) == alive.result(timeout=WAIT)
+        assert svc.metrics.snapshot().deadline_dropped == 1
+    finally:
+        svc.close()
+
+
+def test_close_timeout_mid_drain_resolves_every_future_exactly_once(setup):
+    """Regression: a drain timeout expiring mid-flush must resolve every
+    outstanding future (error, not hang), each exactly once — even when
+    the still-running flusher later finishes the abandoned batch."""
+    _, index = setup
+    svc = BatchingQueryService(
+        _SlowBackend(index, 0.4), max_batch=2, max_delay_ms=1.0,
+        max_queue=64,
+    )
+    futures = [svc.submit(*q) for q in _queries(3, 10)]
+    t0 = time.monotonic()
+    svc.close(drain=True, timeout=0.2)
+    elapsed = time.monotonic() - t0
+    # Bounded: one in-flight flush (0.4s) at most, never the full queue.
+    assert elapsed < 2.0
+    n_ok = n_abandoned = 0
+    for fut in futures:
+        assert fut.done(), "close(timeout=...) left a future unresolved"
+        exc = fut.exception(timeout=WAIT)
+        if exc is None:
+            fut.result(timeout=WAIT)
+            n_ok += 1
+        else:
+            assert isinstance(exc, ServiceClosedError)
+            n_abandoned += 1
+    assert n_ok + n_abandoned == len(futures)
+    assert n_abandoned >= 1, "timeout never fired; slow down the backend"
+    # Exactly-once: give the abandoned flusher time to finish its batch;
+    # results for already-failed futures are discarded, not re-set.
+    time.sleep(0.6)
+    for fut in futures:
+        assert fut.done()
+    with pytest.raises(ServiceClosedError):
+        svc.submit(0, 1)
+
+
+def test_close_timeout_none_still_drains_fully(setup):
+    """No timeout: close() keeps the pre-existing drain-everything
+    contract untouched."""
+    _, index = setup
+    svc = BatchingQueryService(index, max_batch=4, max_delay_ms=NEVER_MS)
+    futures = [svc.submit(*q) for q in _queries(4, 10)]
+    svc.close(drain=True)
+    assert all(f.done() and f.exception() is None for f in futures)
