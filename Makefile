@@ -6,7 +6,7 @@
 
 PYENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test verify bench bench-service obs-smoke shard-smoke engine-smoke cache-smoke serve-smoke bench-shard bench-engine bench-cache bench-serve experiments examples serve-sim clean
+.PHONY: install test verify bench bench-service obs-smoke trace-smoke shard-smoke engine-smoke cache-smoke serve-smoke bench-shard bench-engine bench-cache bench-serve bench-obs experiments examples serve-sim clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,6 +30,14 @@ bench-service:
 obs-smoke:
 	$(PYENV) python benchmarks/bench_obs_overhead.py --quick
 	$(PYENV) python -m repro.cli stats --json | python scripts/check_stats_schema.py
+
+# Tracing smoke: serve a traced burst over a real socket with the
+# processes backend; at least one client trace id must reconstruct as a
+# complete parented tree across >= 2 pids (verified in the Chrome-trace
+# dump too), and worker telemetry must have merged into the parent
+# registry (docs/observability.md).
+trace-smoke:
+	$(PYENV) python scripts/trace_smoke.py
 
 # Sharding smoke: tiny 2-shard differential check — the sharded backend
 # must agree with the single index in every result mode; exits non-zero
@@ -85,6 +93,12 @@ bench-cache:
 # reject-mode goodput >= block-mode goodput at >= 2x capacity.
 bench-serve:
 	$(PYENV) python benchmarks/bench_serve_net.py --out results/serve-net.csv
+
+# Disabled-plane overhead gate at full fidelity; records
+# results/obs-overhead.csv (uploaded as a CI artifact) and fails if the
+# obs-off path costs more than 5% over the baseline.
+bench-obs:
+	$(PYENV) python benchmarks/bench_obs_overhead.py --out results/obs-overhead.csv
 
 experiments:
 	$(PYENV) python -m repro.experiments all --csv results/ --repeats 3

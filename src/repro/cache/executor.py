@@ -301,8 +301,11 @@ class CachingExecutor:
         with ob.span(
             "cache.execute", strategy=strategy, queries=n, mode=mode
         ) as sp:
+            pre_hits, pre_misses = self._hits, self._misses
             result = self._execute_inner(batch, strategy, mode, ob)
             sp.attrs["entries"] = len(self._results)
+            sp.attrs["hits"] = self._hits - pre_hits
+            sp.attrs["misses"] = self._misses - pre_misses
             return result
 
     def _execute_inner(self, batch, strategy, mode, ob) -> BatchResult:

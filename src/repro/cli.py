@@ -26,6 +26,16 @@ together for shell use::
     python -m repro.cli stats
     python -m repro.cli stats --input run.json --json
 
+    # reconstruct distributed traces: list them, render one as a text
+    # tree, or export Chrome-trace JSON for chrome://tracing / Perfetto
+    python -m repro.cli trace --list
+    python -m repro.cli trace --backend processes --chrome trace.json
+    python -m repro.cli trace --input run.json --trace-id 0000000000abc123
+
+    # live `top`-style dashboard (qps, per-layer p50/p99, cache, SLO)
+    python -m repro.cli top --once
+    python -m repro.cli top --input run.json --interval 1
+
     # run the structural invariant validators over synthetic workloads
     python -m repro.cli verify --cardinality 5000 --m 12
 
@@ -372,6 +382,38 @@ def _cmd_serve_load(args) -> int:
     return 0 if summary.unanswered == 0 else 1
 
 
+def _run_live_burst(cardinality, m, queries, seed):
+    """Enable the plane and run a short synthetic burst to populate it.
+
+    All three strategies plus the execution engine run over one
+    data-following batch (auto-policy pick and one forced backend per
+    batch against the same index), so a live snapshot carries the
+    ``repro_strategy_*`` and ``repro_engine_*`` series.  Returns
+    ``(collection, batch)`` for the caller's meta block.
+    """
+    import repro.obs as obs
+    from repro.engine import ExecutionEngine
+    from repro.workloads.queries import data_following_queries
+    from repro.workloads.synthetic import generate_synthetic
+
+    obs.configure(enabled=True)
+    domain = 1 << m
+    coll = generate_synthetic(
+        cardinality, domain, 1.2, domain / 20, seed=seed
+    ).normalized(m)
+    index = HintIndex(coll, m=m)
+    batch = data_following_queries(
+        queries, coll, 0.1, domain=domain, seed=seed + 1
+    )
+    for strategy in sorted(STRATEGIES):
+        run_strategy(strategy, index, batch, mode="count")
+    with ExecutionEngine(index) as engine:
+        engine.execute(batch, mode="count")
+        engine.execute(batch, mode="count", backend="serial")
+        engine.execute(batch, mode="checksum", backend="threads")
+    return coll, batch
+
+
 def _cmd_stats(args) -> int:
     """Render an observability snapshot as table, JSON or Prometheus text.
 
@@ -389,29 +431,9 @@ def _cmd_stats(args) -> int:
         with open(args.input) as fh:
             snap = json.load(fh)
     else:
-        from repro.workloads.queries import data_following_queries
-        from repro.workloads.synthetic import generate_synthetic
-
-        obs.configure(enabled=True)
-        domain = 1 << args.m
-        coll = generate_synthetic(
-            args.cardinality, domain, 1.2, domain / 20, seed=args.seed
-        ).normalized(args.m)
-        index = HintIndex(coll, m=args.m)
-        batch = data_following_queries(
-            args.queries, coll, 0.1, domain=domain, seed=args.seed + 1
+        coll, batch = _run_live_burst(
+            args.cardinality, args.m, args.queries, args.seed
         )
-        for strategy in sorted(STRATEGIES):
-            run_strategy(strategy, index, batch, mode="count")
-        # Exercise the execution engine too, so the burst snapshot
-        # carries the repro_engine_* series (auto-policy pick plus one
-        # forced backend per batch, all against the same index).
-        from repro.engine import ExecutionEngine
-
-        with ExecutionEngine(index) as engine:
-            engine.execute(batch, mode="count")
-            engine.execute(batch, mode="count", backend="serial")
-            engine.execute(batch, mode="checksum", backend="threads")
         snap = obs.snapshot(
             meta={
                 "source": "stats-burst",
@@ -427,6 +449,168 @@ def _cmd_stats(args) -> int:
     else:
         print(render_table(snap))
     return 0
+
+
+def _snapshot_spans(path) -> list:
+    """Span state dicts from a ``--metrics-json`` snapshot file.
+
+    Merges the snapshot's recent ring and slow log (slow spans survive
+    ring eviction), deduplicated by span id.
+    """
+    import json
+
+    with open(path) as fh:
+        snap = json.load(fh)
+    section = snap.get("spans", {})
+    states = list(section.get("recent", ()))
+    seen = {s.get("span_id") for s in states}
+    states.extend(
+        s for s in section.get("slow", ()) if s.get("span_id") not in seen
+    )
+    return states
+
+
+def _trace_burst(args) -> list:
+    """Serve a short traced burst over a real socket; return span states.
+
+    The full wire path runs — client-stamped trace context → protocol-v2
+    QUERY frame → admission → service staging → flush → engine dispatch
+    (including pool workers with ``--backend processes``) — so the
+    returned spans hold complete cross-process traces.
+    """
+    import repro.obs as obs
+    from repro.net import (
+        QueryClient,
+        TraceContext,
+        new_trace_id,
+        serve_in_thread,
+    )
+
+    ob = obs.configure(enabled=True)
+    service, engine = _build_serve_service(args)
+    handle = serve_in_thread(service, owns_service=True)
+    try:
+        rng = np.random.default_rng(args.seed + 3)
+        top = (1 << args.m) - 1
+        with QueryClient(handle.host, handle.port) as client:
+            for _ in range(args.requests):
+                st = int(rng.integers(0, top))
+                end = min(st + int(rng.integers(1, max(top // 64, 2))), top)
+                client.query(st, end, trace=TraceContext(new_trace_id()))
+    finally:
+        handle.close()
+        if engine is not None:
+            engine.close()
+    return [sp.state() for sp in ob.recorder.spans()]
+
+
+def _cmd_trace(args) -> int:
+    """List, render or export distributed traces.
+
+    Spans come from a ``--metrics-json`` snapshot (``--input``) or from a
+    live traced burst served over a real socket.  Default output is the
+    parented text tree of one trace; ``--chrome`` writes Trace Event JSON
+    for ``chrome://tracing`` / https://ui.perfetto.dev instead.
+    """
+    from repro.obs.chrome_trace import chrome_trace_json
+    from repro.obs.tracecontext import (
+        build_trace_tree,
+        format_trace_id,
+        list_traces,
+        parse_trace_id,
+        render_trace_tree,
+    )
+
+    if args.input is not None:
+        states = _snapshot_spans(args.input)
+    else:
+        # Keep the synthetic workload consistent with the chosen m.
+        args.domain = 1 << args.m
+        args.sigma = args.domain / 20
+        states = _trace_burst(args)
+    if not states:
+        print(
+            "no spans retained (was the observability plane enabled "
+            "while the snapshot was taken?)",
+            file=sys.stderr,
+        )
+        return 1
+    traces = list_traces(states)
+    if not traces:
+        print("no span carries a trace id", file=sys.stderr)
+        return 1
+    if args.list:
+        print(f"{'trace':<16} {'spans':>5} {'ms':>9}  root")
+        for t in traces:
+            print(
+                f"{t['trace']:<16} {t['spans']:>5} "
+                f"{t['duration'] * 1000:>9.3f}  {t['root']}"
+            )
+        return 0
+    if args.trace_id is not None:
+        tid = parse_trace_id(args.trace_id)
+    else:
+        tid = max(traces, key=lambda t: t["spans"])["trace_id"]
+    tree = build_trace_tree(states, tid)
+    if tree is None:
+        print(
+            f"trace {format_trace_id(tid)} has no spans here "
+            f"(see --list for {len(traces)} available)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.chrome is not None:
+        text = chrome_trace_json(
+            states,
+            trace_id=tid,
+            indent=2,
+            meta={"source": args.input or "trace-burst"},
+        )
+        with open(args.chrome, "w") as fh:
+            fh.write(text + "\n")
+        print(
+            f"chrome trace for {format_trace_id(tid)} written to "
+            f"{args.chrome} (load in chrome://tracing or ui.perfetto.dev)"
+        )
+        return 0
+    print(f"trace {format_trace_id(tid)}")
+    print(render_trace_tree(tree))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """Live terminal dashboard over snapshots.
+
+    With ``--input`` the snapshot file is re-read every tick, so a
+    serving process that keeps rewriting its ``--metrics-json`` dump
+    gets a live view; without it, one synthetic burst populates the
+    in-process plane (mainly useful with ``--once``).
+    """
+    import json
+
+    import repro.obs as obs
+    from repro.obs.dashboard import run_top
+    from repro.obs.slo import SLOTracker
+
+    if args.input is not None:
+        def fetch():
+            with open(args.input) as fh:
+                return json.load(fh)
+    else:
+        _run_live_burst(args.cardinality, args.m, args.queries, args.seed)
+        SLOTracker().observe(obs.active())
+
+        def fetch():
+            return obs.snapshot(meta={"source": "top-burst"})
+
+    iterations = 1 if args.once else args.iterations
+    drawn = run_top(
+        fetch,
+        interval=args.interval,
+        iterations=iterations,
+        clear=not args.once,
+    )
+    return 0 if drawn else 1
 
 
 def _cmd_verify(args) -> int:
@@ -930,6 +1114,107 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("--seed", type=int, default=0)
     p_stats.set_defaults(fn=_cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="reconstruct distributed traces (text tree or Chrome-trace "
+        "JSON) from a snapshot dump or a live traced burst",
+    )
+    p_trace.add_argument(
+        "--input",
+        default=None,
+        metavar="PATH",
+        help="snapshot JSON written by `serve --metrics-json` / "
+        "`serve-sim --metrics-json` (default: serve a short traced "
+        "burst over a local socket)",
+    )
+    p_trace.add_argument(
+        "--list",
+        action="store_true",
+        help="list the traces present instead of rendering one",
+    )
+    p_trace.add_argument(
+        "--trace-id",
+        default=None,
+        metavar="HEX",
+        help="trace to render (default: the one with the most spans)",
+    )
+    p_trace.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="write Chrome-trace JSON (chrome://tracing, ui.perfetto.dev) "
+        "instead of a text tree",
+    )
+    p_trace.add_argument(
+        "--requests", type=int, default=8, help="burst request count"
+    )
+    p_trace.add_argument(
+        "--cardinality", type=int, default=20_000, help="burst intervals"
+    )
+    p_trace.add_argument("--m", type=int, default=12, help="burst HINT parameter")
+    p_trace.add_argument(
+        "--backend",
+        default="threads",
+        choices=("serial", "threads", "processes", "auto"),
+        help="engine backend of the burst (processes exercises "
+        "cross-process trace aggregation)",
+    )
+    p_trace.add_argument("--workers", type=int, default=2)
+    p_trace.add_argument("--seed", type=int, default=0)
+    # The burst reuses _build_serve_service; pin the knobs it expects
+    # but that make no sense to expose here.
+    p_trace.set_defaults(
+        fn=_cmd_trace,
+        index=None,
+        domain=1 << 12,
+        alpha=1.2,
+        sigma=200.0,
+        mode="count",
+        strategy="partition-based",
+        max_batch=256,
+        max_delay_ms=2.0,
+        max_queue=8192,
+        backpressure="block",
+        parallel_threshold=None,
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard (qps, per-layer p50/p99, cache hit "
+        "rate, SLO burn) over a snapshot file or a live burst",
+    )
+    p_top.add_argument(
+        "--input",
+        default=None,
+        metavar="PATH",
+        help="snapshot JSON re-read every tick (point it at a file a "
+        "serving process keeps rewriting); default: one live synthetic "
+        "burst",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period, seconds"
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="frames to draw (default: until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="draw a single frame without clearing the screen and exit",
+    )
+    p_top.add_argument(
+        "--cardinality", type=int, default=20_000, help="burst intervals"
+    )
+    p_top.add_argument("--m", type=int, default=12, help="burst HINT parameter")
+    p_top.add_argument(
+        "--queries", type=int, default=2_000, help="burst batch size"
+    )
+    p_top.add_argument("--seed", type=int, default=0)
+    p_top.set_defaults(fn=_cmd_top)
 
     p_shard = sub.add_parser(
         "shard-sim",

@@ -117,6 +117,12 @@ def parallel_batch(
         return fn(index, batch, sort=True, mode=mode)
 
     ob = obs.active()
+    if ob is not None:
+        # Chunks run on pool threads, outside the dispatching thread's
+        # trace scope and span stack — capture both here so the chunk
+        # spans stay attributable to the flush that dispatched them.
+        trace_ids = ob.recorder.current_trace_ids()
+        parent_id = ob.recorder.current_span_id()
 
     def run(job) -> BatchResult:
         worker, sl = job
@@ -128,10 +134,12 @@ def parallel_batch(
         # (the straggler that bounds the whole flush) is visible live.
         t0 = perf_counter()
         try:
-            return fn(index, sub, sort=True, mode=mode)
+            with ob.recorder.trace_scope(trace_ids):
+                return fn(index, sub, sort=True, mode=mode)
         finally:
             ob.record_parallel_chunk(
-                strategy, worker, len(sub), perf_counter() - t0
+                strategy, worker, len(sub), perf_counter() - t0,
+                trace_ids=trace_ids, parent_id=parent_id,
             )
 
     jobs = list(enumerate(slices))

@@ -48,6 +48,7 @@ from typing import List, Optional
 import numpy as np
 
 import repro.obs as obs
+from repro.obs.aggregate import merge_telemetry
 from repro.core.parallel import _chunks, parallel_batch, resolve_workers
 from repro.core.result import MODES, BatchResult
 from repro.core.strategies import STRATEGIES, run_strategy
@@ -372,18 +373,58 @@ class ExecutionEngine:
             return self._dispatch_sharded(batch, strategy, mode)
         return self._dispatch_hint(batch, strategy, mode)
 
+    def _telemetry_request(self, ob) -> Optional[dict]:
+        """The per-task telemetry request shipped to pool workers: the
+        dispatching thread's sampled trace ids (set by the service
+        flusher's trace scope) plus the parent plane's recorder
+        thresholds, so worker-side sampling matches the parent's."""
+        if ob is None:
+            return None
+        cfg = ob.config
+        return {
+            "traces": ob.recorder.current_trace_ids(),
+            "trace_partitions": cfg.trace_partitions,
+            "slow_threshold_s": cfg.slow_threshold_s,
+            "slow_overrides": cfg.slow_overrides,
+        }
+
+    def _collect(self, future, ob, telemetry):
+        """Unwrap one worker future; fold shipped telemetry into *ob*.
+
+        Adopted worker spans graft under the dispatching thread's open
+        ``engine.execute`` span, which is what makes one cross-process
+        trace tree out of the batch.
+        """
+        payload = future.result()
+        if telemetry is None:
+            return payload
+        payload, tele = payload
+        merge_telemetry(
+            ob,
+            tele.get("delta"),
+            worker_label=str(tele.get("worker", "?")),
+            parent_span_id=ob.recorder.current_span_id(),
+        )
+        return payload
+
     def _dispatch_hint(self, batch, strategy, mode) -> BatchResult:
         """Chunk the sorted batch across the pool; stitch to caller order."""
         work = batch.sorted_by_start()
         n = len(work)
         pool = self._pools[0]
+        ob = obs.active()
+        telemetry = self._telemetry_request(ob)
         futures = [
             pool.submit(
-                run_hint_chunk, work.st[sl], work.end[sl], strategy, mode
+                run_hint_chunk, work.st[sl], work.end[sl], strategy, mode,
+                telemetry,
             )
             for sl in _chunks(n, self.workers)
         ]
-        partials = [decode_result(f.result(), mode) for f in futures]
+        partials = [
+            decode_result(self._collect(f, ob, telemetry), mode)
+            for f in futures
+        ]
         return _stitch(partials, work, n, mode)
 
     def _dispatch_sharded(self, batch, strategy, mode) -> BatchResult:
@@ -395,6 +436,8 @@ class ExecutionEngine:
         in the parent, reusing the sharded index's own helpers.
         """
         index = self._index
+        ob = obs.active()
+        telemetry = self._telemetry_request(ob)
         work, q_st, q_end, jobs = index._route(batch)
         staged = []
         for j, j0, j1, spill in jobs:
@@ -402,14 +445,17 @@ class ExecutionEngine:
             if j1 > j0:
                 sub = index._primary_local_batch(j, j0, j1, q_st, q_end)
                 future = self._pool_for_shard(j).submit(
-                    run_shard_primary, j, sub.st, sub.end, strategy, mode
+                    run_shard_primary, j, sub.st, sub.end, strategy, mode,
+                    telemetry,
                 )
             staged.append((j, j0, j1, spill, future))
         partials = []
         for j, j0, j1, spill, future in staged:
             primary = rep_ks = sp_ks = None
             if future is not None:
-                primary = decode_result(future.result(), mode)
+                primary = decode_result(
+                    self._collect(future, ob, telemetry), mode
+                )
                 rep_ks = index._probe_replicas(j, j0, j1, q_st)
             if spill.size:
                 sp_ks = index._probe_spills(j, spill, q_end)

@@ -13,6 +13,16 @@ as three buffers).
 Everything here must stay importable under the ``spawn`` start method:
 module-level code only defines functions and constants, and all state
 lives in :data:`_STATE`, populated by the initializer.
+
+**Telemetry.** When the parent's observability plane is on, each task
+carries a small *telemetry request* (the sampled trace ids of the batch
+plus the parent's span-recorder thresholds).  The worker then runs the
+task under a fresh per-task plane of its own — never the parent's
+fork-inherited one — and returns ``(payload, telemetry)`` instead of
+the bare payload, where the second element is a compact
+:func:`repro.obs.aggregate.telemetry_delta` the parent merges back
+under a ``worker=<pid>`` label.  Without a request the signatures and
+return shapes are exactly as before.
 """
 
 from __future__ import annotations
@@ -109,32 +119,95 @@ def decode_result(payload: Tuple[np.ndarray, ...], mode: str) -> BatchResult:
 
 
 # --------------------------------------------------------------------- #
+# worker-side telemetry
+# --------------------------------------------------------------------- #
+
+
+def _run_with_telemetry(telemetry: dict, fn):
+    """Run *fn* under a fresh worker-local plane; ship what it recorded.
+
+    A fresh :func:`repro.obs.configure` per task means the baseline is
+    empty (the delta is exactly this task's work) and the worker never
+    writes into a plane inherited across ``fork`` — the parent's ring
+    cannot be polluted, and fork-inherited counts cannot leak into the
+    shipped delta.  The plane is torn back down afterwards so tasks
+    without a telemetry request stay on the zero-cost path.
+    """
+    import repro.obs as obs
+    from repro.obs import aggregate
+
+    ob = obs.configure(
+        enabled=True,
+        trace_partitions=bool(telemetry.get("trace_partitions", False)),
+        slow_threshold_s=float(telemetry.get("slow_threshold_s", 0.1)),
+        slow_overrides=telemetry.get("slow_overrides"),
+    )
+    traces = tuple(telemetry.get("traces", ()))
+    try:
+        with ob.recorder.trace_scope(traces):
+            payload = fn()
+        delta = aggregate.telemetry_delta(
+            ob.registry,
+            recorder=ob.recorder,
+            trace_ids=traces,
+            max_spans=int(telemetry.get("max_spans", 64)),
+        )
+    finally:
+        obs.configure(enabled=False)
+    return payload, {"worker": os.getpid(), "delta": delta}
+
+
+# --------------------------------------------------------------------- #
 # task entry points (run in the worker process)
 # --------------------------------------------------------------------- #
 
 
 def run_hint_chunk(
-    st: np.ndarray, end: np.ndarray, strategy: str, mode: str
-) -> Tuple[np.ndarray, ...]:
-    """Execute one contiguous chunk of the sorted batch on the index."""
-    result = run_strategy(
-        strategy, _STATE["index"], QueryBatch(st, end), mode=mode
-    )
-    return encode_result(result, mode)
+    st: np.ndarray,
+    end: np.ndarray,
+    strategy: str,
+    mode: str,
+    telemetry: Optional[dict] = None,
+):
+    """Execute one contiguous chunk of the sorted batch on the index.
+
+    With a *telemetry* request, returns ``(payload, telemetry_dict)``
+    instead of the bare payload (see the module docstring).
+    """
+    def task():
+        result = run_strategy(
+            strategy, _STATE["index"], QueryBatch(st, end), mode=mode
+        )
+        return encode_result(result, mode)
+
+    if telemetry is None:
+        return task()
+    return _run_with_telemetry(telemetry, task)
 
 
 def run_shard_primary(
-    j: int, st: np.ndarray, end: np.ndarray, strategy: str, mode: str
-) -> Tuple[np.ndarray, ...]:
+    j: int,
+    st: np.ndarray,
+    end: np.ndarray,
+    strategy: str,
+    mode: str,
+    telemetry: Optional[dict] = None,
+):
     """Execute shard *j*'s pre-clipped primary sub-batch.
 
     The parent already routed the batch and clipped the slice into the
     shard's local domain (:meth:`ShardedHint._primary_local_batch`);
     replica/spill probes stay parent-side — they are single vectorized
-    ``searchsorted`` calls, cheaper than a round-trip.
+    ``searchsorted`` calls, cheaper than a round-trip.  *telemetry* as
+    in :func:`run_hint_chunk`.
     """
-    shard = _STATE["shards"][j]
-    result = run_strategy(
-        strategy, shard.index, QueryBatch(st, end), mode=mode
-    )
-    return encode_result(result, mode)
+    def task():
+        shard = _STATE["shards"][j]
+        result = run_strategy(
+            strategy, shard.index, QueryBatch(st, end), mode=mode
+        )
+        return encode_result(result, mode)
+
+    if telemetry is None:
+        return task()
+    return _run_with_telemetry(telemetry, task)

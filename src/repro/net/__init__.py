@@ -55,14 +55,17 @@ from repro.net.protocol import (
     PingFrame,
     PongFrame,
     ProtocolError,
+    QFLAG_TRACE,
     QueryFrame,
     ResultFrame,
+    SUPPORTED_VERSIONS,
     VERSION,
     decode_frame,
     decode_payload,
     encode_frame,
 )
 from repro.net.server import QueryServer, ServerHandle, serve_in_thread
+from repro.obs.tracecontext import TraceContext, new_trace_id
 
 __all__ = [
     "AsyncQueryClient",
@@ -85,6 +88,7 @@ __all__ = [
     "PingFrame",
     "PongFrame",
     "ProtocolError",
+    "QFLAG_TRACE",
     "QueryClient",
     "QueryFrame",
     "QueryServer",
@@ -94,9 +98,12 @@ __all__ = [
     "ServerClosingError",
     "ServerError",
     "ServerHandle",
+    "SUPPORTED_VERSIONS",
     "TenantAdmission",
     "TokenBucket",
+    "TraceContext",
     "VERSION",
+    "new_trace_id",
     "decode_frame",
     "decode_payload",
     "encode_frame",

@@ -41,6 +41,7 @@ from repro.net.protocol import (
     decode_payload,
     encode_frame,
 )
+from repro.obs.tracecontext import TraceContext
 
 __all__ = [
     "QueryClient",
@@ -169,8 +170,13 @@ class QueryClient:
         mode: Optional[str] = None,
         deadline_ms: int = 0,
         tenant: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
     ):
         """Execute one G-OVERLAPS query; returns the mode-shaped value.
+
+        *trace* attaches a client-chosen distributed-tracing identity
+        (:class:`~repro.obs.tracecontext.TraceContext`) that the server
+        stamps on every span of this request.
 
         Raises the typed :class:`ServerError` subclass matching the
         server's error code, or :class:`ConnectionClosedError` when the
@@ -186,6 +192,7 @@ class QueryClient:
                     end=end,
                     mode=mode,
                     deadline_ms=deadline_ms,
+                    trace=trace,
                 )
             )
             frame = self._recv()
@@ -329,11 +336,13 @@ class AsyncQueryClient:
         mode: Optional[str] = None,
         deadline_ms: int = 0,
         tenant: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
     ):
         """Execute one query; awaits its mode-shaped value.
 
         Many calls may be outstanding concurrently; responses are routed
-        back by request id regardless of completion order.
+        back by request id regardless of completion order.  *trace* as
+        in :meth:`QueryClient.query`.
         """
         rid = next(self._rid)
         frame = await self._roundtrip(
@@ -345,6 +354,7 @@ class AsyncQueryClient:
                 end=end,
                 mode=mode,
                 deadline_ms=deadline_ms,
+                trace=trace,
             ),
         )
         if isinstance(frame, ResultFrame):

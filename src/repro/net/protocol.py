@@ -6,7 +6,7 @@ Every frame on the wire is::
                         included in itself); bounded by ``MAX_FRAME``
     payload             `length` bytes:
         u16 magic       0xB173 — rejects random/plaintext peers cheaply
-        u8  version     protocol version (currently 1)
+        u8  version     protocol version (currently 2; v1 still decodes)
         u8  type        frame type (below)
         ...             type-specific body
 
@@ -20,6 +20,14 @@ Frame types and bodies (all integers big-endian):
     client's **relative** latency budget (0 = none); the server anchors
     it on its own clock at decode time, so the two machines never need
     synchronized clocks.
+
+    Version 2 appends ``u8 flags``; when bit 0 (``QFLAG_TRACE``) is
+    set, a 17-byte :class:`~repro.obs.tracecontext.TraceContext`
+    follows (``u64 trace_id`` · ``u64 parent_span_id`` · ``u8 trace
+    flags``) — the client-chosen distributed-tracing identity the
+    server stamps on every span of the request.  Unknown flag bits are
+    rejected.  Version-1 frames (no flags byte) still decode, so old
+    clients keep working; the encoder always emits version 2.
 ``RESULT`` (server -> client)
     ``u64 request_id`` · ``u8 mode`` · mode-shaped body — count:
     ``u64``; checksum: ``u64 count`` + ``u64 xor``; ids: ``u32 n`` +
@@ -45,9 +53,13 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.tracecontext import TraceContext, WIRE_SIZE as _TRACE_WIRE_SIZE
+
 __all__ = [
     "MAGIC",
     "VERSION",
+    "SUPPORTED_VERSIONS",
+    "QFLAG_TRACE",
     "MAX_FRAME",
     "MODE_CODES",
     "MODE_NAMES",
@@ -79,8 +91,14 @@ __all__ = [
 
 #: First two payload bytes of every frame.
 MAGIC = 0xB173
-#: Current protocol version.
-VERSION = 1
+#: Current protocol version (what the encoder emits).
+VERSION = 2
+#: Versions the decoder accepts.  v1 lacks the QUERY flags byte (and so
+#: cannot carry a trace context); every other body is identical.
+SUPPORTED_VERSIONS = frozenset({1, 2})
+#: QUERY flags bit: a 17-byte trace context follows the flags byte.
+QFLAG_TRACE = 0x01
+_QFLAG_KNOWN = QFLAG_TRACE
 #: Default upper bound on a payload (1 MiB) — an oversized length prefix
 #: is rejected *before* the body is read, so a hostile peer cannot make
 #: the server buffer arbitrary amounts.
@@ -142,6 +160,7 @@ class QueryFrame:
     end: int = 0
     mode: Optional[str] = None  #: None = the server's configured mode
     deadline_ms: int = 0  #: relative budget; 0 = no deadline
+    trace: Optional[TraceContext] = None  #: v2 distributed-trace identity
 
 
 @dataclass(frozen=True)
@@ -205,6 +224,10 @@ def _encode_body(frame: Frame) -> bytes:
         deadline_ms = int(frame.deadline_ms)
         if not 0 <= deadline_ms <= 0xFFFFFFFF:
             raise ProtocolError(f"deadline_ms out of range: {deadline_ms}")
+        if frame.trace is None:
+            trailer = bytes([0])
+        else:
+            trailer = bytes([QFLAG_TRACE]) + frame.trace.to_wire()
         return (
             _QUERY_HEAD.pack(_check_u64(frame.request_id, "request_id"),
                              len(tenant))
@@ -212,6 +235,7 @@ def _encode_body(frame: Frame) -> bytes:
             + _QUERY_TAIL.pack(
                 int(frame.st), int(frame.end), mode_code, deadline_ms
             )
+            + trailer
         )
     if isinstance(frame, ResultFrame):
         head = _RESULT_HEAD.pack(
@@ -321,7 +345,7 @@ def decode_payload(payload: bytes) -> Frame:
     magic, version, ftype = cur.unpack(_HEADER)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic 0x{magic:04X} (want 0x{MAGIC:04X})")
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(f"unsupported protocol version {version}")
     if ftype == FRAME_QUERY:
         request_id, tenant_len = cur.unpack(_QUERY_HEAD)
@@ -330,6 +354,20 @@ def decode_payload(payload: bytes) -> Frame:
         except UnicodeDecodeError as exc:
             raise ProtocolError(f"tenant id is not utf-8: {exc}") from None
         st, end, mode_code, deadline_ms = cur.unpack(_QUERY_TAIL)
+        trace = None
+        if version >= 2:
+            (flags,) = cur.take(1)
+            if flags & ~_QFLAG_KNOWN:
+                raise ProtocolError(f"unknown query flags 0x{flags:02X}")
+            if flags & QFLAG_TRACE:
+                try:
+                    trace = TraceContext.from_wire(
+                        cur.take(_TRACE_WIRE_SIZE)
+                    )
+                except ValueError as exc:
+                    raise ProtocolError(
+                        f"bad trace context: {exc}"
+                    ) from None
         cur.done()
         if mode_code == MODE_DEFAULT:
             mode = None
@@ -344,6 +382,7 @@ def decode_payload(payload: bytes) -> Frame:
             end=end,
             mode=mode,
             deadline_ms=deadline_ms,
+            trace=trace,
         )
     if ftype == FRAME_RESULT:
         request_id, mode_code = cur.unpack(_RESULT_HEAD)

@@ -56,6 +56,7 @@ from typing import Callable, Optional
 import numpy as np
 
 import repro.obs as obs
+from repro.obs.tracecontext import TraceContext, format_trace_id, new_trace_id
 from repro.service import (
     BatchingQueryService,
     DeadlineExceededError,
@@ -385,17 +386,18 @@ class QueryServer:
         """Run the traffic controls; returns the response task (or None
         when the query was answered synchronously with an error)."""
         t0 = self._clock()
+        ctx = self._trace_context(frame)
         if self._closing:
             await self._respond_error(
                 frame, writer, write_lock, "closing",
-                "server is shutting down", t0,
+                "server is shutting down", t0, ctx=ctx,
             )
             return None
         if frame.st > frame.end:
             await self._respond_error(
                 frame, writer, write_lock, "bad_request",
                 f"query must have st <= end (got [{frame.st}, {frame.end}])",
-                t0,
+                t0, ctx=ctx,
             )
             return None
         if frame.mode is not None and frame.mode != self.service.mode:
@@ -403,7 +405,7 @@ class QueryServer:
                 frame, writer, write_lock, "bad_request",
                 f"server executes mode {self.service.mode!r}, "
                 f"not {frame.mode!r}",
-                t0,
+                t0, ctx=ctx,
             )
             return None
         if self.admission is not None and not self.admission.try_admit(
@@ -412,6 +414,7 @@ class QueryServer:
             await self._respond_error(
                 frame, writer, write_lock, "rate_limited",
                 f"tenant {frame.tenant!r} is over its admission rate", t0,
+                ctx=ctx,
             )
             return None
         # Global in-flight quota — the wire face of the service's
@@ -422,7 +425,7 @@ class QueryServer:
                     frame, writer, write_lock, "overload",
                     f"{self._inflight} queries in flight "
                     f"(quota {self.max_inflight})",
-                    t0,
+                    t0, ctx=ctx,
                 )
                 return None
             async with self._slot_free:
@@ -433,7 +436,7 @@ class QueryServer:
             if self._closing:
                 await self._respond_error(
                     frame, writer, write_lock, "closing",
-                    "server is shutting down", t0,
+                    "server is shutting down", t0, ctx=ctx,
                 )
                 return None
         self._inflight += 1
@@ -442,16 +445,18 @@ class QueryServer:
         )
         try:
             future = self.service.submit(
-                frame.st, frame.end, deadline=deadline
+                frame.st, frame.end, deadline=deadline, trace=ctx
             )
         except BaseException as exc:
             await self._release_slot()
             await self._respond_error(
-                frame, writer, write_lock, *_classify(exc), t0
+                frame, writer, write_lock, *_classify(exc), t0, ctx=ctx
             )
             return None
         return asyncio.ensure_future(
-            self._respond_when_done(frame, future, writer, write_lock, t0)
+            self._respond_when_done(
+                frame, future, writer, write_lock, t0, ctx=ctx
+            )
         )
 
     async def _release_slot(self) -> None:
@@ -466,6 +471,7 @@ class QueryServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         t0: float,
+        ctx: Optional[TraceContext] = None,
     ) -> None:
         try:
             try:
@@ -476,11 +482,12 @@ class QueryServer:
                 await self._respond_error(
                     frame, writer, write_lock, "internal",
                     f"no result within {self.request_timeout:g}s", t0,
+                    ctx=ctx,
                 )
                 return
             except BaseException as exc:
                 await self._respond_error(
-                    frame, writer, write_lock, *_classify(exc), t0
+                    frame, writer, write_lock, *_classify(exc), t0, ctx=ctx
                 )
                 return
             mode = self.service.mode
@@ -495,7 +502,7 @@ class QueryServer:
             await self._send(
                 writer, write_lock, ResultFrame(frame.request_id, mode, value)
             )
-            self._record_request(frame, "ok", self._clock() - t0)
+            self._record_request(frame, "ok", self._clock() - t0, ctx=ctx)
         finally:
             await self._release_slot()
 
@@ -507,11 +514,13 @@ class QueryServer:
         code: str,
         message: str,
         t0: float,
+        *,
+        ctx: Optional[TraceContext] = None,
     ) -> None:
         await self._send(
             writer, write_lock, ErrorFrame(frame.request_id, code, message)
         )
-        self._record_request(frame, code, self._clock() - t0)
+        self._record_request(frame, code, self._clock() - t0, ctx=ctx)
 
     async def _send(
         self,
@@ -531,23 +540,53 @@ class QueryServer:
     # instrumentation
     # ------------------------------------------------------------------ #
 
+    def _trace_context(self, frame: QueryFrame) -> Optional[TraceContext]:
+        """The request's tracing identity: the client's (when the v2
+        frame carried one) or a freshly minted one, re-parented under a
+        span id reserved for this request's ``net.request`` root so
+        every downstream span hangs off it."""
+        ob = obs.active()
+        if ob is None:
+            return None
+        if frame.trace is not None:
+            trace_id = frame.trace.trace_id
+            sampled = frame.trace.sampled
+        else:
+            trace_id = new_trace_id()
+            sampled = ob.sample_trace()
+        return TraceContext(trace_id, ob.recorder.allocate_span_id(), sampled)
+
     def _record_request(
-        self, frame: QueryFrame, status: str, duration: float
+        self,
+        frame: QueryFrame,
+        status: str,
+        duration: float,
+        ctx: Optional[TraceContext] = None,
     ) -> None:
         ob = obs.active()
         if ob is None:
             return
         ob.record_net_request(status, duration)
+        attrs = {
+            "tenant": frame.tenant,
+            "status": status,
+            "mode": self.service.mode,
+            "st": int(frame.st),
+            "end": int(frame.end),
+        }
+        span_id = None
+        trace_ids = None
+        if ctx is not None:
+            span_id = ctx.parent_span_id
+            trace_ids = (ctx.trace_id,)
+            attrs["trace_id"] = format_trace_id(ctx.trace_id)
+            attrs["sampled"] = ctx.sampled
         ob.recorder.add(
             "net.request",
             duration,
-            attrs={
-                "tenant": frame.tenant,
-                "status": status,
-                "mode": self.service.mode,
-                "st": int(frame.st),
-                "end": int(frame.end),
-            },
+            attrs=attrs,
+            span_id=span_id,
+            trace_ids=trace_ids,
         )
 
     def _record_decode_error(self) -> None:

@@ -34,10 +34,11 @@ Metric names are documented in ``docs/observability.md``.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -50,6 +51,12 @@ from repro.obs.metrics import (
     POW2_BUCKETS,
 )
 from repro.obs.spans import SPAN_LATENCY_METRIC, Span, SpanRecorder
+from repro.obs.tracecontext import (
+    TraceContext,
+    format_trace_id,
+    new_trace_id,
+    parse_trace_id,
+)
 from repro.obs.export import (
     render_table,
     snapshot_dict,
@@ -75,6 +82,10 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "SpanRecorder",
+    "TraceContext",
+    "new_trace_id",
+    "format_trace_id",
+    "parse_trace_id",
     "LATENCY_BUCKETS",
     "POW2_BUCKETS",
     "SPAN_LATENCY_METRIC",
@@ -115,6 +126,11 @@ NET_DEADLINE_DROPPED = "repro_net_deadline_dropped_total"
 NET_ADMISSION_REJECTED = "repro_net_admission_rejected_total"
 NET_OVERLOAD_SHED = "repro_net_overload_shed_total"
 NET_DECODE_ERRORS = "repro_net_decode_errors_total"
+WORKER_MERGES = "repro_worker_telemetry_merges_total"
+SLO_LATENCY_QUANTILE = "repro_slo_latency_quantile_seconds"
+SLO_LATENCY_TARGET = "repro_slo_latency_target_seconds"
+SLO_BURN_RATE = "repro_slo_error_budget_burn_rate"
+SLO_VIOLATIONS = "repro_slo_violations_total"
 
 
 class ObsConfig:
@@ -126,6 +142,7 @@ class ObsConfig:
         "span_capacity",
         "slow_threshold_s",
         "slow_overrides",
+        "trace_sample_rate",
     )
 
     def __init__(
@@ -136,12 +153,16 @@ class ObsConfig:
         span_capacity: int = 4096,
         slow_threshold_s: float = 0.1,
         slow_overrides: Optional[Mapping[str, float]] = None,
+        trace_sample_rate: float = 1.0,
     ):
         self.enabled = bool(enabled)
         self.trace_partitions = bool(trace_partitions)
         self.span_capacity = int(span_capacity)
         self.slow_threshold_s = float(slow_threshold_s)
         self.slow_overrides = dict(slow_overrides or {})
+        if not 0.0 <= float(trace_sample_rate) <= 1.0:
+            raise ValueError("trace_sample_rate must lie in [0, 1]")
+        self.trace_sample_rate = float(trace_sample_rate)
 
     def __repr__(self) -> str:
         return (
@@ -176,6 +197,20 @@ class Observability:
     def span(self, name: str, **attrs):
         """Open a span (context manager yielding the mutable span)."""
         return self.recorder.span(name, **attrs)
+
+    def sample_trace(self) -> bool:
+        """Head-based sampling verdict for a fresh trace.
+
+        Decided once at the entry point (the query server) and carried
+        on the :class:`TraceContext` from there on; slow and errored
+        worker spans ship regardless (see :mod:`repro.obs.aggregate`).
+        """
+        rate = self.config.trace_sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return random.random() < rate
 
     # -------------------------------------------------------------- #
     # strategy instrumentation
@@ -287,8 +322,18 @@ class Observability:
     # -------------------------------------------------------------- #
 
     def record_parallel_chunk(
-        self, strategy: str, worker: int, queries: int, duration: float
+        self,
+        strategy: str,
+        worker: int,
+        queries: int,
+        duration: float,
+        *,
+        trace_ids: Optional[Sequence[int]] = None,
+        parent_id: Optional[int] = None,
     ) -> None:
+        """*trace_ids*/*parent_id* are passed explicitly because chunk
+        spans are recorded from pool threads, outside the dispatching
+        thread's :meth:`~repro.obs.spans.SpanRecorder.trace_scope`."""
         self.registry.counter(
             PARALLEL_CHUNKS,
             labels={"strategy": strategy},
@@ -304,10 +349,19 @@ class Observability:
             "parallel.chunk",
             duration,
             attrs={"strategy": strategy, "worker": int(worker), "queries": int(queries)},
+            parent_id=parent_id,
+            trace_ids=trace_ids,
         )
 
     def record_shard_batch(
-        self, shard: int, queries: int, spill: int, duration: float
+        self,
+        shard: int,
+        queries: int,
+        spill: int,
+        duration: float,
+        *,
+        trace_ids: Optional[Sequence[int]] = None,
+        parent_id: Optional[int] = None,
     ) -> None:
         """Per-shard accounting of one sharded-batch execution.
 
@@ -315,7 +369,9 @@ class Observability:
         *spill* the boundary-spanning queries fanned in from earlier
         shards.  Every series carries a ``shard`` label so skew between
         shards — the straggler that bounds the whole batch — is visible
-        live.
+        live.  *trace_ids*/*parent_id* are passed explicitly because
+        shard spans are recorded from pool threads, outside the
+        dispatching thread's trace scope.
         """
         labels = {"shard": int(shard)}
         self.registry.counter(
@@ -344,6 +400,8 @@ class Observability:
             "shard.batch",
             duration,
             attrs={"shard": int(shard), "queries": int(queries), "spill": int(spill)},
+            parent_id=parent_id,
+            trace_ids=trace_ids,
         )
 
     def record_engine_batch(
@@ -516,13 +574,16 @@ def configure(
     span_capacity: int = 4096,
     slow_threshold_s: float = 0.1,
     slow_overrides: Optional[Mapping[str, float]] = None,
+    trace_sample_rate: float = 1.0,
 ) -> Optional[Observability]:
     """(Re)configure the plane; returns the live plane or ``None``.
 
     ``configure(enabled=True)`` installs a **fresh** registry and
     recorder (previous series are dropped — snapshot first if you need
     them); ``configure(enabled=False)`` tears the plane down, returning
-    every hook site to its zero-cost path.
+    every hook site to its zero-cost path.  ``trace_sample_rate`` is the
+    head-based sampling probability applied to traces born at the query
+    server (see :meth:`Observability.sample_trace`).
     """
     global _active
     with _lock:
@@ -536,6 +597,7 @@ def configure(
                 span_capacity=span_capacity,
                 slow_threshold_s=slow_threshold_s,
                 slow_overrides=slow_overrides,
+                trace_sample_rate=trace_sample_rate,
             )
         )
         return _active

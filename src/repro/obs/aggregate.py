@@ -1,0 +1,193 @@
+"""Cross-process telemetry aggregation.
+
+Process-pool workers (:mod:`repro.engine.worker`) cannot write into the
+parent's :class:`~repro.obs.metrics.MetricsRegistry` — under the
+``processes`` backend each worker has its own plane, and before this
+module its measurements simply vanished.  The fix is delta shipping:
+
+1. the worker runs its task under a **fresh per-task plane** and, when
+   the parent requested telemetry, packs everything it recorded into a
+   compact :func:`telemetry_delta` — counter increments, histogram
+   bucket deltas, gauge values and a bounded set of sampled spans;
+2. the delta rides back piggybacked on the task's result payload
+   (a second tuple element — no extra IPC round trip);
+3. the parent calls :func:`merge_telemetry`, folding the deltas into
+   the global registry under a ``worker=<pid>`` label and grafting the
+   shipped spans beneath the dispatching ``engine.execute`` span via
+   :meth:`~repro.obs.spans.SpanRecorder.adopt`.
+
+Merged series stay truthful: counters add, histograms merge per-bucket
+(:meth:`~repro.obs.metrics.Histogram.merge_counts`), and adopted spans
+do not re-observe the latency histogram (the worker's own histogram
+delta already carries those observations).
+
+Span shipping follows the head-based sampling policy: spans tagged with
+a sampled trace always ship; untagged spans ship only when slow or
+errored (``attrs["error"]``), so an unsampled burst costs no span
+traffic but never hides a problem.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "DELTA_VERSION",
+    "capture_baseline",
+    "telemetry_delta",
+    "merge_telemetry",
+]
+
+#: Schema version of the delta dict (bump on layout changes).
+DELTA_VERSION = 1
+
+_LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def capture_baseline(registry: MetricsRegistry) -> dict:
+    """Snapshot counter/histogram positions to diff a later delta against.
+
+    Workers normally start each task on a fresh registry (empty
+    baseline), but long-lived planes can baseline before the work and
+    ship only what the task added.
+    """
+    counters: Dict[Tuple[str, _LabelsKey], int] = {}
+    histograms: Dict[Tuple[str, _LabelsKey], Tuple[List[int], float, int]] = {}
+    for metric in registry.collect():
+        key = (metric.name, metric.labels)
+        if metric.kind == "counter":
+            counters[key] = metric.value
+        elif metric.kind == "histogram":
+            state = metric.state()
+            histograms[key] = (state["counts"], state["sum"], state["count"])
+    return {"counters": counters, "histograms": histograms}
+
+
+_EMPTY_BASELINE = {"counters": {}, "histograms": {}}
+
+
+def telemetry_delta(
+    registry: MetricsRegistry,
+    baseline: Optional[dict] = None,
+    *,
+    recorder=None,
+    trace_ids: Sequence[int] = (),
+    max_spans: int = 64,
+) -> Optional[dict]:
+    """Pack what *registry*/*recorder* accumulated since *baseline*.
+
+    Returns a plain picklable dict (or ``None`` when nothing happened):
+    ``{"v", "counters": [(name, labels, delta)], "histograms":
+    [(name, labels, buckets, bucket_deltas, sum_delta, count_delta)],
+    "gauges": [(name, labels, value)], "spans": [state...]}``.
+
+    Spans are filtered by the sampling policy (member of a trace in
+    *trace_ids*, or slow, or errored) and capped at *max_spans*,
+    keeping the longest ones.
+    """
+    base = baseline if baseline is not None else _EMPTY_BASELINE
+    counters = []
+    histograms = []
+    gauges = []
+    for metric in registry.collect():
+        key = (metric.name, metric.labels)
+        if metric.kind == "counter":
+            delta = metric.value - base["counters"].get(key, 0)
+            if delta > 0:
+                counters.append((metric.name, metric.labels, delta))
+        elif metric.kind == "histogram":
+            state = metric.state()
+            b_counts, b_sum, b_count = base["histograms"].get(
+                key, ([0] * len(state["counts"]), 0.0, 0)
+            )
+            d_count = state["count"] - b_count
+            if d_count > 0:
+                histograms.append(
+                    (
+                        metric.name,
+                        metric.labels,
+                        state["buckets"],
+                        [c - b for c, b in zip(state["counts"], b_counts)],
+                        state["sum"] - b_sum,
+                        d_count,
+                    )
+                )
+        elif metric.kind == "gauge":
+            gauges.append((metric.name, metric.labels, metric.value))
+    spans: List[dict] = []
+    if recorder is not None:
+        wanted = {int(t) for t in trace_ids}
+        candidates = []
+        for sp in recorder.spans():
+            sampled = bool(wanted.intersection(sp.trace_ids))
+            slow = sp.duration >= recorder.slow_overrides.get(
+                sp.name, recorder.slow_threshold_s
+            )
+            errored = "error" in sp.attrs
+            if sampled or slow or errored:
+                candidates.append(sp)
+        if len(candidates) > max_spans:
+            candidates = sorted(
+                candidates, key=lambda sp: sp.duration, reverse=True
+            )[:max_spans]
+            candidates.sort(key=lambda sp: sp.started)
+        spans = [sp.state() for sp in candidates]
+    if not (counters or histograms or gauges or spans):
+        return None
+    return {
+        "v": DELTA_VERSION,
+        "counters": counters,
+        "histograms": histograms,
+        "gauges": gauges,
+        "spans": spans,
+    }
+
+
+def merge_telemetry(
+    ob,
+    delta: Optional[dict],
+    *,
+    worker_label: str,
+    parent_span_id: Optional[int] = None,
+) -> None:
+    """Fold one worker's :func:`telemetry_delta` into the live plane *ob*.
+
+    Every merged series gains a ``worker=<worker_label>`` label so the
+    parent's own measurements and each worker's stay distinguishable
+    (sum across the label for totals, as the parity tests do).  Shipped
+    spans are grafted under *parent_span_id* — normally the in-flight
+    ``engine.execute`` span of the dispatching batch.
+    """
+    if not delta:
+        return
+    if delta.get("v") != DELTA_VERSION:
+        raise ValueError(f"unknown telemetry delta version: {delta.get('v')!r}")
+    reg = ob.registry
+    worker = str(worker_label)
+    for name, labels, value in delta.get("counters", ()):
+        reg.counter(
+            name, labels={**dict(labels), "worker": worker}
+        ).inc(int(value))
+    for name, labels, buckets, counts, sum_, count in delta.get(
+        "histograms", ()
+    ):
+        reg.histogram(
+            name,
+            buckets=buckets,
+            labels={**dict(labels), "worker": worker},
+        ).merge_counts(counts, sum_, count)
+    for name, labels, value in delta.get("gauges", ()):
+        reg.gauge(
+            name, labels={**dict(labels), "worker": worker}
+        ).set(value)
+    if delta.get("spans"):
+        ob.recorder.adopt(delta["spans"], parent_id=parent_span_id)
+    from repro.obs import WORKER_MERGES  # local import: avoid cycle
+
+    reg.counter(
+        WORKER_MERGES,
+        labels={"worker": worker},
+        help="Worker telemetry deltas merged into the parent registry.",
+    ).inc()

@@ -1,0 +1,257 @@
+"""Service-level objectives over the observability plane.
+
+An :class:`SLObjective` states the promise ("p99 of server-side request
+latency stays under 50 ms, with at most 1 % of requests over budget");
+an :class:`SLOTracker` evaluates a set of them against the metric
+histograms the plane already collects — no extra instrumentation in the
+request path — and surfaces three things:
+
+* ``repro_slo_*`` **series** in the live registry (published quantile,
+  target, and error-budget burn rate per objective), so the Prometheus
+  and JSON exporters carry the SLO verdicts next to the raw data;
+* a **burn rate**: the fraction of requests over the latency target
+  divided by the budgeted fraction.  Burn 1.0 means spending the error
+  budget exactly as fast as allowed; 2.0 means the budget is gone in
+  half the window — the standard multi-window alert signal;
+* a bounded **structured violation log** (one dict per evaluation that
+  found an objective violating, with the numbers that mattered), plus
+  :func:`slow_requests` pulling the slow ``net.request`` spans straight
+  from the recorder's slow log for the "which requests, exactly?"
+  follow-up.
+
+Evaluation is pure over a metrics snapshot (testable without a live
+plane); :meth:`SLOTracker.observe` is the live wrapper that snapshots,
+evaluates and publishes in one call.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.export import _hist_quantile
+
+__all__ = [
+    "SLObjective",
+    "SLOTracker",
+    "merge_histogram_entries",
+    "slow_requests",
+]
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One latency promise evaluated from an existing histogram."""
+
+    name: str = "request-latency"
+    #: Histogram series the objective is computed from (summed across
+    #: its label sets, e.g. all ``status`` values of net requests).
+    metric: str = "repro_net_request_seconds"
+    #: Latency quantile published for dashboards (p99 by default).
+    quantile: float = 0.99
+    #: The latency target in seconds.
+    target_s: float = 0.050
+    #: Budgeted fraction of requests allowed over the target.
+    error_budget: float = 0.01
+
+    def __post_init__(self):
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must lie in (0, 1)")
+        if self.target_s <= 0:
+            raise ValueError("target_s must be positive")
+        if not 0.0 < self.error_budget < 1.0:
+            raise ValueError("error_budget must lie in (0, 1)")
+
+
+def merge_histogram_entries(entries: Sequence[dict]) -> Optional[dict]:
+    """Sum same-bucket histogram snapshot entries into one entry.
+
+    The plane records one histogram per label set (``status``,
+    ``worker``...); an SLO is about *all* requests, so the bucket
+    counts are added element-wise.  Entries with mismatched bounds are
+    skipped (cannot be summed meaningfully).
+    """
+    merged: Optional[dict] = None
+    for entry in entries:
+        if merged is None:
+            merged = {
+                "name": entry["name"],
+                "labels": {},
+                "buckets": list(entry["buckets"]),
+                "counts": list(entry["counts"]),
+                "sum": float(entry["sum"]),
+                "count": int(entry["count"]),
+            }
+            continue
+        if list(entry["buckets"]) != merged["buckets"]:
+            continue
+        merged["counts"] = [
+            a + b for a, b in zip(merged["counts"], entry["counts"])
+        ]
+        merged["sum"] += float(entry["sum"])
+        merged["count"] += int(entry["count"])
+    return merged
+
+
+def _fraction_over(entry: dict, target_s: float) -> float:
+    """Fraction of observations above *target_s* (bucket-interpolated)."""
+    total = entry["count"]
+    if not total:
+        return 0.0
+    below = 0.0
+    lower = 0.0
+    bounds = entry["buckets"]
+    for pos, count in enumerate(entry["counts"]):
+        upper = bounds[pos] if pos < len(bounds) else float("inf")
+        if target_s >= upper:
+            below += count
+        elif target_s > lower and upper != float("inf"):
+            below += count * (target_s - lower) / (upper - lower)
+        elif target_s > lower:
+            below += count  # target beyond the last finite bound
+        lower = upper
+    return max(0.0, min(1.0, (total - below) / total))
+
+
+class SLOTracker:
+    """Evaluate objectives against snapshots; publish ``repro_slo_*``.
+
+    Parameters
+    ----------
+    objectives:
+        The promises to track.
+    log_capacity:
+        Bound of the structured violation log.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[SLObjective] = (SLObjective(),),
+        *,
+        log_capacity: int = 256,
+    ):
+        if not objectives:
+            raise ValueError("need at least one objective")
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"objective names must be unique: {names}")
+        self.objectives = tuple(objectives)
+        self._violations: deque = deque(maxlen=int(log_capacity))
+
+    # ------------------------------------------------------------------ #
+    # pure evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, metrics: dict) -> List[dict]:
+        """Evaluate every objective over a registry snapshot.
+
+        *metrics* is ``MetricsRegistry.snapshot()`` output (or the
+        ``"metrics"`` section of an exporter snapshot).  Returns one
+        result dict per objective: ``{"slo", "metric", "count",
+        "quantile", "value", "target_s", "violating_fraction",
+        "burn_rate", "ok"}`` — ``value`` is None with no data yet.
+        """
+        by_name: Dict[str, List[dict]] = {}
+        for entry in metrics.get("histograms", ()):
+            by_name.setdefault(entry["name"], []).append(entry)
+        results = []
+        for obj in self.objectives:
+            merged = merge_histogram_entries(by_name.get(obj.metric, ()))
+            if merged is None or not merged["count"]:
+                results.append(
+                    {
+                        "slo": obj.name,
+                        "metric": obj.metric,
+                        "count": 0,
+                        "quantile": obj.quantile,
+                        "value": None,
+                        "target_s": obj.target_s,
+                        "violating_fraction": 0.0,
+                        "burn_rate": 0.0,
+                        "ok": True,
+                    }
+                )
+                continue
+            value = _hist_quantile(merged, obj.quantile)
+            over = _fraction_over(merged, obj.target_s)
+            burn = over / obj.error_budget
+            results.append(
+                {
+                    "slo": obj.name,
+                    "metric": obj.metric,
+                    "count": merged["count"],
+                    "quantile": obj.quantile,
+                    "value": value,
+                    "target_s": obj.target_s,
+                    "violating_fraction": over,
+                    "burn_rate": burn,
+                    "ok": burn <= 1.0,
+                }
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # live plane integration
+    # ------------------------------------------------------------------ #
+
+    def observe(self, ob, *, now: Optional[float] = None) -> List[dict]:
+        """Snapshot the live plane *ob*, evaluate, publish, log.
+
+        Publishes per-objective gauges (quantile value, target, burn
+        rate) and bumps ``repro_slo_violations_total`` for objectives
+        found violating; violating evaluations are appended to the
+        structured log (:meth:`violations`).
+        """
+        from repro import obs as obs_mod
+
+        results = self.evaluate(ob.registry.snapshot())
+        reg = ob.registry
+        for res in results:
+            labels = {"slo": res["slo"]}
+            if res["value"] is not None:
+                reg.gauge(
+                    obs_mod.SLO_LATENCY_QUANTILE,
+                    labels={**labels, "quantile": res["quantile"]},
+                    help="Published latency quantile per objective.",
+                ).set(res["value"])
+            reg.gauge(
+                obs_mod.SLO_LATENCY_TARGET,
+                labels=labels,
+                help="Latency target per objective.",
+            ).set(res["target_s"])
+            reg.gauge(
+                obs_mod.SLO_BURN_RATE,
+                labels=labels,
+                help="Error-budget burn rate (1.0 = spending exactly "
+                "the budget).",
+            ).set(res["burn_rate"])
+            if not res["ok"]:
+                reg.counter(
+                    obs_mod.SLO_VIOLATIONS,
+                    labels=labels,
+                    help="Evaluations that found the objective violating.",
+                ).inc()
+                self._violations.append(
+                    {
+                        "at": now if now is not None else time.time(),
+                        **res,
+                    }
+                )
+        return results
+
+    def violations(self) -> List[dict]:
+        """The structured violation log, oldest first."""
+        return list(self._violations)
+
+
+def slow_requests(ob, *, limit: int = 32) -> List[dict]:
+    """The slowest-request log: slow ``net.request`` spans, newest last.
+
+    Each entry is the span's state dict (tenant, status, query range and
+    trace id all live in ``attrs``), pulled from the recorder's bounded
+    slow log — the per-request complement to the aggregate burn rate.
+    """
+    slow = [sp.state() for sp in ob.recorder.slow() if sp.name == "net.request"]
+    return slow[-int(limit):]

@@ -20,11 +20,12 @@ Two derived products make the spans operational:
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
 
@@ -35,9 +36,29 @@ SPAN_LATENCY_METRIC = "repro_span_seconds"
 
 
 class Span:
-    """One finished (or in-flight) span."""
+    """One finished (or in-flight) span.
 
-    __slots__ = ("name", "span_id", "parent_id", "started", "duration", "attrs")
+    ``trace_ids`` is the (possibly empty) tuple of request trace ids the
+    span belongs to — a batch-grained span (one flush answers many
+    requests) is a member of every sampled trace in its batch.  ``pid``
+    and ``thread`` identify the recording process/thread: entries from
+    forked pool workers (which inherit the parent recorder under the
+    ``fork`` start method) and spans adopted from worker telemetry carry
+    the *worker's* pid, so ring and slow-log entries from different
+    processes never interleave anonymously.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "started",
+        "duration",
+        "attrs",
+        "trace_ids",
+        "pid",
+        "thread",
+    )
 
     def __init__(
         self,
@@ -47,6 +68,9 @@ class Span:
         started: float,
         duration: float,
         attrs: Dict[str, object],
+        trace_ids: Tuple[int, ...] = (),
+        pid: Optional[int] = None,
+        thread: Optional[str] = None,
     ):
         self.name = name
         self.span_id = span_id
@@ -54,6 +78,9 @@ class Span:
         self.started = started
         self.duration = duration
         self.attrs = attrs
+        self.trace_ids = trace_ids
+        self.pid = pid
+        self.thread = thread
 
     def state(self) -> dict:
         """JSON-able view."""
@@ -64,6 +91,9 @@ class Span:
             "started": self.started,
             "duration": self.duration,
             "attrs": dict(self.attrs),
+            "trace_ids": list(self.trace_ids),
+            "pid": self.pid,
+            "thread": self.thread,
         }
 
     def __repr__(self) -> str:
@@ -138,6 +168,34 @@ class SpanRecorder:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def allocate_span_id(self) -> int:
+        """Reserve a span id before the span's work runs.
+
+        Lets a layer hand the id to downstream workers as their remote
+        parent (via :class:`~repro.obs.tracecontext.TraceContext`) and
+        later record the span itself with ``add(..., span_id=...)`` —
+        the net front end does exactly this for ``net.request``.
+        """
+        return next(self._ids)
+
+    # -- trace scoping ------------------------------------------------- #
+
+    def current_trace_ids(self) -> Tuple[int, ...]:
+        """The trace ids active on this thread (empty tuple when none)."""
+        return getattr(self._local, "traces", ())
+
+    @contextmanager
+    def trace_scope(self, trace_ids: Sequence[int]):
+        """Tag every span this thread records inside the block with
+        *trace_ids* — how the flusher stamps one batch's spans with the
+        trace ids of every sampled request it answers."""
+        prev = getattr(self._local, "traces", ())
+        self._local.traces = tuple(int(t) for t in trace_ids)
+        try:
+            yield
+        finally:
+            self._local.traces = prev
+
     @contextmanager
     def span(self, name: str, **attrs):
         """Open a span; yields the mutable :class:`Span` so callers can
@@ -145,7 +203,15 @@ class SpanRecorder:
         span_id = next(self._ids)
         stack = self._stack()
         parent = stack[-1] if stack else None
-        sp = Span(name, span_id, parent, self._clock(), 0.0, attrs)
+        sp = Span(
+            name,
+            span_id,
+            parent,
+            self._clock(),
+            0.0,
+            attrs,
+            trace_ids=self.current_trace_ids(),
+        )
         stack.append(span_id)
         with self._lock:
             self._started += 1
@@ -166,29 +232,96 @@ class SpanRecorder:
         *,
         attrs: Optional[Dict[str, object]] = None,
         parent_id: Optional[int] = None,
+        span_id: Optional[int] = None,
+        trace_ids: Optional[Sequence[int]] = None,
     ) -> Span:
         """Record an externally timed, already-finished span.
 
         The parent defaults to the innermost open span of the calling
         thread, so ``add`` inside a ``with recorder.span(...)`` block
-        nests naturally.
+        nests naturally.  *span_id* installs an id previously reserved
+        with :meth:`allocate_span_id`; *trace_ids* overrides the
+        thread's active :meth:`trace_scope` (for spans recorded on a
+        different thread than the work they time, e.g. shard sub-batches
+        run on pool threads).
         """
         if parent_id is None:
             parent_id = self.current_span_id()
+        if trace_ids is None:
+            trace_ids = self.current_trace_ids()
         sp = Span(
             name,
-            next(self._ids),
+            span_id if span_id is not None else next(self._ids),
             parent_id,
             self._clock() - duration,
             float(duration),
             attrs or {},
+            trace_ids=tuple(int(t) for t in trace_ids),
         )
         with self._lock:
             self._started += 1
         self._finish(sp)
         return sp
 
+    def adopt(
+        self,
+        states: Iterable[dict],
+        *,
+        parent_id: Optional[int] = None,
+    ) -> List[Span]:
+        """Graft spans shipped from another process into this recorder.
+
+        *states* are :meth:`Span.state` dicts from a worker's recorder
+        (see :mod:`repro.obs.aggregate`).  Every span gets a fresh id
+        from this recorder's counter; parent links *within the shipped
+        set* are remapped to the new ids, and shipped spans whose parent
+        is not in the set are re-parented under *parent_id* (typically
+        the ``engine.execute`` span that dispatched the work).  Worker
+        pid/thread labels, durations, attrs and trace ids are preserved.
+        Adopted spans do **not** re-observe the latency histogram — the
+        worker already counted them, and its histogram deltas merge
+        separately (double-counting would skew the merged series).
+        """
+        states = list(states)
+        id_map: Dict[int, int] = {
+            s["span_id"]: next(self._ids) for s in states
+        }
+        adopted: List[Span] = []
+        for state in states:
+            old_parent = state.get("parent_id")
+            new_parent = id_map.get(old_parent, parent_id)
+            sp = Span(
+                state["name"],
+                id_map[state["span_id"]],
+                new_parent,
+                float(state.get("started", 0.0)),
+                float(state.get("duration", 0.0)),
+                dict(state.get("attrs", {})),
+                trace_ids=tuple(int(t) for t in state.get("trace_ids", ())),
+                pid=state.get("pid"),
+                thread=state.get("thread"),
+            )
+            adopted.append(sp)
+        threshold_of = self.slow_overrides.get
+        with self._lock:
+            for sp in adopted:
+                self._started += 1
+                self._finished += 1
+                if len(self._ring) == self._ring.maxlen:
+                    self._dropped += 1
+                self._ring.append(sp)
+                if sp.duration >= threshold_of(sp.name, self.slow_threshold_s):
+                    self._slow.append(sp)
+        return adopted
+
     def _finish(self, sp: Span) -> None:
+        if sp.pid is None:
+            # Stamp the recording process/thread at finish time: a
+            # forked worker that inherited this recorder stamps its own
+            # pid, which is what keeps its ring/slow-log entries
+            # attributable (the fork-start-method hazard).
+            sp.pid = os.getpid()
+            sp.thread = threading.current_thread().name
         threshold = self.slow_overrides.get(sp.name, self.slow_threshold_s)
         with self._lock:
             self._finished += 1
@@ -225,6 +358,11 @@ class SpanRecorder:
     def children(self, span_id: int) -> List[Span]:
         """Retained spans whose parent is *span_id*."""
         return [sp for sp in self.spans() if sp.parent_id == span_id]
+
+    def trace(self, trace_id: int) -> List[Span]:
+        """Retained spans belonging to *trace_id*, oldest first."""
+        tid = int(trace_id)
+        return [sp for sp in self.spans() if tid in sp.trace_ids]
 
     def summary(self) -> Dict[str, dict]:
         """Per-name aggregate over the retained ring: count / total /

@@ -60,6 +60,9 @@ __all__ = [
 #: Admission policies for a full staging queue.
 BACKPRESSURE_POLICIES = ("block", "reject")
 
+#: Most sampled trace ids one flush propagates onto its spans.
+_TRACE_SCOPE_CAP = 64
+
 
 class ServiceClosedError(RuntimeError):
     """Submitted to (or pending in) a service that has shut down."""
@@ -99,7 +102,9 @@ def _fail_future(future: Future, exc: BaseException) -> bool:
 class _Pending:
     """One staged query and the future its caller holds."""
 
-    __slots__ = ("st", "end", "enqueued_at", "deadline", "deferred", "future")
+    __slots__ = (
+        "st", "end", "enqueued_at", "deadline", "deferred", "future", "trace"
+    )
 
     def __init__(
         self,
@@ -107,6 +112,7 @@ class _Pending:
         end: int,
         enqueued_at: float,
         deadline: Optional[float] = None,
+        trace=None,
     ):
         self.st = st
         self.end = end
@@ -115,6 +121,8 @@ class _Pending:
         self.deadline = deadline
         #: Flushes this query has been passed over by a flush policy.
         self.deferred = 0
+        #: Optional TraceContext from the submitting layer.
+        self.trace = trace
         self.future: Future = Future()
 
 
@@ -266,7 +274,12 @@ class BatchingQueryService:
     # ------------------------------------------------------------------ #
 
     def submit(
-        self, q_st: int, q_end: int, *, deadline: Optional[float] = None
+        self,
+        q_st: int,
+        q_end: int,
+        *,
+        deadline: Optional[float] = None,
+        trace=None,
     ) -> Future:
         """Stage one query; the returned future resolves after its flush.
 
@@ -282,6 +295,11 @@ class BatchingQueryService:
         (deadline propagation — the contract the network front end in
         :mod:`repro.net` relies on).  A deadline already in the past at
         submit time raises :class:`DeadlineExceededError` synchronously.
+
+        *trace* is an optional :class:`~repro.obs.tracecontext.
+        TraceContext`; the sampled traces of a batch scope the flush
+        (every span the flush records carries their trace ids), which is
+        how one wire request stays attributable through batching.
         """
         if q_st > q_end:
             raise ValueError("query must have st <= end")
@@ -303,7 +321,9 @@ class BatchingQueryService:
                 self._has_room.wait()
                 if self._closing:
                     raise ServiceClosedError("service is shut down")
-            item = _Pending(int(q_st), int(q_end), self._clock(), deadline)
+            item = _Pending(
+                int(q_st), int(q_end), self._clock(), deadline, trace
+            )
             self._pending.append(item)
             self.metrics.record_submitted(len(self._pending))
             self._has_work.notify()
@@ -503,10 +523,24 @@ class BatchingQueryService:
         ob = obs.active()
         if ob is None:
             return self._execute_inner(staged, reason, depth, None)
-        with ob.span(
-            "service.flush", reason=reason, batch_size=len(staged)
-        ) as sp:
-            return self._execute_inner(staged, reason, depth, sp)
+        # Scope the flush with the sampled trace ids of the batch: every
+        # span recorded below (flush, engine, strategy, cache) carries
+        # them, which is what stitches one wire request to the batch
+        # that answered it.  Bounded so a huge batch of traced requests
+        # cannot bloat each span.
+        trace_ids: List[int] = []
+        for q in staged:
+            if q.trace is not None and q.trace.sampled:
+                trace_ids.append(q.trace.trace_id)
+                if len(trace_ids) >= _TRACE_SCOPE_CAP:
+                    break
+        with ob.recorder.trace_scope(trace_ids):
+            with ob.span(
+                "service.flush", reason=reason, batch_size=len(staged)
+            ) as sp:
+                if trace_ids:
+                    sp.attrs["traces"] = len(trace_ids)
+                return self._execute_inner(staged, reason, depth, sp)
 
     def _execute_inner(
         self, staged: List[_Pending], reason: str, depth: int, sp

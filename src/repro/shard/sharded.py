@@ -570,15 +570,29 @@ class ShardedHint:
     ) -> BatchResult:
         n = len(batch)
         work, q_st, q_end, jobs = self._route(batch)
+        # Captured on the dispatching thread: shard sub-batches run on
+        # pool threads, outside this thread's trace scope and span
+        # stack, so trace ids and the parent (the open `shard.execute`
+        # span) ride into the closure explicitly.
+        if ob is not None:
+            trace_ids = ob.recorder.current_trace_ids()
+            parent_id = ob.recorder.current_span_id()
 
         def run(job):
             j, j0, j1, spill = job
-            t0 = perf_counter()
-            out = self._run_shard(j, j0, j1, spill, q_st, q_end, strategy, mode)
-            if ob is not None:
-                ob.record_shard_batch(
-                    j, j1 - j0, int(spill.size), perf_counter() - t0
+            if ob is None:
+                return self._run_shard(
+                    j, j0, j1, spill, q_st, q_end, strategy, mode
                 )
+            t0 = perf_counter()
+            with ob.recorder.trace_scope(trace_ids):
+                out = self._run_shard(
+                    j, j0, j1, spill, q_st, q_end, strategy, mode
+                )
+            ob.record_shard_batch(
+                j, j1 - j0, int(spill.size), perf_counter() - t0,
+                trace_ids=trace_ids, parent_id=parent_id,
+            )
             return out
 
         if len(jobs) <= 1 or self.workers == 1:

@@ -1,0 +1,264 @@
+"""Tests for cross-process telemetry aggregation (:mod:`repro.obs.aggregate`).
+
+Covers the delta/merge arithmetic (baseline diffing, per-bucket
+histogram merging, worker labelling, span-shipping policy) and the
+**metrics-parity differential**: the ``processes`` engine backend, after
+worker deltas merge into the parent registry, must report exactly the
+partition touches and query counts the ``serial`` backend reports for
+the same batch — per strategy and per level, summed across worker
+labels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.engine import ExecutionEngine
+from repro.hint.index import HintIndex
+from repro.obs.aggregate import (
+    DELTA_VERSION,
+    capture_baseline,
+    merge_telemetry,
+    telemetry_delta,
+)
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.spans import SpanRecorder
+from tests.conftest import random_batch, random_collection
+
+M = 10
+TOP = (1 << M) - 1
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    obs.configure(enabled=False)
+    yield
+    obs.configure(enabled=False)
+
+
+# --------------------------------------------------------------------- #
+# delta packing
+# --------------------------------------------------------------------- #
+
+
+class TestTelemetryDelta:
+    def test_empty_registry_yields_none(self):
+        assert telemetry_delta(MetricsRegistry()) is None
+
+    def test_counters_and_histograms_packed(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels={"k": "v"}).inc(3)
+        reg.histogram("h_seconds", buckets=LATENCY_BUCKETS).observe(0.01)
+        reg.gauge("g").set(7.5)
+        delta = telemetry_delta(reg)
+        assert delta["v"] == DELTA_VERSION
+        (name, labels, value) = delta["counters"][0]
+        assert (name, dict(labels), value) == ("c_total", {"k": "v"}, 3)
+        (hname, _, buckets, counts, sum_, count) = delta["histograms"][0]
+        assert hname == "h_seconds"
+        assert sum(counts) == 1 and count == 1
+        assert sum_ == pytest.approx(0.01)
+        assert delta["gauges"][0][0] == "g"
+
+    def test_baseline_diffing(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(5)
+        reg.histogram("h_seconds", buckets=LATENCY_BUCKETS).observe(1.0)
+        base = capture_baseline(reg)
+        assert telemetry_delta(reg, base) is None  # nothing new
+        reg.counter("c_total").inc(2)
+        reg.histogram("h_seconds", buckets=LATENCY_BUCKETS).observe(2.0)
+        delta = telemetry_delta(reg, base)
+        assert delta["counters"][0][2] == 2
+        (_, _, _, counts, sum_, count) = delta["histograms"][0]
+        assert count == 1 and sum(counts) == 1
+        assert sum_ == pytest.approx(2.0)
+
+    def test_span_shipping_policy(self):
+        # Ship: member of a sampled trace, or slow, or errored.
+        # Do not ship: fast untraced spans.
+        reg = MetricsRegistry()
+        rec = SpanRecorder(slow_threshold_s=0.5)
+        rec.add("traced", 0.001, trace_ids=(42,))
+        rec.add("slow", 0.9)
+        rec.add("errored", 0.001, attrs={"error": "boom"})
+        rec.add("boring", 0.001)
+        delta = telemetry_delta(reg, recorder=rec, trace_ids=(42,))
+        assert {s["name"] for s in delta["spans"]} == {
+            "traced", "slow", "errored"
+        }
+
+    def test_span_cap_keeps_longest(self):
+        reg = MetricsRegistry()
+        rec = SpanRecorder()
+        for pos in range(10):
+            rec.add(f"s{pos}", pos / 100.0, trace_ids=(1,))
+        delta = telemetry_delta(reg, recorder=rec, trace_ids=(1,), max_spans=3)
+        names = {s["name"] for s in delta["spans"]}
+        assert names == {"s7", "s8", "s9"}  # the three longest survive
+
+
+# --------------------------------------------------------------------- #
+# merging
+# --------------------------------------------------------------------- #
+
+
+class TestMergeTelemetry:
+    def test_merge_labels_and_counts(self):
+        obs.configure(enabled=True)
+        ob = obs.active()
+        worker_reg = MetricsRegistry()
+        worker_reg.counter("w_total", labels={"kind": "x"}).inc(4)
+        worker_reg.histogram("w_seconds", buckets=LATENCY_BUCKETS).observe(0.02)
+        delta = telemetry_delta(worker_reg)
+        merge_telemetry(ob, delta, worker_label="1234")
+        snap = ob.registry.snapshot()
+        (c,) = [e for e in snap["counters"] if e["name"] == "w_total"]
+        assert c["labels"] == {"kind": "x", "worker": "1234"}
+        assert c["value"] == 4
+        (h,) = [e for e in snap["histograms"] if e["name"] == "w_seconds"]
+        assert h["labels"] == {"worker": "1234"}
+        assert h["count"] == 1
+        merges = [
+            e["value"] for e in snap["counters"]
+            if e["name"] == "repro_worker_telemetry_merges_total"
+        ]
+        assert merges == [1]
+
+    def test_merge_is_additive_across_calls(self):
+        obs.configure(enabled=True)
+        ob = obs.active()
+        reg = MetricsRegistry()
+        reg.counter("w_total").inc(3)
+        delta = telemetry_delta(reg)
+        merge_telemetry(ob, delta, worker_label="9")
+        merge_telemetry(ob, delta, worker_label="9")
+        (c,) = [
+            e for e in ob.registry.snapshot()["counters"]
+            if e["name"] == "w_total"
+        ]
+        assert c["value"] == 6
+
+    def test_none_delta_is_noop(self):
+        obs.configure(enabled=True)
+        ob = obs.active()
+        merge_telemetry(ob, None, worker_label="1")
+        assert not [
+            e for e in ob.registry.snapshot()["counters"]
+            if e["name"] == "repro_worker_telemetry_merges_total"
+        ]
+
+    def test_unknown_version_rejected(self):
+        obs.configure(enabled=True)
+        with pytest.raises(ValueError, match="delta version"):
+            merge_telemetry(
+                obs.active(), {"v": 999}, worker_label="1"
+            )
+
+    def test_spans_grafted_under_parent(self):
+        obs.configure(enabled=True)
+        ob = obs.active()
+        worker = SpanRecorder()
+        with worker.trace_scope((7,)):
+            with worker.span("strategy.batch"):
+                pass
+        delta = telemetry_delta(
+            MetricsRegistry(),
+            recorder=worker,
+            trace_ids=(7,),
+        )
+        with ob.span("engine.execute"):
+            anchor = ob.recorder.current_span_id()
+            merge_telemetry(
+                ob, delta, worker_label="1", parent_span_id=anchor
+            )
+        (adopted,) = ob.recorder.spans("strategy.batch")
+        assert adopted.parent_id == anchor
+        assert adopted.trace_ids == (7,)
+
+
+class TestHistogramMergeCounts:
+    def test_mismatched_buckets_rejected(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=LATENCY_BUCKETS)
+        with pytest.raises(ValueError):
+            h.merge_counts([1, 2], 0.5, 3)
+
+    def test_negative_rejected(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=LATENCY_BUCKETS)
+        n = len(LATENCY_BUCKETS) + 1
+        with pytest.raises(ValueError):
+            h.merge_counts([-1] + [0] * (n - 1), 0.0, 0)
+
+
+# --------------------------------------------------------------------- #
+# serial vs processes metrics parity
+# --------------------------------------------------------------------- #
+
+
+def _counter_sums(snapshot, name, *, drop=("worker",)):
+    """Counter totals by label set, ignoring the ``worker`` label."""
+    out = {}
+    for entry in snapshot["counters"]:
+        if entry["name"] != name:
+            continue
+        key = tuple(
+            sorted(
+                (k, v) for k, v in entry["labels"].items() if k not in drop
+            )
+        )
+        out[key] = out.get(key, 0) + entry["value"]
+    return out
+
+
+class TestProcessesParity:
+    def test_partition_touches_and_query_counters_match_serial(self, rng):
+        coll = random_collection(rng, 4_000, TOP)
+        index = HintIndex(coll, m=M)
+        batch = random_batch(rng, 600, TOP)
+
+        def run(backend):
+            obs.configure(enabled=True)
+            ob = obs.active()
+            with ExecutionEngine(index, backend=backend, workers=2) as eng:
+                result = eng.execute(batch, mode="count")
+            snap = ob.registry.snapshot()
+            obs.configure(enabled=False)
+            return result, snap
+
+        serial_result, serial_snap = run("serial")
+        proc_result, proc_snap = run("processes")
+        assert proc_result == serial_result
+
+        # Partition touches per (strategy, level) must agree exactly
+        # once worker-labelled series are summed: the work metric is
+        # invariant under where the work ran.
+        touches = "repro_strategy_partition_touches_total"
+        assert _counter_sums(proc_snap, touches) == _counter_sums(
+            serial_snap, touches
+        )
+        # Same for query counts at the strategy and engine layers.
+        queries = "repro_strategy_queries_total"
+        assert _counter_sums(proc_snap, queries) == _counter_sums(
+            serial_snap, queries
+        )
+        engine_q = _counter_sums(proc_snap, "repro_engine_queries_total",
+                                 drop=("worker", "backend"))
+        assert engine_q == _counter_sums(
+            serial_snap, "repro_engine_queries_total",
+            drop=("worker", "backend"),
+        )
+        # The processes run must actually have merged worker telemetry
+        # (otherwise the parity above would be vacuous).
+        merges = _counter_sums(
+            proc_snap, "repro_worker_telemetry_merges_total"
+        )
+        assert sum(merges.values()) >= 1
+        workers = {
+            entry["labels"]["worker"]
+            for entry in proc_snap["counters"]
+            if entry["name"] == touches and "worker" in entry["labels"]
+        }
+        assert workers  # touches came from worker-labelled series

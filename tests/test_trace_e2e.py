@@ -1,0 +1,149 @@
+"""End-to-end distributed tracing over a real socket.
+
+The contract under test: a client-chosen ``trace_id`` sent in a
+protocol-v2 QUERY frame must reappear on the spans of **every** layer it
+crosses — ``net.request`` (event loop), ``service.flush`` (flusher
+thread), ``engine.execute`` (dispatch), and, with the ``processes``
+backend, the worker-side ``strategy.batch`` spans shipped back and
+adopted — and those spans must reconstruct into one parented tree.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.engine import ExecutionEngine
+from repro.hint.index import HintIndex
+from repro.net import QueryClient, TraceContext, new_trace_id, serve_in_thread
+from repro.obs.tracecontext import build_trace_tree, format_trace_id
+from repro.service import BatchingQueryService
+from tests.conftest import random_collection
+
+M = 10
+TOP = (1 << M) - 1
+LAYERS = ("net.request", "service.flush", "engine.execute", "strategy.batch")
+
+
+@pytest.fixture(autouse=True)
+def _obs_reset():
+    obs.configure(enabled=False)
+    yield
+    obs.configure(enabled=False)
+
+
+def _serve_traced_burst(backend, requests, *, sampled=True, workers=2):
+    """Run *requests* traced queries over a socket; return (ob, trace_ids)."""
+    rng = np.random.default_rng(11)
+    coll = random_collection(rng, 5_000, TOP)
+    ob = obs.configure(enabled=True)
+    engine = ExecutionEngine(
+        HintIndex(coll, m=M), backend=backend, workers=workers
+    )
+    service = BatchingQueryService(
+        engine, mode="count", max_batch=4, max_delay_ms=2.0
+    )
+    handle = serve_in_thread(service, owns_service=True)
+    id_rng = random.Random(11)
+    trace_ids = []
+    try:
+        with QueryClient(handle.host, handle.port) as client:
+            for _ in range(requests):
+                tid = new_trace_id(id_rng)
+                trace_ids.append(tid)
+                a = int(rng.integers(0, TOP))
+                b = min(a + int(rng.integers(1, 300)), TOP)
+                client.query(
+                    a, b, trace=TraceContext(tid, sampled=sampled)
+                )
+    finally:
+        handle.close()
+        engine.close()
+    return ob, trace_ids
+
+
+def _layers_and_pids(states, tid):
+    tree = build_trace_tree(states, tid)
+    assert tree is not None, f"trace {format_trace_id(tid)} has no spans"
+    names, pids = set(), set()
+
+    def walk(node):
+        names.add(node["name"])
+        if node.get("pid") is not None:
+            pids.add(node["pid"])
+        for child in node.get("children", ()):
+            walk(child)
+
+    walk(tree)
+    return tree, names, pids
+
+
+class TestTraceEndToEnd:
+    def test_every_layer_tagged_processes_backend(self):
+        ob, trace_ids = _serve_traced_burst("processes", 10)
+        states = [sp.state() for sp in ob.recorder.spans()]
+        for tid in trace_ids:
+            tree, names, pids = _layers_and_pids(states, tid)
+            assert tree["name"] == "net.request"
+            missing = [layer for layer in LAYERS if layer not in names]
+            assert not missing, (
+                f"trace {format_trace_id(tid)} is missing layers {missing}"
+            )
+            # Worker-side spans really came from another process.
+            assert pids - {os.getpid()}, (
+                f"trace {format_trace_id(tid)} never crossed a process "
+                "boundary"
+            )
+            # The hex trace id is also stamped on the request span.
+            assert tree["attrs"]["trace_id"] == format_trace_id(tid)
+
+    def test_every_layer_tagged_threads_backend(self):
+        ob, trace_ids = _serve_traced_burst("threads", 6)
+        states = [sp.state() for sp in ob.recorder.spans()]
+        for tid in trace_ids:
+            tree, names, _ = _layers_and_pids(states, tid)
+            assert tree["name"] == "net.request"
+            assert all(layer in names for layer in LAYERS)
+
+    def test_unsampled_traces_stop_at_the_request_span(self):
+        # sampled=False: the request span is still recorded and tagged
+        # (so the request count and latency stay truthful), but the
+        # trace id does not propagate into the flush scope and workers
+        # ship no span states for it — sampling caps the trace cost at
+        # one span.
+        ob, trace_ids = _serve_traced_burst(
+            "processes", 6, sampled=False
+        )
+        states = [sp.state() for sp in ob.recorder.spans()]
+        for tid in trace_ids:
+            tree, names, pids = _layers_and_pids(states, tid)
+            assert names == {"net.request"}
+            assert pids <= {os.getpid()}
+            assert tree["attrs"]["sampled"] is False
+
+    def test_server_generates_trace_for_untraced_clients(self):
+        # No client trace context: the server mints one per request so
+        # every request is still reconstructable.
+        rng = np.random.default_rng(13)
+        coll = random_collection(rng, 3_000, TOP)
+        ob = obs.configure(enabled=True)
+        service = BatchingQueryService(
+            HintIndex(coll, m=M), mode="count", max_batch=4, max_delay_ms=2.0
+        )
+        handle = serve_in_thread(service, owns_service=True)
+        try:
+            with QueryClient(handle.host, handle.port) as client:
+                for _ in range(4):
+                    client.query(5, 100)
+        finally:
+            handle.close()
+        requests = ob.recorder.spans("net.request")
+        assert len(requests) == 4
+        tids = {sp.attrs["trace_id"] for sp in requests}
+        assert len(tids) == 4  # one fresh trace per request
+        for sp in requests:
+            assert sp.trace_ids  # the span itself is a trace member
