@@ -6,7 +6,7 @@
 
 PYENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test verify bench bench-service obs-smoke trace-smoke shard-smoke engine-smoke cache-smoke serve-smoke bench-shard bench-engine bench-cache bench-serve bench-obs experiments examples serve-sim clean
+.PHONY: install test verify bench bench-service obs-smoke trace-smoke shard-smoke engine-smoke kernel-smoke cache-smoke serve-smoke bench-shard bench-engine bench-kernels bench-cache bench-serve bench-obs experiments examples serve-sim clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -54,6 +54,13 @@ engine-smoke:
 	segs = f(); \
 	raise SystemExit(f'leaked shared-memory segments: {segs}' if segs else 0)"
 
+# Kernel smoke: the compiled-kernel unit + differential suite — the
+# JIT backend (when numba is importable) and the NumPy fallback must be
+# result-identical across strategies, modes and index kinds
+# (docs/kernels.md).
+kernel-smoke:
+	$(PYENV) python -m pytest -x -q tests/test_kernels.py
+
 # Cache smoke: a reduced differential sweep of the caching executor
 # (cached == uncached for every backend × strategy × mode) plus the
 # stateful machine covering live mutation, eviction and the
@@ -76,11 +83,16 @@ serve-smoke:
 bench-shard:
 	$(PYENV) python benchmarks/bench_shard_scaling.py --out results/shard-scaling.csv
 
-# Execution-backend scaling sweep (serial/threads/processes/auto ×
-# strategy × mode × workers) + arena pack/attach amortization; records
-# results/process-scaling.csv (uploaded as a CI artifact).
+# Execution-backend scaling sweep (serial/threads/processes/compiled/
+# threads+compiled/auto × strategy × mode × workers) + arena
+# pack/attach amortization; records results/process-scaling.csv
+# (uploaded as a CI artifact).
 bench-engine:
 	$(PYENV) python benchmarks/bench_process_scaling.py --out results/process-scaling.csv
+
+# Alias focused on the compiled-kernel rows of the same sweep — the
+# bench-kernels CI job uploads the extended CSV (docs/kernels.md).
+bench-kernels: bench-engine
 
 # Result-cache hit-rate/throughput sweep over Zipfian query streams;
 # records results/cache.csv (uploaded as a CI artifact).

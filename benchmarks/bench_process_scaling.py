@@ -1,11 +1,18 @@
 """Backend scaling of :class:`repro.engine.ExecutionEngine`.
 
 Sweeps the execution backends (``serial`` / ``threads`` / ``processes``
-/ ``auto``) over worker counts, strategies, and result modes on the
-repository's default synthetic workload, and separately measures the
-shared-memory arena's one-time costs (pack in the parent, attach in a
-worker) so their amortization over batches is visible next to the
-steady-state numbers.
+/ ``compiled`` / ``threads+compiled`` / ``auto``) over worker counts,
+strategies, and result modes on the repository's default synthetic
+workload, and separately measures the shared-memory arena's one-time
+costs (pack in the parent, attach in a worker) so their amortization
+over batches is visible next to the steady-state numbers.
+
+The compiled rows also record which kernel backend served them
+(``kernel_backend`` column): ``numba`` for the JIT, ``numpy`` for the
+behaviour-identical fallback.  On a fallback-only host the compiled
+rows measure the plan-then-gather pipeline without nogil code — the
+threads+compiled vs processes comparison on GIL-bound (ids-mode) work
+is only meaningful with the JIT present and ``cpu_count`` > 1.
 
 Run standalone to (re)record ``results/process-scaling.csv``::
 
@@ -59,6 +66,7 @@ FIELDS = (
     "arena_pack_ms",
     "arena_attach_ms",
     "arena_amortize_batches",
+    "kernel_backend",
 )
 
 
@@ -101,6 +109,7 @@ def _measure_arena(index, reps: int) -> dict:
 def run(args) -> list:
     from repro import HintIndex
     from repro.engine import ExecutionEngine
+    from repro.kernels import ops as kernel_ops
 
     from repro.workloads import generate_synthetic
     from repro.workloads.queries import data_following_queries
@@ -114,10 +123,14 @@ def run(args) -> list:
     index = HintIndex(coll, m=args.m, precompute_aux=True)
     cpus = os.cpu_count() or 1
     arena_info = _measure_arena(index, args.reps)
+    kernel_backend = kernel_ops.kernel_backend()
+    kernel_ops.warmup()  # JIT compile outside the timed region
     print(
         f"arena: {arena_info['arena_bytes'] / 1e6:.1f} MB, "
         f"pack {arena_info['arena_pack_ms']:.1f} ms, "
-        f"attach {arena_info['arena_attach_ms']:.2f} ms  (cpu_count={cpus})"
+        f"attach {arena_info['arena_attach_ms']:.2f} ms  (cpu_count={cpus}, "
+        f"kernels={kernel_backend}, "
+        f"compile {kernel_ops.compile_seconds() * 1e3:.0f} ms)"
     )
 
     rows = []
@@ -135,6 +148,7 @@ def run(args) -> list:
                 "arena_pack_ms": "",
                 "arena_attach_ms": "",
                 "arena_amortize_batches": "",
+                "kernel_backend": "",
             }
             with ExecutionEngine(index, backend="serial") as engine:
                 t_serial = _median_seconds(
@@ -152,10 +166,19 @@ def run(args) -> list:
                 )
             )
             print(f"{strategy:>17}/{mode:<8} serial        {t_serial * 1e3:8.1f} ms")
-            for backend in ("threads", "processes", "auto"):
+            for backend in (
+                "threads",
+                "processes",
+                "compiled",
+                "threads+compiled",
+                "auto",
+            ):
                 for workers in args.workers:
-                    if backend == "auto" and workers != args.workers[0]:
-                        continue  # auto picks its own parallelism; one row
+                    if (
+                        backend in ("auto", "compiled")
+                        and workers != args.workers[0]
+                    ):
+                        continue  # workerless backends; one row each
                     with ExecutionEngine(
                         index, backend=backend, workers=workers
                     ) as engine:
@@ -168,11 +191,13 @@ def run(args) -> list:
                     row = dict(
                         base,
                         backend=backend,
-                        workers=workers,
+                        workers="" if backend == "compiled" else workers,
                         median_ms=round(t * 1e3, 3),
                         throughput_qps=round(len(batch) / t),
                         speedup_vs_serial=round(t_serial / t, 3),
                     )
+                    if "compiled" in backend:
+                        row["kernel_backend"] = kernel_backend
                     if backend == "processes":
                         # batches needed before the one-time pack+attach
                         # overhead is recouped (only meaningful when the

@@ -35,8 +35,13 @@ The package provides:
 * :mod:`repro.engine` — :class:`~repro.engine.ExecutionEngine`, the
   process-parallel execution engine: the built index packed once into
   a shared-memory arena, persistent worker processes attaching
-  zero-copy views, serial/threads/processes/auto backends behind the
-  same ``execute`` surface (see ``docs/parallelism.md``);
+  zero-copy views, serial/threads/processes/compiled/auto backends
+  behind the same ``execute`` surface (see ``docs/parallelism.md``);
+* :mod:`repro.kernels` — compiled hot-path kernels for the GIL-bound
+  inner loops (Numba JIT as the optional ``compiled`` extra, with a
+  behaviour-identical pure-NumPy fallback selected at import time),
+  behind :func:`~repro.kernels.compiled.compiled_run` — the same
+  ``run_strategy`` contract (see ``docs/kernels.md``);
 * :mod:`repro.cache` — :class:`~repro.cache.CachingExecutor`, the live
   result/partition cache in front of any backend (LRU byte budget,
   never-stale invalidation against :class:`~repro.hint.DynamicHint`

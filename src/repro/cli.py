@@ -958,7 +958,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--backend",
         default=None,
-        choices=("serial", "threads", "processes", "auto"),
+        choices=("serial", "threads", "processes", "compiled", "threads+compiled", "auto"),
         help="wrap the index in an ExecutionEngine with this backend "
         "(default: install the index directly)",
     )
@@ -1008,7 +1008,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--backend",
         default=None,
-        choices=("serial", "threads", "processes", "auto"),
+        choices=("serial", "threads", "processes", "compiled", "threads+compiled", "auto"),
         help="wrap the index in an ExecutionEngine with this backend",
     )
     p_srv.add_argument(
@@ -1156,7 +1156,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--backend",
         default="threads",
-        choices=("serial", "threads", "processes", "auto"),
+        choices=("serial", "threads", "processes", "compiled", "threads+compiled", "auto"),
         help="engine backend of the burst (processes exercises "
         "cross-process trace aggregation)",
     )
@@ -1256,7 +1256,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument(
         "--backend",
         default=None,
-        choices=("serial", "threads", "processes", "auto"),
+        choices=("serial", "threads", "processes", "compiled", "threads+compiled", "auto"),
         help="run the sharded side through an ExecutionEngine with this "
         "backend (default: the index's own thread pool)",
     )

@@ -75,12 +75,31 @@ class IdCollector:
             self._fragments[pos].append(ids)
 
     def finalize(self, order: np.ndarray) -> BatchResult:
+        # One flat ids array + offsets, built in a single pass over the
+        # fragment lists — the same layout the compiled kernels and the
+        # worker wire format use.  The per-query arrays are views into
+        # it, so the whole result costs one allocation and one C-level
+        # copy instead of a Python-level concatenate per query.
         n = len(self._fragments)
-        ids: List[np.ndarray] = [_EMPTY] * n
+        sizes = np.zeros(n, dtype=np.int64)
         for pos, frags in enumerate(self._fragments):
-            if frags:
-                ids[int(order[pos])] = np.concatenate(frags)
-        counts = np.array([arr.size for arr in ids], dtype=np.int64)
+            total = 0
+            for frag in frags:
+                total += frag.size
+            sizes[pos] = total
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        flat = np.empty(int(offsets[-1]), dtype=np.int64)
+        cursor = 0
+        for frags in self._fragments:
+            for frag in frags:
+                flat[cursor : cursor + frag.size] = frag
+                cursor += frag.size
+        counts = np.empty(n, dtype=np.int64)
+        counts[order] = sizes
+        ids: List[np.ndarray] = [_EMPTY] * n
+        for pos in range(n):
+            ids[int(order[pos])] = flat[offsets[pos] : offsets[pos + 1]]
         return BatchResult(counts, ids)
 
 

@@ -72,6 +72,7 @@ def parallel_batch(
     workers: Optional[int] = None,
     mode: str = "count",
     executor: Optional[ThreadPoolExecutor] = None,
+    runner=None,
 ) -> BatchResult:
     """Evaluate a batch with *strategy*, parallelized over *workers* threads.
 
@@ -95,6 +96,12 @@ def parallel_batch(
     executor:
         Optional externally managed pool (reused across calls); when
         omitted, a pool is created per call.
+    runner:
+        Optional ``run_strategy``-shaped callable
+        (``runner(strategy, index, sub, mode=...)``) evaluating each
+        chunk instead of the sequential strategy function — the hook
+        the ``threads+compiled`` engine backend uses to route chunks
+        through :func:`repro.kernels.compiled.compiled_run`.
     """
     workers = resolve_workers(workers)
     try:
@@ -104,6 +111,12 @@ def parallel_batch(
             f"unknown strategy {strategy!r}; available: {sorted(STRATEGIES)}"
         ) from None
     fn = spec["fn"]
+    if runner is None:
+        def run_fn(idx, sub):
+            return fn(idx, sub, sort=True, mode=mode)
+    else:
+        def run_fn(idx, sub):
+            return runner(strategy, idx, sub, mode=mode)
 
     work = batch.sorted_by_start()
     n = len(work)
@@ -114,7 +127,7 @@ def parallel_batch(
         return BatchResult.empty(mode)
     slices = _chunks(n, workers)
     if len(slices) == 1:
-        return fn(index, batch, sort=True, mode=mode)
+        return run_fn(index, batch)
 
     ob = obs.active()
     if ob is not None:
@@ -128,14 +141,14 @@ def parallel_batch(
         worker, sl = job
         sub = QueryBatch(work.st[sl], work.end[sl])
         if ob is None:
-            return fn(index, sub, sort=True, mode=mode)
+            return run_fn(index, sub)
         # Per-worker timing: each chunk is a `parallel.chunk` span and a
         # sample of the chunk-latency histogram, so skew between workers
         # (the straggler that bounds the whole flush) is visible live.
         t0 = perf_counter()
         try:
             with ob.recorder.trace_scope(trace_ids):
-                return fn(index, sub, sort=True, mode=mode)
+                return run_fn(index, sub)
         finally:
             ob.record_parallel_chunk(
                 strategy, worker, len(sub), perf_counter() - t0,

@@ -47,6 +47,7 @@ __all__ = [
     "query_based",
     "level_based",
     "partition_based",
+    "partition_level_sweep",
     "run_strategy",
     "STRATEGIES",
 ]
@@ -546,11 +547,28 @@ def _bulk_masked_end_geq(
 
 class _VectorAccumulator:
     """Counts (+ optional range XOR) accumulator for the vectorized
-    partition-based paths."""
+    partition-based paths.
+
+    Also the reference implementation of the accumulator protocol
+    :func:`partition_level_sweep` drives: ``prefix_range`` /
+    ``suffix_range`` answer the packed-column probes, ``add_ranges``
+    registers comparison-free row ranges and ``add_masked_ranges`` the
+    ``end >= q.st``-filtered ones.  The compiled backend
+    (:mod:`repro.kernels.compiled`) substitutes kernel-backed
+    accumulators behind the same protocol.
+    """
 
     def __init__(self, n: int, with_checksum: bool):
         self.counts = np.zeros(n, dtype=np.int64)
         self.sums = np.zeros(n, dtype=np.int64) if with_checksum else None
+
+    def prefix_range(self, table: SubdivisionTable, parts, values):
+        """Row range of each partition's prefix with key <= value."""
+        return _bulk_prefix_range(table, parts, values)
+
+    def suffix_range(self, table: SubdivisionTable, parts, values):
+        """Row range of each partition's suffix with key >= value."""
+        return _bulk_suffix_range(table, parts, values)
 
     def add_ranges(self, sel, table: SubdivisionTable, lo, hi) -> None:
         """Register row ranges ``[lo[i], hi[i])`` of *table* for queries
@@ -559,6 +577,14 @@ class _VectorAccumulator:
         if self.sums is not None:
             xp = table.xor_prefix
             self.sums[sel] ^= xp[hi] ^ xp[lo]
+
+    def add_masked_ranges(self, sel, table, lo, hi, thresholds) -> None:
+        """Register the rows of ``[lo[i], hi[i])`` with
+        ``end >= thresholds[i]`` for queries *sel*."""
+        self.add_masked(
+            sel,
+            *_bulk_masked_end_geq(table, lo, hi, thresholds, self.sums is not None),
+        )
 
     def add_masked(self, sel, counts, xors) -> None:
         self.counts[sel] += counts
@@ -575,21 +601,29 @@ class _VectorAccumulator:
         return BatchResult(counts, checksums=sums)
 
 
-def _partition_based_vectorized(
+def partition_level_sweep(
     index: HintIndex,
-    work: QueryBatch,
     q_st: np.ndarray,
     q_end: np.ndarray,
-    mode: str,
+    acc,
     ob=None,
-) -> BatchResult:
-    """Count/checksum partition-based evaluation, fully vectorized per
-    level: every probe class for the whole batch is one ``searchsorted``
-    against the packed ``comp`` column, every comparison-free range one
-    offsets (and prefix-XOR) gather."""
-    n = len(work)
-    acc = _VectorAccumulator(n, with_checksum=(mode == "checksum"))
-    want_xor = mode == "checksum"
+    *,
+    label: str = "partition-based",
+) -> None:
+    """Drive Algorithm 4's per-level relevant-range sweep through an
+    accumulator.
+
+    *q_st*/*q_end* are the clipped, **start-sorted** query bounds (see
+    :func:`_prepare`).  For every level and probe class the sweep asks
+    *acc* for the packed-column cuts (``prefix_range``/``suffix_range``)
+    and registers the resulting row ranges (``add_ranges``) or the
+    masked first-partition rows (``add_masked_ranges``) — the exact
+    per-class decomposition of :func:`_process_level`, vectorized over
+    the batch.  The accumulator decides what a registered range *means*
+    (count, prefix-XOR fold, or a gather plan), which is how the count,
+    checksum and compiled ids paths share this one traversal.
+    """
+    n = q_st.size
     compfirst = np.ones(n, dtype=bool)
     complast = np.ones(n, dtype=bool)
     m = index.m
@@ -612,27 +646,21 @@ def _partition_based_vectorized(
             if len(o_in):
                 if case_both.any():
                     sel = np.flatnonzero(case_both)
-                    lo, hi = _bulk_prefix_range(o_in, f[sel], q_end[sel])
-                    acc.add_masked(
-                        sel,
-                        *_bulk_masked_end_geq(o_in, lo, hi, q_st[sel], want_xor),
-                    )
+                    lo, hi = acc.prefix_range(o_in, f[sel], q_end[sel])
+                    acc.add_masked_ranges(sel, o_in, lo, hi, q_st[sel])
                 if case_first.any():
                     sel = np.flatnonzero(case_first)
-                    acc.add_masked(
+                    acc.add_masked_ranges(
                         sel,
-                        *_bulk_masked_end_geq(
-                            o_in,
-                            o_in.offsets[f[sel]],
-                            o_in.offsets[f[sel] + 1],
-                            q_st[sel],
-                            want_xor,
-                        ),
+                        o_in,
+                        o_in.offsets[f[sel]],
+                        o_in.offsets[f[sel] + 1],
+                        q_st[sel],
                     )
                 if case_st.any():
                     sel = np.flatnonzero(case_st)
                     acc.add_ranges(
-                        sel, o_in, *_bulk_prefix_range(o_in, f[sel], q_end[sel])
+                        sel, o_in, *acc.prefix_range(o_in, f[sel], q_end[sel])
                     )
                 if case_none.any():
                     sel = np.flatnonzero(case_none)
@@ -646,7 +674,7 @@ def _partition_based_vectorized(
                 if needs_st.any():
                     sel = np.flatnonzero(needs_st)
                     acc.add_ranges(
-                        sel, o_aft, *_bulk_prefix_range(o_aft, f[sel], q_end[sel])
+                        sel, o_aft, *acc.prefix_range(o_aft, f[sel], q_end[sel])
                     )
                 rest = ~needs_st
                 if rest.any():
@@ -663,7 +691,7 @@ def _partition_based_vectorized(
                 if compfirst.any():
                     sel = np.flatnonzero(compfirst)
                     acc.add_ranges(
-                        sel, r_in, *_bulk_suffix_range(r_in, f[sel], q_st[sel])
+                        sel, r_in, *acc.suffix_range(r_in, f[sel], q_st[sel])
                     )
                 rest = ~compfirst
                 if rest.any():
@@ -702,7 +730,7 @@ def _partition_based_vectorized(
                             acc.add_ranges(
                                 sel,
                                 table,
-                                *_bulk_prefix_range(table, l[sel], q_end[sel]),
+                                *acc.prefix_range(table, l[sel], q_end[sel]),
                             )
                 without_cmp = spans & ~complast
                 if without_cmp.any():
@@ -718,12 +746,27 @@ def _partition_based_vectorized(
 
         if ob is not None:
             ob.record_level(
-                "partition-based", level, f=f, l=l,
+                label, level, f=f, l=l,
                 duration=perf_counter() - t_level,
             )
         compfirst &= (f & 1) == 1
         complast &= (l & 1) == 0
 
+
+def _partition_based_vectorized(
+    index: HintIndex,
+    work: QueryBatch,
+    q_st: np.ndarray,
+    q_end: np.ndarray,
+    mode: str,
+    ob=None,
+) -> BatchResult:
+    """Count/checksum partition-based evaluation, fully vectorized per
+    level: every probe class for the whole batch is one ``searchsorted``
+    against the packed ``comp`` column, every comparison-free range one
+    offsets (and prefix-XOR) gather."""
+    acc = _VectorAccumulator(len(work), with_checksum=(mode == "checksum"))
+    partition_level_sweep(index, q_st, q_end, acc, ob)
     return acc.finalize(work.order)
 
 

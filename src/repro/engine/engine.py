@@ -20,9 +20,20 @@ to run it:
     only the chunk query arrays plus ``(strategy, mode)``, and results
     return as compact flat arrays.  Sidesteps the GIL for the
     Python-loop strategies and ids-mode materialization.
+``compiled``
+    The kernel path (:func:`~repro.kernels.compiled.compiled_run`):
+    the partition-based sweep runs on the :mod:`repro.kernels` hot-path
+    kernels — Numba machine code when available, the identical NumPy
+    fallback otherwise — in the calling thread.
+``threads+compiled``
+    The thread path with the compiled runner in every chunk/shard.
+    With numba present the kernels release the GIL, so this covers the
+    GIL-bound work the process backend existed for, without arena or
+    pickle costs.
 ``auto``
     A policy over the above, driven by batch size, strategy, result
-    mode and the machine's core count (see :meth:`_choose`).
+    mode, kernel availability and the machine's core count (see
+    :meth:`_choose`).
 
 Because the surface matches ``ShardedHint.execute``, a
 :class:`~repro.service.BatchingQueryService` installs an engine through
@@ -31,9 +42,11 @@ Because the surface matches ``ShardedHint.execute``, a
 Failure containment: every process dispatch passes the
 :data:`~repro.verify.faults.SITE_DISPATCH` fault site, and a broken
 pool (killed worker, injected fault) **degrades** the engine to
-in-process execution for the batch at hand and permanently thereafter —
-callers see results, not hangs; the arena is still unlinked at
-:meth:`close`.
+in-process execution for the batch at hand — callers see results, not
+hangs.  A degraded engine is on probation, not dead: after
+``probation_batches`` clean batches it rebuilds the pool, and only
+after ``max_pool_failures`` consecutive pool failures does it give up
+permanently; the arena is unlinked on degrade and at :meth:`close`.
 """
 
 from __future__ import annotations
@@ -62,6 +75,8 @@ from repro.engine.worker import (
 )
 from repro.hint.index import HintIndex
 from repro.intervals.batch import QueryBatch
+from repro.kernels import ops as kernel_ops
+from repro.kernels.compiled import compiled_run
 from repro.shard.sharded import ShardedHint
 from repro.verify.faults import SITE_DISPATCH, FaultPlan, InjectedFault
 
@@ -70,7 +85,14 @@ __all__ = ["ExecutionEngine", "BACKENDS"]
 _EMPTY = np.empty(0, dtype=np.int64)
 
 #: Backend names accepted by :class:`ExecutionEngine`.
-BACKENDS = ("auto", "serial", "threads", "processes")
+BACKENDS = (
+    "auto",
+    "serial",
+    "threads",
+    "processes",
+    "compiled",
+    "threads+compiled",
+)
 
 #: Strategies whose per-query work is a Python-level loop: they hold the
 #: GIL, so threads cannot speed them up but processes can.  The
@@ -129,6 +151,13 @@ class ExecutionEngine:
         before every process-pool dispatch.
     serial_cutoff, process_cutoff, thread_cutoff:
         ``auto``-policy thresholds (batch sizes); see :meth:`_choose`.
+    probation_batches:
+        After a pool failure, the number of clean batches the engine
+        must serve in-process before it attempts a pool rebuild.
+    max_pool_failures:
+        Consecutive pool failures (without an intervening healthy
+        process batch) after which the engine stops rebuilding and
+        stays in-process permanently.
 
     The process infrastructure (arena + pools) starts eagerly when the
     configured backend is ``"processes"``, or on first demand otherwise;
@@ -147,6 +176,8 @@ class ExecutionEngine:
         serial_cutoff: int = 128,
         process_cutoff: int = 512,
         thread_cutoff: int = 2048,
+        probation_batches: int = 32,
+        max_pool_failures: int = 3,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -165,6 +196,8 @@ class ExecutionEngine:
         self.serial_cutoff = int(serial_cutoff)
         self.process_cutoff = int(process_cutoff)
         self.thread_cutoff = int(thread_cutoff)
+        self.probation_batches = int(probation_batches)
+        self.max_pool_failures = int(max_pool_failures)
         self._fault_plan = fault_plan
         self._cpus = os.cpu_count() or 1
         if mp_context is None or isinstance(mp_context, str):
@@ -183,6 +216,8 @@ class ExecutionEngine:
         self._pools: List[ProcessPoolExecutor] = []
         self._procs_started = False
         self._procs_broken = False
+        self._pool_failures = 0  # consecutive, reset by a healthy batch
+        self._clean_batches = 0  # in-process batches since last failure
         if backend == "processes":
             self._ensure_processes()
 
@@ -227,14 +262,17 @@ class ExecutionEngine:
         """Resolve the backend for one batch.
 
         Fixed backends resolve to themselves (``processes`` degrades to
-        ``threads`` once the pool is broken).  The ``auto`` policy:
+        ``threads`` while the pool is broken or on probation).  The
+        ``auto`` policy:
 
         * small batches (< ``serial_cutoff``) and single-core machines
           always run serial — no parallel backend can amortize its
           dispatch there;
         * GIL-bound work (a Python-loop strategy, or ids-mode
           materialization) of at least ``process_cutoff`` queries goes
-          to the process pool — threads cannot help it;
+          to ``threads+compiled`` when the JIT kernels are available —
+          nogil machine code without arena/pickle costs — and to the
+          process pool otherwise;
         * remaining vectorized work of at least ``thread_cutoff``
           queries uses threads (numpy releases the GIL in the hot
           loops); anything else runs serial.
@@ -253,6 +291,8 @@ class ExecutionEngine:
             return "serial"
         gil_bound = strategy in _GIL_BOUND_STRATEGIES or mode == "ids"
         if gil_bound and n >= self.process_cutoff:
+            if kernel_ops.jit_available():
+                return "threads+compiled"
             self._ensure_processes()
             if self.processes_available:
                 return "processes"
@@ -305,6 +345,7 @@ class ExecutionEngine:
                 result, ran_on = self._run(
                     batch, strategy, mode, resolved, executor
                 )
+                self._note_outcome(resolved, ran_on)
                 return result
             t0 = perf_counter()
             with ob.span(
@@ -319,12 +360,28 @@ class ExecutionEngine:
                 )
                 if ran_on != resolved:
                     sp.attrs["degraded_to"] = ran_on
+            self._note_outcome(resolved, ran_on)
             ob.record_engine_batch(ran_on, n, perf_counter() - t0)
             return result
         finally:
             with self._cond:
                 self._inflight -= 1
                 self._cond.notify_all()
+
+    def _note_outcome(self, resolved: str, ran_on: str) -> None:
+        """Probation bookkeeping after one successful batch.
+
+        A healthy process batch ends the current failure streak; any
+        other successful batch (other than the one that just degraded)
+        counts toward the clean-batch quota that re-arms the pool
+        rebuild in :meth:`_ensure_processes`.
+        """
+        degraded_now = resolved == "processes" and ran_on != "processes"
+        with self._lock:
+            if ran_on == "processes":
+                self._pool_failures = 0
+            elif self._pool_failures and not self._procs_broken and not degraded_now:
+                self._clean_batches += 1
 
     def _run(self, batch, strategy, mode, resolved, executor):
         """Dispatch to *resolved*; returns ``(result, backend_that_ran)``."""
@@ -336,9 +393,20 @@ class ExecutionEngine:
             except (BrokenExecutor, InjectedFault, OSError) as exc:
                 # A killed worker (BrokenProcessPool), an injected
                 # dispatch fault, or a torn-down segment: degrade to
-                # in-process execution rather than failing the batch —
-                # and stay degraded, a broken pool does not heal.
+                # in-process execution rather than failing the batch.
+                # The pool goes on probation (see _degrade) — it is
+                # rebuilt after enough clean batches, abandoned for
+                # good after max_pool_failures consecutive failures.
                 self._degrade(exc)
+        if resolved == "compiled":
+            return self._execute_compiled(batch, strategy, mode), "compiled"
+        if resolved == "threads+compiled":
+            return (
+                self._execute_threads(
+                    batch, strategy, mode, executor, runner=compiled_run
+                ),
+                "threads+compiled",
+            )
         if resolved == "threads" or resolved == "processes":
             return self._execute_threads(batch, strategy, mode, executor), "threads"
         return self._execute_serial(batch, strategy, mode), "serial"
@@ -350,10 +418,28 @@ class ExecutionEngine:
             )
         return run_strategy(strategy, self._index, batch, mode=mode)
 
-    def _execute_threads(self, batch, strategy, mode, executor=None) -> BatchResult:
+    def _execute_compiled(self, batch, strategy, mode) -> BatchResult:
+        """The kernel path, serially in the calling thread."""
         if self._is_sharded:
             return self._index.execute(
-                batch, strategy=strategy, mode=mode, executor=executor
+                batch,
+                strategy=strategy,
+                mode=mode,
+                executor=_InlineMap(),
+                runner=compiled_run,
+            )
+        return compiled_run(strategy, self._index, batch, mode=mode)
+
+    def _execute_threads(
+        self, batch, strategy, mode, executor=None, runner=None
+    ) -> BatchResult:
+        if self._is_sharded:
+            return self._index.execute(
+                batch,
+                strategy=strategy,
+                mode=mode,
+                executor=executor,
+                runner=runner,
             )
         return parallel_batch(
             self._index,
@@ -362,6 +448,7 @@ class ExecutionEngine:
             workers=self.workers,
             mode=mode,
             executor=executor if executor is not None else self._threads(),
+            runner=runner,
         )
 
     # ------------------------------------------------------------------ #
@@ -466,13 +553,25 @@ class ExecutionEngine:
         return self._pools[j % len(self._pools)]
 
     def _ensure_processes(self) -> None:
-        """Start the arena and pools once; warm every worker's attach."""
+        """Start the arena and pools once; warm every worker's attach.
+
+        After a pool failure the engine is on probation: rebuild
+        attempts are refused until ``probation_batches`` clean batches
+        have been served in-process (and permanently once
+        ``max_pool_failures`` consecutive failures accumulated).
+        """
         with self._lock:
             if self._procs_started or self._procs_broken or self._closed:
                 return
+            if self._pool_failures and self._clean_batches < self.probation_batches:
+                return  # on probation after a pool failure
             self._procs_started = True
         try:
             arena = SharedIndexArena(self._index)
+            # Registered immediately so a mid-build failure releases it
+            # via _degrade instead of leaking the shared segments.
+            with self._lock:
+                self._arena = arena
             pools: List[ProcessPoolExecutor] = []
             warmups = []
             if self._is_sharded and self.shard_affinity:
@@ -496,22 +595,36 @@ class ExecutionEngine:
                 )
                 pools.append(pool)
                 warmups.extend(pool.submit(ping) for _ in range(self.workers))
-            self._arena = arena
-            self._pools = pools
+            with self._lock:
+                self._pools = pools
             for future in warmups:
                 future.result()
         except Exception as exc:
             self._degrade(exc)
 
     def _degrade(self, exc: BaseException) -> None:
-        """Abandon the process backend permanently; keep serving."""
+        """Tear the process backend down after a failure; keep serving.
+
+        The failure starts (or extends) a probation window: the pool
+        and arena are released now, ``_ensure_processes`` refuses to
+        rebuild until enough clean batches pass, and after
+        ``max_pool_failures`` consecutive failures the backend is
+        abandoned for good.
+        """
         with self._lock:
-            if self._procs_broken:
-                return
-            self._procs_broken = True
+            if not self._procs_started and not self._pools:
+                return  # a concurrent dispatch already degraded us
+            self._procs_started = False
+            self._pool_failures += 1
+            self._clean_batches = 0
+            if self._pool_failures >= self.max_pool_failures:
+                self._procs_broken = True
             pools, self._pools = self._pools, []
+            arena, self._arena = self._arena, None
         for pool in pools:
             pool.shutdown(wait=False, cancel_futures=True)
+        if arena is not None:
+            arena.release()
         ob = obs.active()
         if ob is not None:
             ob.record_engine_fallback(type(exc).__name__)

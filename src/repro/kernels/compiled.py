@@ -1,0 +1,211 @@
+"""The ``compiled`` execution path: kernel-backed strategy evaluation.
+
+:func:`compiled_run` is a drop-in for
+:func:`repro.core.strategies.run_strategy` — same signature, same
+result and ordering contract — that routes the partition-based
+strategy's per-level sweep through the :mod:`repro.kernels.ops`
+kernels (Numba when available, the NumPy fallback otherwise):
+
+* **count / checksum** — the packed-column cuts, masked probes and
+  prefix-XOR folds all become kernel calls behind the accumulator
+  protocol of :func:`~repro.core.strategies.partition_level_sweep`;
+* **ids** — a two-phase *plan-then-gather* pipeline: phase one runs
+  the sweep once, recording every contributing row range and eagerly
+  filtering the masked first-partition rows, while accumulating exact
+  per-query result counts; phase two allocates **one** flat ids array
+  plus offsets (the wire layout of
+  :func:`repro.engine.worker.encode_result`) and replays the plan
+  through the scatter kernels with per-query cursors — no per-fragment
+  ``concatenate``, no per-query Python loop.
+
+Other strategies (whose inner loops are per-query Python by design —
+they exist as the paper's baselines) delegate to ``run_strategy``
+unchanged, as does any non-:class:`~repro.hint.index.HintIndex` index;
+the contract is "never worse, never different".
+
+Each batch reports ``repro_kernel_*`` obs series: per-kernel invocation
+deltas, the cumulative warm-up (compile) seconds, and whether the
+fallback backend served the batch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.result import MODES, BatchResult
+from repro.core.strategies import (
+    STRATEGIES,
+    _prepare,
+    partition_level_sweep,
+    run_strategy,
+)
+from repro.hint.index import HintIndex
+from repro.kernels import ops
+
+__all__ = ["compiled_run"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class _KernelCuts:
+    """Packed-column probe cuts through the kernels (shared by both
+    accumulators below; same contract as ``_bulk_prefix_range`` /
+    ``_bulk_suffix_range``)."""
+
+    def prefix_range(self, table, parts, values):
+        lo = table.offsets[parts]
+        hi = ops.packed_prefix_cut(table.comp, parts, values, table.key_bits)
+        return lo, hi
+
+    def suffix_range(self, table, parts, values):
+        lo = ops.packed_suffix_cut(table.comp, parts, values, table.key_bits)
+        return lo, table.offsets[parts + 1]
+
+
+class _KernelVectorAccumulator(_KernelCuts):
+    """Count/checksum accumulator with kernel-backed probes and folds."""
+
+    def __init__(self, n: int, with_checksum: bool):
+        self.counts = np.zeros(n, dtype=np.int64)
+        self.sums = np.zeros(n, dtype=np.int64) if with_checksum else None
+
+    def add_ranges(self, sel, table, lo, hi) -> None:
+        self.counts[sel] += hi - lo
+        if self.sums is not None:
+            self.sums[sel] ^= ops.xor_ranges(table.xor_prefix, lo, hi)
+
+    def add_masked_ranges(self, sel, table, lo, hi, thresholds) -> None:
+        counts, xors = ops.masked_count_xor_end_geq(
+            table.end, table.ids, lo, hi, thresholds, self.sums is not None
+        )
+        self.counts[sel] += counts
+        if self.sums is not None:
+            self.sums[sel] ^= xors
+
+    def finalize(self, order: np.ndarray) -> BatchResult:
+        counts = np.empty_like(self.counts)
+        counts[order] = self.counts
+        if self.sums is None:
+            return BatchResult(counts)
+        sums = np.empty_like(self.sums)
+        sums[order] = self.sums
+        return BatchResult(counts, checksums=sums)
+
+
+class _IdsPlanAccumulator(_KernelCuts):
+    """Plan-then-gather ids accumulator.
+
+    During the sweep every ``add_ranges`` records ``(ids column, query
+    slots, lo, hi)`` — a view, no copy — and every ``add_masked_ranges``
+    runs the masked gather kernel eagerly (the filter result is needed
+    for exact counts) keeping its compact flat output.  ``finalize``
+    sizes one flat array from the accumulated counts and replays the
+    plan through the scatter kernels, so each result id is written
+    exactly once at its final position.
+    """
+
+    def __init__(self, n: int):
+        self.counts = np.zeros(n, dtype=np.int64)
+        self._all = np.arange(n, dtype=np.int64)
+        # (src, sel, a, b): b is the per-range hi for raw ranges, or
+        # None when a holds segment offsets of an eagerly gathered src.
+        self._plan: List[tuple] = []
+
+    def _slots(self, sel) -> np.ndarray:
+        if isinstance(sel, slice):
+            return self._all
+        return sel
+
+    def add_ranges(self, sel, table, lo, hi) -> None:
+        slots = self._slots(sel)
+        if slots.size == 0:
+            return
+        self.counts[slots] += hi - lo
+        self._plan.append((table.ids, slots, lo, hi))
+
+    def add_masked_ranges(self, sel, table, lo, hi, thresholds) -> None:
+        slots = self._slots(sel)
+        counts, flat, offsets = ops.masked_gather_end_geq(
+            table.end, table.ids, lo, hi, thresholds
+        )
+        self.counts[slots] += counts
+        self._plan.append((flat, slots, offsets, None))
+
+    def finalize(self, order: np.ndarray) -> BatchResult:
+        n = self.counts.size
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self.counts, out=offsets[1:])
+        flat = np.empty(int(offsets[-1]), dtype=np.int64)
+        cursors = offsets[:-1].copy()
+        for src, slots, a, b in self._plan:
+            if b is None:
+                ops.scatter_segments(src, a, slots, flat, cursors)
+            else:
+                ops.scatter_ranges(src, a, b, slots, flat, cursors)
+        counts = np.empty_like(self.counts)
+        counts[order] = self.counts
+        ids: List[np.ndarray] = [_EMPTY] * n
+        for pos in range(n):
+            ids[int(order[pos])] = flat[offsets[pos] : offsets[pos + 1]]
+        return BatchResult(counts, ids)
+
+
+def _partition_based_compiled(
+    index: HintIndex, batch, mode: str, ob
+) -> BatchResult:
+    work, q_st, q_end = _prepare(index, batch.sorted_by_start(), sort=False)
+    if mode == "ids":
+        acc = _IdsPlanAccumulator(len(work))
+    else:
+        acc = _KernelVectorAccumulator(
+            len(work), with_checksum=(mode == "checksum")
+        )
+    partition_level_sweep(index, q_st, q_end, acc, ob)
+    return acc.finalize(work.order)
+
+
+def compiled_run(
+    name: str,
+    index,
+    batch,
+    *,
+    mode: str = "count",
+) -> BatchResult:
+    """Run strategy *name* through the compiled kernels.
+
+    Drop-in for :func:`~repro.core.strategies.run_strategy`: same
+    strategy names, same result modes, results in caller order.  The
+    partition-based strategy runs kernel-backed; everything else (and
+    any non-``HintIndex`` index) delegates to the interpreted path —
+    identical results either way, which the differential tests enforce.
+    """
+    if name not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+        )
+    if mode not in MODES:
+        raise ValueError(
+            f"unknown result mode {mode!r}; expected one of {MODES}"
+        )
+    if name != "partition-based" or not isinstance(index, HintIndex):
+        return run_strategy(name, index, batch, mode=mode)
+    ops.warmup()
+    ob = obs.active()
+    if ob is None:
+        return _partition_based_compiled(index, batch, mode, None)
+    before = ops.invocation_counts()
+    with ob.strategy_span("partition-based", len(batch), mode):
+        result = _partition_based_compiled(index, batch, mode, ob)
+    after = ops.invocation_counts()
+    delta = {
+        kernel: after[kernel] - before.get(kernel, 0)
+        for kernel in after
+        if after[kernel] != before.get(kernel, 0)
+    }
+    ob.record_kernel_batch(
+        ops.kernel_backend(), delta, ops.compile_seconds()
+    )
+    return result

@@ -124,6 +124,14 @@ class SLOTracker:
         The promises to track.
     log_capacity:
         Bound of the structured violation log.
+    wall_clock, monotonic_clock:
+        Injectable time sources (defaults: :func:`time.time` and
+        :func:`time.monotonic`).  Violation log entries record *both*
+        — the wall reading (``"at"``) for humans correlating with
+        external logs, the monotonic reading (``"monotonic"``) for
+        ordering and interval arithmetic, since the two clocks must
+        never be mixed (wall time jumps on NTP steps).  Tests inject
+        fake clocks to make the log fully deterministic.
     """
 
     def __init__(
@@ -131,6 +139,8 @@ class SLOTracker:
         objectives: Sequence[SLObjective] = (SLObjective(),),
         *,
         log_capacity: int = 256,
+        wall_clock=None,
+        monotonic_clock=None,
     ):
         if not objectives:
             raise ValueError("need at least one objective")
@@ -139,6 +149,10 @@ class SLOTracker:
             raise ValueError(f"objective names must be unique: {names}")
         self.objectives = tuple(objectives)
         self._violations: deque = deque(maxlen=int(log_capacity))
+        self._wall_clock = wall_clock if wall_clock is not None else time.time
+        self._monotonic_clock = (
+            monotonic_clock if monotonic_clock is not None else time.monotonic
+        )
 
     # ------------------------------------------------------------------ #
     # pure evaluation
@@ -235,7 +249,8 @@ class SLOTracker:
                 ).inc()
                 self._violations.append(
                     {
-                        "at": now if now is not None else time.time(),
+                        "at": now if now is not None else self._wall_clock(),
+                        "monotonic": self._monotonic_clock(),
                         **res,
                     }
                 )

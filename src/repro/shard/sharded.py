@@ -469,6 +469,7 @@ class ShardedHint:
         strategy: str = "partition-based",
         mode: str = "count",
         executor: Optional[ThreadPoolExecutor] = None,
+        runner=None,
     ) -> BatchResult:
         """Evaluate *batch* across the shards; results in caller order.
 
@@ -476,7 +477,10 @@ class ShardedHint:
         — same strategy names, same result modes, same ordering contract
         — so a :class:`~repro.service.BatchingQueryService` can install
         a sharded backend through ``swap_index`` with zero call-site
-        changes.
+        changes.  *runner* optionally substitutes a
+        ``run_strategy``-shaped callable for each shard's primary-slice
+        evaluation (the ``compiled`` engine backend's hook); replica and
+        spill probes are plain searchsorted cuts either way.
         """
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -491,11 +495,15 @@ class ShardedHint:
             return BatchResult.empty(mode)
         ob = obs.active()
         if ob is None:
-            return self._execute_inner(batch, strategy, mode, executor, None)
+            return self._execute_inner(
+                batch, strategy, mode, executor, None, runner
+            )
         with ob.span(
             "shard.execute", strategy=strategy, queries=n, mode=mode, k=self.k
         ):
-            return self._execute_inner(batch, strategy, mode, executor, ob)
+            return self._execute_inner(
+                batch, strategy, mode, executor, ob, runner
+            )
 
     def _route(self, batch: QueryBatch):
         """Sort and route *batch*: ``(work, q_st, q_end, jobs)``.
@@ -566,7 +574,8 @@ class ShardedHint:
         return np.searchsorted(shard.orig_st, e_local, side="right")
 
     def _execute_inner(
-        self, batch: QueryBatch, strategy: str, mode: str, executor, ob
+        self, batch: QueryBatch, strategy: str, mode: str, executor, ob,
+        runner=None,
     ) -> BatchResult:
         n = len(batch)
         work, q_st, q_end, jobs = self._route(batch)
@@ -582,12 +591,12 @@ class ShardedHint:
             j, j0, j1, spill = job
             if ob is None:
                 return self._run_shard(
-                    j, j0, j1, spill, q_st, q_end, strategy, mode
+                    j, j0, j1, spill, q_st, q_end, strategy, mode, runner
                 )
             t0 = perf_counter()
             with ob.recorder.trace_scope(trace_ids):
                 out = self._run_shard(
-                    j, j0, j1, spill, q_st, q_end, strategy, mode
+                    j, j0, j1, spill, q_st, q_end, strategy, mode, runner
                 )
             ob.record_shard_batch(
                 j, j1 - j0, int(spill.size), perf_counter() - t0,
@@ -604,7 +613,8 @@ class ShardedHint:
 
         return self._merge(partials, work, n, mode)
 
-    def _run_shard(self, j, j0, j1, spill, q_st, q_end, strategy, mode):
+    def _run_shard(self, j, j0, j1, spill, q_st, q_end, strategy, mode,
+                   runner=None):
         """Execute one shard's primary slice, replica probe and spills.
 
         Runs on a worker thread; returns contributions only — all
@@ -613,7 +623,8 @@ class ShardedHint:
         primary = rep_ks = sp_ks = None
         if j1 > j0:
             sub = self._primary_local_batch(j, j0, j1, q_st, q_end)
-            primary = run_strategy(strategy, self.shards[j].index, sub, mode=mode)
+            exec_fn = runner if runner is not None else run_strategy
+            primary = exec_fn(strategy, self.shards[j].index, sub, mode=mode)
             rep_ks = self._probe_replicas(j, j0, j1, q_st)
         if spill.size:
             sp_ks = self._probe_spills(j, spill, q_end)

@@ -493,4 +493,76 @@ class TestEngineObservability:
 
 
 def test_backends_constant_is_exported():
-    assert set(BACKENDS) == {"auto", "serial", "threads", "processes"}
+    assert set(BACKENDS) == {
+        "auto",
+        "serial",
+        "threads",
+        "processes",
+        "compiled",
+        "threads+compiled",
+    }
+
+
+# --------------------------------------------------------------------- #
+# pool probation (bounded rebuild after a failure)
+# --------------------------------------------------------------------- #
+
+
+class TestPoolProbation:
+    def test_pool_rebuilds_after_probation(self, workload):
+        """One pool failure is not permanent: after ``probation_batches``
+        clean batches the pool is rebuilt and dispatch resumes."""
+        plan = FaultPlan.once(SITE_DISPATCH)
+        with ExecutionEngine(
+            workload["hint"],
+            backend="processes",
+            workers=2,
+            fault_plan=plan,
+            probation_batches=2,
+        ) as engine:
+            first = engine.execute(workload["batch"], mode="checksum")
+            assert first == oracle(workload, "partition-based", "checksum")
+            assert not engine.processes_available
+            # Two clean in-process batches end the probation window...
+            for _ in range(2):
+                engine.execute(workload["batch"], mode="checksum")
+            assert plan.passes(SITE_DISPATCH) == 1  # no dispatch meanwhile
+            # ...so the next processes-backend batch rebuilds the pool
+            # and goes back through the dispatch site.
+            again = engine.execute(workload["batch"], mode="checksum")
+            assert again == oracle(workload, "partition-based", "checksum")
+            assert engine.processes_available
+            assert plan.passes(SITE_DISPATCH) == 2
+            assert plan.hits(SITE_DISPATCH) == 1
+        assert list_arena_segments() == []
+
+    def test_pool_gives_up_after_max_failures(self, workload):
+        """``max_pool_failures`` consecutive failures abandon the backend
+        for good — no rebuild however many clean batches follow."""
+        from repro.verify.faults import FaultRule
+
+        plan = FaultPlan(FaultRule(site=SITE_DISPATCH, times=None))
+        with ExecutionEngine(
+            workload["hint"],
+            backend="processes",
+            workers=2,
+            fault_plan=plan,
+            probation_batches=1,
+            max_pool_failures=2,
+        ) as engine:
+            expected = oracle(workload, "partition-based", "checksum")
+            # First failure -> probation; one clean batch re-arms; second
+            # failure -> permanently broken.
+            for _ in range(4):
+                assert (
+                    engine.execute(workload["batch"], mode="checksum")
+                    == expected
+                )
+            assert plan.hits(SITE_DISPATCH) == 2
+            assert not engine.processes_available
+            passes = plan.passes(SITE_DISPATCH)
+            # Broken means no more dispatch-site visits, ever.
+            for _ in range(3):
+                engine.execute(workload["batch"], mode="checksum")
+            assert plan.passes(SITE_DISPATCH) == passes
+        assert list_arena_segments() == []

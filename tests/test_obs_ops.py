@@ -178,6 +178,53 @@ class TestObserve:
         assert logged["at"] == 123.0
         assert logged["slo"] == "request-latency"
 
+    def test_violation_log_records_both_clocks(self):
+        """Violation entries carry the injectable wall clock *and* the
+        injectable monotonic clock — never a mix of the two domains —
+        so the log is fully deterministic under fake clocks."""
+        obs.configure(enabled=True)
+        ob = obs.active()
+        hist = ob.registry.histogram(
+            "repro_net_request_seconds", buckets=LATENCY_BUCKETS
+        )
+        for _ in range(10):
+            hist.observe(2.0)
+        wall_ticks = iter([1_700_000_000.0, 1_700_000_060.0])
+        mono_ticks = iter([10.5, 70.5])
+        tracker = SLOTracker(
+            [SLObjective(target_s=0.01, error_budget=0.05)],
+            wall_clock=lambda: next(wall_ticks),
+            monotonic_clock=lambda: next(mono_ticks),
+        )
+        tracker.observe(ob)
+        tracker.observe(ob)
+        first, second = tracker.violations()
+        assert first["at"] == 1_700_000_000.0
+        assert first["monotonic"] == 10.5
+        assert second["at"] == 1_700_000_060.0
+        assert second["monotonic"] == 70.5
+        # Interval arithmetic runs on the monotonic column.
+        assert second["monotonic"] - first["monotonic"] == 60.0
+
+    def test_explicit_now_still_reads_monotonic_clock(self):
+        """``now=`` overrides the wall stamp only; the monotonic reading
+        still comes from the injectable monotonic clock."""
+        obs.configure(enabled=True)
+        ob = obs.active()
+        hist = ob.registry.histogram(
+            "repro_net_request_seconds", buckets=LATENCY_BUCKETS
+        )
+        for _ in range(10):
+            hist.observe(2.0)
+        tracker = SLOTracker(
+            [SLObjective(target_s=0.01, error_budget=0.05)],
+            monotonic_clock=lambda: 42.25,
+        )
+        tracker.observe(ob, now=123.0)
+        (logged,) = tracker.violations()
+        assert logged["at"] == 123.0
+        assert logged["monotonic"] == 42.25
+
     def test_healthy_plane_logs_nothing(self):
         obs.configure(enabled=True)
         ob = obs.active()

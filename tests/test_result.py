@@ -94,6 +94,57 @@ class TestCollectors:
         with pytest.raises(TypeError):
             IdCollector(1).add_count(0, 3)
 
+    def test_id_collector_flat_finalize_equivalence(self):
+        """The single-pass flat finalize matches a per-query concatenate
+        on ragged batches with empty-fragment and fragment-free queries,
+        under a non-trivial order permutation."""
+        rng = np.random.default_rng(42)
+        n = 37
+        order = rng.permutation(n).astype(np.int64)
+        fragments = []
+        for pos in range(n):
+            frags = []
+            kind = pos % 4
+            if kind == 1:  # one empty fragment plus data
+                frags.append(np.empty(0, dtype=np.int64))
+            if kind != 3:  # kind 3 queries collect nothing at all
+                for _ in range(int(rng.integers(1, 5))):
+                    frags.append(
+                        rng.integers(0, 1000, int(rng.integers(0, 9)))
+                        .astype(np.int64)
+                    )
+            fragments.append(frags)
+
+        c = IdCollector(n)
+        table = self.FakeTable(np.arange(2000))
+        for pos, frags in enumerate(fragments):
+            for k, frag in enumerate(frags):
+                if k % 2 and frag.size:  # exercise both entry points
+                    lo = int(frag[0]) % 1000
+                    c.add_slice(0, table, lo, lo)  # empty range, no-op
+                c.add_ids(pos, frag)
+        result = c.finalize(order)
+
+        for pos in range(n):
+            expected = (
+                np.concatenate(fragments[pos])
+                if fragments[pos]
+                else np.empty(0, dtype=np.int64)
+            )
+            got = result.ids(int(order[pos]))
+            assert got.tolist() == expected.tolist()
+            assert result.counts[int(order[pos])] == expected.size
+
+    def test_id_collector_ids_share_one_flat_buffer(self):
+        """Per-query arrays are views into one flat allocation."""
+        c = IdCollector(3)
+        c.add_ids(0, np.array([1, 2], dtype=np.int64))
+        c.add_ids(1, np.array([3], dtype=np.int64))
+        c.add_ids(2, np.array([4, 5, 6], dtype=np.int64))
+        result = c.finalize(np.arange(3))
+        bases = {result.ids(i).base is not None for i in range(3)}
+        assert bases == {True}
+
     def test_make_collector(self):
         assert isinstance(make_collector("count", 1), CountCollector)
         assert isinstance(make_collector("ids", 1), IdCollector)
