@@ -6,7 +6,7 @@
 
 PYENV = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: install test verify bench bench-service obs-smoke trace-smoke shard-smoke engine-smoke kernel-smoke cache-smoke serve-smoke bench-shard bench-engine bench-kernels bench-cache bench-serve bench-obs experiments examples serve-sim clean
+.PHONY: install test verify bench bench-service obs-smoke trace-smoke shard-smoke engine-smoke kernel-smoke cache-smoke serve-smoke plan-smoke bench-shard bench-engine bench-kernels bench-cache bench-serve bench-obs bench-planner experiments examples serve-sim clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -78,6 +78,14 @@ cache-smoke:
 serve-smoke:
 	$(PYENV) python scripts/serve_smoke.py
 
+# Planner smoke: startup micro-calibration + calibration-file
+# round-trip, a differential mini-sweep (planner-chosen plans must be
+# result-identical to every static plan, single + sharded index), and
+# the planner.decide fault leg — a throwing planner degrades to the
+# static policy without losing the batch (docs/planning.md).
+plan-smoke:
+	$(PYENV) python scripts/plan_smoke.py
+
 # Shard-count scaling sweep on the default synthetic workload; records
 # results/shard-scaling.csv (uploaded as a CI artifact).
 bench-shard:
@@ -111,6 +119,14 @@ bench-serve:
 # obs-off path costs more than 5% over the baseline.
 bench-obs:
 	$(PYENV) python benchmarks/bench_obs_overhead.py --out results/obs-overhead.csv
+
+# Adaptive-planner acceptance sweep: the adaptive executor must match
+# the best static plan on homogeneous batches and strictly beat every
+# static plan on the mixed-extent batch (by splitting); records
+# results/planner.csv, results/planner-cost-error.csv and the
+# calibration at results/planner-calibration.json (CI artifacts).
+bench-planner:
+	$(PYENV) python benchmarks/bench_planner.py --out results/planner.csv
 
 experiments:
 	$(PYENV) python -m repro.experiments all --csv results/ --repeats 3

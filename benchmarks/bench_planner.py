@@ -1,0 +1,290 @@
+"""Adaptive planner vs every static plan — the PR's acceptance gate.
+
+Sweeps three workload shapes on the repository's synthetic defaults
+(scaled to bench size) and records ``results/planner.csv``:
+
+* two **homogeneous** rows (all-narrow, all-wide) where a single static
+  plan is optimal — the adaptive planner must match the best static
+  plan within a noise margin (it converges to the same plan, so any
+  gap is measurement noise plus one decide() call);
+* one **mixed-extent** row (7/8 narrow point lookups + 1/8 wide scans)
+  where *no* single plan is optimal — the adaptive planner must beat
+  **every** static plan strictly, which it can only do by splitting the
+  batch at an extent threshold and routing each side separately
+  (``docs/planning.md``).
+
+The adaptive leg runs under the observability plane; the
+``repro_planner_cost_error`` histogram accumulated over the sweep is
+written to ``results/planner-cost-error.csv`` (the calibration quality
+evidence referenced from ``docs/planning.md``), and the calibration
+itself persists at ``results/planner-calibration.json``.
+
+Run standalone to (re)record the CSVs::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py
+
+Exits non-zero when a gate fails.  ``--quick`` shrinks the scenario for
+CI smoke use; gates still apply.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import os
+import pathlib
+import sys
+import time
+
+DEFAULT_CARDINALITY = 100_000
+DEFAULT_M = 16
+DEFAULT_ALPHA = 1.8
+DEFAULT_SEED = 7
+DEFAULT_REPS = 5
+DEFAULT_NOISE = 0.15
+DEFAULT_BUDGET_S = 0.5
+
+FIELDS = (
+    "workload",
+    "mode",
+    "plan",
+    "chosen",
+    "queries",
+    "median_ms",
+    "best_static_ms",
+    "gate",
+    "cardinality",
+    "m",
+    "cpu_count",
+)
+
+
+def _median_ms(fn, reps: int) -> float:
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2] * 1e3
+
+
+def _workloads(rng, domain: int, scale: int):
+    """(name, mode, batch) rows; *scale* divides query counts for --quick."""
+    import numpy as np
+
+    from repro.intervals.batch import QueryBatch
+
+    narrow = max(domain // 10_000, 1)
+    wide = domain // 20
+
+    def uniform(n, extent):
+        st = rng.integers(0, domain - extent - 1, n)
+        return QueryBatch(st, st + extent)
+
+    def mixed(n_narrow, n_wide, e_narrow, e_wide):
+        st1 = rng.integers(0, domain - e_narrow - 1, n_narrow)
+        st2 = rng.integers(0, domain - e_wide - 1, n_wide)
+        st = np.concatenate([st1, st2])
+        end = np.concatenate([st1 + e_narrow, st2 + e_wide])
+        perm = rng.permutation(st.size)
+        return QueryBatch(st[perm], end[perm])
+
+    return [
+        ("homogeneous-narrow", "count", uniform(2048 // scale, narrow)),
+        ("homogeneous-narrow", "ids", uniform(2048 // scale, narrow)),
+        ("homogeneous-wide", "count", uniform(2048 // scale, wide)),
+        # 1/8 of the batch are 10%-of-domain scans: narrow queries want
+        # the compiled kernel's near-zero per-query cost, wide scans the
+        # interpreter's cheaper per-extent materialization — no single
+        # plan serves both (see docs/planning.md).
+        (
+            "mixed-extent",
+            "ids",
+            mixed(7168 // scale, 1024 // scale, narrow, domain // 10),
+        ),
+    ]
+
+
+def run(args) -> list:
+    import numpy as np
+
+    import repro.obs as obs
+    from repro.engine import ExecutionEngine
+    from repro.hint.index import HintIndex
+    from repro.planner import PlannedExecutor
+    from repro.planner.plan import BackendCaps, plan_space
+    from repro.workloads import generate_synthetic
+
+    scale = 4 if args.quick else 1
+    cardinality = args.cardinality // scale
+    domain = 1 << args.m
+    coll = generate_synthetic(
+        cardinality, domain, args.alpha, domain // 100, seed=args.seed
+    ).normalized(args.m)
+    index = HintIndex(coll, m=args.m)
+    index.precompute_aux()
+    rng = np.random.default_rng(args.seed + 4)
+
+    engine = ExecutionEngine(index, backend="auto-static")
+    statics = plan_space(BackendCaps.from_index(index, workers=engine.workers))
+
+    obs.configure(enabled=True)
+    adaptive = PlannedExecutor(
+        index,
+        engine=engine,
+        model_path=args.calibration,
+        calibrate=True,
+        reuse_calibration=not args.recalibrate,
+        calibration_budget_s=args.budget,
+    )
+    print(
+        f"calibrated plans: {len(adaptive.planner.model.keys())} "
+        f"-> {args.calibration}",
+        flush=True,
+    )
+
+    rows = []
+    failures = []
+    for workload, mode, batch in _workloads(rng, domain, scale):
+        static_ms = {}
+        for plan in statics:
+            fn = lambda p=plan: engine.execute(  # noqa: E731
+                batch, strategy=p.strategy, mode=mode, backend=p.backend
+            )
+            fn()  # warm-up (first-call caches are not steady state)
+            static_ms[plan.key(mode)] = _median_ms(fn, args.reps)
+        best_static = min(static_ms.values())
+
+        adaptive.execute(batch, mode=mode)  # warm-up + first feedback
+        adaptive_ms = _median_ms(
+            lambda: adaptive.execute(batch, mode=mode), args.reps
+        )
+        decision = adaptive.last_decision
+        chosen = decision.describe() if decision is not None else "?"
+
+        if workload.startswith("homogeneous"):
+            ok = adaptive_ms <= best_static * (1.0 + args.noise)
+            gate = "within-noise-of-best-static"
+        else:
+            ok = all(adaptive_ms < ms for ms in static_ms.values())
+            gate = "strictly-beats-every-static"
+        status = "pass" if ok else "FAIL"
+        if not ok:
+            failures.append((workload, mode, adaptive_ms, static_ms))
+
+        common = dict(
+            workload=workload,
+            mode=mode,
+            queries=len(batch),
+            best_static_ms=round(best_static, 3),
+            cardinality=cardinality,
+            m=args.m,
+            cpu_count=os.cpu_count() or 1,
+        )
+        for key, ms in sorted(static_ms.items()):
+            rows.append(
+                dict(common, plan=key, chosen="", median_ms=round(ms, 3), gate="")
+            )
+        rows.append(
+            dict(
+                common,
+                plan="adaptive",
+                chosen=chosen,
+                median_ms=round(adaptive_ms, 3),
+                gate=f"{gate}:{status}",
+            )
+        )
+        print(
+            f"{workload:20s} {mode:8s} adaptive {adaptive_ms:9.2f} ms  "
+            f"best static {best_static:9.2f} ms  [{status}]  {chosen}",
+            flush=True,
+        )
+
+    _write_cost_error(args.cost_error_out)
+    adaptive.close()
+    obs.configure(enabled=False)
+
+    if failures:
+        for workload, mode, ms, static_ms in failures:
+            print(
+                f"GATE FAILED: {workload}/{mode}: adaptive {ms:.2f} ms vs "
+                + ", ".join(f"{k}={v:.2f}" for k, v in sorted(static_ms.items())),
+                file=sys.stderr,
+            )
+    return rows if not failures else None
+
+
+def _write_cost_error(path: str) -> None:
+    """Dump the accumulated cost-error histogram (docs/planning.md)."""
+    import repro.obs as obs
+
+    snap = obs.snapshot()
+    for hist in snap["metrics"]["histograms"]:
+        if hist["name"] != obs.PLANNER_COST_ERROR:
+            continue
+        bounds = [str(b) for b in hist["buckets"]] + ["+Inf"]
+        out = pathlib.Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(("le", "count"))
+            writer.writerows(zip(bounds, hist["counts"]))
+            writer.writerow(("sum", hist["sum"]))
+            writer.writerow(("count", hist["count"]))
+        print(
+            f"cost-error histogram ({hist['count']} observations) -> {path}",
+            flush=True,
+        )
+        return
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cardinality", type=int, default=DEFAULT_CARDINALITY)
+    parser.add_argument("--m", type=int, default=DEFAULT_M)
+    parser.add_argument("--alpha", type=float, default=DEFAULT_ALPHA)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--reps", type=int, default=DEFAULT_REPS)
+    parser.add_argument(
+        "--noise",
+        type=float,
+        default=DEFAULT_NOISE,
+        help="homogeneous gate margin over the best static plan",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=DEFAULT_BUDGET_S,
+        help="calibration budget in seconds (bench startup is not latency-"
+        "sensitive, so it affords more than the 0.12 s serving default)",
+    )
+    parser.add_argument("--out", default="results/planner.csv")
+    parser.add_argument(
+        "--calibration", default="results/planner-calibration.json"
+    )
+    parser.add_argument(
+        "--cost-error-out", default="results/planner-cost-error.csv"
+    )
+    parser.add_argument("--recalibrate", action="store_true")
+    parser.add_argument(
+        "--quick", action="store_true", help="scaled-down CI smoke variant"
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+    rows = run(args)
+    if rows is None:
+        return 1
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+    print(f"wrote {len(rows)} rows -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,13 +23,23 @@ mechanism explicit:
 from repro.analysis.trace import AccessRecorder, JumpStats, jump_stats, format_access_pattern
 from repro.analysis.cache import CacheStats, LRUCacheSimulator, simulate_cache
 from repro.analysis.sharing import computation_sharing
-from repro.analysis.batch_stats import BatchStats, LevelStats, analyze_batch
+from repro.analysis.batch_stats import (
+    BatchStats,
+    ExtentSummary,
+    LevelStats,
+    analyze_batch,
+    batch_extents,
+    summarize_extents,
+)
 from repro.analysis.service_stats import ServiceMetrics, ServiceSnapshot
 
 __all__ = [
     "BatchStats",
     "LevelStats",
     "analyze_batch",
+    "ExtentSummary",
+    "batch_extents",
+    "summarize_extents",
     "AccessRecorder",
     "JumpStats",
     "jump_stats",

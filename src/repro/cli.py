@@ -852,6 +852,107 @@ def _cmd_cache_sim(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_plan_sim(args) -> int:
+    """Calibrate the adaptive planner on a synthetic index, print the
+    decision table (predicted vs observed cost per plan) for a
+    homogeneous-narrow, homogeneous-wide and mixed-extent batch, and
+    differential-check every adaptive answer against the interpreter;
+    exit 0 iff all checks agree."""
+    import numpy as np
+
+    from repro.planner import PlannedExecutor, plan_space
+    from repro.workloads.synthetic import generate_synthetic
+
+    m = args.m
+    domain = 1 << m
+    coll = generate_synthetic(
+        args.cardinality, domain, 1.8, domain / 100, seed=args.seed
+    ).normalized(m)
+    index = HintIndex(coll, m=m)
+    index.precompute_aux()
+    px = PlannedExecutor(
+        index,
+        model_path=args.calibration,
+        calibrate=True,
+        reuse_calibration=not args.recalibrate,
+        exploration=args.exploration,
+    )
+    model = px.planner.model
+    print(
+        f"plan-sim: {len(coll):,} intervals (m={m}), mode {args.mode}, "
+        f"{len(model.keys())} calibrated plans, "
+        f"calibration {args.calibration}"
+    )
+
+    rng = np.random.default_rng(args.seed + 1)
+    narrow_e = max(int(domain * 1e-4), 1)
+    wide_e = max(int(domain * 0.05), 2)
+
+    def make(n, extents):
+        ext = rng.choice(extents, size=n) if len(extents) > 1 else np.full(
+            n, extents[0]
+        )
+        st = rng.integers(0, domain - wide_e - 1, size=n)
+        return QueryBatch(st, np.minimum(st + ext, domain - 1))
+
+    workloads = [
+        ("homogeneous-narrow", make(args.batch, [narrow_e])),
+        ("homogeneous-wide", make(args.batch, [wide_e])),
+        (
+            "mixed-extent",
+            QueryBatch(
+                *(
+                    lambda a, b: (
+                        np.concatenate([a.st, b.st]),
+                        np.concatenate([a.end, b.end]),
+                    )
+                )(
+                    make(args.batch * 7 // 8, [narrow_e]),
+                    make(args.batch // 8, [wide_e]),
+                )
+            ),
+        ),
+    ]
+
+    failures = 0
+    for name, batch in workloads:
+        decision = px.planner.decide(batch, mode=args.mode)
+        print(f"\n[{name}] {len(batch):,} queries")
+        print("  plan                                     predicted    observed")
+        for key, predicted in decision.table[: args.top]:
+            strategy, backend, _ = key.split("|")
+            t = min(
+                _timed(
+                    px.execute,
+                    batch,
+                    strategy=strategy,
+                    mode=args.mode,
+                    backend=backend,
+                )
+                for _ in range(args.repeat)
+            )
+            print(
+                f"  {strategy + ' on ' + backend:<40}"
+                f" {predicted * 1e3:>8.3f}ms {t * 1e3:>9.3f}ms"
+            )
+        t_adaptive = min(
+            _timed(px.execute, batch, mode=args.mode)
+            for _ in range(args.repeat)
+        )
+        chosen = px.last_decision
+        print(
+            f"  chosen: {chosen.describe() if chosen else '-'} "
+            f"-> observed {t_adaptive * 1e3:.3f}ms"
+        )
+        got = px.execute(batch, mode=args.mode)
+        want = run_strategy("partition-based", index, batch, mode=args.mode)
+        ok = got == want
+        failures += 0 if ok else 1
+        print(f"  differential: {'exact' if ok else 'MISMATCH'}")
+    px.close()
+    return 1 if failures else 0
+
+
 def _timed(fn, *fn_args, **fn_kwargs) -> float:
     t0 = time.perf_counter()
     fn(*fn_args, **fn_kwargs)
@@ -1308,6 +1409,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cache.add_argument("--seed", type=int, default=0)
     p_cache.set_defaults(fn=_cmd_cache_sim)
+
+    p_plan = sub.add_parser(
+        "plan-sim",
+        help="calibrate the adaptive planner and print its decision "
+        "table (predicted vs observed cost per plan) over homogeneous "
+        "and mixed-extent workloads",
+    )
+    p_plan.add_argument(
+        "--cardinality", type=int, default=50_000, help="synthetic intervals"
+    )
+    p_plan.add_argument("--m", type=int, default=14, help="HINT parameter")
+    p_plan.add_argument("--batch", type=int, default=2_048, help="batch size")
+    p_plan.add_argument(
+        "--mode",
+        default="count",
+        choices=("count", "checksum", "ids"),
+        help="result mode of the planned runs",
+    )
+    p_plan.add_argument(
+        "--calibration",
+        default="results/planner-calibration.json",
+        help="calibration file to load/save",
+    )
+    p_plan.add_argument(
+        "--recalibrate",
+        action="store_true",
+        help="ignore an existing calibration file and re-probe",
+    )
+    p_plan.add_argument(
+        "--exploration",
+        type=float,
+        default=0.0,
+        help="epsilon-greedy exploration rate",
+    )
+    p_plan.add_argument(
+        "--top", type=int, default=8, help="rows of the decision table"
+    )
+    p_plan.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.set_defaults(fn=_cmd_plan_sim)
 
     p_verify = sub.add_parser(
         "verify",

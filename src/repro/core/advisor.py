@@ -3,10 +3,17 @@
 The paper's bottom line (Section 4) is simple — partition-based wins
 everywhere it tested — but the margins depend on the workload, and the
 join-based alternative becomes competitive only when the batch size
-approaches the collection size.  :func:`recommend_strategy` encodes
+approaches the collection size.  :func:`recommend_strategy` surfaces
 those findings as a small, documented decision rule so that library
 users who just want "the right default" get one, together with the
 reasoning.
+
+The rule itself lives in :func:`repro.planner.policy.
+cold_start_recommendation` — it doubles as the adaptive planner's
+cold-start strategy prior, so the advisor and the planner can never
+disagree before calibration; once a :class:`~repro.planner.
+PlannedExecutor` is calibrated, its measured decisions supersede this
+static advice.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.intervals.batch import QueryBatch
+from repro.planner.policy import cold_start_recommendation
 
 __all__ = ["Recommendation", "recommend_strategy"]
 
@@ -45,24 +53,9 @@ def recommend_strategy(
         scans ``S`` once amortizes well enough to consider; below it the
         paper's finding applies — index-based batching dominates.
     """
-    n_queries = len(batch)
-    if n_queries == 0:
-        return Recommendation(
-            "query-based", "empty batch: any strategy is a no-op"
-        )
-    if n_queries == 1:
-        return Recommendation(
-            "query-based",
-            "single query: batching machinery adds overhead with no sharing",
-        )
-    if collection_size and n_queries / collection_size > join_ratio_threshold:
-        return Recommendation(
-            "join-based",
-            f"batch is {n_queries / collection_size:.0%} of the collection; "
-            "a plane-sweep join shares one scan of S across all queries",
-        )
-    return Recommendation(
-        "partition-based",
-        "the paper's overall winner: per-level, per-partition evaluation "
-        "shares partition probes across all relevant queries",
+    strategy, reason = cold_start_recommendation(
+        collection_size,
+        len(batch),
+        join_ratio_threshold=join_ratio_threshold,
     )
+    return Recommendation(strategy, reason)

@@ -31,9 +31,17 @@ to run it:
     GIL-bound work the process backend existed for, without arena or
     pickle costs.
 ``auto``
-    A policy over the above, driven by batch size, strategy, result
-    mode, kernel availability and the machine's core count (see
-    :meth:`_choose`).
+    The adaptive policy: the static threshold prior (see
+    ``auto-static``) until the engine's
+    :class:`~repro.planner.policy.OnlineBackendPolicy` has observed
+    enough per-backend latencies for the batch's (strategy, mode, size
+    bucket), then the observed-fastest backend.  Every executed batch
+    — whatever chose its backend — trains the policy.
+``auto-static``
+    The original threshold policy alone (batch size, strategy, result
+    mode, kernel availability, core count; see :meth:`_choose`), never
+    adapting.  This is the planner's fallback and the ``auto`` policy's
+    cold-start behaviour.
 
 Because the surface matches ``ShardedHint.execute``, a
 :class:`~repro.service.BatchingQueryService` installs an engine through
@@ -75,8 +83,12 @@ from repro.engine.worker import (
 )
 from repro.hint.index import HintIndex
 from repro.intervals.batch import QueryBatch
-from repro.kernels import ops as kernel_ops
 from repro.kernels.compiled import compiled_run
+from repro.planner.policy import (
+    GIL_BOUND_STRATEGIES,
+    OnlineBackendPolicy,
+    static_backend_choice,
+)
 from repro.shard.sharded import ShardedHint
 from repro.verify.faults import SITE_DISPATCH, FaultPlan, InjectedFault
 
@@ -87,6 +99,7 @@ _EMPTY = np.empty(0, dtype=np.int64)
 #: Backend names accepted by :class:`ExecutionEngine`.
 BACKENDS = (
     "auto",
+    "auto-static",
     "serial",
     "threads",
     "processes",
@@ -94,15 +107,10 @@ BACKENDS = (
     "threads+compiled",
 )
 
-#: Strategies whose per-query work is a Python-level loop: they hold the
-#: GIL, so threads cannot speed them up but processes can.  The
-#: partition-based strategy is one vectorized numpy pipeline — its
-#: count/checksum modes parallelize poorly across processes too (the
-#: serial version is already memory-bound), but its ids mode spends its
-#: time materializing per-query arrays, which is GIL-bound again.
-_GIL_BOUND_STRATEGIES = frozenset(
-    {"query-based", "query-based-sorted", "level-based", "join-based"}
-)
+#: Kept as an alias — the canonical set lives with the static policy in
+#: :mod:`repro.planner.policy` so the engine and the planner cannot
+#: drift.
+_GIL_BOUND_STRATEGIES = GIL_BOUND_STRATEGIES
 
 
 class _InlineMap:
@@ -178,6 +186,7 @@ class ExecutionEngine:
         thread_cutoff: int = 2048,
         probation_batches: int = 32,
         max_pool_failures: int = 3,
+        backend_policy: Optional[OnlineBackendPolicy] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -198,6 +207,11 @@ class ExecutionEngine:
         self.thread_cutoff = int(thread_cutoff)
         self.probation_batches = int(probation_batches)
         self.max_pool_failures = int(max_pool_failures)
+        #: The ``auto`` policy's observed-latency ledger; every executed
+        #: batch trains it (see :class:`OnlineBackendPolicy`).
+        self.backend_policy = (
+            backend_policy if backend_policy is not None else OnlineBackendPolicy()
+        )
         self._fault_plan = fault_plan
         self._cpus = os.cpu_count() or 1
         if mp_context is None or isinstance(mp_context, str):
@@ -262,20 +276,15 @@ class ExecutionEngine:
         """Resolve the backend for one batch.
 
         Fixed backends resolve to themselves (``processes`` degrades to
-        ``threads`` while the pool is broken or on probation).  The
-        ``auto`` policy:
-
-        * small batches (< ``serial_cutoff``) and single-core machines
-          always run serial — no parallel backend can amortize its
-          dispatch there;
-        * GIL-bound work (a Python-loop strategy, or ids-mode
-          materialization) of at least ``process_cutoff`` queries goes
-          to ``threads+compiled`` when the JIT kernels are available —
-          nogil machine code without arena/pickle costs — and to the
-          process pool otherwise;
-        * remaining vectorized work of at least ``thread_cutoff``
-          queries uses threads (numpy releases the GIL in the hot
-          loops); anything else runs serial.
+        ``threads`` while the pool is broken or on probation).
+        ``auto-static`` is the original threshold policy
+        (:func:`~repro.planner.policy.static_backend_choice` — note it
+        only prefers ``threads+compiled`` when the JIT kernels are live
+        *and not* on the GIL-holding NumPy fallback); ``auto`` starts
+        from the same prior and deviates once the engine's
+        :class:`~repro.planner.policy.OnlineBackendPolicy` has observed
+        a measurably faster backend for the batch's (strategy, mode,
+        size bucket).
         """
         backend = override if override is not None else self.backend
         if backend not in BACKENDS:
@@ -285,20 +294,41 @@ class ExecutionEngine:
         if backend == "processes":
             self._ensure_processes()
             return "processes" if self.processes_available else "threads"
-        if backend != "auto":
+        if backend not in ("auto", "auto-static"):
             return backend
-        if n < self.serial_cutoff or self._cpus <= 1:
-            return "serial"
-        gil_bound = strategy in _GIL_BOUND_STRATEGIES or mode == "ids"
-        if gil_bound and n >= self.process_cutoff:
-            if kernel_ops.jit_available():
-                return "threads+compiled"
+        static = self._static_choice(n, strategy, mode)
+        if backend == "auto-static":
+            return static
+        try:
+            learned = self.backend_policy.choose(n, strategy, mode, static)
+        except Exception:
+            learned = None  # a broken policy must never fail the batch
+        if learned is None or learned == static:
+            return static
+        if learned not in BACKENDS or learned in ("auto", "auto-static"):
+            return static
+        if learned == "processes":
             self._ensure_processes()
-            if self.processes_available:
-                return "processes"
-        if n >= self.thread_cutoff:
-            return "threads"
-        return "serial"
+            if not self.processes_available:
+                return static
+        return learned
+
+    def _static_choice(self, n: int, strategy: str, mode: str) -> str:
+        """The threshold prior (the ``auto-static`` backend)."""
+        return static_backend_choice(
+            n,
+            strategy,
+            mode,
+            cpus=self._cpus,
+            serial_cutoff=self.serial_cutoff,
+            process_cutoff=self.process_cutoff,
+            thread_cutoff=self.thread_cutoff,
+            processes_up=self._processes_up,
+        )
+
+    def _processes_up(self) -> bool:
+        self._ensure_processes()
+        return self.processes_available
 
     # ------------------------------------------------------------------ #
     # execution
@@ -312,6 +342,7 @@ class ExecutionEngine:
         mode: str = "count",
         backend: Optional[str] = None,
         executor=None,
+        runners=None,
     ) -> BatchResult:
         """Evaluate *batch*; results in caller order, any backend.
 
@@ -321,7 +352,10 @@ class ExecutionEngine:
         :class:`~repro.service.BatchingQueryService` via ``swap_index``
         unchanged.  ``backend`` overrides the engine's configured
         backend for this one call; ``executor`` is forwarded to the
-        thread path (externally managed pools).
+        thread path (externally managed pools); ``runners`` is the
+        sharded per-shard runner chooser (see
+        :meth:`ShardedHint.execute`), forwarded on the in-process paths
+        and ignored for a plain :class:`HintIndex`.
         """
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -341,13 +375,16 @@ class ExecutionEngine:
         try:
             resolved = self._choose(n, strategy, mode, backend)
             ob = obs.active()
+            t0 = perf_counter()
             if ob is None:
                 result, ran_on = self._run(
-                    batch, strategy, mode, resolved, executor
+                    batch, strategy, mode, resolved, executor, runners
                 )
                 self._note_outcome(resolved, ran_on)
+                self.backend_policy.observe(
+                    ran_on, strategy, mode, n, perf_counter() - t0
+                )
                 return result
-            t0 = perf_counter()
             with ob.span(
                 "engine.execute",
                 backend=resolved,
@@ -356,12 +393,14 @@ class ExecutionEngine:
                 mode=mode,
             ) as sp:
                 result, ran_on = self._run(
-                    batch, strategy, mode, resolved, executor
+                    batch, strategy, mode, resolved, executor, runners
                 )
                 if ran_on != resolved:
                     sp.attrs["degraded_to"] = ran_on
             self._note_outcome(resolved, ran_on)
-            ob.record_engine_batch(ran_on, n, perf_counter() - t0)
+            dt = perf_counter() - t0
+            self.backend_policy.observe(ran_on, strategy, mode, n, dt)
+            ob.record_engine_batch(ran_on, n, dt)
             return result
         finally:
             with self._cond:
@@ -383,7 +422,7 @@ class ExecutionEngine:
             elif self._pool_failures and not self._procs_broken and not degraded_now:
                 self._clean_batches += 1
 
-    def _run(self, batch, strategy, mode, resolved, executor):
+    def _run(self, batch, strategy, mode, resolved, executor, runners=None):
         """Dispatch to *resolved*; returns ``(result, backend_that_ran)``."""
         if resolved == "processes":
             try:
@@ -399,26 +438,33 @@ class ExecutionEngine:
                 # good after max_pool_failures consecutive failures.
                 self._degrade(exc)
         if resolved == "compiled":
-            return self._execute_compiled(batch, strategy, mode), "compiled"
+            return self._execute_compiled(batch, strategy, mode, runners), "compiled"
         if resolved == "threads+compiled":
             return (
                 self._execute_threads(
-                    batch, strategy, mode, executor, runner=compiled_run
+                    batch, strategy, mode, executor, runner=compiled_run,
+                    runners=runners,
                 ),
                 "threads+compiled",
             )
         if resolved == "threads" or resolved == "processes":
-            return self._execute_threads(batch, strategy, mode, executor), "threads"
-        return self._execute_serial(batch, strategy, mode), "serial"
+            return (
+                self._execute_threads(
+                    batch, strategy, mode, executor, runners=runners
+                ),
+                "threads",
+            )
+        return self._execute_serial(batch, strategy, mode, runners), "serial"
 
-    def _execute_serial(self, batch, strategy, mode) -> BatchResult:
+    def _execute_serial(self, batch, strategy, mode, runners=None) -> BatchResult:
         if self._is_sharded:
             return self._index.execute(
-                batch, strategy=strategy, mode=mode, executor=_InlineMap()
+                batch, strategy=strategy, mode=mode, executor=_InlineMap(),
+                runners=runners,
             )
         return run_strategy(strategy, self._index, batch, mode=mode)
 
-    def _execute_compiled(self, batch, strategy, mode) -> BatchResult:
+    def _execute_compiled(self, batch, strategy, mode, runners=None) -> BatchResult:
         """The kernel path, serially in the calling thread."""
         if self._is_sharded:
             return self._index.execute(
@@ -427,11 +473,12 @@ class ExecutionEngine:
                 mode=mode,
                 executor=_InlineMap(),
                 runner=compiled_run,
+                runners=runners,
             )
         return compiled_run(strategy, self._index, batch, mode=mode)
 
     def _execute_threads(
-        self, batch, strategy, mode, executor=None, runner=None
+        self, batch, strategy, mode, executor=None, runner=None, runners=None
     ) -> BatchResult:
         if self._is_sharded:
             return self._index.execute(
@@ -440,6 +487,7 @@ class ExecutionEngine:
                 mode=mode,
                 executor=executor,
                 runner=runner,
+                runners=runners,
             )
         return parallel_batch(
             self._index,

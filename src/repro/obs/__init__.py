@@ -38,7 +38,7 @@ import random
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -134,6 +134,15 @@ SLO_VIOLATIONS = "repro_slo_violations_total"
 KERNEL_INVOCATIONS = "repro_kernel_invocations_total"
 KERNEL_COMPILE_SECONDS = "repro_kernel_compile_seconds"
 KERNEL_FALLBACK_ACTIVE = "repro_kernel_fallback_active"
+PLANNER_DECISIONS = "repro_planner_decisions_total"
+PLANNER_SPLITS = "repro_planner_split_batches_total"
+PLANNER_COST_ERROR = "repro_planner_cost_error"
+PLANNER_EXPLORATIONS = "repro_planner_exploration_total"
+PLANNER_CALIBRATION_AGE = "repro_planner_calibration_age_seconds"
+PLANNER_FALLBACKS = "repro_planner_fallbacks_total"
+
+#: Relative-error buckets of the predicted-vs-observed cost histogram.
+COST_ERROR_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
 
 
 class ObsConfig:
@@ -584,6 +593,57 @@ class Observability:
         self.registry.counter(
             NET_DECODE_ERRORS,
             help="Received frames that failed to decode.",
+        ).inc()
+
+    def record_planner_decision(
+        self, plan_keys: Iterable[str], source: str, *, split: bool = False
+    ) -> None:
+        """One planner decision: the chosen plan key(s) (two for a
+        split, labelled by sub-plan) and how the plan was picked
+        (``model`` / ``prior`` / ``explore``)."""
+        for key in plan_keys:
+            self.registry.counter(
+                PLANNER_DECISIONS,
+                labels={"plan": key, "source": source},
+                help="Planner decisions, by chosen plan and decision "
+                "source.",
+            ).inc()
+        if split:
+            self.registry.counter(
+                PLANNER_SPLITS,
+                help="Batches the planner split by extent threshold.",
+            ).inc()
+
+    def record_planner_cost_error(self, rel_error: float) -> None:
+        """Predicted-vs-observed relative cost error of one batch."""
+        self.registry.histogram(
+            PLANNER_COST_ERROR,
+            buckets=COST_ERROR_BUCKETS,
+            help="Relative error |observed - predicted| / observed of "
+            "the planner's cost predictions.",
+        ).observe(float(rel_error))
+
+    def record_planner_exploration(self) -> None:
+        self.registry.counter(
+            PLANNER_EXPLORATIONS,
+            help="Planner decisions taken as epsilon-greedy exploration "
+            "probes.",
+        ).inc()
+
+    def record_planner_calibration_age(self, seconds: float) -> None:
+        self.registry.gauge(
+            PLANNER_CALIBRATION_AGE,
+            help="Seconds since the planner's cost model was calibrated.",
+        ).set(float(seconds))
+
+    def record_planner_fallback(self, reason: str) -> None:
+        """The planner failed to decide and the batch degraded to the
+        static ``auto-static`` policy (no batch is ever lost)."""
+        self.registry.counter(
+            PLANNER_FALLBACKS,
+            labels={"reason": reason},
+            help="Batches degraded to the auto-static policy after a "
+            "planner failure, by reason.",
         ).inc()
 
     def record_fault(self, site: str, action: str) -> None:

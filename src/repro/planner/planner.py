@@ -1,0 +1,499 @@
+"""The adaptive plan selector.
+
+:class:`AdaptivePlanner` scores every legal :class:`~repro.planner.plan.
+Plan` for a batch with the calibrated :class:`~repro.planner.costmodel.
+CostModel` and picks the cheapest — falling back to the paper-rule /
+threshold prior (:mod:`repro.planner.policy`) for anything the model
+has not been calibrated on, so cold-start behaviour is exactly the old
+static policy.  Heterogeneous batches additionally consider a
+:class:`~repro.planner.plan.SplitPlan`: cut at an extent percentile and
+route each side to its own cheapest plan, accepted only when the
+predicted sum beats the best single plan by a margin.
+
+Every decision runs inside a ``planner.decide`` span (attributes say
+which plan won, why, and at what predicted cost) and bumps the
+``repro_planner_*`` series; bounded epsilon-greedy exploration (off by
+default) occasionally picks a non-optimal plan whose predicted cost is
+within ``explore_cap`` of the best, so the online EWMA keeps fresh
+latencies for near-competitive plans and tracks drift after
+``swap_index``, shard rebalance or kernel warm-up.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+import repro.obs as obs
+from repro.analysis.batch_stats import ExtentSummary, batch_extents, summarize_extents
+from repro.intervals.batch import QueryBatch
+from repro.planner.costmodel import CostModel
+from repro.planner.plan import BackendCaps, Plan, SplitPlan, plan_space
+from repro.planner.policy import (
+    DEFAULT_PROCESS_CUTOFF,
+    DEFAULT_SERIAL_CUTOFF,
+    DEFAULT_THREAD_CUTOFF,
+    cold_start_recommendation,
+    static_backend_choice,
+)
+
+__all__ = ["AdaptivePlanner", "Decision"]
+
+
+@dataclass
+class Decision:
+    """One planning outcome, with enough context to explain itself."""
+
+    plan: Union[Plan, SplitPlan]
+    mode: str
+    source: str  # "model" | "prior" | "explore"
+    predicted_s: Optional[float] = None
+    reason: str = ""
+    #: Batch features the decision was made on (cost-model inputs).
+    n: int = 0
+    total_extent: int = 0
+    #: Scored alternatives, cheapest first: ``(plan key, predicted_s)``.
+    table: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def split(self) -> bool:
+        return isinstance(self.plan, SplitPlan)
+
+    def describe(self) -> str:
+        cost = "" if self.predicted_s is None else f" ~{self.predicted_s * 1e3:.3f}ms"
+        return f"{self.plan.describe()} [{self.source}]{cost}"
+
+
+class AdaptivePlanner:
+    """Cost-calibrated plan selection over one installed index.
+
+    Parameters
+    ----------
+    index:
+        The installed index (HintIndex / ShardedHint); only its shape
+        enters — the planner never executes anything itself.
+    caps:
+        Machine/index capabilities; derived from *index* when omitted.
+    model:
+        A (possibly pre-loaded) :class:`CostModel`; a fresh empty one
+        when omitted — the planner then behaves exactly like the static
+        prior until :meth:`calibrate` runs.
+    exploration:
+        Epsilon of the epsilon-greedy loop in ``[0, 1)``; ``0.0``
+        (default — the ``serve`` setting) never explores.
+    explore_cap:
+        Exploration only ever picks plans whose predicted cost is within
+        this factor of the best plan's, bounding the regret of one
+        exploration step.
+    split_margin:
+        A split is chosen only when its predicted total is below the
+        best single plan's prediction times this factor (< 1.0), so
+        model noise near the break-even point keeps the simpler plan.
+    min_split_batch:
+        Batches smaller than this never split — per-side fixed costs
+        dominate.
+    seed:
+        Seed of the exploration RNG (deterministic tests).
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        caps: Optional[BackendCaps] = None,
+        model: Optional[CostModel] = None,
+        exploration: float = 0.0,
+        explore_cap: float = 4.0,
+        split_margin: float = 0.9,
+        min_split_batch: int = 512,
+        min_heterogeneity: float = 2.0,
+        strategies: Optional[Sequence[str]] = None,
+        serial_cutoff: int = DEFAULT_SERIAL_CUTOFF,
+        process_cutoff: int = DEFAULT_PROCESS_CUTOFF,
+        thread_cutoff: int = DEFAULT_THREAD_CUTOFF,
+        seed: int = 0,
+    ):
+        if not 0.0 <= exploration < 1.0:
+            raise ValueError("exploration must lie in [0, 1)")
+        self._index = index
+        self.caps = caps if caps is not None else BackendCaps.from_index(index)
+        self.model = model if model is not None else CostModel()
+        self.exploration = float(exploration)
+        self.explore_cap = float(explore_cap)
+        self.split_margin = float(split_margin)
+        self.min_split_batch = int(min_split_batch)
+        self.min_heterogeneity = float(min_heterogeneity)
+        self.strategies = tuple(strategies) if strategies is not None else None
+        self.serial_cutoff = int(serial_cutoff)
+        self.process_cutoff = int(process_cutoff)
+        self.thread_cutoff = int(thread_cutoff)
+        self._rng = random.Random(seed)
+        self._collection_size = int(getattr(index, "size", None) or len(index))
+        self._decisions = 0
+        self._explorations = 0
+
+    # ------------------------------------------------------------------ #
+    # deciding
+    # ------------------------------------------------------------------ #
+
+    def decide(
+        self,
+        batch: QueryBatch,
+        *,
+        mode: str = "count",
+        strategy: Optional[str] = None,
+        allow_split: bool = True,
+    ) -> Decision:
+        """Pick the plan for *batch*; ``strategy`` pins that dimension."""
+        ob = obs.active()
+        if ob is None:
+            return self._decide_inner(batch, mode, strategy, allow_split, None)
+        with ob.span("planner.decide", queries=len(batch), mode=mode) as sp:
+            decision = self._decide_inner(batch, mode, strategy, allow_split, ob)
+            sp.attrs["plan"] = (
+                decision.plan.describe()
+                if decision.split
+                else decision.plan.key(mode)
+            )
+            sp.attrs["source"] = decision.source
+            if decision.predicted_s is not None:
+                sp.attrs["predicted_s"] = decision.predicted_s
+        return decision
+
+    def _decide_inner(self, batch, mode, strategy, allow_split, ob) -> Decision:
+        n = len(batch)
+        self._decisions += 1
+        pinned = [strategy] if strategy is not None else self.strategies
+        plans = plan_space(self.caps, strategies=pinned)
+        summary = summarize_extents(batch)
+
+        scored: List[Tuple[float, Plan]] = []
+        for plan in plans:
+            predicted = self.model.predict(plan.key(mode), n, summary.total_extent)
+            if predicted is not None:
+                scored.append((predicted, plan))
+        scored.sort(key=lambda item: item[0])
+        table = [(plan.key(mode), cost) for cost, plan in scored]
+
+        if not scored:
+            decision = self._prior_decision(n, mode, strategy)
+            decision.table = table
+            decision.n, decision.total_extent = n, summary.total_extent
+            self._record(decision, ob)
+            return decision
+
+        best_cost, best_plan = scored[0]
+        decision = Decision(
+            plan=best_plan,
+            mode=mode,
+            source="model",
+            predicted_s=best_cost,
+            reason="cheapest calibrated plan",
+            table=table,
+            n=n,
+            total_extent=summary.total_extent,
+        )
+
+        if self.exploration and len(scored) > 1:
+            if self._rng.random() < self.exploration:
+                cap = best_cost * self.explore_cap
+                pool = [
+                    (cost, plan)
+                    for cost, plan in scored[1:]
+                    if cost <= cap
+                ]
+                if pool:
+                    cost, plan = self._rng.choice(pool)
+                    self._explorations += 1
+                    decision = Decision(
+                        plan=plan,
+                        mode=mode,
+                        source="explore",
+                        predicted_s=cost,
+                        reason=(
+                            f"epsilon-greedy probe (within {self.explore_cap:g}x "
+                            "of the best plan)"
+                        ),
+                        table=table,
+                        n=n,
+                        total_extent=summary.total_extent,
+                    )
+                    self._record(decision, ob)
+                    return decision
+
+        if allow_split and decision.source == "model":
+            split = self._consider_split(batch, summary, mode, scored)
+            if split is not None:
+                split.table = table
+                decision = split
+
+        self._record(decision, ob)
+        return decision
+
+    def _prior_decision(self, n: int, mode: str, strategy: Optional[str]) -> Decision:
+        """The cold-start plan: paper-rule strategy, threshold backend.
+
+        The backend is ``auto-static`` — the engine's own static policy
+        resolves it per batch, so pre-calibration behaviour (process
+        probation and all) is *exactly* the pre-planner engine.  The
+        nominal static pick still lands in the reason string for
+        explainability.
+        """
+        if strategy is not None:
+            chosen, reason = strategy, "strategy pinned by caller"
+        else:
+            chosen, reason = cold_start_recommendation(self._collection_size, n)
+        nominal = static_backend_choice(
+            n,
+            chosen,
+            mode,
+            cpus=self.caps.cpus,
+            serial_cutoff=self.serial_cutoff,
+            process_cutoff=self.process_cutoff,
+            thread_cutoff=self.thread_cutoff,
+        )
+        return Decision(
+            plan=Plan(strategy=chosen, backend="auto-static"),
+            mode=mode,
+            source="prior",
+            predicted_s=None,
+            reason=f"{reason}; static policy resolves to {nominal}",
+        )
+
+    def _consider_split(
+        self,
+        batch: QueryBatch,
+        summary: ExtentSummary,
+        mode: str,
+        scored: List[Tuple[float, Plan]],
+    ) -> Optional[Decision]:
+        """Try extent-percentile cuts; keep one only if it clearly wins."""
+        n = summary.num_queries
+        if n < self.min_split_batch:
+            return None
+        if summary.heterogeneity < self.min_heterogeneity:
+            return None
+        best_cost, _ = scored[0]
+        ext = batch_extents(batch)
+        thresholds = sorted(
+            {
+                t
+                for t in summary.percentiles.values()
+                if summary.min_extent <= t < summary.max_extent
+            }
+        )
+        best_split: Optional[Tuple[float, SplitPlan]] = None
+        for threshold in thresholds:
+            mask = ext <= threshold
+            n_narrow = int(mask.sum())
+            n_wide = n - n_narrow
+            if n_narrow == 0 or n_wide == 0:
+                continue
+            e_narrow = int(ext[mask].sum())
+            e_wide = summary.total_extent - e_narrow
+            narrow = self._cheapest(scored, n_narrow, e_narrow, mode)
+            wide = self._cheapest(scored, n_wide, e_wide, mode)
+            if narrow is None or wide is None:
+                continue
+            (c_narrow, p_narrow), (c_wide, p_wide) = narrow, wide
+            if p_narrow == p_wide:
+                continue  # same plan on both sides: splitting only adds overhead
+            total = c_narrow + c_wide
+            if best_split is None or total < best_split[0]:
+                best_split = (
+                    total,
+                    SplitPlan(threshold=int(threshold), narrow=p_narrow, wide=p_wide),
+                )
+        if best_split is None:
+            return None
+        total, split = best_split
+        if total >= best_cost * self.split_margin:
+            return None
+        return Decision(
+            plan=split,
+            mode=mode,
+            source="model",
+            predicted_s=total,
+            reason=(
+                f"extent split beats best single plan "
+                f"({total * 1e3:.3f}ms vs {best_cost * 1e3:.3f}ms predicted)"
+            ),
+            n=n,
+            total_extent=summary.total_extent,
+        )
+
+    def _cheapest(
+        self,
+        scored: List[Tuple[float, Plan]],
+        n: int,
+        total_extent: int,
+        mode: str,
+    ) -> Optional[Tuple[float, Plan]]:
+        """Cheapest calibrated plan for a sub-batch's features."""
+        best: Optional[Tuple[float, Plan]] = None
+        for _, plan in scored:
+            predicted = self.model.predict(plan.key(mode), n, total_extent)
+            if predicted is None:
+                continue
+            if best is None or predicted < best[0]:
+                best = (predicted, plan)
+        return best
+
+    def _record(self, decision: Decision, ob) -> None:
+        if ob is None:
+            return
+        if decision.split:
+            keys = [
+                decision.plan.narrow.key(decision.mode),
+                decision.plan.wide.key(decision.mode),
+            ]
+        else:
+            keys = [decision.plan.key(decision.mode)]
+        ob.record_planner_decision(
+            keys, decision.source, split=decision.split
+        )
+        if decision.source == "explore":
+            ob.record_planner_exploration()
+        age = self.model.age_seconds()
+        if age is not None:
+            ob.record_planner_calibration_age(age)
+
+    # ------------------------------------------------------------------ #
+    # feedback + calibration
+    # ------------------------------------------------------------------ #
+
+    def observe(
+        self, plan: Plan, mode: str, n: int, total_extent: int, seconds: float
+    ) -> Optional[float]:
+        """Fold one executed (sub-)plan's latency back into the model."""
+        rel_error = self.model.observe(plan.key(mode), n, total_extent, seconds)
+        if rel_error is not None:
+            ob = obs.active()
+            if ob is not None:
+                ob.record_planner_cost_error(rel_error)
+        return rel_error
+
+    @property
+    def exploration_rate(self) -> float:
+        """Fraction of decisions so far that were exploration probes."""
+        if not self._decisions:
+            return 0.0
+        return self._explorations / self._decisions
+
+    def calibrate(
+        self,
+        run_plan: Callable[[Plan, QueryBatch, str], object],
+        *,
+        modes: Sequence[str] = ("count", "checksum", "ids"),
+        budget_s: float = 0.12,
+        seed: int = 0,
+        save_path: Optional[str] = None,
+    ) -> CostModel:
+        """Startup micro-calibration: seeded probes, lstsq per plan.
+
+        *run_plan* executes ``(plan, batch, mode)`` on the real installed
+        index (the executor passes its engine).  Each (plan, mode) pair
+        gets one untimed warm-up (first-call costs — kernel warm-up,
+        lazily built sort caches — belong to no steady-state
+        coefficient), then three probes spanning the feature space —
+        two batch sizes at a narrow extent plus a wide-extent batch,
+        best-of-two each — fitted into ``(fixed, per_query,
+        per_extent)``.  Probing stops when *budget_s* is exhausted;
+        un-probed plans simply stay on the prior.  Deterministic under
+        *seed*.
+        """
+        rng = np.random.default_rng(seed)
+        top = _domain_top(self._index)
+        probes = _probe_batches(rng, top)
+        t_start = perf_counter()
+        for mode in modes:
+            plans = plan_space(self.caps, strategies=self.strategies)
+            for plan in plans:
+                if perf_counter() - t_start > budget_s:
+                    break
+                t0 = perf_counter()
+                run_plan(plan, probes[0][0], mode)  # warm-up, untimed
+                warm_dt = perf_counter() - t0
+                # A plan too slow to probe twice within what remains of
+                # the budget stays on the prior (it would not win anyway).
+                remaining = budget_s - (perf_counter() - t_start)
+                if warm_dt * 2 * len(probes) > remaining and remaining < budget_s / 2:
+                    continue
+                samples: List[Tuple[int, int, float]] = []
+                for batch, total_extent in probes:
+                    best = None
+                    # Best-of-two absorbs scheduler noise; a probe that
+                    # already cost > 5 ms is measured once — noise is
+                    # relatively small there and budget is precious.
+                    for _ in range(2):
+                        t0 = perf_counter()
+                        run_plan(plan, batch, mode)
+                        dt = perf_counter() - t0
+                        best = dt if best is None else min(best, dt)
+                        if dt > 0.005:
+                            break
+                    samples.append((len(batch), total_extent, best))
+                self.model.fit(plan.key(mode), samples)
+        self.model.meta.setdefault("index", _index_meta(self._index))
+        self.model.meta.setdefault(
+            "machine", {"cpus": self.caps.cpus, "workers": self.caps.workers}
+        )
+        if save_path is not None:
+            self.model.save(save_path)
+        return self.model
+
+    def stats(self) -> Dict[str, object]:
+        """Introspection snapshot (plan-sim, tests)."""
+        return {
+            "decisions": self._decisions,
+            "explorations": self._explorations,
+            "exploration_rate": self.exploration_rate,
+            "calibrated_plans": self.model.keys(),
+            "calibration_age_s": self.model.age_seconds(),
+        }
+
+
+def _domain_top(index) -> int:
+    """Top usable domain value of any supported index kind."""
+    m = getattr(index, "m", None)
+    if m is not None:
+        return (1 << int(m)) - 1
+    top = getattr(index, "_domain_top", None)
+    if top is not None:
+        return int(top)
+    shards = getattr(index, "shards", None)
+    if shards:
+        return int(shards[-1].hi)
+    return (1 << 16) - 1
+
+
+def _index_meta(index) -> dict:
+    return {
+        "kind": type(index).__name__,
+        "size": int(getattr(index, "size", None) or len(index)),
+        "m": int(getattr(index, "m", 0) or 0),
+    }
+
+
+def _probe_batches(rng, top: int) -> List[Tuple[QueryBatch, int]]:
+    """The seeded probe suite: (batch, total_extent) feature points.
+
+    Three points span the (n, extent) plane so the lstsq fit is
+    determined: small/narrow isolates the fixed cost, large/narrow the
+    per-query marginal, large/wide the per-extent marginal.
+    """
+    narrow = max(top // 512, 1)
+    wide = max(top // 32, 2)
+    points = [(48, narrow), (192, narrow), (192, wide)]
+    out: List[Tuple[QueryBatch, int]] = []
+    for n, extent in points:
+        st = rng.integers(0, max(top - extent, 1), size=n)
+        ext = rng.integers(extent // 2, extent + 1, size=n)
+        end = np.minimum(st + ext, top)
+        batch = QueryBatch(st, end)
+        out.append((batch, int((batch.end - batch.st).sum())))
+    return out

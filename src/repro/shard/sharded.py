@@ -470,6 +470,7 @@ class ShardedHint:
         mode: str = "count",
         executor: Optional[ThreadPoolExecutor] = None,
         runner=None,
+        runners=None,
     ) -> BatchResult:
         """Evaluate *batch* across the shards; results in caller order.
 
@@ -480,7 +481,12 @@ class ShardedHint:
         changes.  *runner* optionally substitutes a
         ``run_strategy``-shaped callable for each shard's primary-slice
         evaluation (the ``compiled`` engine backend's hook); replica and
-        spill probes are plain searchsorted cuts either way.
+        spill probes are plain searchsorted cuts either way.  *runners*
+        refines that per shard: a ``(shard, n_primary) -> callable or
+        None`` chooser consulted for each shard's primary slice (the
+        planner's per-shard plan choice — e.g. compiled kernels only on
+        shards whose routed slice is large enough to amortize them);
+        ``None`` falls back to *runner* / :func:`run_strategy`.
         """
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -496,13 +502,13 @@ class ShardedHint:
         ob = obs.active()
         if ob is None:
             return self._execute_inner(
-                batch, strategy, mode, executor, None, runner
+                batch, strategy, mode, executor, None, runner, runners
             )
         with ob.span(
             "shard.execute", strategy=strategy, queries=n, mode=mode, k=self.k
         ):
             return self._execute_inner(
-                batch, strategy, mode, executor, ob, runner
+                batch, strategy, mode, executor, ob, runner, runners
             )
 
     def _route(self, batch: QueryBatch):
@@ -575,7 +581,7 @@ class ShardedHint:
 
     def _execute_inner(
         self, batch: QueryBatch, strategy: str, mode: str, executor, ob,
-        runner=None,
+        runner=None, runners=None,
     ) -> BatchResult:
         n = len(batch)
         work, q_st, q_end, jobs = self._route(batch)
@@ -591,12 +597,14 @@ class ShardedHint:
             j, j0, j1, spill = job
             if ob is None:
                 return self._run_shard(
-                    j, j0, j1, spill, q_st, q_end, strategy, mode, runner
+                    j, j0, j1, spill, q_st, q_end, strategy, mode, runner,
+                    runners,
                 )
             t0 = perf_counter()
             with ob.recorder.trace_scope(trace_ids):
                 out = self._run_shard(
-                    j, j0, j1, spill, q_st, q_end, strategy, mode, runner
+                    j, j0, j1, spill, q_st, q_end, strategy, mode, runner,
+                    runners,
                 )
             ob.record_shard_batch(
                 j, j1 - j0, int(spill.size), perf_counter() - t0,
@@ -614,7 +622,7 @@ class ShardedHint:
         return self._merge(partials, work, n, mode)
 
     def _run_shard(self, j, j0, j1, spill, q_st, q_end, strategy, mode,
-                   runner=None):
+                   runner=None, runners=None):
         """Execute one shard's primary slice, replica probe and spills.
 
         Runs on a worker thread; returns contributions only — all
@@ -624,6 +632,10 @@ class ShardedHint:
         if j1 > j0:
             sub = self._primary_local_batch(j, j0, j1, q_st, q_end)
             exec_fn = runner if runner is not None else run_strategy
+            if runners is not None:
+                chosen = runners(j, j1 - j0)
+                if chosen is not None:
+                    exec_fn = chosen
             primary = exec_fn(strategy, self.shards[j].index, sub, mode=mode)
             rep_ks = self._probe_replicas(j, j0, j1, q_st)
         if spill.size:

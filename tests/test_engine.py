@@ -495,6 +495,7 @@ class TestEngineObservability:
 def test_backends_constant_is_exported():
     assert set(BACKENDS) == {
         "auto",
+        "auto-static",
         "serial",
         "threads",
         "processes",

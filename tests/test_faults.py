@@ -81,6 +81,7 @@ class TestFaultRuleValidation:
             "cache.invalidate",
             "net.accept",
             "net.decode",
+            "planner.decide",
         }
         assert ACTIONS == ("raise", "delay")
 

@@ -360,11 +360,13 @@ class TestEngineWiring:
     def test_auto_policy_prefers_compiled_threads_when_jit(
         self, workload, monkeypatch
     ):
-        """With the JIT available, GIL-bound work above process_cutoff
-        displaces process dispatch with threads+compiled."""
+        """With the JIT *live* (importable and not displaced by the
+        NumPy fallback), GIL-bound work above process_cutoff displaces
+        process dispatch with threads+compiled."""
         with ExecutionEngine(workload["hint"], workers=2) as engine:
             engine._cpus = 8
             monkeypatch.setattr(ops, "jit_available", lambda: True)
+            monkeypatch.setattr(ops, "fallback_active", lambda: False)
             assert (
                 engine._choose(5_000, "query-based", "count", None)
                 == "threads+compiled"
@@ -377,6 +379,21 @@ class TestEngineWiring:
             assert (
                 engine._choose(5_000, "partition-based", "count", None)
                 == "threads"
+            )
+
+    def test_auto_policy_fallback_kernels_do_not_thread(
+        self, workload, monkeypatch
+    ):
+        """A numba import that succeeded but was displaced by the NumPy
+        fallback (REPRO_KERNELS=off) holds the GIL — auto must route
+        GIL-bound batches to processes, not threads+compiled."""
+        with ExecutionEngine(workload["hint"], workers=2) as engine:
+            engine._cpus = 8
+            monkeypatch.setattr(ops, "jit_available", lambda: True)
+            monkeypatch.setattr(ops, "fallback_active", lambda: True)
+            assert (
+                engine._choose(5_000, "query-based", "count", None)
+                == "processes"
             )
 
     def test_auto_policy_without_jit_unchanged(self, workload, monkeypatch):

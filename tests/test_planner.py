@@ -1,0 +1,655 @@
+"""Unit tests for the adaptive batch planner (``repro.planner``).
+
+Covers the cost model (fit / predict / EWMA drift / persistence), the
+plan space legality rules, the static backend policy — including the
+kernel-fallback regression where ``threads+compiled`` must not be
+preferred while the pure-NumPy fallback serves the compiled path — the
+engine's online backend policy, and the planner's decision logic
+(prior vs model vs exploration vs split).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.batch_stats import batch_extents, summarize_extents
+from repro.hint.index import HintIndex
+from repro.intervals.batch import QueryBatch
+from repro.kernels import ops as kernel_ops
+from repro.planner import (
+    AdaptivePlanner,
+    BackendCaps,
+    CostModel,
+    Plan,
+    PlanCost,
+    PlannedExecutor,
+    SplitPlan,
+    plan_space,
+)
+from repro.planner.plan import plan_key
+from repro.planner.policy import (
+    GIL_BOUND_STRATEGIES,
+    OnlineBackendPolicy,
+    cold_start_recommendation,
+    compiled_kernels_nogil,
+    static_backend_choice,
+)
+from tests.conftest import random_collection
+
+# --------------------------------------------------------------------- #
+# cost model
+# --------------------------------------------------------------------- #
+
+
+class TestPlanCost:
+    def test_predict_is_affine(self):
+        cost = PlanCost(fixed_s=0.5, per_query_s=0.01, per_extent_s=0.001)
+        assert cost.predict(0, 0) == pytest.approx(0.5)
+        assert cost.predict(10, 100) == pytest.approx(0.5 + 0.1 + 0.1)
+
+
+class TestCostModel:
+    def test_fit_recovers_planted_coefficients(self):
+        model = CostModel()
+        fixed, per_q, per_e = 2e-3, 5e-6, 1e-8
+        samples = [
+            (n, e, fixed + per_q * n + per_e * e)
+            for n, e in [(10, 1000), (100, 1000), (100, 100_000), (500, 5000)]
+        ]
+        cost = model.fit("p|serial|count", samples)
+        assert cost.fixed_s == pytest.approx(fixed, rel=1e-6)
+        assert cost.per_query_s == pytest.approx(per_q, rel=1e-6)
+        assert cost.per_extent_s == pytest.approx(per_e, rel=1e-6)
+        assert model.calibrated
+
+    def test_fit_clamps_negative_coefficients(self):
+        model = CostModel()
+        # Noisy samples engineered to drive the lstsq fixed term negative.
+        cost = model.fit(
+            "k", [(10, 0, 0.0001), (20, 0, 0.0100), (40, 0, 0.0150)]
+        )
+        assert cost.fixed_s >= 0.0
+        assert cost.per_query_s >= 0.0
+        assert cost.per_extent_s >= 0.0
+
+    def test_predict_uncalibrated_is_none(self):
+        model = CostModel()
+        assert model.predict("nope", 10, 10) is None
+        assert model.observe("nope", 10, 10, 0.5) is None
+
+    def test_observe_returns_relative_error_and_tracks_drift(self):
+        model = CostModel(ewma_alpha=0.5)
+        model.fit("k", [(10, 0, 0.010), (100, 0, 0.100), (100, 50, 0.100)])
+        # Model predicts ~1 ms/query; observe a consistent 2x slowdown.
+        err = model.observe("k", 50, 0, 0.100)
+        assert err == pytest.approx(0.5, rel=1e-2)  # |0.1 - 0.05| / 0.1
+        assert model.drift("k") == pytest.approx(1.5, rel=1e-2)
+        for _ in range(10):
+            model.observe("k", 50, 0, 0.100)
+        # EWMA converges onto the true ratio; predictions follow it.
+        assert model.drift("k") == pytest.approx(2.0, rel=0.05)
+        assert model.predict("k", 50, 0) == pytest.approx(0.100, rel=0.05)
+
+    def test_refit_resets_drift(self):
+        model = CostModel()
+        model.fit("k", [(10, 0, 0.01), (100, 0, 0.1), (100, 50, 0.1)])
+        model.observe("k", 50, 0, 0.5)
+        assert model.drift("k") != 1.0
+        model.fit("k", [(10, 0, 0.01), (100, 0, 0.1), (100, 50, 0.1)])
+        assert model.drift("k") == 1.0
+
+    def test_degenerate_observations_are_ignored(self):
+        model = CostModel()
+        model.fit("k", [(10, 0, 0.01), (100, 0, 0.1), (100, 50, 0.1)])
+        assert model.observe("k", 0, 0, 0.1) is None
+        assert model.observe("k", 10, 0, 0.0) is None
+        assert model.drift("k") == 1.0
+
+    def test_fit_requires_samples(self):
+        with pytest.raises(ValueError, match="zero probes"):
+            CostModel().fit("k", [])
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError, match="ewma_alpha"):
+            CostModel(ewma_alpha=0.0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        model = CostModel(meta={"index": {"kind": "HintIndex", "size": 100}})
+        model.fit("a|serial|count", [(10, 5, 0.01), (100, 5, 0.1), (100, 500, 0.2)])
+        model.fit("b|compiled|ids", [(10, 5, 0.02), (100, 5, 0.3), (100, 500, 0.4)])
+        path = str(tmp_path / "cal.json")
+        model.save(path)
+        loaded = CostModel.load(path)
+        assert loaded.to_dict() == model.to_dict()
+        assert loaded.keys() == model.keys()
+        for key in model.keys():
+            assert loaded.predict(key, 77, 1234) == pytest.approx(
+                model.predict(key, 77, 1234)
+            )
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "entries": {}}')
+        with pytest.raises(ValueError, match="unsupported calibration version"):
+            CostModel.load(str(path))
+
+    def test_age_tracks_calibration_instant(self):
+        model = CostModel()
+        assert model.age_seconds() is None
+        model.fit("k", [(10, 0, 0.01)])
+        assert model.age_seconds(now=model.created_at + 7.0) == pytest.approx(7.0)
+
+
+# --------------------------------------------------------------------- #
+# plan space
+# --------------------------------------------------------------------- #
+
+
+class TestPlanSpace:
+    def test_single_core_space(self):
+        caps = BackendCaps(cpus=1, workers=1, compiled_ok=True)
+        plans = plan_space(caps, strategies=("partition-based", "join-based"))
+        keys = {(p.strategy, p.backend) for p in plans}
+        assert keys == {
+            ("partition-based", "serial"),
+            ("partition-based", "compiled"),
+            ("join-based", "serial"),
+        }
+
+    def test_multi_core_space_adds_thread_backends(self):
+        caps = BackendCaps(cpus=4, workers=4, compiled_ok=True)
+        backends = set(caps.backends_for("partition-based"))
+        assert backends == {"serial", "compiled", "threads", "threads+compiled"}
+        # Compiled kernels only accelerate the partition-based sweep.
+        assert set(caps.backends_for("join-based")) == {"serial", "threads"}
+
+    def test_processes_require_opt_in(self):
+        caps = BackendCaps(cpus=4, workers=4, processes_ok=True)
+        assert "processes" in caps.backends_for("join-based")
+        caps = BackendCaps(cpus=4, workers=4, processes_ok=False)
+        assert "processes" not in caps.backends_for("join-based")
+
+    def test_compiled_excluded_without_kernel_support(self):
+        caps = BackendCaps(cpus=4, workers=4, compiled_ok=False)
+        assert "compiled" not in caps.backends_for("partition-based")
+        assert "threads+compiled" not in caps.backends_for("partition-based")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            plan_space(BackendCaps(), strategies=("frobnicate",))
+
+    def test_from_index_detects_kind(self, rng):
+        coll = random_collection(rng, 200, 1023)
+        index = HintIndex(coll, m=10)
+        caps = BackendCaps.from_index(index, cpus=2, workers=2)
+        assert caps.compiled_ok and not caps.sharded
+        assert caps.cpus == 2
+
+    def test_plan_key_shape(self):
+        assert plan_key("partition-based", "serial", "ids") == (
+            "partition-based|serial|ids"
+        )
+        assert Plan("a", "b").key("c") == "a|b|c"
+
+
+# --------------------------------------------------------------------- #
+# static policy (incl. the kernel-fallback regression)
+# --------------------------------------------------------------------- #
+
+
+class TestStaticBackendChoice:
+    def test_small_batches_and_single_core_stay_serial(self):
+        assert static_backend_choice(16, "join-based", "ids", cpus=8) == "serial"
+        assert static_backend_choice(100_000, "join-based", "ids", cpus=1) == "serial"
+
+    def test_vectorized_work_uses_threads_above_cutoff(self):
+        choice = static_backend_choice(4096, "partition-based", "count", cpus=8)
+        assert choice == "threads"
+        assert (
+            static_backend_choice(1024, "partition-based", "count", cpus=8)
+            == "serial"
+        )
+
+    def test_gil_bound_with_live_jit_prefers_compiled_threads(self, monkeypatch):
+        monkeypatch.setattr(kernel_ops, "jit_available", lambda: True)
+        monkeypatch.setattr(kernel_ops, "fallback_active", lambda: False)
+        assert compiled_kernels_nogil()
+        choice = static_backend_choice(1024, "partition-based", "ids", cpus=8)
+        assert choice == "threads+compiled"
+
+    def test_fallback_kernels_must_not_pick_compiled_threads(self, monkeypatch):
+        """Regression: the numpy-fallback kernels hold the GIL, so
+        ``threads+compiled`` is strictly worse than processes for a
+        GIL-bound ids batch — ``auto`` must route around it."""
+        monkeypatch.setattr(kernel_ops, "jit_available", lambda: True)
+        monkeypatch.setattr(kernel_ops, "fallback_active", lambda: True)
+        assert not compiled_kernels_nogil()
+        choice = static_backend_choice(
+            1024, "partition-based", "ids", cpus=8, processes_up=lambda: True
+        )
+        assert choice == "processes"
+        # With no process pool either, a 1024-query ids batch is below
+        # the thread cutoff: serial, never threads+compiled.
+        choice = static_backend_choice(1024, "partition-based", "ids", cpus=8)
+        assert choice == "serial"
+
+    def test_processes_pool_probed_lazily(self, monkeypatch):
+        monkeypatch.setattr(kernel_ops, "jit_available", lambda: False)
+        calls = []
+
+        def processes_up():
+            calls.append(True)
+            return False
+
+        choice = static_backend_choice(
+            100, "join-based", "ids", cpus=8, processes_up=processes_up
+        )
+        assert choice == "serial" and not calls  # below cutoff: not probed
+        static_backend_choice(
+            1024, "join-based", "ids", cpus=8, processes_up=processes_up
+        )
+        assert calls  # above cutoff: pool probed exactly then
+
+    def test_gil_bound_set(self):
+        assert "partition-based" not in GIL_BOUND_STRATEGIES
+        assert "join-based" in GIL_BOUND_STRATEGIES
+
+
+class TestColdStartRecommendation:
+    def test_matches_advisor_reasons(self):
+        from repro.core.advisor import recommend_strategy
+        from repro.intervals.batch import QueryBatch
+
+        for size, n in [(1000, 0), (1000, 1), (1000, 100), (100, 90)]:
+            batch = QueryBatch(np.zeros(n, dtype=np.int64), np.ones(n, dtype=np.int64))
+            rec = recommend_strategy(size, batch)
+            strategy, reason = cold_start_recommendation(size, n)
+            assert rec.strategy == strategy
+            assert rec.reason == reason
+
+
+# --------------------------------------------------------------------- #
+# the engine's online backend policy
+# --------------------------------------------------------------------- #
+
+
+class TestOnlineBackendPolicy:
+    def test_cold_start_returns_none(self):
+        policy = OnlineBackendPolicy()
+        assert policy.choose(100, "partition-based", "count", "serial") is None
+
+    def test_needs_static_pick_measured_first(self):
+        policy = OnlineBackendPolicy(min_samples=3)
+        for _ in range(5):
+            policy.observe("threads", "partition-based", "count", 100, 0.001)
+        # The alternative is well measured but the static pick is not.
+        assert policy.choose(100, "partition-based", "count", "serial") is None
+
+    def test_deviates_only_on_clear_improvement(self):
+        policy = OnlineBackendPolicy(min_samples=3, improvement=0.85)
+        for _ in range(3):
+            policy.observe("serial", "partition-based", "count", 100, 0.010)
+            policy.observe("threads", "partition-based", "count", 100, 0.009)
+        # 10% faster: inside the noise band, keep the prior.
+        assert policy.choose(100, "partition-based", "count", "serial") is None
+        for _ in range(6):
+            policy.observe("threads", "partition-based", "count", 100, 0.004)
+        assert (
+            policy.choose(100, "partition-based", "count", "serial") == "threads"
+        )
+
+    def test_buckets_isolate_sizes(self):
+        policy = OnlineBackendPolicy(min_samples=1)
+        policy.observe("serial", "p", "count", 100, 0.010)
+        policy.observe("threads", "p", "count", 100, 0.001)
+        # Same strategy, very different size: no observations there.
+        assert policy.choose(100_000, "p", "count", "serial") is None
+        assert policy.choose(100, "p", "count", "serial") == "threads"
+
+    def test_cell_count_is_bounded(self):
+        policy = OnlineBackendPolicy(max_cells=10)
+        for i in range(50):
+            policy.observe("serial", f"s{i}", "count", 100, 0.01)
+        assert len(policy.snapshot()) == 10
+
+    def test_snapshot_shape(self):
+        policy = OnlineBackendPolicy()
+        policy.observe("serial", "p", "ids", 100, 0.01)
+        snap = policy.snapshot()
+        (key,) = snap.keys()
+        assert key == "p|ids|b7|serial"
+        assert snap[key]["count"] == 1
+
+
+# --------------------------------------------------------------------- #
+# planner decisions
+# --------------------------------------------------------------------- #
+
+
+def _uniform_batch(rng, n, extent, top=1023):
+    st = rng.integers(0, top - extent, size=n)
+    return QueryBatch(st, st + extent)
+
+
+def _mixed_batch(rng, n_narrow, n_wide, e_narrow, e_wide, top=1023):
+    st1 = rng.integers(0, top - e_narrow, size=n_narrow)
+    st2 = rng.integers(0, top - e_wide, size=n_wide)
+    st = np.concatenate([st1, st2])
+    end = np.concatenate([st1 + e_narrow, st2 + e_wide])
+    perm = rng.permutation(st.size)
+    return QueryBatch(st[perm], end[perm])
+
+
+@pytest.fixture
+def small_hint(rng):
+    index = HintIndex(random_collection(rng, 400, 1023), m=10)
+    index.precompute_aux()
+    return index
+
+
+class TestAdaptivePlanner:
+    def test_uncalibrated_decision_is_the_static_prior(self, small_hint, rng):
+        planner = AdaptivePlanner(small_hint)
+        batch = _uniform_batch(rng, 64, 8)
+        decision = planner.decide(batch, mode="count")
+        assert decision.source == "prior"
+        assert decision.plan.backend == "auto-static"
+        strategy, reason = cold_start_recommendation(len(small_hint), 64)
+        assert decision.plan.strategy == strategy
+        assert reason in decision.reason
+
+    def test_pinned_strategy_respected_by_prior(self, small_hint, rng):
+        planner = AdaptivePlanner(small_hint)
+        decision = planner.decide(
+            _uniform_batch(rng, 64, 8), mode="count", strategy="level-based"
+        )
+        assert decision.plan.strategy == "level-based"
+        assert "pinned" in decision.reason
+
+    def test_calibrated_decision_picks_cheapest(self, small_hint, rng):
+        model = CostModel()
+        # Plant costs: compiled clearly cheapest for this shape.
+        model.fit("partition-based|serial|count", [(64, 512, 0.010)])
+        model.fit("partition-based|compiled|count", [(64, 512, 0.001)])
+        model.fit("join-based|serial|count", [(64, 512, 0.020)])
+        caps = BackendCaps(cpus=1, workers=1, compiled_ok=True)
+        planner = AdaptivePlanner(small_hint, caps=caps, model=model)
+        decision = planner.decide(_uniform_batch(rng, 64, 8), mode="count")
+        assert decision.source == "model"
+        assert decision.plan == Plan("partition-based", "compiled")
+        # The decision table is sorted cheapest-first and covers all plans.
+        assert [k for k, _ in decision.table][0] == "partition-based|compiled|count"
+        assert len(decision.table) == 3
+
+    def test_exploration_is_bounded_and_deterministic(self, small_hint, rng):
+        def build(seed):
+            model = CostModel()
+            model.fit("partition-based|serial|count", [(64, 512, 0.0011)])
+            model.fit("partition-based|compiled|count", [(64, 512, 0.001)])
+            model.fit("join-based|serial|count", [(64, 512, 1.0)])  # far off
+            caps = BackendCaps(cpus=1, workers=1, compiled_ok=True)
+            return AdaptivePlanner(
+                small_hint, caps=caps, model=model, exploration=0.5,
+                explore_cap=4.0, seed=seed,
+            )
+
+        def run(planner):
+            batch = _uniform_batch(rng, 64, 8)
+            picks = []
+            for _ in range(40):
+                d = planner.decide(batch, mode="count", allow_split=False)
+                picks.append((d.source, d.plan.key("count")))
+            return picks
+
+        a, b = run(build(7)), run(build(7))
+        assert a == b  # same seed, same exploration pattern
+        explored = {plan for source, plan in a if source == "explore"}
+        assert explored  # epsilon=0.5 over 40 decisions must explore
+        # join-based is 1000x the best plan — outside explore_cap, never
+        # picked; exploration only probes near-competitive plans.
+        assert explored == {"partition-based|serial|count"}
+        planner = build(7)
+        run(planner)
+        assert 0.0 < planner.exploration_rate < 1.0
+
+    def test_zero_exploration_never_explores(self, small_hint, rng):
+        model = CostModel()
+        model.fit("partition-based|serial|count", [(64, 512, 0.0011)])
+        model.fit("partition-based|compiled|count", [(64, 512, 0.001)])
+        caps = BackendCaps(cpus=1, workers=1, compiled_ok=True)
+        planner = AdaptivePlanner(small_hint, caps=caps, model=model)
+        for _ in range(50):
+            d = planner.decide(_uniform_batch(rng, 64, 8), mode="count")
+            assert d.source != "explore"
+        assert planner.exploration_rate == 0.0
+
+    def test_invalid_exploration_rejected(self, small_hint):
+        with pytest.raises(ValueError, match="exploration"):
+            AdaptivePlanner(small_hint, exploration=1.0)
+
+    def test_split_chosen_when_model_predicts_a_clear_win(self, small_hint, rng):
+        model = CostModel()
+        # serial: pure per-query cost; compiled: pure per-extent cost —
+        # a mixed batch is cheapest split narrow->serial / wide->compiled.
+        model.fit(
+            "partition-based|serial|ids",
+            [(1, 0, 1e-4), (1000, 0, 0.1), (1000, 100_000, 0.1)],
+        )
+        model.fit(
+            "partition-based|compiled|ids",
+            [(1, 0, 1e-6), (1000, 0, 1e-6), (1000, 100_000, 0.5)],
+        )
+        caps = BackendCaps(cpus=1, workers=1, compiled_ok=True)
+        planner = AdaptivePlanner(
+            small_hint, caps=caps, model=model,
+            strategies=("partition-based",), min_split_batch=64,
+        )
+        batch = _mixed_batch(rng, 896, 128, 2, 512)
+        decision = planner.decide(batch, mode="ids")
+        assert decision.split
+        assert decision.plan.narrow == Plan("partition-based", "compiled")
+        assert decision.plan.wide == Plan("partition-based", "serial")
+        assert decision.plan.threshold >= 2
+        assert decision.predicted_s < min(c for _, c in decision.table)
+
+    def test_split_rejected_for_homogeneous_batches(self, small_hint, rng):
+        model = CostModel()
+        model.fit(
+            "partition-based|serial|ids",
+            [(1, 0, 1e-4), (1000, 0, 0.1), (1000, 100_000, 0.1)],
+        )
+        model.fit(
+            "partition-based|compiled|ids",
+            [(1, 0, 1e-6), (1000, 0, 1e-6), (1000, 100_000, 0.5)],
+        )
+        caps = BackendCaps(cpus=1, workers=1, compiled_ok=True)
+        planner = AdaptivePlanner(
+            small_hint, caps=caps, model=model,
+            strategies=("partition-based",), min_split_batch=64,
+        )
+        # All-narrow: heterogeneity ~1, no split can help.
+        decision = planner.decide(_uniform_batch(rng, 1024, 4), mode="ids")
+        assert not decision.split
+
+    def test_split_respects_min_batch(self, small_hint, rng):
+        model = CostModel()
+        model.fit(
+            "partition-based|serial|ids",
+            [(1, 0, 1e-4), (1000, 0, 0.1), (1000, 100_000, 0.1)],
+        )
+        model.fit(
+            "partition-based|compiled|ids",
+            [(1, 0, 1e-6), (1000, 0, 1e-6), (1000, 100_000, 0.5)],
+        )
+        caps = BackendCaps(cpus=1, workers=1, compiled_ok=True)
+        planner = AdaptivePlanner(
+            small_hint, caps=caps, model=model,
+            strategies=("partition-based",), min_split_batch=4096,
+        )
+        decision = planner.decide(
+            _mixed_batch(rng, 896, 128, 2, 512), mode="ids"
+        )
+        assert not decision.split
+
+    def test_observe_updates_model(self, small_hint):
+        model = CostModel()
+        model.fit("partition-based|serial|count", [(64, 512, 0.010)])
+        planner = AdaptivePlanner(small_hint, model=model)
+        err = planner.observe(
+            Plan("partition-based", "serial"), "count", 64, 512, 0.020
+        )
+        assert err == pytest.approx(0.5)
+        assert model.observations("partition-based|serial|count") == 1
+
+    def test_stats_snapshot(self, small_hint, rng):
+        planner = AdaptivePlanner(small_hint)
+        planner.decide(_uniform_batch(rng, 64, 8), mode="count")
+        stats = planner.stats()
+        assert stats["decisions"] == 1
+        assert stats["explorations"] == 0
+        assert stats["calibrated_plans"] == []
+
+
+# --------------------------------------------------------------------- #
+# the executor front (calibration + engine integration)
+# --------------------------------------------------------------------- #
+
+
+class TestPlannedExecutor:
+    def test_calibration_persists_and_is_reused(self, small_hint, tmp_path):
+        path = str(tmp_path / "cal.json")
+        px = PlannedExecutor(small_hint, model_path=path, calibrate=True)
+        try:
+            assert px.planner.model.calibrated
+            saved = CostModel.load(path)
+            assert saved.to_dict()["entries"] == px.planner.model.to_dict()["entries"]
+        finally:
+            px.close()
+        fresh = PlannedExecutor(small_hint, model_path=path, calibrate=True)
+        try:
+            # Reused, not re-probed: identical coefficients.
+            assert (
+                fresh.planner.model.to_dict()["entries"]
+                == saved.to_dict()["entries"]
+            )
+        finally:
+            fresh.close()
+
+    def test_stale_calibration_for_other_index_is_ignored(
+        self, small_hint, rng, tmp_path
+    ):
+        path = str(tmp_path / "cal.json")
+        model = CostModel(
+            meta={"index": {"kind": "ShardedHint", "size": len(small_hint)}}
+        )
+        model.fit("partition-based|serial|count", [(10, 10, 0.01)])
+        model.save(path)
+        px = PlannedExecutor(small_hint, model_path=path)
+        try:
+            assert not px.planner.model.calibrated  # kind mismatch: fresh model
+        finally:
+            px.close()
+
+    def test_size_drift_invalidates_calibration(self, small_hint, tmp_path):
+        path = str(tmp_path / "cal.json")
+        model = CostModel(
+            meta={"index": {"kind": "HintIndex", "size": len(small_hint) * 10}}
+        )
+        model.fit("partition-based|serial|count", [(10, 10, 0.01)])
+        model.save(path)
+        px = PlannedExecutor(small_hint, model_path=path)
+        try:
+            assert not px.planner.model.calibrated
+        finally:
+            px.close()
+
+    def test_pinned_backend_bypasses_planner(self, small_hint, rng, tmp_path):
+        px = PlannedExecutor(
+            small_hint, model_path=str(tmp_path / "c.json"), calibrate=True
+        )
+        try:
+            batch = _uniform_batch(rng, 32, 8)
+            px.execute(batch, mode="count", backend="serial")
+            assert px.last_decision is None  # planner never consulted
+        finally:
+            px.close()
+
+    def test_rejects_unknown_strategy_and_mode(self, small_hint, rng, tmp_path):
+        px = PlannedExecutor(small_hint, model_path=str(tmp_path / "c.json"))
+        try:
+            batch = _uniform_batch(rng, 8, 8)
+            with pytest.raises(ValueError, match="unknown strategy"):
+                px.execute(batch, strategy="frobnicate", mode="count")
+            with pytest.raises(ValueError, match="unknown result mode"):
+                px.execute(batch, mode="frobnicate")
+        finally:
+            px.close()
+
+    def test_empty_batch_short_circuits(self, small_hint, tmp_path):
+        px = PlannedExecutor(small_hint, model_path=str(tmp_path / "c.json"))
+        try:
+            result = px.execute(QueryBatch([], []), mode="ids")
+            assert len(result.counts) == 0
+        finally:
+            px.close()
+
+    def test_engine_auto_unchanged_pre_calibration(self, small_hint, rng):
+        """The engine's ``auto`` equals ``auto-static`` until the online
+        ledger has enough samples — the zero-regression cold start."""
+        from repro.engine import ExecutionEngine
+
+        engine = ExecutionEngine(small_hint)
+        try:
+            batch = _uniform_batch(rng, 200, 16)
+            assert engine._choose(
+                len(batch), "partition-based", "count", None
+            ) == engine._static_choice(len(batch), "partition-based", "count")
+        finally:
+            engine.close()
+
+
+# --------------------------------------------------------------------- #
+# extent summaries (the splitter's statistics)
+# --------------------------------------------------------------------- #
+
+
+class TestExtentSummary:
+    def test_against_numpy_oracle(self, rng):
+        for n in (1, 2, 7, 100, 1023):
+            st = rng.integers(0, 5000, size=n)
+            ext = rng.integers(0, 800, size=n)
+            batch = QueryBatch(st, st + ext)
+            summary = summarize_extents(batch, percentiles=(0, 25, 50, 75, 90, 100))
+            oracle = np.sort(np.asarray(batch.end) - np.asarray(batch.st))
+            assert summary.num_queries == n
+            assert summary.total_extent == int(oracle.sum())
+            assert summary.min_extent == int(oracle[0])
+            assert summary.max_extent == int(oracle[-1])
+            assert summary.mean_extent == pytest.approx(float(oracle.mean()))
+            for p, value in summary.percentiles.items():
+                assert value == int(oracle[(p * (n - 1)) // 100]), (n, p)
+
+    def test_empty_batch(self):
+        summary = summarize_extents(QueryBatch([], []))
+        assert summary.num_queries == 0
+        assert summary.total_extent == 0
+        assert summary.percentiles == {50: 0, 75: 0, 90: 0}
+        assert summary.heterogeneity == 1.0
+
+    def test_heterogeneity_ratio(self, rng):
+        batch = _mixed_batch(rng, 900, 100, 4, 400)
+        summary = summarize_extents(batch)
+        assert summary.heterogeneity == pytest.approx(
+            summary.percentiles[90] / summary.percentiles[50]
+        )
+        flat = _uniform_batch(rng, 1000, 8)
+        assert summarize_extents(flat).heterogeneity == 1.0
+
+    def test_extents_match_endpoints(self):
+        batch = QueryBatch([10, 20], [10, 30])
+        assert batch_extents(batch).tolist() == [0, 10]
+
+    def test_invalid_percentile_rejected(self, rng):
+        with pytest.raises(ValueError, match="outside"):
+            summarize_extents(_uniform_batch(rng, 4, 2), percentiles=(101,))
